@@ -1,0 +1,143 @@
+// Command sasosim runs a single workload or a binary trace on a chosen
+// machine model and prints its report and hardware counters.
+//
+// Usage:
+//
+//	sasosim -workload gc -model domain-page
+//	sasosim -workload txn -model page-group
+//	sasosim -trace refs.trc -machine flush
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workload/attach"
+	"repro/internal/workload/checkpoint"
+	"repro/internal/workload/compress"
+	"repro/internal/workload/dsm"
+	"repro/internal/workload/gc"
+	"repro/internal/workload/rpc"
+	"repro/internal/workload/txn"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc")
+	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional")
+	manager := flag.String("manager", "central", "dsm ownership protocol: central|distributed")
+	incremental := flag.Bool("incremental", false, "checkpoint workload: incremental instead of full")
+	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
+	machName := flag.String("machine", "plb", "machine for trace replay: plb|page-group|conventional|flush")
+	flag.Parse()
+
+	if *traceFile != "" {
+		if err := replay(*traceFile, *machName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := runWorkload(*workload, *model, *manager, *incremental); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseModel(s string) (kernel.Model, error) {
+	switch s {
+	case "domain-page", "plb":
+		return kernel.ModelDomainPage, nil
+	case "page-group", "pa-risc":
+		return kernel.ModelPageGroup, nil
+	case "conventional":
+		return kernel.ModelConventional, nil
+	default:
+		return 0, fmt.Errorf("sasosim: unknown model %q", s)
+	}
+}
+
+func runWorkload(name, modelName, manager string, incremental bool) error {
+	m, err := parseModel(modelName)
+	if err != nil {
+		return err
+	}
+	k := kernel.New(kernel.DefaultConfig(m))
+	var rep any
+	switch name {
+	case "attach":
+		rep, err = attach.Run(k, attach.DefaultConfig())
+	case "gc":
+		rep, err = gc.Run(k, gc.DefaultConfig())
+	case "dsm":
+		cfg := dsm.DefaultConfig(m)
+		if manager == "distributed" {
+			cfg.Manager = dsm.DistributedManager
+		}
+		rep, err = dsm.Run(cfg)
+	case "txn":
+		rep, err = txn.Run(k, txn.DefaultConfig(m))
+	case "checkpoint":
+		if incremental {
+			cfg := checkpoint.DefaultConfig()
+			cfg.Checkpoints = 3
+			rep, err = checkpoint.RunIncremental(k, cfg)
+		} else {
+			rep, err = checkpoint.Run(k, checkpoint.DefaultConfig())
+		}
+	case "compress":
+		rep, err = compress.Run(k, compress.DefaultConfig())
+	case "rpc":
+		rep, err = rpc.Run(k, rpc.DefaultConfig())
+	default:
+		return fmt.Errorf("sasosim: unknown workload %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s on %s\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
+		name, m, rep, k.Machine().Counters(), k.Counters())
+	fmt.Printf("machine cycles: %d\nkernel cycles:  %d\n", k.Machine().Cycles(), k.Cycles())
+	return nil
+}
+
+func replay(path, machName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	os_ := trace.NewOpenOS(addr.BaseGeometry(), nil)
+	var m machine.Machine
+	switch machName {
+	case "plb":
+		m = machine.NewPLB(machine.DefaultPLBConfig(), os_)
+	case "page-group":
+		m = machine.NewPG(machine.DefaultPGConfig(), os_)
+	case "conventional":
+		m = machine.NewConventional(machine.DefaultConvConfig(), os_)
+	case "flush":
+		m = machine.NewFlush(machine.DefaultConvConfig(), os_)
+	default:
+		return fmt.Errorf("sasosim: unknown machine %q", machName)
+	}
+	res, err := trace.Run(m, records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d records on %s: %d switches, %d cycles\n\ncounters:\n%s",
+		res.Records, m.Name(), res.Switches, res.Cycles, m.Counters())
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command tablegen regenerates the experiment tables of EXPERIMENTS.md:
+// every quantified claim of the paper's evaluation, one experiment per
+// table/figure/section.
+//
+// Usage:
+//
+//	tablegen            # run every experiment
+//	tablegen -e E1      # run one experiment
+//	tablegen -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("e", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+
+	experiments := core.All()
+	if *exp != "" {
+		e, err := core.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments = []core.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		fmt.Printf("## %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

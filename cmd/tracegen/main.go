@@ -1,0 +1,76 @@
+// Command tracegen generates synthetic memory reference traces in the
+// binary trace format, for replay with sasosim -trace.
+//
+// Usage:
+//
+//	tracegen -kind mix -records 100000 -out refs.trc
+//	tracegen -kind zipf -pages 256 -records 50000 -out hot.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "mix", "stream kind: seq|ws|zipf|mix")
+	out := flag.String("out", "trace.trc", "output file")
+	records := flag.Int("records", 100000, "number of references")
+	pages := flag.Uint64("pages", 64, "pages in the referenced region (seq/ws/zipf)")
+	domains := flag.Int("domains", 4, "domains (mix)")
+	sharedPct := flag.Int("shared", 10, "shared reference percent (mix)")
+	quantum := flag.Int("quantum", 100, "references per scheduling quantum (mix)")
+	storePct := flag.Int("stores", 30, "store percent")
+	skew := flag.Float64("skew", 1.2, "zipf skew (>1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g := trace.NewGen(*seed, addr.BaseGeometry())
+	base := addr.VA(1) << 32
+	var recs []trace.Record
+	switch *kind {
+	case "seq":
+		recs = g.Sequential(1, base, *records, 64, *storePct)
+	case "ws":
+		recs = g.WorkingSet(1, base, *pages, *records, *storePct)
+	case "zipf":
+		recs = g.Zipf(1, base, *pages, *records, *skew, *storePct)
+	case "mix":
+		cfg := trace.DefaultSharedMix()
+		cfg.Domains = *domains
+		cfg.SharedPercent = *sharedPct
+		cfg.Quantum = *quantum
+		cfg.StorePercent = *storePct
+		cfg.Records = *records
+		recs = g.SharedMix(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := trace.NewWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+}

@@ -1,0 +1,11 @@
+// Package repro is a reproduction of "Architectural Support for Single
+// Address Space Operating Systems" (Koldinger, Chase & Eggers, ASPLOS
+// 1992): a memory-system simulator and Opal-style SASOS kernel
+// implementing both protection models the paper compares — the Protection
+// Lookaside Buffer (domain-page model) and the PA-RISC page-group model —
+// together with the six application workloads of the paper's Table 1 and
+// the experiment harness that regenerates every quantified claim.
+//
+// Public API: repro/sasos. Experiment harness: cmd/tablegen. Design and
+// measured results: DESIGN.md and EXPERIMENTS.md.
+package repro

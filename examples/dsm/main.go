@@ -1,0 +1,44 @@
+// Distributed shared virtual memory (Li) across four simulated nodes:
+// every node is a full kernel+machine instance; a write-invalidate
+// protocol driven by protection faults keeps one shared segment coherent.
+// The single address space guarantees the segment has the same virtual
+// addresses on every node, so pointers travel freely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kernel"
+	"repro/internal/workload/dsm"
+)
+
+func main() {
+	for _, pattern := range []struct {
+		name        string
+		partitioned bool
+	}{
+		{"uniform sharing (every node touches every page)", false},
+		{"partitioned with 10% remote accesses", true},
+	} {
+		fmt.Printf("== %s ==\n", pattern.name)
+		for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+			cfg := dsm.DefaultConfig(m)
+			cfg.Partitioned = pattern.partitioned
+			rep, err := dsm.Run(cfg)
+			if err != nil {
+				log.Fatalf("%v: %v", m, err)
+			}
+			fmt.Printf("%s:\n", m)
+			fmt.Printf("  read faults / write faults:  %d / %d\n", rep.ReadFaults, rep.WriteFaults)
+			fmt.Printf("  invalidations:               %d\n", rep.Invalidations)
+			fmt.Printf("  page transfers:              %d (%d KB over the wire)\n",
+				rep.PageTransfers, rep.NetBytes/1024)
+			fmt.Printf("  protection updates:          %d\n", rep.ProtUpdates)
+			fmt.Printf("  network cycles:              %d\n", rep.NetCycles)
+			fmt.Printf("  machine cycles (all nodes):  %d\n", rep.MachineCycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("coherence verified: every node observed the latest value of every written word")
+}

@@ -1,0 +1,44 @@
+// Trace-driven comparison: generate one multiprogrammed reference stream
+// and replay it on all four machine organizations — the PLB machine, the
+// PA-RISC page-group machine, a conventional ASID-tagged machine, and a
+// flush-on-switch machine — to see how each one's structures behave under
+// identical load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.DefaultSharedMix()
+	cfg.Records = 50000
+	recs := trace.NewGen(7, addr.BaseGeometry()).SharedMix(cfg)
+	fmt.Printf("trace: %d records, %d domains, quantum %d, %d%% shared\n\n",
+		len(recs), cfg.Domains, cfg.Quantum, cfg.SharedPercent)
+
+	openOS := func() *trace.OpenOS { return trace.NewOpenOS(addr.BaseGeometry(), nil) }
+	machines := []machine.Machine{
+		machine.NewPLB(machine.DefaultPLBConfig(), openOS()),
+		machine.NewPG(machine.DefaultPGConfig(), openOS()),
+		machine.NewConventional(machine.DefaultConvConfig(), openOS()),
+		machine.NewFlush(machine.DefaultConvConfig(), openOS()),
+	}
+	fmt.Printf("%-14s %12s %14s %14s %16s\n", "machine", "cycles", "cycles/access", "switch cycles", "refill traps")
+	for _, m := range machines {
+		res, err := trace.Run(m, recs)
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name(), err)
+		}
+		refills := res.Counters[machine.CtrTrapPLBRefill] +
+			res.Counters[machine.CtrTrapPGRefill] +
+			res.Counters[machine.CtrTrapTLBRefill]
+		fmt.Printf("%-14s %12d %14.3f %14d %16d\n",
+			m.Name(), res.Cycles, float64(res.Cycles)/float64(res.Records),
+			res.Counters[machine.CtrSwitchCycles], refills)
+	}
+}

@@ -1,0 +1,371 @@
+package assoc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fullAssoc(ways int, p Policy) *Cache[uint64, string] {
+	return New[uint64, string](Config{Sets: 1, Ways: ways, Policy: p}, nil)
+}
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := fullAssoc(4, LRU)
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := fullAssoc(4, LRU)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	if v, ok := c.Lookup(1); !ok || v != "a" {
+		t.Fatalf("Lookup(1) = %q,%v", v, ok)
+	}
+	if v, ok := c.Lookup(2); !ok || v != "b" {
+		t.Fatalf("Lookup(2) = %q,%v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	c := fullAssoc(2, LRU)
+	c.Insert(1, "a")
+	_, _, evicted := c.Insert(1, "a2")
+	if evicted {
+		t.Fatal("re-insert evicted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Lookup(1); v != "a2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := fullAssoc(2, LRU)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	c.Lookup(1) // 2 is now LRU
+	k, v, evicted := c.Insert(3, "c")
+	if !evicted || k != 2 || v != "b" {
+		t.Fatalf("evicted %d,%q,%v; want 2,b,true", k, v, evicted)
+	}
+	if _, ok := c.Lookup(2); ok {
+		t.Fatal("evicted key still present")
+	}
+	if _, ok := c.Lookup(1); !ok {
+		t.Fatal("recently used key evicted")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := fullAssoc(2, FIFO)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	c.Lookup(1) // FIFO ignores use
+	k, _, evicted := c.Insert(3, "c")
+	if !evicted || k != 1 {
+		t.Fatalf("FIFO evicted %d, want 1", k)
+	}
+}
+
+func TestRandomEvictionDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		c := New[uint64, int](Config{Sets: 1, Ways: 4, Policy: Random, Seed: 42}, nil)
+		var evictions []uint64
+		for i := uint64(0); i < 32; i++ {
+			if k, _, ev := c.Insert(i, int(i)); ev {
+				evictions = append(evictions, k)
+			}
+		}
+		return evictions
+	}
+	a, b := run(), run()
+	if len(a) != 28 {
+		t.Fatalf("eviction count = %d, want 28", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random policy not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	// 4 sets x 1 way, direct-mapped on key value.
+	c := New[uint64, int](Config{Sets: 4, Ways: 1}, func(k uint64) uint64 { return k })
+	c.Insert(0, 100)
+	c.Insert(4, 400) // same set as 0: conflict
+	if _, ok := c.Lookup(0); ok {
+		t.Fatal("conflicting key not evicted in direct-mapped set")
+	}
+	if v, ok := c.Lookup(4); !ok || v != 400 {
+		t.Fatal("newly inserted key missing")
+	}
+	c.Insert(1, 101)
+	c.Insert(2, 102)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := fullAssoc(4, LRU)
+	c.Insert(1, "a")
+	if !c.Invalidate(1) {
+		t.Fatal("Invalidate present key returned false")
+	}
+	if c.Invalidate(1) {
+		t.Fatal("Invalidate absent key returned true")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Invalidated way must be reusable without eviction.
+	c.Insert(2, "b")
+	c.Insert(3, "c")
+	c.Insert(4, "d")
+	_, _, evicted := c.Insert(5, "e")
+	if evicted {
+		t.Fatal("eviction despite free way")
+	}
+}
+
+func TestUpdatePreservesLRU(t *testing.T) {
+	c := fullAssoc(2, LRU)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	// Update key 1 without refreshing it; it stays LRU.
+	if !c.Update(1, "a2") {
+		t.Fatal("Update returned false")
+	}
+	k, _, _ := c.Insert(3, "c")
+	if k != 1 {
+		t.Fatalf("evicted %d, want 1 (Update must not refresh LRU)", k)
+	}
+	if c.Update(99, "zz") {
+		t.Fatal("Update absent key returned true")
+	}
+}
+
+func TestPeekDoesNotRefresh(t *testing.T) {
+	c := fullAssoc(2, LRU)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	c.Peek(1)
+	k, _, _ := c.Insert(3, "c")
+	if k != 1 {
+		t.Fatalf("evicted %d, want 1 (Peek must not refresh)", k)
+	}
+}
+
+func TestPurgeIf(t *testing.T) {
+	c := fullAssoc(8, LRU)
+	for i := uint64(0); i < 8; i++ {
+		c.Insert(i, "v")
+	}
+	removed, inspected := c.PurgeIf(func(k uint64, _ string) bool { return k%2 == 0 })
+	if removed != 4 || inspected != 8 {
+		t.Fatalf("removed=%d inspected=%d", removed, inspected)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := uint64(0); i < 8; i++ {
+		_, ok := c.Lookup(i)
+		if want := i%2 == 1; ok != want {
+			t.Errorf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestPurgeAll(t *testing.T) {
+	c := fullAssoc(4, LRU)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	if n := c.PurgeAll(); n != 2 {
+		t.Fatalf("PurgeAll = %d", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("entries remain")
+	}
+	if n := c.PurgeAll(); n != 0 {
+		t.Fatalf("second PurgeAll = %d", n)
+	}
+}
+
+func TestOnEvict(t *testing.T) {
+	c := fullAssoc(1, LRU)
+	var gotK uint64
+	var calls int
+	c.OnEvict(func(k uint64, _ string) { gotK = k; calls++ })
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	if calls != 1 || gotK != 1 {
+		t.Fatalf("calls=%d gotK=%d", calls, gotK)
+	}
+	// Invalidate must not trigger OnEvict.
+	c.Invalidate(2)
+	if calls != 1 {
+		t.Fatal("Invalidate triggered OnEvict")
+	}
+}
+
+func TestForEachAndKeys(t *testing.T) {
+	c := fullAssoc(8, LRU)
+	for i := uint64(0); i < 5; i++ {
+		c.Insert(i, "v")
+	}
+	seen := map[uint64]bool{}
+	c.ForEach(func(k uint64, _ string) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 5 {
+		t.Fatalf("ForEach visited %d", len(seen))
+	}
+	if len(c.Keys()) != 5 {
+		t.Fatalf("Keys len = %d", len(c.Keys()))
+	}
+	// Early termination.
+	n := 0
+	c.ForEach(func(uint64, string) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("ForEach early stop visited %d", n)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Sets: 0, Ways: 1}).Validate(); err == nil {
+		t.Error("Sets=0 validated")
+	}
+	if err := (Config{Sets: 1, Ways: 0}).Validate(); err == nil {
+		t.Error("Ways=0 validated")
+	}
+	if err := (Config{Sets: 2, Ways: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if (Config{Sets: 4, Ways: 2}).Capacity() != 8 {
+		t.Error("Capacity wrong")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("bad config", func() { New[int, int](Config{Sets: 0, Ways: 1}, nil) })
+	assertPanics("nil index with sets>1", func() { New[int, int](Config{Sets: 2, Ways: 1}, nil) })
+}
+
+// Property: the cache never exceeds capacity, and a key just inserted is
+// always immediately findable.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := New[uint64, uint64](Config{Sets: 4, Ways: 2}, func(k uint64) uint64 { return k })
+		for _, k := range keys {
+			c.Insert(k, k*2)
+			if c.Len() > c.Capacity() {
+				return false
+			}
+			if v, ok := c.Peek(k); !ok || v != k*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len always equals the number of entries ForEach visits, across
+// a random mix of operations.
+func TestLenMatchesForEach(t *testing.T) {
+	f := func(ops []uint8, keys []uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		c := New[uint64, int](Config{Sets: 2, Ways: 4}, func(k uint64) uint64 { return k })
+		for i, op := range ops {
+			k := keys[i%len(keys)]
+			switch op % 4 {
+			case 0:
+				c.Insert(k, 1)
+			case 1:
+				c.Invalidate(k)
+			case 2:
+				c.Lookup(k)
+			case 3:
+				c.PurgeIf(func(kk uint64, _ int) bool { return kk%3 == 0 })
+			}
+			n := 0
+			c.ForEach(func(uint64, int) bool { n++; return true })
+			if n != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU with a working set no larger than capacity never evicts
+// once warm (a round-robin scan over W keys in a W-way set misses at most
+// once per key).
+func TestLRUNoThrashWithinCapacity(t *testing.T) {
+	c := fullAssoc(8, LRU)
+	misses := 0
+	for round := 0; round < 10; round++ {
+		for k := uint64(0); k < 8; k++ {
+			if _, ok := c.Lookup(k); !ok {
+				misses++
+				c.Insert(k, "v")
+			}
+		}
+	}
+	if misses != 8 {
+		t.Fatalf("misses = %d, want 8 (cold only)", misses)
+	}
+}
+
+func TestUpdateIf(t *testing.T) {
+	c := fullAssoc(8, LRU)
+	for i := uint64(0); i < 6; i++ {
+		c.Insert(i, "old")
+	}
+	updated, inspected := c.UpdateIf(
+		func(k uint64, _ string) bool { return k%2 == 0 },
+		func(uint64, string) string { return "new" })
+	if updated != 3 || inspected != 6 {
+		t.Fatalf("updated=%d inspected=%d", updated, inspected)
+	}
+	for i := uint64(0); i < 6; i++ {
+		v, _ := c.Peek(i)
+		want := "old"
+		if i%2 == 0 {
+			want = "new"
+		}
+		if v != want {
+			t.Errorf("key %d = %q, want %q", i, v, want)
+		}
+	}
+	if c.Len() != 6 {
+		t.Fatal("UpdateIf changed Len")
+	}
+}

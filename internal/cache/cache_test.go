@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+func smallCfg(asidTags bool) Config {
+	return Config{
+		LineShift: 5, // 32-byte lines
+		Assoc:     assoc.Config{Sets: 16, Ways: 2, Policy: assoc.LRU},
+		ASIDTags:  asidTags,
+	}
+}
+
+func TestVirtualAccessMissFillHit(t *testing.T) {
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(false), ctrs, "dc")
+	if v.Access(0, 0x1000, false) {
+		t.Fatal("hit on empty cache")
+	}
+	v.Fill(0, 0x1000, 3, false)
+	if !v.Access(0, 0x1000, false) {
+		t.Fatal("miss after fill")
+	}
+	// Same line, different byte.
+	if !v.Access(0, 0x101f, false) {
+		t.Fatal("miss within line")
+	}
+	// Next line misses.
+	if v.Access(0, 0x1020, false) {
+		t.Fatal("hit across line boundary")
+	}
+	if ctrs.Get("dc.hit") != 2 || ctrs.Get("dc.miss") != 2 || ctrs.Get("dc.fill") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+}
+
+func TestVirtualDirtyWriteback(t *testing.T) {
+	ctrs := &stats.Counters{}
+	// Direct-mapped, single set: any two distinct lines conflict.
+	v := NewVirtual(Config{
+		LineShift: 5,
+		Assoc:     assoc.Config{Sets: 1, Ways: 1, Policy: assoc.LRU},
+	}, ctrs, "dc")
+	v.Fill(0, 0x1000, 1, true) // dirty fill
+	if wb := v.Fill(0, 0x2000, 2, false); !wb {
+		t.Fatal("dirty victim not written back")
+	}
+	if wb := v.Fill(0, 0x3000, 3, false); wb {
+		t.Fatal("clean victim written back")
+	}
+	if ctrs.Get("dc.writeback") != 1 {
+		t.Fatalf("writeback = %d", ctrs.Get("dc.writeback"))
+	}
+}
+
+func TestStoreHitMarksDirty(t *testing.T) {
+	ctrs := &stats.Counters{}
+	v := NewVirtual(Config{
+		LineShift: 5,
+		Assoc:     assoc.Config{Sets: 1, Ways: 1, Policy: assoc.LRU},
+	}, ctrs, "dc")
+	v.Fill(0, 0x1000, 1, false) // clean fill
+	v.Access(0, 0x1000, true)   // store hit dirties it
+	if wb := v.Fill(0, 0x2000, 2, false); !wb {
+		t.Fatal("line dirtied by store hit not written back")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	ctrs := &stats.Counters{}
+	v := NewVirtual(Config{
+		LineShift: 5,
+		Assoc:     assoc.Config{Sets: 256, Ways: 2, Policy: assoc.LRU},
+	}, ctrs, "dc")
+	geo := addr.BaseGeometry()
+	// Fill 4 lines of page 1, one dirty, plus a line of page 2.
+	v.Fill(0, 0x1000, 1, false)
+	v.Fill(0, 0x1020, 1, true)
+	v.Fill(0, 0x1040, 1, false)
+	v.Fill(0, 0x1060, 1, false)
+	v.Fill(0, 0x2000, 2, true)
+	flushed, dirty := v.FlushPage(0x1008, geo)
+	if flushed != 4 || dirty != 1 {
+		t.Fatalf("FlushPage = %d,%d", flushed, dirty)
+	}
+	if v.Resident(0, 0x1000) {
+		t.Fatal("line survives page flush")
+	}
+	if !v.Resident(0, 0x2000) {
+		t.Fatal("other page's line flushed")
+	}
+	if ctrs.Get("dc.flushed_lines") != 4 || ctrs.Get("dc.flush_writebacks") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(false), ctrs, "dc")
+	v.Fill(0, 0x1000, 1, true)
+	v.Fill(0, 0x2000, 2, false)
+	flushed, dirty := v.FlushAll()
+	if flushed != 2 || dirty != 1 {
+		t.Fatalf("FlushAll = %d,%d", flushed, dirty)
+	}
+	if v.Len() != 0 {
+		t.Fatal("cache not empty")
+	}
+}
+
+func TestHomonymsWithoutASIDTags(t *testing.T) {
+	// Without ASID tags, two spaces using the same VA for different data
+	// collide on one line: the homonym problem. The cache cannot tell
+	// them apart — space is ignored — so the second space "hits" on the
+	// first space's line (stale data). This is why such systems must
+	// flush on switch.
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(false), ctrs, "dc")
+	v.Fill(1, 0x1000, 10, false) // space 1, frame 10
+	if !v.Access(2, 0x1000, false) {
+		t.Fatal("homonym did not alias (expected false hit)")
+	}
+}
+
+func TestASIDTagsSeparateHomonyms(t *testing.T) {
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(true), ctrs, "dc")
+	v.Fill(1, 0x1000, 10, false)
+	if v.Access(2, 0x1000, false) {
+		t.Fatal("ASID tags failed to separate homonyms")
+	}
+	v.Fill(2, 0x1000, 20, false)
+	if !v.Access(1, 0x1000, false) || !v.Access(2, 0x1000, false) {
+		t.Fatal("both homonym lines should be resident")
+	}
+}
+
+func TestASIDTagsCreateSynonyms(t *testing.T) {
+	// With ASID tags, a frame shared between two spaces at the same VA
+	// occupies two lines: the synonym problem (Section 2.2). With a
+	// dirty copy it is an incoherence hazard.
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(true), ctrs, "dc")
+	v.Fill(1, 0x1000, 10, false)
+	v.Fill(2, 0x1000, 10, true) // same frame, space 2, dirty
+	if n := v.SynonymLines(); n != 2 {
+		t.Fatalf("SynonymLines = %d, want 2", n)
+	}
+	if n := v.IncoherentLines(); n != 1 {
+		t.Fatalf("IncoherentLines = %d, want 1", n)
+	}
+}
+
+func TestSingleSpaceNoSynonyms(t *testing.T) {
+	// A single address space maps each frame at exactly one VA, so no
+	// synonyms can arise regardless of how many domains share the data.
+	ctrs := &stats.Counters{}
+	v := NewVirtual(smallCfg(false), ctrs, "dc")
+	v.Fill(0, 0x1000, 10, true)
+	v.Fill(0, 0x2000, 20, false)
+	v.Fill(0, 0x1020, 10, false) // second line of the shared page
+	if n := v.SynonymLines(); n != 0 {
+		t.Fatalf("SynonymLines = %d, want 0", n)
+	}
+	if n := v.IncoherentLines(); n != 0 {
+		t.Fatalf("IncoherentLines = %d, want 0", n)
+	}
+}
+
+func TestPhysicalCache(t *testing.T) {
+	ctrs := &stats.Counters{}
+	p := NewPhysical(smallCfg(false), ctrs, "pc")
+	pa := addr.PA(0x5000)
+	if p.Access(pa, false) {
+		t.Fatal("hit on empty cache")
+	}
+	p.Fill(pa, true)
+	if !p.Access(pa, false) {
+		t.Fatal("miss after fill")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	flushed, dirty := p.FlushFrame(5, addr.BaseGeometry())
+	if flushed != 1 || dirty != 1 {
+		t.Fatalf("FlushFrame = %d,%d", flushed, dirty)
+	}
+	if p.Access(pa, false) {
+		t.Fatal("hit after frame flush")
+	}
+}
+
+func TestPhysicalCacheWriteback(t *testing.T) {
+	ctrs := &stats.Counters{}
+	p := NewPhysical(Config{
+		LineShift: 5,
+		Assoc:     assoc.Config{Sets: 1, Ways: 1, Policy: assoc.LRU},
+	}, ctrs, "pc")
+	p.Fill(0x1000, true)
+	if wb := p.Fill(0x2000, false); !wb {
+		t.Fatal("dirty victim not written back")
+	}
+	if ctrs.Get("pc.writeback") != 1 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestLinesPerPage(t *testing.T) {
+	v := NewVirtual(smallCfg(false), &stats.Counters{}, "dc")
+	if n := v.LinesPerPage(addr.BaseGeometry()); n != 128 {
+		t.Fatalf("LinesPerPage = %d, want 128 (4096/32)", n)
+	}
+	if v.LineShift() != 5 {
+		t.Fatal("LineShift wrong")
+	}
+	if v.Capacity() != 32 {
+		t.Fatalf("Capacity = %d", v.Capacity())
+	}
+}

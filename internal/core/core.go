@@ -1,0 +1,97 @@
+// Package core is the experiment harness of the reproduction: it builds
+// systems (kernel + machine) for each protection model, runs identical
+// scenarios on them, and regenerates every table of EXPERIMENTS.md — one
+// experiment per claim of the paper's Sections 2-4 and one sub-table per
+// row of its Table 1.
+//
+// Experiments are pure functions returning rendered tables, shared
+// between cmd/tablegen (interactive use) and the benchmark suite.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Models lists the two protection models under comparison, in table
+// order.
+var Models = []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup}
+
+// NewSystem builds a kernel with the default configuration for model m.
+func NewSystem(m kernel.Model) *kernel.Kernel {
+	return kernel.New(kernel.DefaultConfig(m))
+}
+
+// ModelRun captures everything a scenario produced on one model.
+type ModelRun struct {
+	Model           kernel.Model
+	MachineCounters map[string]uint64
+	KernelCounters  map[string]uint64
+	MachineCycles   uint64
+	KernelCycles    uint64
+}
+
+// TotalCycles is machine plus kernel cycles.
+func (r ModelRun) TotalCycles() uint64 { return r.MachineCycles + r.KernelCycles }
+
+// RunBoth executes scenario on a fresh default system of each model.
+func RunBoth(scenario func(*kernel.Kernel) error) (map[kernel.Model]ModelRun, error) {
+	out := make(map[kernel.Model]ModelRun, len(Models))
+	for _, m := range Models {
+		k := NewSystem(m)
+		if err := scenario(k); err != nil {
+			return nil, fmt.Errorf("core: scenario on %v: %w", m, err)
+		}
+		out[m] = ModelRun{
+			Model:           m,
+			MachineCounters: k.Machine().Counters().Snapshot(),
+			KernelCounters:  k.Counters().Snapshot(),
+			MachineCycles:   k.Machine().Cycles(),
+			KernelCycles:    k.Cycles(),
+		}
+	}
+	return out, nil
+}
+
+// Experiment identifies one reproducible experiment.
+type Experiment struct {
+	// ID is the experiment identifier used throughout EXPERIMENTS.md
+	// ("E1" ... "E10").
+	ID string
+	// Title is the experiment's one-line description.
+	Title string
+	// Source cites the paper section or table the experiment reproduces.
+	Source string
+	// Run regenerates the experiment's tables.
+	Run func() ([]*stats.Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Table 1 operation costs, quantified per workload", Source: "Table 1, §4.1", Run: E1Table1},
+		{ID: "E2", Title: "PLB organization: hit ratio, sharing duplication, entry size", Source: "Figure 1, §3.2.1, §4.2", Run: E2PLB},
+		{ID: "E3", Title: "Page-group check: cache size sweep, PID registers vs LRU cache", Source: "Figure 2, §3.2.2", Run: E3PageGroup},
+		{ID: "E4", Title: "Virtually indexed caches: flush traffic, synonyms, homonyms", Source: "§2.2", Run: E4VirtualCache},
+		{ID: "E5", Title: "ASID-TLB duplication under sharing", Source: "§3.1", Run: E5TLBDup},
+		{ID: "E6", Title: "Domain switch and RPC costs", Source: "§4.1.4", Run: E6Switch},
+		{ID: "E7", Title: "Average memory access time: parallel vs sequential check", Source: "§4.2", Run: E7AMAT},
+		{ID: "E8", Title: "Protection granularity: sub-page and super-page entries", Source: "§4.3", Run: E8Granularity},
+		{ID: "E9", Title: "Paging operation costs", Source: "§4.1.3", Run: E9Paging},
+		{ID: "E10", Title: "End-to-end mixed workload", Source: "§6", Run: E10Mixed},
+		{ID: "E11", Title: "SASOS kernel on conventional hardware", Source: "§3.1", Run: E11Conventional},
+		{ID: "E12", Title: "Translation structures: page sizes and inverted table", Source: "§3.1, §4.3", Run: E12Translation},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}

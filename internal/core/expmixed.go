@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+	"repro/internal/workload/gc"
+	"repro/internal/workload/rpc"
+	"repro/internal/workload/txn"
+)
+
+// E9Paging reproduces Section 4.1.3: the protection and cache maintenance
+// costs of page-out and page-in, per model.
+func E9Paging() ([]*stats.Table, error) {
+	t := stats.NewTable("E9 Paging operation costs (32 dirty pages out and back)",
+		"metric", "domain-page", "page-group")
+	type res struct {
+		outCycles, inCycles   uint64
+		flushedLines, flushWB uint64
+		tlbInval              uint64
+		protScans             uint64
+	}
+	results := map[kernel.Model]res{}
+	const pages = 32
+
+	for _, m := range Models {
+		k := NewSystem(m)
+		d := k.CreateDomain()
+		seg := k.CreateSegment(pages, kernel.SegmentOptions{Name: "paged"})
+		k.Attach(d, seg, addr.RW)
+		// Dirty every page so page-out must flush dirty cache lines.
+		for p := uint64(0); p < pages; p++ {
+			if err := k.Store(d, seg.PageVA(p), p+1); err != nil {
+				return nil, err
+			}
+		}
+		mc := k.Machine().Counters()
+		before := mc.Snapshot()
+		cyc0 := k.TotalCycles()
+		for p := uint64(0); p < pages; p++ {
+			if err := k.PageOut(seg.PageVPN(p)); err != nil {
+				return nil, err
+			}
+		}
+		outCycles := k.TotalCycles() - cyc0
+		outDiff := mc.Diff(before)
+
+		// Page everything back in by touching it.
+		before = mc.Snapshot()
+		cyc0 = k.TotalCycles()
+		for p := uint64(0); p < pages; p++ {
+			v, err := k.Load(d, seg.PageVA(p))
+			if err != nil {
+				return nil, err
+			}
+			if v != p+1 {
+				return nil, errCorrupt(m, p, v)
+			}
+		}
+		inCycles := k.TotalCycles() - cyc0
+
+		results[m] = res{
+			outCycles:    outCycles,
+			inCycles:     inCycles,
+			flushedLines: outDiff.Get("cache.flushed_lines"),
+			flushWB:      outDiff.Get("cache.flush_writebacks"),
+			tlbInval:     outDiff.Get("tlb.invalidated") + outDiff.Get("pgtlb.invalidated"),
+			protScans:    outDiff.Get("plb.inspected"),
+		}
+	}
+	dp, pg := results[kernel.ModelDomainPage], results[kernel.ModelPageGroup]
+	t.AddRow("page-out cycles (incl. disk)", dp.outCycles, pg.outCycles)
+	t.AddRow("page-in cycles (incl. disk)", dp.inCycles, pg.inCycles)
+	t.AddRow("cache lines flushed", dp.flushedLines, pg.flushedLines)
+	t.AddRow("flush writebacks", dp.flushWB, pg.flushWB)
+	t.AddRow("TLB entries invalidated", dp.tlbInval, pg.tlbInval)
+	t.AddRow("PLB entries scanned", dp.protScans, pg.protScans)
+	t.AddNote("unmap needs no PLB maintenance: stale entries age out and the missing translation faults (§4.1.3)")
+	return []*stats.Table{t}, nil
+}
+
+func errCorrupt(m kernel.Model, page, got uint64) error {
+	return fmt.Errorf("core: %v: page %d corrupted after paging (got %#x)", m, page, got)
+}
+
+// E10Mixed reproduces the paper's closing question — which model wins
+// depends on the operation mix — with an end-to-end scenario combining
+// RPC-heavy serving, transactional locking, and a garbage collection.
+func E10Mixed() ([]*stats.Table, error) {
+	t := stats.NewTable("E10 End-to-end mixed workload (RPC + transactions + GC)",
+		"metric", "domain-page", "page-group")
+	type agg struct {
+		machineCycles, kernelCycles   uint64
+		protFaults, switches, refills uint64
+	}
+	results := map[kernel.Model]agg{}
+
+	for _, m := range Models {
+		k := NewSystem(m)
+
+		rpcCfg := rpc.DefaultConfig()
+		rpcCfg.Calls = 128
+		if _, err := rpc.Run(k, rpcCfg); err != nil {
+			return nil, err
+		}
+		txnCfg := txn.DefaultConfig(m)
+		txnCfg.Transactions = 32
+		if _, err := txn.Run(k, txnCfg); err != nil {
+			return nil, err
+		}
+		gcCfg := gc.DefaultConfig()
+		gcCfg.Objects = 1024
+		gcCfg.GCs = 1
+		if _, err := gc.Run(k, gcCfg); err != nil {
+			return nil, err
+		}
+
+		mc := k.Machine().Counters()
+		results[m] = agg{
+			machineCycles: k.Machine().Cycles(),
+			kernelCycles:  k.Cycles(),
+			protFaults:    mc.Get("fault.protection"),
+			switches:      mc.Get("switch.count"),
+			refills: mc.Get("trap.plb_refill") + mc.Get("trap.pg_refill") +
+				mc.Get("trap.tlb_refill"),
+		}
+	}
+	dp, pg := results[kernel.ModelDomainPage], results[kernel.ModelPageGroup]
+	t.AddRow("machine cycles", dp.machineCycles, pg.machineCycles)
+	t.AddRow("kernel cycles", dp.kernelCycles, pg.kernelCycles)
+	t.AddRow("total cycles", dp.machineCycles+dp.kernelCycles, pg.machineCycles+pg.kernelCycles)
+	t.AddRow("protection faults", dp.protFaults, pg.protFaults)
+	t.AddRow("domain switches", dp.switches, pg.switches)
+	t.AddRow("structure refill traps", dp.refills, pg.refills)
+	t.AddRow("cycles ratio (pg/dp)", "1.00x", stats.Ratio(pg.machineCycles+pg.kernelCycles, dp.machineCycles+dp.kernelCycles))
+	t.AddNote("one kernel per model runs 128 RPC calls, 32 transactions, then a 1024-object GC")
+
+	sweep, err := mixSweep()
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t, sweep}, nil
+}
+
+// mixSweep quantifies the paper's closing observation — "many of the
+// answers will depend on ... which operations are most common" — by
+// sweeping an operation mix between the page-group model's best case
+// (segment attach/detach churn) and the domain-page model's best case
+// (cross-domain RPC), and reporting where the crossover falls.
+func mixSweep() (*stats.Table, error) {
+	t := stats.NewTable("E10.2 Which model wins vs operation mix (Wilkes-Sears style)",
+		"rpc share", "domain-page cycles", "page-group cycles", "pg/dp", "winner")
+	const totalOps = 200
+	for _, rpcPct := range []int{0, 25, 50, 75, 100} {
+		cycles := map[kernel.Model]uint64{}
+		for _, m := range Models {
+			k := NewSystem(m)
+			client := k.CreateDomain()
+			server := k.CreateDomain()
+			srvSeg := k.CreateSegment(4, kernel.SegmentOptions{Name: "srv"})
+			k.Attach(server, srvSeg, addr.RW)
+			// A pool of pre-created segments for the attach/detach arm.
+			pool := make([]*kernel.Segment, 8)
+			for i := range pool {
+				pool[i] = k.CreateSegment(8, kernel.SegmentOptions{})
+				// Pre-map the pages so the sweep measures protection
+				// costs rather than first-touch zero fills.
+				k.Attach(client, pool[i], addr.RW)
+				for p := uint64(0); p < 8; p++ {
+					if err := k.Touch(client, pool[i].PageVA(p), addr.Store); err != nil {
+						return nil, err
+					}
+				}
+				if err := k.Detach(client, pool[i]); err != nil {
+					return nil, err
+				}
+			}
+			cyc0 := k.TotalCycles()
+			for op := 0; op < totalOps; op++ {
+				if op*100 < rpcPct*totalOps {
+					// An RPC round trip with a little server work.
+					err := k.Call(client, server, func() error {
+						return k.Touch(server, srvSeg.Base(), addr.Store)
+					})
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					// An attach/use/detach cycle over a recycled pool of
+					// segments (pages stay mapped, so the cost measured
+					// is the protection traffic, not zero-filling).
+					seg := pool[op%len(pool)]
+					k.Attach(client, seg, addr.RW)
+					for p := uint64(0); p < seg.NumPages(); p++ {
+						if err := k.Touch(client, seg.PageVA(p), addr.Store); err != nil {
+							return nil, err
+						}
+					}
+					if err := k.Detach(client, seg); err != nil {
+						return nil, err
+					}
+				}
+			}
+			cycles[m] = k.TotalCycles() - cyc0
+		}
+		dpC, pgC := cycles[kernel.ModelDomainPage], cycles[kernel.ModelPageGroup]
+		winner := "domain-page"
+		if pgC < dpC {
+			winner = "page-group"
+		}
+		t.AddRow(fmt.Sprintf("%d%%", rpcPct), dpC, pgC, stats.Ratio(pgC, dpC), winner)
+	}
+	t.AddNote("attach/detach churn favors page-groups (one group op vs PLB scans + per-page refills);")
+	t.AddNote("RPC favors the PLB (register-write switches vs group-cache purge+reload)")
+	return t, nil
+}

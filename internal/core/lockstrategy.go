@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/pgroup"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+)
+
+// lockStrategyTable is ablation A4: Section 4.1.2's two representations
+// of shared read-locks in the page-group model.
+//
+//   - Strategy A ("all locks held by a given domain into a page-group
+//     private to that domain"): a page read-locked by two domains can be
+//     in only one of their lock groups at a time, so it alternates
+//     between groups on each context switch — one TLB entry rewrite per
+//     alternation. The pg-cache holds one lock group per domain.
+//
+//   - Strategy B ("each locked page into a separate page-group shared by
+//     all domains that have a read-lock on that page"): no page ever
+//     moves, but a domain holding L locks needs L groups resident, which
+//     "can fill the cache of active page-groups".
+//
+// The simulation runs both strategies over the same access pattern: two
+// domains alternate quanta, each touching every read-locked page once
+// per quantum, with a 16-entry page-group cache.
+func lockStrategyTable() (*stats.Table, error) {
+	t := stats.NewTable("E1.4b Read-lock representation in the page-group model (ablation A4)",
+		"locked pages", "strategy", "page moves (TLB rewrites)", "pg-cache refills", "resident groups")
+	const (
+		switches  = 64
+		cacheWays = 16
+	)
+	for _, locks := range []int{4, 16, 64} {
+		for _, strategy := range []string{"A: per-domain lock groups", "B: per-page shared groups"} {
+			ctrs := &stats.Counters{}
+			pgTLB := tlb.NewPG(assoc.Config{Sets: 1, Ways: 1024, Policy: assoc.LRU}, ctrs, "pgtlb")
+			checker := pgroup.NewGroupCache(
+				assoc.Config{Sets: 1, Ways: cacheWays, Policy: assoc.LRU}, ctrs, "pgc")
+
+			// Group assignment. Strategy A: group 1 belongs to domain 1,
+			// group 2 to domain 2; the page's entry carries whichever
+			// lock group last claimed it. Strategy B: page i gets group
+			// 10+i, permitted to both domains.
+			groupOfPage := make([]addr.GroupID, locks)
+			for i := range groupOfPage {
+				if strategy[0] == 'A' {
+					groupOfPage[i] = 1 // initially in domain 1's lock group
+				} else {
+					groupOfPage[i] = addr.GroupID(10 + i)
+				}
+			}
+			for i := 0; i < locks; i++ {
+				pgTLB.Insert(addr.VPN(i), tlb.PGEntry{PFN: addr.PFN(i), AID: groupOfPage[i], Rights: addr.Read})
+			}
+
+			moves, refills := 0, 0
+			for sw := 0; sw < switches; sw++ {
+				dom := addr.DomainID(1 + sw%2)
+				myLockGroup := addr.GroupID(dom)
+				checker.PurgeAll() // the domain switch
+				// Two passes over the lock set per quantum: the second
+				// pass hits only if the groups fit the cache.
+				for pass := 0; pass < 2; pass++ {
+					for p := 0; p < locks; p++ {
+						e, _ := pgTLB.Lookup(addr.VPN(p))
+						ok, _ := checker.Check(e.AID)
+						if ok {
+							continue
+						}
+						// Fault: is the domain permitted the group?
+						permitted := false
+						if strategy[0] == 'A' {
+							permitted = e.AID == myLockGroup
+						} else {
+							permitted = true // shared per-page group
+						}
+						if permitted {
+							checker.Load(e.AID, false)
+							refills++
+							continue
+						}
+						// Strategy A, other domain's group: move the page
+						// into this domain's lock group (the alternation the
+						// paper predicts), then load the group.
+						groupOfPage[p] = myLockGroup
+						pgTLB.Update(addr.VPN(p), tlb.PGEntry{PFN: e.PFN, AID: myLockGroup, Rights: addr.Read})
+						moves++
+						if ok, _ := checker.Check(myLockGroup); !ok {
+							checker.Load(myLockGroup, false)
+							refills++
+						}
+					}
+				}
+			}
+			resident := 1
+			if strategy[0] == 'B' {
+				resident = locks
+			}
+			t.AddRow(locks, strategy, moves, refills, fmt.Sprintf("%d needed / %d fit", resident, cacheWays))
+		}
+	}
+	t.AddNote("strategy A rewrites a TLB entry for every shared lock on every switch (\"a page can")
+	t.AddNote("alternate between page-groups on each context switch\", §4.1.2); strategy B never moves")
+	t.AddNote("pages but thrashes the %d-entry group cache once locks exceed it", 16)
+	return t, nil
+}

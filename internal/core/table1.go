@@ -1,0 +1,208 @@
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/stats"
+	"repro/internal/workload/attach"
+	"repro/internal/workload/checkpoint"
+	"repro/internal/workload/compress"
+	"repro/internal/workload/dsm"
+	"repro/internal/workload/gc"
+	"repro/internal/workload/txn"
+)
+
+// E1Table1 quantifies the paper's Table 1: each application workload runs
+// identically on the domain-page (PLB) and page-group (PA-RISC) systems,
+// and the operations the paper lists qualitatively are reported as
+// measured counts and cycles.
+func E1Table1() ([]*stats.Table, error) {
+	var tables []*stats.Table
+
+	// Rows 1-2: attach / detach segment.
+	{
+		cfg := attach.DefaultConfig()
+		reps := map[kernel.Model]attach.Report{}
+		for _, m := range Models {
+			rep, err := attach.Run(NewSystem(m), cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.1 Attach/Detach Segment (Table 1 rows 1-2)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("attach ops", dp.AttachOps, pg.AttachOps)
+		t.AddRow("detach ops", dp.DetachOps, pg.DetachOps)
+		t.AddRow("first-touch protection refills", dp.FirstTouchFaults, pg.FirstTouchFaults)
+		t.AddRow("detach scan: PLB entries inspected", dp.DetachInspected, pg.DetachInspected)
+		t.AddRow("machine cycles", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d domains x %d segments x %d pages touched of %d",
+			cfg.Domains, cfg.Segments, cfg.TouchPerSegment, cfg.PagesPerSegment)
+		t.AddNote("paper: DP faults rights in per page and scans the PLB on detach; PG adds/removes one group")
+		tables = append(tables, t)
+	}
+
+	// Rows 3-4: concurrent garbage collection.
+	{
+		cfg := gc.DefaultConfig()
+		reps := map[kernel.Model]gc.Report{}
+		for _, m := range Models {
+			rep, err := gc.Run(NewSystem(m), cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.2 Concurrent Garbage Collection (Table 1 rows 3-4)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("collections (flips)", dp.Flips, pg.Flips)
+		t.AddRow("flip cycles (total, incl. root copy)", dp.FlipCycles, pg.FlipCycles)
+		t.AddRow("flip protection cycles (revoke/attach only)", dp.FlipProtCycles, pg.FlipProtCycles)
+		t.AddRow("mutator faults on unscanned to-space", dp.ScanFaults, pg.ScanFaults)
+		t.AddRow("to-space pages scanned", dp.PagesScanned, pg.PagesScanned)
+		t.AddRow("objects copied", dp.ObjectsCopied, pg.ObjectsCopied)
+		t.AddRow("live objects verified", dp.LiveObjects, pg.LiveObjects)
+		t.AddRow("machine cycles", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d objects, %d roots, %d GCs, %d mutator ops",
+			cfg.Objects, cfg.Roots, cfg.GCs, cfg.MutatorOps)
+		t.AddNote("paper: DP flip scans the PLB; PG flip swaps group identifiers")
+		tables = append(tables, t)
+	}
+
+	// Rows 5-7: distributed virtual memory.
+	{
+		reps := map[kernel.Model]dsm.Report{}
+		var cfg dsm.Config
+		for _, m := range Models {
+			cfg = dsm.DefaultConfig(m)
+			rep, err := dsm.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.3 Distributed Virtual Memory (Table 1 rows 5-7)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("get-readable faults", dp.ReadFaults, pg.ReadFaults)
+		t.AddRow("get-writable faults", dp.WriteFaults, pg.WriteFaults)
+		t.AddRow("invalidations", dp.Invalidations, pg.Invalidations)
+		t.AddRow("page transfers", dp.PageTransfers, pg.PageTransfers)
+		t.AddRow("hardware protection updates", dp.ProtUpdates, pg.ProtUpdates)
+		t.AddRow("network cycles", dp.NetCycles, pg.NetCycles)
+		t.AddRow("machine cycles (all nodes)", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d nodes, %d pages, %d ops/node, %d%% writes",
+			cfg.Nodes, cfg.Pages, cfg.OpsPerNode, cfg.WritePercent)
+		t.AddNote("paper: both models update one entry per coherence action (single domain per node)")
+		tables = append(tables, t)
+
+		// Ablation A6: ownership location protocol (Li's thesis compares
+		// a central manager against distributed probable-owner chains).
+		t2 := stats.NewTable("E1.3b DSM manager protocol (ablation A6, domain-page nodes)",
+			"protocol", "locate msgs", "node-0 requests", "net msgs total", "net cycles")
+		for _, mk := range []dsm.ManagerKind{dsm.CentralManager, dsm.DistributedManager} {
+			c := dsm.DefaultConfig(kernel.ModelDomainPage)
+			c.Manager = mk
+			rep, err := dsm.Run(c)
+			if err != nil {
+				return nil, err
+			}
+			t2.AddRow(mk.String(), rep.LocateHops, rep.ManagerLoad, rep.NetMsgs, rep.NetCycles)
+			if mk == dsm.DistributedManager {
+				t2.AddNote("probable-owner chains: mean %.2f hops, max %d (path compression keeps them short)",
+					rep.MeanChain, rep.MaxChain)
+			}
+		}
+		t2.AddNote("the central manager handles every fault; probable-owner chains spread the load")
+		tables = append(tables, t2)
+	}
+
+	// Rows 8-10: transactional virtual memory.
+	{
+		reps := map[kernel.Model]txn.Report{}
+		var cfg txn.Config
+		for _, m := range Models {
+			cfg = txn.DefaultConfig(m)
+			rep, err := txn.Run(NewSystem(m), cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.4 Transactional Virtual Memory (Table 1 rows 8-10)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("commits", dp.Commits, pg.Commits)
+		t.AddRow("aborts", dp.Aborts, pg.Aborts)
+		t.AddRow("read locks granted", dp.ReadLocks, pg.ReadLocks)
+		t.AddRow("write locks granted", dp.WriteLocks, pg.WriteLocks)
+		t.AddRow("commit-time releases", dp.CommitReleases, pg.CommitReleases)
+		t.AddRow("lock page-groups created", dp.GroupsCreated, pg.GroupsCreated)
+		t.AddRow("page moves between groups", dp.PageMoves, pg.PageMoves)
+		t.AddRow("machine cycles", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d domains, %d txns, %d pages, %d%% read-only ops",
+			cfg.Domains, cfg.Transactions, cfg.Pages, cfg.ReadOnlyPercent)
+		t.AddNote("paper: DP updates one PLB entry per lock; PG moves pages between lock groups (§4.1.2)")
+		tables = append(tables, t)
+
+		lockT, err := lockStrategyTable()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, lockT)
+	}
+
+	// Rows 11-12: concurrent checkpointing.
+	{
+		cfg := checkpoint.DefaultConfig()
+		reps := map[kernel.Model]checkpoint.Report{}
+		for _, m := range Models {
+			rep, err := checkpoint.Run(NewSystem(m), cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.5 Concurrent Checkpointing (Table 1 rows 11-12)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("checkpoints (verified consistent)", dp.Checkpoints, pg.Checkpoints)
+		t.AddRow("restrict cycles (per-segment op)", dp.RestrictCycles, pg.RestrictCycles)
+		t.AddRow("copy-on-write faults", dp.COWFaults, pg.COWFaults)
+		t.AddRow("background sweep saves", dp.SweepSaves, pg.SweepSaves)
+		t.AddRow("machine cycles", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d pages, %d checkpoints, %d writes during each",
+			cfg.Pages, cfg.Checkpoints, cfg.WritesDuring)
+		t.AddNote("paper: DP restrict inspects the PLB; PG restrict flips the group's write-disable bit")
+		tables = append(tables, t)
+	}
+
+	// Rows 13-14: compression paging.
+	{
+		cfg := compress.DefaultConfig()
+		reps := map[kernel.Model]compress.Report{}
+		for _, m := range Models {
+			rep, err := compress.Run(NewSystem(m), cfg)
+			if err != nil {
+				return nil, err
+			}
+			reps[m] = rep
+		}
+		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+		t := stats.NewTable("E1.6 Compression Paging (Table 1 rows 13-14)",
+			"metric", "domain-page", "page-group")
+		t.AddRow("page-outs (compress + unmap)", dp.PageOuts, pg.PageOuts)
+		t.AddRow("page-ins (decompress)", dp.PageIns, pg.PageIns)
+		t.AddRow("reclaim protection faults", dp.ReclaimFaults, pg.ReclaimFaults)
+		t.AddRow("peak resident pages", dp.MaxResident, pg.MaxResident)
+		t.AddRow("compressed/raw ratio", dp.CompressedRatio, pg.CompressedRatio)
+		t.AddRow("machine cycles", dp.MachineCycles, pg.MachineCycles)
+		t.AddNote("workload: %d pages in %d frames, %d ops, %d%% hot",
+			cfg.Pages, cfg.ResidentBudget, cfg.Ops, cfg.HotPercent)
+		tables = append(tables, t)
+	}
+
+	return tables, nil
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import "repro/internal/addr"
+
+// convEngine drives the conventional (multiple address space) machine
+// running this single address space kernel — the Section 3.1 scenario.
+// Every protection operation must be repeated per address space: rights
+// live in each space's TLB entries, so per-domain changes update one
+// (ASID, page) entry but segment-wide changes walk the segment page by
+// page, and translation changes must hunt down every space's duplicate.
+type convEngine struct {
+	k *Kernel
+}
+
+func (e *convEngine) onCreateSegment(*Segment) {}
+
+// onAttach is pure bookkeeping: per-space entries fault in via Walk. The
+// kernel also accounts the per-space page-table slots the attachment
+// consumes (the linear-table space waste of Section 3.1).
+func (e *convEngine) onAttach(d *Domain, s *Segment, r addr.Rights) {
+	e.k.ctrs.Add("conv.pte_slots_allocated", s.NumPages())
+}
+
+// onDetach invalidates the domain's TLB entries across the segment, one
+// (ASID, page) at a time.
+func (e *convEngine) onDetach(d *Domain, s *Segment) {
+	for i := uint64(0); i < s.NumPages(); i++ {
+		e.k.convm.InvalidateEntry(addr.ASID(d.ID), s.PageVPN(i))
+	}
+	e.k.ctrs.Add("conv.pte_slots_freed", s.NumPages())
+}
+
+// setPageRights updates the one resident (ASID, page) entry.
+func (e *convEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
+	e.k.convm.SetRights(addr.ASID(d.ID), vpn, r)
+	return nil
+}
+
+// setSegmentRights must touch the domain's entry for every page of the
+// segment — there is no segment-level hardware handle (Section 3.1).
+func (e *convEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
+	for i := uint64(0); i < s.NumPages(); i++ {
+		e.k.convm.SetRights(addr.ASID(d.ID), s.PageVPN(i), r)
+	}
+	e.k.ctrs.Add("conv.per_page_rights_ops", s.NumPages())
+	return nil
+}
+
+// onUnmap must purge every space's duplicate of the page.
+func (e *convEngine) onUnmap(vpn addr.VPN) { e.k.convm.UnmapPage(vpn) }
+
+func (e *convEngine) onDestroySegment(s *Segment) {
+	for i := uint64(0); i < s.NumPages(); i++ {
+		e.k.convm.InvalidatePage(s.PageVPN(i))
+	}
+}

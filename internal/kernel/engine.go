@@ -1,0 +1,471 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/addr"
+)
+
+// engine is the per-model protection policy: it translates the kernel's
+// model-independent protection operations into the hardware manipulations
+// of Table 1's two implementation columns.
+type engine interface {
+	onCreateSegment(s *Segment)
+	onAttach(d *Domain, s *Segment, r addr.Rights)
+	onDetach(d *Domain, s *Segment)
+	// setPageRights syncs hardware after domain d's rights to one page
+	// changed in the kernel tables.
+	setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error
+	// setSegmentRights syncs hardware after domain d's rights to a whole
+	// segment changed.
+	setSegmentRights(d *Domain, s *Segment, r addr.Rights) error
+	onUnmap(vpn addr.VPN)
+	// onDestroySegment releases per-segment engine state (the segment is
+	// already fully detached).
+	onDestroySegment(s *Segment)
+}
+
+// --- Kernel-level protection operations (model-independent API) ---
+
+// SetPageRights changes domain d's access rights to the single page
+// holding va (Table 1: the per-domain, per-page operation that most
+// sharply separates the two models, Section 4.1.2).
+func (k *Kernel) SetPageRights(d *Domain, va addr.VA, r addr.Rights) error {
+	vpn := k.geo.PageNumber(va)
+	s := k.segmentOf(vpn)
+	if s == nil {
+		return ErrNoAuthority
+	}
+	d.overrides.Set(vpn, r)
+	k.ctrs.Inc("kernel.set_page_rights")
+	return k.engine.setPageRights(d, vpn, r)
+}
+
+// ClearPageRights removes domain d's per-page override, reverting the page
+// to the domain's segment attachment rights.
+func (k *Kernel) ClearPageRights(d *Domain, va addr.VA) error {
+	vpn := k.geo.PageNumber(va)
+	s := k.segmentOf(vpn)
+	if s == nil {
+		return ErrNoAuthority
+	}
+	if !d.overrides.Clear(vpn) {
+		return nil
+	}
+	r := d.attached[s.ID]
+	k.ctrs.Inc("kernel.clear_page_rights")
+	return k.engine.setPageRights(d, vpn, r)
+}
+
+// SetSegmentRights changes domain d's rights over every page of segment s
+// at once (GC space flips, checkpoint restriction — the segment-wide rows
+// of Table 1). Any per-page overrides d held in the segment are cleared.
+func (k *Kernel) SetSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
+	if _, ok := d.attached[s.ID]; !ok {
+		return ErrNotAttached
+	}
+	d.attached[s.ID] = r
+	s.attached[d.ID] = r
+	d.overrides.ClearRange(k.geo.PageNumber(s.Range.Start), s.NumPages())
+	k.ctrs.Inc("kernel.set_segment_rights")
+	return k.engine.setSegmentRights(d, s, r)
+}
+
+// --- Domain-page engine (PLB machine) ---
+
+// dpEngine drives the PLB machine: protection changes are single-entry PLB
+// updates; segment-wide changes and detaches are PLB scans.
+type dpEngine struct {
+	k *Kernel
+}
+
+func (e *dpEngine) onCreateSegment(*Segment) {}
+
+// onAttach does nothing: access rights are faulted into the PLB one page
+// at a time as the domain touches them (Table 1, row 1).
+func (e *dpEngine) onAttach(*Domain, *Segment, addr.Rights) {}
+
+// onDetach purges the domain's PLB entries for the segment: either a
+// precise scan of every resident entry or a flash clear of the whole PLB
+// (Table 1, row 2; ablation A5).
+func (e *dpEngine) onDetach(d *Domain, s *Segment) {
+	if e.k.cfg.PLBDetach == DetachPurgeAll {
+		e.k.plbm.PurgeAllPLB()
+		return
+	}
+	e.k.plbm.DetachRange(d.ID, s.Range.Start, s.Range.Length)
+}
+
+// setPageRights updates the resident PLB entry for (d, page), if any —
+// one entry, other domains untouched. For super-page segments the
+// covering entry is too coarse to update in place: it is invalidated and
+// a base-page entry installed (sibling pages re-fault their super-page
+// entry lazily).
+func (e *dpEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
+	va := e.k.geo.Base(vpn)
+	if s := e.k.segmentOf(vpn); s != nil && s.protShift != 0 {
+		e.k.plbm.InvalidateRights(d.ID, va)
+		e.k.plbm.InstallRights(d.ID, va, e.k.geo.Shift(), r)
+		return nil
+	}
+	e.k.plbm.UpdateRights(d.ID, va, r)
+	return nil
+}
+
+// setSegmentRights rewrites the domain's resident entries across the
+// segment with a full PLB scan.
+func (e *dpEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
+	e.k.plbm.UpdateRange(d.ID, s.Range.Start, s.Range.Length, r)
+	return nil
+}
+
+func (e *dpEngine) onUnmap(vpn addr.VPN) { e.k.plbm.UnmapPage(vpn) }
+
+// onDestroySegment purges any lingering PLB entries for the segment's
+// range (stale entries of long-detached domains cannot exist — detach
+// purged them — but execution-keyed entries might).
+func (e *dpEngine) onDestroySegment(s *Segment) {
+	inspected := e.k.plbm.PLB().Len()
+	e.k.plbm.PLB().PurgeRangeAll(s.Range.Start, s.Range.Length)
+	_ = inspected
+}
+
+// --- Page-group engine (PA-RISC machine) ---
+
+// pgEngine drives the page-group machine. Every segment owns a primary
+// page-group; per-domain, per-page rights changes move pages into derived
+// groups whose membership (and write-disable bits) encode the desired
+// per-domain rights vector — the group-juggling of Section 4.1.2.
+type pgEngine struct {
+	k *Kernel
+	// sigIndex maps (segment, membership signature) to an existing
+	// derived group, so pages with identical sharing reuse one group.
+	sigIndex map[string]addr.GroupID
+	// derived records each derived group's current membership for
+	// signature validation and detach cleanup.
+	derived map[addr.GroupID]map[addr.DomainID]bool // value: write-disable
+	// derivedSeg maps derived groups to their segment.
+	derivedSeg map[addr.GroupID]addr.SegmentID
+}
+
+func (e *pgEngine) init() {
+	if e.sigIndex == nil {
+		e.sigIndex = make(map[string]addr.GroupID)
+		e.derived = make(map[addr.GroupID]map[addr.DomainID]bool)
+		e.derivedSeg = make(map[addr.GroupID]addr.SegmentID)
+	}
+}
+
+func (e *pgEngine) newGroup() addr.GroupID {
+	g := e.k.nextGroup
+	e.k.nextGroup++
+	e.k.ctrs.Inc("pg.groups_created")
+	return g
+}
+
+func (e *pgEngine) onCreateSegment(s *Segment) {
+	e.init()
+	s.group = e.newGroup()
+	s.groupRights = addr.None
+}
+
+// grant adds g to d's group set with the given write-disable bit, syncing
+// the machine's checker if d is executing.
+func (e *pgEngine) grant(d *Domain, g addr.GroupID, wd bool) {
+	if cur, ok := d.groups[g]; ok && cur == wd {
+		return
+	}
+	d.groups[g] = wd
+	e.k.ctrs.Inc("pg.grants")
+	e.k.pgm.AttachGroup(d.ID, g, wd)
+}
+
+// revoke removes g from d's group set.
+func (e *pgEngine) revoke(d *Domain, g addr.GroupID) {
+	if _, ok := d.groups[g]; !ok {
+		return
+	}
+	delete(d.groups, g)
+	e.k.ctrs.Inc("pg.revokes")
+	e.k.pgm.DetachGroup(d.ID, g)
+}
+
+// recomputePrimary re-derives the segment's primary group state from its
+// attachments. The rights field is sticky — it only ever grows — so that
+// revoking one domain's write access is a pure write-disable-bit flip
+// (Table 1 "Restrict Access": "mark the page-group read-only to the
+// application") and never requires touching the per-page TLB entries.
+func (e *pgEngine) recomputePrimary(s *Segment) {
+	e.init()
+	union := addr.None
+	for _, r := range s.attached {
+		union |= r
+	}
+	field := s.groupRights | union
+	for did, r := range s.attached {
+		d := e.k.domains[did]
+		if r == addr.None {
+			e.revoke(d, s.group)
+			continue
+		}
+		// A domain whose rights are the field minus write gets the
+		// write-disable bit; anything else the encoding cannot express
+		// is clamped (Section 4.1.2's expressiveness limit).
+		wd := false
+		switch r {
+		case field:
+		case field.WithoutWrite():
+			wd = field&addr.Write != 0
+		default:
+			e.k.ctrs.Inc("pg.unrepresentable_clamps")
+			wd = field&addr.Write != 0 && r&addr.Write == 0
+		}
+		e.grant(d, s.group, wd)
+	}
+	if field == s.groupRights {
+		return
+	}
+	s.groupRights = field
+	// Touched pages still in the primary group pick up the grown rights
+	// field; untouched pages inherit it when their record is created.
+	for vpn, p := range e.k.pages {
+		if p.seg == s && p.group == s.group && p.groupRights != field {
+			p.groupRights = field
+			e.k.pgm.UpdatePage(vpn, p.group, field)
+		}
+	}
+}
+
+func (e *pgEngine) onAttach(d *Domain, s *Segment, r addr.Rights) {
+	e.init()
+	// Representability: r must be the (new) union or the union without
+	// write; otherwise the page-group model clamps the odd domain (the
+	// model's expressiveness limit, Section 4.1.2).
+	union := addr.None
+	for _, rr := range s.attached {
+		union |= rr
+	}
+	if r != addr.None && r != union && r != union.WithoutWrite() {
+		e.k.ctrs.Inc("pg.unrepresentable_clamps")
+	}
+	e.resyncSegment(s)
+}
+
+func (e *pgEngine) onDetach(d *Domain, s *Segment) {
+	e.init()
+	// Remove the primary group from the domain's set and purge it from
+	// the checker: one operation, no scan (Table 1, row 2).
+	e.revoke(d, s.group)
+	// Pages in derived groups must be re-derived: their desired vectors
+	// changed with the detaching domain's authority.
+	e.resyncSegment(s)
+}
+
+// resyncSegment recomputes the primary group and re-derives every page of
+// the segment currently parked in a derived group, so group memberships
+// track the current attachments and overrides.
+func (e *pgEngine) resyncSegment(s *Segment) {
+	e.recomputePrimary(s)
+	for vpn, p := range e.k.pages {
+		if p.seg == s && p.group != s.group {
+			if err := e.regroup(vpn, p); err != nil {
+				// Unrepresentable vector during a void-returning resync:
+				// clamp by leaving the page where it is and counting.
+				e.k.ctrs.Inc("pg.unrepresentable_clamps")
+			}
+		}
+	}
+}
+
+// desiredVector computes, for every domain attached to the page's
+// segment, the rights the kernel wants it to have on the page.
+func (e *pgEngine) desiredVector(p *page, vpn addr.VPN) map[addr.DomainID]addr.Rights {
+	out := make(map[addr.DomainID]addr.Rights)
+	for did, attachR := range p.seg.attached {
+		d := e.k.domains[did]
+		r := attachR
+		if or, ok := d.overrides.Get(vpn); ok {
+			r = or
+		}
+		if r != addr.None {
+			out[did] = r
+		}
+	}
+	return out
+}
+
+// regroup moves the page into a group realizing the desired rights
+// vector: group membership = domains with access; rights field = union;
+// write-disable for members that may not write (Section 4.1.2).
+func (e *pgEngine) regroup(vpn addr.VPN, p *page) error {
+	e.init()
+	desired := e.desiredVector(p, vpn)
+
+	// No domain may access the page: park it in a fresh memberless group.
+	if len(desired) == 0 {
+		g := e.newGroup()
+		e.derived[g] = map[addr.DomainID]bool{}
+		e.derivedSeg[g] = p.seg.ID
+		e.movePage(vpn, p, g, addr.None)
+		return nil
+	}
+
+	union := addr.None
+	for _, r := range desired {
+		union |= r
+	}
+	// Representability check: every desired value must be the union or
+	// the union minus write.
+	wd := make(map[addr.DomainID]bool, len(desired))
+	for did, r := range desired {
+		switch r {
+		case union:
+			wd[did] = false
+		case union.WithoutWrite():
+			wd[did] = true
+		default:
+			return fmt.Errorf("%w: page %#x domain %d wants %v, union %v",
+				ErrUnrepresentable, uint64(vpn), did, r, union)
+		}
+	}
+
+	// If the desired vector is exactly the primary group's, return home.
+	if e.matchesPrimary(p.seg, desired) {
+		e.movePage(vpn, p, p.seg.group, p.seg.groupRights)
+		return nil
+	}
+
+	sig := e.signature(p.seg.ID, wd)
+	if g, ok := e.sigIndex[sig]; ok && e.membersMatch(g, wd) {
+		e.movePage(vpn, p, g, union)
+		return nil
+	}
+	// Create a derived group and grant it to the members.
+	g := e.newGroup()
+	members := make(map[addr.DomainID]bool, len(wd))
+	for did, w := range wd {
+		members[did] = w
+		e.grant(e.k.domains[did], g, w)
+	}
+	e.derived[g] = members
+	e.derivedSeg[g] = p.seg.ID
+	e.sigIndex[sig] = g
+	e.movePage(vpn, p, g, union)
+	return nil
+}
+
+// primaryEffective returns the rights a domain attached with r actually
+// holds through the primary group's encoding (rights field plus
+// write-disable bit).
+func (e *pgEngine) primaryEffective(s *Segment, r addr.Rights) addr.Rights {
+	field := s.groupRights
+	if r == field {
+		return field
+	}
+	if field&addr.Write != 0 && r&addr.Write == 0 {
+		return field.WithoutWrite()
+	}
+	return field
+}
+
+// matchesPrimary reports whether the desired vector equals what the
+// primary group grants its members.
+func (e *pgEngine) matchesPrimary(s *Segment, desired map[addr.DomainID]addr.Rights) bool {
+	count := 0
+	for did, r := range s.attached {
+		if r == addr.None {
+			continue
+		}
+		count++
+		dr, ok := desired[did]
+		if !ok || dr != e.primaryEffective(s, r) {
+			return false
+		}
+	}
+	return count == len(desired)
+}
+
+func (e *pgEngine) membersMatch(g addr.GroupID, wd map[addr.DomainID]bool) bool {
+	members, ok := e.derived[g]
+	if !ok || len(members) != len(wd) {
+		return false
+	}
+	for did, w := range wd {
+		mw, ok := members[did]
+		if !ok || mw != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *pgEngine) signature(seg addr.SegmentID, wd map[addr.DomainID]bool) string {
+	ids := make([]addr.DomainID, 0, len(wd))
+	for did := range wd {
+		ids = append(ids, did)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d:", seg)
+	for _, did := range ids {
+		fmt.Fprintf(&b, "%d", did)
+		if wd[did] {
+			b.WriteByte('w')
+		}
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// movePage updates the kernel's page record and the resident TLB entry.
+func (e *pgEngine) movePage(vpn addr.VPN, p *page, g addr.GroupID, rights addr.Rights) {
+	if p.group == g && p.groupRights == rights {
+		return
+	}
+	if p.group != g {
+		e.k.ctrs.Inc("pg.page_moves")
+	}
+	p.group = g
+	p.groupRights = rights
+	e.k.pgm.UpdatePage(vpn, g, rights)
+}
+
+func (e *pgEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
+	p := e.k.pageRecord(vpn)
+	if p == nil {
+		return ErrNoAuthority
+	}
+	return e.regroup(vpn, p)
+}
+
+func (e *pgEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
+	e.init()
+	// Pages that moved to derived groups have their own vectors; the
+	// segment-wide change alters the domain's contribution to each, so
+	// they must be re-derived individually.
+	e.resyncSegment(s)
+	return nil
+}
+
+func (e *pgEngine) onUnmap(vpn addr.VPN) { e.k.pgm.UnmapPage(vpn) }
+
+// onDestroySegment drops the segment's derived-group bookkeeping; the
+// groups themselves are dead (no members, no pages).
+func (e *pgEngine) onDestroySegment(s *Segment) {
+	e.init()
+	dead := map[addr.GroupID]bool{}
+	for g, seg := range e.derivedSeg {
+		if seg == s.ID {
+			dead[g] = true
+			delete(e.derived, g)
+			delete(e.derivedSeg, g)
+		}
+	}
+	for sig, g := range e.sigIndex {
+		if dead[g] {
+			delete(e.sigIndex, sig)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// execFixture builds: a code segment (library), a private data segment
+// granted to executors of the library, and a domain attached to the code
+// but NOT to the data.
+func execFixture(t *testing.T) (*Kernel, *Domain, *Segment, *Segment) {
+	t.Helper()
+	k := New(DefaultConfig(ModelDomainPage))
+	d := k.CreateDomain()
+	code := k.CreateSegment(4, SegmentOptions{Name: "lib-code"})
+	data := k.CreateSegment(4, SegmentOptions{Name: "lib-private-data"})
+	k.Attach(d, code, addr.RX)
+	if err := k.GrantExecutor(data, code, addr.RW); err != nil {
+		t.Fatal(err)
+	}
+	return k, d, code, data
+}
+
+func TestExecGrantFollowsExecutionSite(t *testing.T) {
+	k, d, code, data := execFixture(t)
+
+	// Not executing in the library: no access to its private data.
+	if err := k.Touch(d, data.Base(), addr.Load); !errors.Is(err, ErrProtection) {
+		t.Fatalf("data accessible outside library code: %v", err)
+	}
+	// Enter the library: access flows from the execution site.
+	if err := k.SetExecutionSite(d, code.Base()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Store(d, data.Base(), 42); err != nil {
+		t.Fatalf("executor denied: %v", err)
+	}
+	// Return to unknown code: the cached rights must not linger.
+	if err := k.SetExecutionSite(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(d, data.Base(), addr.Load); !errors.Is(err, ErrProtection) {
+		t.Fatalf("exec-derived rights survived site change: %v", err)
+	}
+	if k.Counters().Get("kernel.exec_site_purges") == 0 {
+		t.Fatal("site change purged nothing")
+	}
+}
+
+func TestExecGrantUnionsWithAttachment(t *testing.T) {
+	k, d, code, data := execFixture(t)
+	// The domain also attaches the data read-only; executing in the
+	// library upgrades it to read-write.
+	k.Attach(d, data, addr.Read)
+	if err := k.Touch(d, data.Base(), addr.Load); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(d, data.Base(), addr.Store); !errors.Is(err, ErrProtection) {
+		t.Fatalf("write allowed outside library: %v", err)
+	}
+	if err := k.SetExecutionSite(d, code.PageVA(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(d, data.Base(), addr.Store); err != nil {
+		t.Fatalf("executor write denied: %v", err)
+	}
+}
+
+func TestExecGrantAppliesToAnyDomain(t *testing.T) {
+	k, _, code, data := execFixture(t)
+	// A second domain, never attached to the data, gets access purely by
+	// executing library code — Okamoto's point: protection follows the
+	// code, not the domain.
+	other := k.CreateDomain()
+	k.Attach(other, code, addr.RX)
+	if err := k.SetExecutionSite(other, code.Base()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Store(other, data.Base(), 7); err != nil {
+		t.Fatalf("second domain's executor access denied: %v", err)
+	}
+}
+
+func TestExecMoveWithinSegmentFree(t *testing.T) {
+	k, d, code, data := execFixture(t)
+	k.SetExecutionSite(d, code.Base())
+	k.Store(d, data.Base(), 1)
+	purges := k.Counters().Get("kernel.exec_site_purges")
+	// Moving within the same code segment costs nothing.
+	if err := k.SetExecutionSite(d, code.PageVA(2)); err != nil {
+		t.Fatal(err)
+	}
+	if k.Counters().Get("kernel.exec_site_purges") != purges {
+		t.Fatal("intra-segment move purged entries")
+	}
+	if err := k.Touch(d, data.Base(), addr.Store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeExecutor(t *testing.T) {
+	k, d, code, data := execFixture(t)
+	k.SetExecutionSite(d, code.Base())
+	if err := k.Store(d, data.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RevokeExecutor(data, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(d, data.Base(), addr.Load); !errors.Is(err, ErrProtection) {
+		t.Fatalf("access survived executor revocation: %v", err)
+	}
+}
+
+func TestExecUnsupportedOnPageGroup(t *testing.T) {
+	k := New(DefaultConfig(ModelPageGroup))
+	d := k.CreateDomain()
+	s := k.CreateSegment(2, SegmentOptions{})
+	if err := k.GrantExecutor(s, s, addr.RW); !errors.Is(err, ErrExecUnsupported) {
+		t.Fatalf("GrantExecutor on page-group: %v", err)
+	}
+	if err := k.SetExecutionSite(d, s.Base()); !errors.Is(err, ErrExecUnsupported) {
+		t.Fatalf("SetExecutionSite on page-group: %v", err)
+	}
+	if err := k.RevokeExecutor(s, s); !errors.Is(err, ErrExecUnsupported) {
+		t.Fatalf("RevokeExecutor on page-group: %v", err)
+	}
+}
+
+// The authority fuzz extended with execution sites: hardware must track
+// the union of attachment, override, and execution-derived rights.
+func TestExecAuthorityConsistency(t *testing.T) {
+	k, d, code, data := execFixture(t)
+	other := k.CreateSegment(4, SegmentOptions{Name: "elsewhere"})
+	k.Attach(d, other, addr.RX)
+
+	sites := []addr.VA{0, code.Base(), other.Base(), code.PageVA(3)}
+	for i := 0; i < 64; i++ {
+		site := sites[i%len(sites)]
+		if err := k.SetExecutionSite(d, site); err != nil {
+			t.Fatal(err)
+		}
+		inLib := k.FindSegment(site) == code
+		err := k.Touch(d, data.PageVA(uint64(i)%data.NumPages()), addr.Store)
+		if inLib && err != nil {
+			t.Fatalf("iter %d: denied while executing in library: %v", i, err)
+		}
+		if !inLib && err == nil {
+			t.Fatalf("iter %d: allowed while executing outside library", i)
+		}
+	}
+}

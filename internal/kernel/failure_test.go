@@ -1,0 +1,177 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/mem"
+)
+
+// Failure injection: the kernel must degrade cleanly when resources run
+// out or handlers misbehave, never corrupting its tables.
+
+func TestOutOfFramesSurfacesCleanly(t *testing.T) {
+	for _, m := range []Model{ModelDomainPage, ModelPageGroup, ModelConventional} {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := DefaultConfig(m)
+			cfg.Frames = 4
+			k := New(cfg)
+			d := k.CreateDomain()
+			s := k.CreateSegment(8, SegmentOptions{})
+			k.Attach(d, s, addr.RW)
+			var err error
+			touched := uint64(0)
+			for p := uint64(0); p < 8; p++ {
+				if err = k.Touch(d, s.PageVA(p), addr.Store); err != nil {
+					break
+				}
+				touched++
+			}
+			if touched != 4 {
+				t.Fatalf("touched %d pages with 4 frames", touched)
+			}
+			if !errors.Is(err, mem.ErrOutOfFrames) {
+				t.Fatalf("err = %v, want ErrOutOfFrames", err)
+			}
+			// Already-mapped pages keep working.
+			if err := k.Touch(d, s.PageVA(0), addr.Load); err != nil {
+				t.Fatalf("resident page broken after OOM: %v", err)
+			}
+			// Paging one out frees a frame for the blocked page.
+			if err := k.PageOut(s.PageVPN(0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Touch(d, s.PageVA(5), addr.Store); err != nil {
+				t.Fatalf("after page-out: %v", err)
+			}
+		})
+	}
+}
+
+func TestHandlerPanicPropagates(t *testing.T) {
+	k := New(DefaultConfig(ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(1, SegmentOptions{
+		Handler: func(f Fault) error { panic("handler bug") },
+	})
+	k.Attach(d, s, addr.None)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("handler panic swallowed")
+		}
+		if !strings.Contains(r.(string), "handler bug") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	k.Touch(d, s.Base(), addr.Load)
+}
+
+func TestHandlerReentrancy(t *testing.T) {
+	// A handler that itself touches memory (in another domain) must not
+	// corrupt the retry of the original access.
+	k := New(DefaultConfig(ModelDomainPage))
+	app := k.CreateDomain()
+	logger := k.CreateDomain()
+	logSeg := k.CreateSegment(1, SegmentOptions{Name: "log"})
+	k.Attach(logger, logSeg, addr.RW)
+
+	var logged uint64
+	s := k.CreateSegment(2, SegmentOptions{
+		Handler: func(f Fault) error {
+			// Log the fault by writing through another domain.
+			logged++
+			if err := f.K.Store(logger, logSeg.Base(), logged); err != nil {
+				return err
+			}
+			return f.K.SetPageRights(f.Domain, f.VA, addr.RW)
+		},
+	})
+	k.Attach(app, s, addr.None)
+	if err := k.Store(app, s.Base(), 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := k.Load(logger, logSeg.Base())
+	if err != nil || v != 1 {
+		t.Fatalf("log = %d, %v", v, err)
+	}
+	// The original store landed despite the nested domain switches.
+	if v, _ := k.Load(app, s.Base()); v != 42 {
+		t.Fatalf("original store lost: %d", v)
+	}
+}
+
+func TestDiskFullIsNotModeled(t *testing.T) {
+	// The simulated disk is unbounded; this test documents that paging
+	// never fails for disk capacity, only frame exhaustion (above).
+	k := New(DefaultConfig(ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, SegmentOptions{})
+	k.Attach(d, s, addr.RW)
+	for p := uint64(0); p < 4; p++ {
+		k.Touch(d, s.PageVA(p), addr.Store)
+		if err := k.PageOut(s.PageVPN(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Disk().Len() != 4 {
+		t.Fatalf("disk blocks = %d", k.Disk().Len())
+	}
+}
+
+func TestAutoEvictSurvivesPressure(t *testing.T) {
+	for _, m := range []Model{ModelDomainPage, ModelPageGroup, ModelConventional} {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := DefaultConfig(m)
+			cfg.Frames = 8
+			cfg.AutoEvict = true
+			k := New(cfg)
+			d := k.CreateDomain()
+			s := k.CreateSegment(32, SegmentOptions{}) // 4x physical memory
+			k.Attach(d, s, addr.RW)
+			// Write a tag to every page, then read them all back: the
+			// page daemon must shuttle pages through the backing store
+			// without losing a byte.
+			for p := uint64(0); p < 32; p++ {
+				if err := k.Store(d, s.PageVA(p), p+100); err != nil {
+					t.Fatalf("store page %d: %v", p, err)
+				}
+			}
+			for p := uint64(0); p < 32; p++ {
+				v, err := k.Load(d, s.PageVA(p))
+				if err != nil {
+					t.Fatalf("load page %d: %v", p, err)
+				}
+				if v != p+100 {
+					t.Fatalf("page %d = %d, want %d", p, v, p+100)
+				}
+			}
+			if k.Counters().Get("kernel.auto_evictions") == 0 {
+				t.Fatal("no evictions under 4x overcommit")
+			}
+			if k.Memory().FramesInUse() > 8 {
+				t.Fatal("frame budget exceeded")
+			}
+		})
+	}
+}
+
+func TestAutoEvictOffByDefault(t *testing.T) {
+	cfg := DefaultConfig(ModelDomainPage)
+	cfg.Frames = 2
+	k := New(cfg)
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, SegmentOptions{})
+	k.Attach(d, s, addr.RW)
+	var err error
+	for p := uint64(0); p < 4; p++ {
+		if err = k.Touch(d, s.PageVA(p), addr.Store); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, mem.ErrOutOfFrames) {
+		t.Fatalf("err = %v, want ErrOutOfFrames without AutoEvict", err)
+	}
+}

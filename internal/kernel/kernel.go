@@ -1,0 +1,718 @@
+// Package kernel implements an Opal-style single address space operating
+// system kernel over the simulated machines: protection domains, virtual
+// segments in a global 64-bit virtual address space, a global translation
+// table, lazy fault handling with user-level segment handlers, paging, and
+// portal (RPC) calls between domains.
+//
+// The kernel is the machine's OS interface: hardware structure misses
+// resolve against the kernel's authoritative tables. Protection policy
+// lives in a per-model engine (domain-page for the PLB machine, page-group
+// for the PA-RISC machine) that translates the kernel's model-independent
+// protection operations into the hardware manipulations catalogued in
+// Table 1 of the paper.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/ptable"
+	"repro/internal/stats"
+)
+
+// Model selects the protection model (and with it, the machine).
+type Model uint8
+
+const (
+	// ModelDomainPage runs the PLB machine (Figure 1).
+	ModelDomainPage Model = iota
+	// ModelPageGroup runs the PA-RISC page-group machine (Figure 2).
+	ModelPageGroup
+	// ModelConventional runs the single address space kernel on a
+	// conventional multiple-address-space machine (ASID-tagged combined
+	// TLB over per-space views) — the configuration Section 3.1 warns
+	// incurs "unnecessary performance costs": duplicated TLB entries for
+	// shared pages, per-space protection updates, and whole-TLB scans on
+	// mapping changes.
+	ModelConventional
+)
+
+// String returns the model name used in experiment tables.
+func (m Model) String() string {
+	switch m {
+	case ModelDomainPage:
+		return "domain-page"
+	case ModelPageGroup:
+		return "page-group"
+	case ModelConventional:
+		return "conventional"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// TransKind selects the kernel's software translation structure.
+type TransKind uint8
+
+const (
+	// TransMap is a hash-map translation table (idealized constant-time
+	// walks).
+	TransMap TransKind = iota
+	// TransInverted is an IBM-801-style inverted page table with a hash
+	// anchor and collision chains — sized by physical memory, one entry
+	// per mapped page, the organization Section 3.1 recommends for
+	// single address space systems. Probe counts expose walk costs.
+	TransInverted
+)
+
+// DetachPolicy selects how the domain-page engine clears PLB state on
+// segment detach (ablation A5; Section 4.1.1 offers both).
+type DetachPolicy uint8
+
+const (
+	// DetachScan inspects every PLB entry and removes only the
+	// detaching (domain, segment) pairs — precise but a full scan.
+	DetachScan DetachPolicy = iota
+	// DetachPurgeAll flash-clears the entire PLB — one cheap operation,
+	// but every domain's rights must fault back in afterwards.
+	DetachPurgeAll
+)
+
+// Config configures a kernel and its machine.
+type Config struct {
+	// Model selects domain-page (PLB) or page-group (PA-RISC).
+	Model Model
+	// PLBDetach selects the detach implementation under ModelDomainPage.
+	PLBDetach DetachPolicy
+	// TransTable selects the software translation structure.
+	TransTable TransKind
+	// AutoEvict enables the page daemon: when physical memory is
+	// exhausted, the kernel transparently pages out the oldest resident
+	// page (FIFO) to satisfy the fault, instead of failing. Off by
+	// default so workloads that manage residency themselves (compression
+	// paging) keep full control.
+	AutoEvict bool
+	// Frames is the physical memory size in frames.
+	Frames int
+	// PLB configures the PLB machine (ModelDomainPage).
+	PLB machine.PLBConfig
+	// PG configures the page-group machine (ModelPageGroup).
+	PG machine.PGConfig
+	// Conv configures the conventional machine (ModelConventional).
+	Conv machine.ConvConfig
+	// VABase is the first virtual address handed out to segments.
+	VABase addr.VA
+	// MaxFaultRetries bounds the access-fault-retry loop; a reference
+	// that cannot be satisfied within this many handled faults is a bug
+	// in a fault handler.
+	MaxFaultRetries int
+}
+
+// DefaultConfig returns a kernel configuration for the given model with
+// 4096 frames (16 MB) and the default machine configurations.
+func DefaultConfig(m Model) Config {
+	return Config{
+		Model:           m,
+		Frames:          4096,
+		PLB:             machine.DefaultPLBConfig(),
+		PG:              machine.DefaultPGConfig(),
+		Conv:            machine.DefaultConvConfig(),
+		VABase:          addr.VA(1) << 32,
+		MaxFaultRetries: 8,
+	}
+}
+
+// Segment is a virtual segment: a fixed contiguous range of the global
+// virtual address space, allocated at creation and never overlapping any
+// other segment. Segments are the unit of attachment, sharing and storage
+// management (Section 4.1.1).
+type Segment struct {
+	ID   addr.SegmentID
+	Name string
+	// Range is the segment's fixed global address range.
+	Range addr.Range
+
+	kern     *kernel
+	handler  FaultHandler
+	attached map[addr.DomainID]addr.Rights
+	// group is the segment's primary page-group (page-group model).
+	group addr.GroupID
+	// groupRights is the primary group's rights field: the union of the
+	// attachment rights of all attached domains (page-group model).
+	groupRights addr.Rights
+	// protShift is the super-page protection shift (domain-page model;
+	// zero when the segment uses base-page protection). Section 4.3.
+	protShift uint
+}
+
+// NumPages returns the number of translation pages the segment spans.
+func (s *Segment) NumPages() uint64 {
+	return s.kern.geo.PagesSpanned(s.Range.Start, s.Range.Length)
+}
+
+// Base returns the segment's first address.
+func (s *Segment) Base() addr.VA { return s.Range.Start }
+
+// PageVA returns the address of the segment's i'th page.
+func (s *Segment) PageVA(i uint64) addr.VA {
+	return addr.VA(uint64(s.Range.Start) + i*s.kern.geo.PageSize())
+}
+
+// PageVPN returns the VPN of the segment's i'th page.
+func (s *Segment) PageVPN(i uint64) addr.VPN { return s.kern.geo.PageNumber(s.PageVA(i)) }
+
+// Group returns the segment's primary page-group (page-group model;
+// zero under domain-page).
+func (s *Segment) Group() addr.GroupID { return s.group }
+
+// AttachedDomains returns the IDs of all domains attached to the segment,
+// sorted.
+func (s *Segment) AttachedDomains() []addr.DomainID {
+	out := make([]addr.DomainID, 0, len(s.attached))
+	for d := range s.attached {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Domain is a protection domain: a set of access rights to segments and
+// pages of the single global address space. It is the analog of a process
+// address space, except it defines privileges, not names (Section 1).
+type Domain struct {
+	ID addr.DomainID
+
+	kern      *kernel
+	attached  map[addr.SegmentID]addr.Rights
+	overrides *ptable.ProtTable
+	// groups is the domain's page-group set (page-group model): the
+	// authoritative record behind the PID registers / group cache.
+	groups map[addr.GroupID]bool // value: write-disable
+	// execSite is the domain's current execution address, for
+	// execution-keyed protection (see exec.go).
+	execSite addr.VA
+}
+
+// Attached reports whether the domain is attached to segment s and with
+// what rights.
+func (d *Domain) Attached(s *Segment) (addr.Rights, bool) {
+	r, ok := d.attached[s.ID]
+	return r, ok
+}
+
+// Fault describes a protection fault delivered to a segment's user-level
+// handler — the mechanism the paper's workloads (GC, DSM, transactions,
+// checkpointing) are built on (Table 1).
+type Fault struct {
+	// K is the kernel, for protection manipulation from the handler.
+	K *Kernel
+	// Domain is the faulting domain.
+	Domain *Domain
+	// VA is the faulting address.
+	VA addr.VA
+	// Kind is the access that faulted.
+	Kind addr.AccessKind
+	// Segment is the segment containing VA.
+	Segment *Segment
+}
+
+// FaultHandler resolves a protection fault, typically by manipulating
+// rights through the kernel, and returns nil to retry the access. A
+// non-nil error aborts the access (a true violation).
+type FaultHandler func(f Fault) error
+
+// Errors returned by kernel operations.
+var (
+	// ErrProtection is a protection violation no handler resolved.
+	ErrProtection = errors.New("kernel: protection violation")
+	// ErrNoAuthority is a reference outside every segment.
+	ErrNoAuthority = errors.New("kernel: address outside all segments")
+	// ErrNotAttached is an operation on a segment the domain has not
+	// attached.
+	ErrNotAttached = errors.New("kernel: domain not attached to segment")
+	// ErrFaultLoop is an access that kept faulting after handling.
+	ErrFaultLoop = errors.New("kernel: access did not converge after fault handling")
+	// ErrUnrepresentable is a rights assignment the page-group model
+	// cannot express with a single rights field and write-disable bits
+	// (Section 4.1.2 discusses the model's limits).
+	ErrUnrepresentable = errors.New("kernel: rights vector unrepresentable in page-group model")
+)
+
+// transTable is the interface both software translation structures
+// (hash map and inverted) satisfy.
+type transTable interface {
+	Map(addr.VPN, addr.PFN) error
+	Unmap(addr.VPN) (ptable.PTE, error)
+	Lookup(addr.VPN) (ptable.PTE, bool)
+	SetDirty(addr.VPN)
+	SetRef(addr.VPN)
+	ClearDirty(addr.VPN) bool
+	Len() int
+}
+
+// kernel is the shared state; Kernel is the public face (one type, split
+// for documentation clarity).
+type kernel struct {
+	cfg    Config
+	geo    addr.Geometry
+	memory *mem.Memory
+	disk   *mem.Disk
+	trans  transTable
+
+	domains  map[addr.DomainID]*Domain
+	segments map[addr.SegmentID]*Segment
+	segOrder []*Segment // sorted by Range.Start for address lookup
+
+	pages map[addr.VPN]*page
+
+	nextDomain  addr.DomainID
+	nextSegment addr.SegmentID
+	nextGroup   addr.GroupID
+	nextVA      addr.VA
+	freeVA      []addr.Range
+	// residentFIFO orders mapped pages for the page daemon's FIFO
+	// eviction; entries may be stale (skipped when popped).
+	residentFIFO []addr.VPN
+
+	ctrs   stats.Counters
+	cycles stats.Cycles
+}
+
+// page is the kernel's per-page record, created lazily.
+type page struct {
+	seg *Segment
+	// group and groupRights are the page-group model's per-page state:
+	// the AID in the page's TLB entry and its shared rights field.
+	group       addr.GroupID
+	groupRights addr.Rights
+	// onDisk notes that the page's contents live in the backing store.
+	onDisk bool
+}
+
+// Kernel is a single address space operating system instance bound to one
+// machine. Construct with New.
+type Kernel struct {
+	kernel
+	mach       machine.Machine
+	plbm       *machine.PLBMachine
+	pgm        *machine.PGMachine
+	convm      *machine.ConventionalMachine
+	engine     engine
+	pager      Pager
+	execGrants []execGrant
+}
+
+// New creates a kernel and its machine for the configured model.
+func New(cfg Config) *Kernel {
+	if cfg.Frames <= 0 {
+		cfg.Frames = 4096
+	}
+	if cfg.MaxFaultRetries <= 0 {
+		cfg.MaxFaultRetries = 8
+	}
+	k := &Kernel{}
+	var geo addr.Geometry
+	switch cfg.Model {
+	case ModelPageGroup:
+		geo = cfg.PG.Geometry
+	case ModelConventional:
+		geo = cfg.Conv.Geometry
+	default:
+		geo = cfg.PLB.Geometry
+	}
+	if geo == (addr.Geometry{}) {
+		geo = addr.BaseGeometry()
+	}
+	k.kernel = kernel{
+		cfg:         cfg,
+		geo:         geo,
+		memory:      mem.NewMemory(geo, cfg.Frames),
+		disk:        mem.NewDisk(cfgCost(cfg).DiskRead, cfgCost(cfg).DiskWrite),
+		trans:       newTransTable(cfg),
+		domains:     make(map[addr.DomainID]*Domain),
+		segments:    make(map[addr.SegmentID]*Segment),
+		pages:       make(map[addr.VPN]*page),
+		nextDomain:  1,
+		nextSegment: 1,
+		nextGroup:   1,
+		nextVA:      cfg.VABase,
+	}
+	if k.nextVA == 0 {
+		k.nextVA = addr.VA(1) << 32
+	}
+	switch cfg.Model {
+	case ModelPageGroup:
+		k.pgm = machine.NewPG(cfg.PG, k)
+		k.mach = k.pgm
+		k.engine = &pgEngine{k: k}
+	case ModelConventional:
+		k.convm = machine.NewConventional(cfg.Conv, k)
+		k.mach = k.convm
+		k.engine = &convEngine{k: k}
+	default:
+		k.plbm = machine.NewPLB(cfg.PLB, k)
+		k.mach = k.plbm
+		k.engine = &dpEngine{k: k}
+	}
+	return k
+}
+
+func cfgCost(cfg Config) cpu.CostModel {
+	switch cfg.Model {
+	case ModelPageGroup:
+		return cfg.PG.Costs
+	case ModelConventional:
+		return cfg.Conv.Costs
+	default:
+		return cfg.PLB.Costs
+	}
+}
+
+func newTransTable(cfg Config) transTable {
+	if cfg.TransTable == TransInverted {
+		return ptable.NewInvertedTable(cfg.Frames)
+	}
+	return ptable.NewTranslationTable()
+}
+
+// TranslationProbeStats returns the inverted page table's lookup and
+// probe counts (ok=false under TransMap).
+func (k *Kernel) TranslationProbeStats() (lookups, probes uint64, ok bool) {
+	ipt, isIPT := k.trans.(*ptable.InvertedTable)
+	if !isIPT {
+		return 0, 0, false
+	}
+	lookups, probes = ipt.ProbeStats()
+	return lookups, probes, true
+}
+
+// Model returns the kernel's protection model.
+func (k *Kernel) Model() Model { return k.cfg.Model }
+
+// Machine returns the underlying machine.
+func (k *Kernel) Machine() machine.Machine { return k.mach }
+
+// PLBMachine returns the PLB machine, or nil under the page-group model.
+func (k *Kernel) PLBMachine() *machine.PLBMachine { return k.plbm }
+
+// PGMachine returns the page-group machine, or nil under domain-page.
+func (k *Kernel) PGMachine() *machine.PGMachine { return k.pgm }
+
+// ConvMachine returns the conventional machine, or nil under the single
+// address space models.
+func (k *Kernel) ConvMachine() *machine.ConventionalMachine { return k.convm }
+
+// Geometry returns the translation page geometry.
+func (k *Kernel) Geometry() addr.Geometry { return k.geo }
+
+// Memory returns the physical memory.
+func (k *Kernel) Memory() *mem.Memory { return k.memory }
+
+// Disk returns the backing store.
+func (k *Kernel) Disk() *mem.Disk { return k.disk }
+
+// Counters returns the kernel's own event counters (machine counters are
+// separate; see Machine().Counters()).
+func (k *Kernel) Counters() *stats.Counters { return &k.ctrs }
+
+// Cycles returns kernel-charged cycles (handler work, paging, copies);
+// machine cycles are separate.
+func (k *Kernel) Cycles() uint64 { return k.cycles.Total() }
+
+// TotalCycles returns machine plus kernel cycles.
+func (k *Kernel) TotalCycles() uint64 { return k.cycles.Total() + k.mach.Cycles() }
+
+// costs returns the active cost model.
+func (k *Kernel) costs() cpu.CostModel { return k.mach.Costs() }
+
+// Charge adds kernel-side cycles (used by user-level servers and custom
+// pagers to account work the cost model does not see directly).
+func (k *Kernel) Charge(n uint64) { k.cycles.Add(n) }
+
+// OnBackingStore reports whether the page was paged out and its contents
+// live in the paging backend.
+func (k *Kernel) OnBackingStore(vpn addr.VPN) bool {
+	p, ok := k.pages[vpn]
+	return ok && p.onDisk
+}
+
+// CreateDomain creates a new, empty protection domain.
+func (k *Kernel) CreateDomain() *Domain {
+	d := &Domain{
+		ID:        k.nextDomain,
+		kern:      &k.kernel,
+		attached:  make(map[addr.SegmentID]addr.Rights),
+		overrides: ptable.NewProtTable(),
+		groups:    make(map[addr.GroupID]bool),
+	}
+	k.nextDomain++
+	k.domains[d.ID] = d
+	k.ctrs.Inc("kernel.domains_created")
+	return d
+}
+
+// SegmentOptions customize segment creation.
+type SegmentOptions struct {
+	// Name labels the segment in diagnostics.
+	Name string
+	// Handler receives protection faults on the segment's pages.
+	Handler FaultHandler
+	// AlignShift, if nonzero, aligns the segment's base to 2^AlignShift
+	// bytes (needed for super-page PLB entries, Section 4.3).
+	AlignShift uint
+	// ProtShift, if above the translation page shift, makes the
+	// domain-page machine cover the segment with super-page PLB entries
+	// of 2^ProtShift bytes — one entry per domain for a constant-rights
+	// segment (Section 4.3). The shift must be listed in the PLB
+	// configuration's size classes; otherwise it is ignored (counted
+	// under kernel.protshift_unsupported). Pages with per-domain
+	// overrides fall back to base-shift entries automatically. The
+	// page-group model ignores it.
+	ProtShift uint
+}
+
+// CreateSegment allocates a virtual segment of npages translation pages at
+// a fresh, globally unique address range.
+func (k *Kernel) CreateSegment(npages uint64, opts SegmentOptions) *Segment {
+	if npages == 0 {
+		npages = 1
+	}
+	length := npages * k.geo.PageSize()
+	alignShift := opts.AlignShift
+	protShift := uint(0)
+	if opts.ProtShift > k.geo.Shift() {
+		if k.plbSupportsShift(opts.ProtShift) {
+			protShift = opts.ProtShift
+			if alignShift < opts.ProtShift {
+				alignShift = opts.ProtShift
+			}
+		} else {
+			k.ctrs.Inc("kernel.protshift_unsupported")
+		}
+	}
+	base := uint64(k.allocVA(length, alignShift))
+	s := &Segment{
+		ID:        k.nextSegment,
+		Name:      opts.Name,
+		Range:     addr.Range{Start: addr.VA(base), Length: length},
+		kern:      &k.kernel,
+		handler:   opts.Handler,
+		attached:  make(map[addr.DomainID]addr.Rights),
+		protShift: protShift,
+	}
+	k.nextSegment++
+	k.segments[s.ID] = s
+	// Insert into the address-ordered index.
+	i := sort.Search(len(k.segOrder), func(i int) bool {
+		return k.segOrder[i].Range.Start > s.Range.Start
+	})
+	k.segOrder = append(k.segOrder, nil)
+	copy(k.segOrder[i+1:], k.segOrder[i:])
+	k.segOrder[i] = s
+	k.ctrs.Inc("kernel.segments_created")
+	k.engine.onCreateSegment(s)
+	return s
+}
+
+// SetHandler installs (or replaces) the segment's fault handler.
+func (k *Kernel) SetHandler(s *Segment, h FaultHandler) { s.handler = h }
+
+// FindSegment returns the segment containing va, or nil.
+func (k *Kernel) FindSegment(va addr.VA) *Segment {
+	i := sort.Search(len(k.segOrder), func(i int) bool {
+		return k.segOrder[i].Range.Start > va
+	})
+	if i == 0 {
+		return nil
+	}
+	s := k.segOrder[i-1]
+	if s.Range.Contains(va) {
+		return s
+	}
+	return nil
+}
+
+// segmentOf returns the segment containing the page, or nil.
+func (k *Kernel) segmentOf(vpn addr.VPN) *Segment { return k.FindSegment(k.geo.Base(vpn)) }
+
+// pageRecord returns (creating if needed) the kernel's record for a page
+// that lies in a segment. Returns nil for addresses outside all segments.
+func (k *Kernel) pageRecord(vpn addr.VPN) *page {
+	if p, ok := k.pages[vpn]; ok {
+		return p
+	}
+	s := k.segmentOf(vpn)
+	if s == nil {
+		return nil
+	}
+	p := &page{seg: s, group: s.group, groupRights: s.groupRights}
+	k.pages[vpn] = p
+	return p
+}
+
+// Attach grants domain d rights r over segment s. Under the domain-page
+// model this is pure bookkeeping — PLB entries fault in lazily. Under the
+// page-group model the segment's group is added to the domain's group set
+// (Table 1, row 1).
+func (k *Kernel) Attach(d *Domain, s *Segment, r addr.Rights) {
+	d.attached[s.ID] = r
+	s.attached[d.ID] = r
+	k.ctrs.Inc("kernel.attach")
+	k.engine.onAttach(d, s, r)
+}
+
+// Detach revokes domain d's attachment to s and clears any per-page
+// overrides d held in the segment (Table 1, row 2).
+func (k *Kernel) Detach(d *Domain, s *Segment) error {
+	if _, ok := d.attached[s.ID]; !ok {
+		return ErrNotAttached
+	}
+	delete(d.attached, s.ID)
+	delete(s.attached, d.ID)
+	startVPN := k.geo.PageNumber(s.Range.Start)
+	d.overrides.ClearRange(startVPN, s.NumPages())
+	k.ctrs.Inc("kernel.detach")
+	k.engine.onDetach(d, s)
+	return nil
+}
+
+// Switch schedules domain d on the machine.
+func (k *Kernel) Switch(d *Domain) {
+	if k.mach.Domain() == d.ID {
+		return
+	}
+	k.mach.SwitchDomain(d.ID)
+}
+
+// --- machine.OS implementation: the tables hardware refills from ---
+
+// Translate implements machine.OS.
+func (k *Kernel) Translate(vpn addr.VPN) (addr.PFN, bool) {
+	pte, ok := k.trans.Lookup(vpn)
+	if !ok {
+		return 0, false
+	}
+	return pte.PFN, true
+}
+
+// ResolveRights implements machine.OS: override, else attachment rights,
+// else None for pages inside segments; no authority outside them. The
+// cacheable flag is set only when the domain holds a record (override or
+// attachment) for the page, so protection hardware never caches denials
+// for unattached domains.
+func (k *Kernel) ResolveRights(d addr.DomainID, vpn addr.VPN) (addr.Rights, bool, bool) {
+	dom, ok := k.domains[d]
+	if !ok {
+		return addr.None, false, false
+	}
+	s := k.segmentOf(vpn)
+	if s == nil {
+		return addr.None, false, false
+	}
+	execR, execOK := k.execRights(dom, vpn)
+	if r, ok := dom.overrides.Get(vpn); ok {
+		return r | execR, true, true
+	}
+	if r, ok := dom.attached[s.ID]; ok {
+		return r | execR, true, true
+	}
+	if execOK {
+		// Execution-keyed rights apply even to unattached domains; they
+		// are cacheable because SetExecutionSite purges them on site
+		// changes.
+		return execR, true, true
+	}
+	return addr.None, false, true
+}
+
+// PageInfo implements machine.OS (page-group TLB refill).
+func (k *Kernel) PageInfo(vpn addr.VPN) (addr.GroupID, addr.Rights, bool) {
+	p := k.pageRecord(vpn)
+	if p == nil {
+		return 0, addr.None, false
+	}
+	return p.group, p.groupRights, true
+}
+
+// DomainGroup implements machine.OS.
+func (k *Kernel) DomainGroup(d addr.DomainID, g addr.GroupID) (bool, bool) {
+	dom, ok := k.domains[d]
+	if !ok {
+		return false, false
+	}
+	wd, ok := dom.groups[g]
+	return ok, wd
+}
+
+// plbSupportsShift reports whether the PLB configuration lists the shift.
+func (k *Kernel) plbSupportsShift(shift uint) bool {
+	if k.cfg.Model != ModelDomainPage {
+		return false
+	}
+	for _, s := range k.cfg.PLB.PLB.Shifts {
+		if s == shift {
+			return true
+		}
+	}
+	return false
+}
+
+// ProtShift implements machine.ProtShifter: segments created with a
+// super-page protection shift install one PLB entry per 2^shift bytes,
+// except for pages where the domain holds a per-page override (those
+// must be tracked at base granularity).
+func (k *Kernel) ProtShift(d addr.DomainID, vpn addr.VPN) uint {
+	s := k.segmentOf(vpn)
+	if s == nil || s.protShift == 0 {
+		return k.geo.Shift()
+	}
+	if dom, ok := k.domains[d]; ok {
+		if _, ok := dom.overrides.Get(vpn); ok {
+			return k.geo.Shift()
+		}
+	}
+	return s.protShift
+}
+
+// DomainGroups implements machine.OS.
+func (k *Kernel) DomainGroups(d addr.DomainID) []machine.GroupAccess {
+	dom, ok := k.domains[d]
+	if !ok {
+		return nil
+	}
+	out := make([]machine.GroupAccess, 0, len(dom.groups))
+	for g, wd := range dom.groups {
+		out = append(out, machine.GroupAccess{Group: g, WriteDisable: wd})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// Walk implements machine.MultiOS for ModelConventional: the per-space
+// page-table view a multiple-address-space machine forces on a single
+// address space OS. Each domain's "page table" holds the SAME global
+// translation duplicated per space, with the domain's rights attached.
+// ok is false when the page is unmapped or the domain has no protection
+// record for it (outside its page tables entirely).
+func (k *Kernel) Walk(as addr.ASID, vpn addr.VPN) (ptable.LinearPTE, bool) {
+	pfn, ok := k.Translate(vpn)
+	if !ok {
+		return ptable.LinearPTE{}, false
+	}
+	r, cacheable, ok := k.ResolveRights(addr.DomainID(as), vpn)
+	if !ok || !cacheable {
+		return ptable.LinearPTE{}, false
+	}
+	k.ctrs.Inc("conv.duplicated_walks")
+	return ptable.LinearPTE{PFN: pfn, Rights: r, Valid: true}, true
+}
+
+var (
+	_ machine.OS      = (*Kernel)(nil)
+	_ machine.MultiOS = (*Kernel)(nil)
+)

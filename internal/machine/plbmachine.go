@@ -1,0 +1,256 @@
+package machine
+
+import (
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/plb"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+)
+
+// PLBConfig configures a PLBMachine.
+type PLBConfig struct {
+	// Costs is the cycle cost model.
+	Costs cpu.CostModel
+	// PLB configures the protection lookaside buffer.
+	PLB plb.Config
+	// TLB configures the second-level, translation-only TLB. Being
+	// off-chip it can be large (Section 3.2.1).
+	TLB assoc.Config
+	// Cache configures the VIVT data cache.
+	Cache cache.Config
+	// Geometry is the translation page geometry.
+	Geometry addr.Geometry
+}
+
+// DefaultPLBConfig returns the baseline PLB machine used in
+// EXPERIMENTS.md: 128-entry PLB, 1024-entry off-chip TLB, 64 KB cache.
+func DefaultPLBConfig() PLBConfig {
+	return PLBConfig{
+		Costs:    cpu.DefaultCosts(),
+		PLB:      plb.DefaultConfig(),
+		TLB:      assoc.Config{Sets: 256, Ways: 4, Policy: assoc.LRU},
+		Cache:    cache.DefaultConfig(),
+		Geometry: addr.BaseGeometry(),
+	}
+}
+
+// PLBMachine is the domain-page model implementation of Figure 1.
+type PLBMachine struct {
+	cfg    PLBConfig
+	os     OS
+	domain addr.DomainID // the PD-ID register
+
+	plb   *plb.PLB
+	tlb   *tlb.TransTLB
+	cache *cache.VirtualCache
+
+	ctrs   stats.Counters
+	cycles stats.Cycles
+}
+
+// NewPLB builds a PLB machine over the given OS.
+func NewPLB(cfg PLBConfig, os OS) *PLBMachine {
+	m := &PLBMachine{cfg: cfg, os: os}
+	m.plb = plb.New(cfg.PLB, &m.ctrs, "plb")
+	m.tlb = tlb.NewTrans(cfg.TLB, &m.ctrs, "tlb")
+	m.cache = cache.NewVirtual(cfg.Cache, &m.ctrs, "cache")
+	return m
+}
+
+// Name implements Machine.
+func (m *PLBMachine) Name() string { return "plb" }
+
+// Domain implements Machine.
+func (m *PLBMachine) Domain() addr.DomainID { return m.domain }
+
+// Counters implements Machine.
+func (m *PLBMachine) Counters() *stats.Counters { return &m.ctrs }
+
+// Cycles implements Machine.
+func (m *PLBMachine) Cycles() uint64 { return m.cycles.Total() }
+
+// Costs implements Machine.
+func (m *PLBMachine) Costs() cpu.CostModel { return m.cfg.Costs }
+
+// PLB exposes the protection lookaside buffer for inspection by
+// experiments.
+func (m *PLBMachine) PLB() *plb.PLB { return m.plb }
+
+// TLB exposes the second-level TLB for inspection.
+func (m *PLBMachine) TLB() *tlb.TransTLB { return m.tlb }
+
+// Cache exposes the data cache for inspection.
+func (m *PLBMachine) Cache() *cache.VirtualCache { return m.cache }
+
+// SwitchDomain implements Machine. On the PLB machine a protection domain
+// switch writes one control register — the PD-ID — and nothing else: no
+// PLB, TLB or cache state is purged (Section 4.1.4).
+func (m *PLBMachine) SwitchDomain(d addr.DomainID) {
+	m.domain = d
+	m.ctrs.Inc(CtrSwitches)
+	m.ctrs.Add(CtrSwitchCycles, m.cfg.Costs.RegisterWrite)
+	m.cycles.Add(m.cfg.Costs.RegisterWrite)
+}
+
+// Access implements Machine: the Figure 1 reference path. The PLB and the
+// VIVT cache are probed in parallel, so a PLB hit adds no latency beyond
+// the cache access; translation happens only on cache misses and dirty
+// writebacks, through the off-critical-path TLB.
+func (m *PLBMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
+	c := &m.cfg.Costs
+	m.ctrs.Inc(CtrAccesses)
+	if kind == addr.Store {
+		m.ctrs.Inc(CtrStores)
+	}
+	m.cycles.Add(c.CacheHit) // cache + PLB probed in parallel
+
+	// Protection: PLB lookup, refilled by the kernel on a miss.
+	rights, hit := m.plb.Lookup(m.domain, va)
+	if !hit {
+		m.ctrs.Inc(CtrTrapPLBRefill)
+		m.cycles.Add(c.Trap)
+		resolved, cacheable, ok := m.os.ResolveRights(m.domain, m.cfg.Geometry.PageNumber(va))
+		if !ok {
+			m.ctrs.Inc(CtrFaultAddressing)
+			return cpu.Outcome{Fault: cpu.FaultNoAuthority}
+		}
+		if cacheable {
+			// The kernel installs the resolved rights — including None,
+			// so repeated illegal references by an attached domain fault
+			// on a resident entry rather than re-resolving (e.g. the
+			// GC's no-access from-space pages). Domains with no record
+			// at all get nothing installed: a later grant must not have
+			// to hunt down cached denials.
+			shift := uint(m.cfg.Geometry.Shift())
+			if ps, ok := m.os.(ProtShifter); ok {
+				shift = ps.ProtShift(m.domain, m.cfg.Geometry.PageNumber(va))
+			}
+			m.plb.Insert(m.domain, va, shift, resolved)
+			m.cycles.Add(c.Install)
+		}
+		rights = resolved
+	}
+	if !rights.Allows(kind) {
+		m.ctrs.Inc(CtrFaultProt)
+		m.cycles.Add(c.Trap)
+		return cpu.Outcome{Fault: cpu.FaultProtection}
+	}
+
+	// Data: VIVT cache; translation only on a miss.
+	if m.cache.Access(0, va, kind == addr.Store) {
+		return cpu.Outcome{}
+	}
+	pfn, ok := m.translate(m.cfg.Geometry.PageNumber(va))
+	if !ok {
+		m.ctrs.Inc(CtrFaultUnmapped)
+		return cpu.Outcome{Fault: cpu.FaultPageUnmapped}
+	}
+	m.cycles.Add(c.CacheFill)
+	if wroteBack := m.cache.Fill(0, va, pfn, kind == addr.Store); wroteBack {
+		// Writing back a dirty victim needs its translation: one more
+		// off-chip TLB reference.
+		m.cycles.Add(c.Writeback + c.OffChipTLB)
+	}
+	return cpu.Outcome{}
+}
+
+// translate consults the off-chip TLB, trapping to the kernel on a miss.
+func (m *PLBMachine) translate(vpn addr.VPN) (addr.PFN, bool) {
+	c := &m.cfg.Costs
+	m.cycles.Add(c.OffChipTLB)
+	if e, ok := m.tlb.Lookup(vpn); ok {
+		return e.PFN, true
+	}
+	m.ctrs.Inc(CtrTrapTLBRefill)
+	m.cycles.Add(c.Trap + c.PTWalk)
+	pfn, ok := m.os.Translate(vpn)
+	if !ok {
+		return 0, false
+	}
+	m.tlb.Insert(vpn, tlb.TransEntry{PFN: pfn})
+	m.cycles.Add(c.Install)
+	return pfn, true
+}
+
+// Maintenance operations used by the kernel's domain-page protection
+// engine. Each charges its architectural cost.
+
+// UpdateRights rewrites the resident PLB entry for (d, va) if present —
+// the cheap single-entry update of Section 4.1.2. When the entry is not
+// resident nothing is done; the new rights will fault in lazily.
+func (m *PLBMachine) UpdateRights(d addr.DomainID, va addr.VA, r addr.Rights) {
+	if m.plb.Update(d, va, r) {
+		m.cycles.Add(m.cfg.Costs.Install)
+	}
+}
+
+// InstallRights eagerly inserts a PLB entry (used when the kernel chooses
+// to pre-load rather than fault-in, and by sub-page experiments that
+// install at non-default shifts).
+func (m *PLBMachine) InstallRights(d addr.DomainID, va addr.VA, shift uint, r addr.Rights) {
+	m.plb.Insert(d, va, shift, r)
+	m.cycles.Add(m.cfg.Costs.Install)
+}
+
+// InvalidateRights drops the PLB entry for (d, va) if resident.
+func (m *PLBMachine) InvalidateRights(d addr.DomainID, va addr.VA) {
+	if m.plb.Invalidate(d, va) {
+		m.cycles.Add(m.cfg.Costs.PurgeEntry)
+	}
+}
+
+// UpdateRange rewrites all of d's resident PLB entries overlapping the
+// range to the given rights — the segment-wide per-domain rights change of
+// Table 1 (GC flip, checkpoint restrict). The whole PLB is scanned.
+func (m *PLBMachine) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.Rights) {
+	inspected := m.plb.Len()
+	m.plb.UpdateRange(d, start, length, r)
+	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+}
+
+// PurgeAllPLB flash-clears the whole PLB in one operation — the cheap
+// but indiscriminate detach alternative of Section 4.1.1 ("Purge the PLB
+// or inspect each entry..."): every domain's rights must fault back in.
+func (m *PLBMachine) PurgeAllPLB() {
+	m.plb.PurgeAll()
+	m.cycles.Add(m.cfg.Costs.RegisterWrite)
+}
+
+// DetachRange purges all of d's PLB entries overlapping the range: the
+// segment-detach scan of Section 4.1.1. The whole PLB is inspected.
+func (m *PLBMachine) DetachRange(d addr.DomainID, start addr.VA, length uint64) {
+	inspected := m.plb.Len()
+	m.plb.PurgeRange(d, start, length)
+	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+}
+
+// PurgePage removes every domain's PLB entries for the page holding va
+// (used when rights change for all domains at once).
+func (m *PLBMachine) PurgePage(va addr.VA) {
+	inspected := m.plb.Len()
+	m.plb.PurgePage(va)
+	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+}
+
+// UnmapPage destroys the translation for vpn: the TLB entry is
+// invalidated and the page's lines are flushed from the data cache
+// (Section 4.1.3). The PLB needs no maintenance — stale entries age out,
+// and any touch faults on the missing translation.
+func (m *PLBMachine) UnmapPage(vpn addr.VPN) {
+	c := &m.cfg.Costs
+	if m.tlb.Invalidate(vpn) {
+		m.cycles.Add(c.PurgeEntry)
+	}
+	flushed, dirty := m.cache.FlushPage(m.cfg.Geometry.Base(vpn), m.cfg.Geometry)
+	m.cycles.Add(uint64(m.cache.LinesPerPage(m.cfg.Geometry)) * c.CacheLineFlush)
+	m.cycles.Add(uint64(dirty) * c.Writeback)
+	_ = flushed
+}
+
+// Geometry returns the machine's translation page geometry.
+func (m *PLBMachine) Geometry() addr.Geometry { return m.cfg.Geometry }
+
+var _ Machine = (*PLBMachine)(nil)

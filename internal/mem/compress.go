@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// CompressedStore holds pages compressed in memory, the mechanism behind
+// Appel & Li's compression paging workload (Table 1, last two rows): on
+// page-out the server compresses the page and keeps it in a (cheaper)
+// compressed pool instead of (or before) writing it to disk.
+type CompressedStore struct {
+	pages         map[uint64][]byte
+	rawBytes      uint64
+	storedBytes   uint64
+	compressions  uint64
+	expansions    uint64
+	cyclesPerByte uint64
+	cycles        uint64
+}
+
+// NewCompressedStore creates a store charging cyclesPerByte of CPU cost
+// for each byte compressed or decompressed.
+func NewCompressedStore(cyclesPerByte uint64) *CompressedStore {
+	return &CompressedStore{pages: make(map[uint64][]byte), cyclesPerByte: cyclesPerByte}
+}
+
+// Put compresses data and stores it under key.
+func (s *CompressedStore) Put(key uint64, data []byte) error {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("mem: compress: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("mem: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("mem: compress: %w", err)
+	}
+	if prev, ok := s.pages[key]; ok {
+		s.storedBytes -= uint64(len(prev))
+		s.rawBytes -= uint64(len(data))
+	}
+	s.pages[key] = append([]byte(nil), buf.Bytes()...)
+	s.rawBytes += uint64(len(data))
+	s.storedBytes += uint64(buf.Len())
+	s.compressions++
+	s.cycles += uint64(len(data)) * s.cyclesPerByte
+	return nil
+}
+
+// Get decompresses and returns the page stored under key, removing it from
+// the store.
+func (s *CompressedStore) Get(key uint64) ([]byte, error) {
+	c, ok := s.pages[key]
+	if !ok {
+		return nil, fmt.Errorf("mem: compressed page %#x not present", key)
+	}
+	r := flate.NewReader(bytes.NewReader(c))
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("mem: decompress: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("mem: decompress: %w", err)
+	}
+	delete(s.pages, key)
+	s.storedBytes -= uint64(len(c))
+	s.rawBytes -= uint64(len(data))
+	s.expansions++
+	s.cycles += uint64(len(data)) * s.cyclesPerByte
+	return data, nil
+}
+
+// Has reports whether a compressed page exists under key.
+func (s *CompressedStore) Has(key uint64) bool {
+	_, ok := s.pages[key]
+	return ok
+}
+
+// Len returns the number of compressed pages held.
+func (s *CompressedStore) Len() int { return len(s.pages) }
+
+// Ratio returns stored/raw bytes for pages currently held (1.0 when empty).
+func (s *CompressedStore) Ratio() float64 {
+	if s.rawBytes == 0 {
+		return 1.0
+	}
+	return float64(s.storedBytes) / float64(s.rawBytes)
+}
+
+// Stats returns compression/expansion counts and CPU cycles charged.
+func (s *CompressedStore) Stats() (compressions, expansions, cycles uint64) {
+	return s.compressions, s.expansions, s.cycles
+}

@@ -1,0 +1,141 @@
+// Package mem models the physical memory system beneath the simulator:
+// a physical frame pool with real per-frame byte storage, a backing store
+// (disk) with latency accounting, and a compressed in-memory page store
+// used by the Appel-Li compression paging workload.
+//
+// Workloads operate on real bytes so that the functional results of a run
+// (garbage-collected object graphs, checkpointed images, DSM page copies,
+// compressed pages) can be verified, not just the protection traffic.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// ErrOutOfFrames is returned when the physical frame pool is exhausted.
+var ErrOutOfFrames = errors.New("mem: out of physical frames")
+
+// Memory is a pool of physical page frames with byte-addressable contents.
+// Construct with NewMemory. Memory is not safe for concurrent use.
+type Memory struct {
+	geo     addr.Geometry
+	frames  []frame
+	free    []addr.PFN
+	allocs  uint64
+	frees   uint64
+	maxUsed int
+}
+
+type frame struct {
+	data  []byte
+	inUse bool
+}
+
+// NewMemory creates a Memory with nframes frames of the given geometry.
+func NewMemory(geo addr.Geometry, nframes int) *Memory {
+	m := &Memory{geo: geo, frames: make([]frame, nframes)}
+	m.free = make([]addr.PFN, 0, nframes)
+	// Hand out low frame numbers first for reproducibility.
+	for i := nframes - 1; i >= 0; i-- {
+		m.free = append(m.free, addr.PFN(i))
+	}
+	return m
+}
+
+// Geometry returns the frame geometry.
+func (m *Memory) Geometry() addr.Geometry { return m.geo }
+
+// NumFrames returns the total number of frames.
+func (m *Memory) NumFrames() int { return len(m.frames) }
+
+// FramesInUse returns the number of currently allocated frames.
+func (m *Memory) FramesInUse() int { return len(m.frames) - len(m.free) }
+
+// MaxFramesUsed returns the high-water mark of allocated frames.
+func (m *Memory) MaxFramesUsed() int { return m.maxUsed }
+
+// Alloc allocates a zeroed frame.
+func (m *Memory) Alloc() (addr.PFN, error) {
+	if len(m.free) == 0 {
+		return 0, ErrOutOfFrames
+	}
+	pfn := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	f := &m.frames[pfn]
+	f.inUse = true
+	if f.data != nil {
+		clear(f.data)
+	}
+	m.allocs++
+	if used := m.FramesInUse(); used > m.maxUsed {
+		m.maxUsed = used
+	}
+	return pfn, nil
+}
+
+// Free returns a frame to the pool. Freeing an unallocated frame is a
+// simulator bug and panics.
+func (m *Memory) Free(pfn addr.PFN) {
+	f := m.frame(pfn)
+	if !f.inUse {
+		panic(fmt.Sprintf("mem: double free of frame %d", pfn))
+	}
+	f.inUse = false
+	m.free = append(m.free, pfn)
+	m.frees++
+}
+
+func (m *Memory) frame(pfn addr.PFN) *frame {
+	if int(pfn) >= len(m.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", pfn, len(m.frames)))
+	}
+	return &m.frames[pfn]
+}
+
+// Data returns the contents of an allocated frame, materializing storage
+// on first touch. The returned slice aliases the frame; writes through it
+// are writes to physical memory.
+func (m *Memory) Data(pfn addr.PFN) []byte {
+	f := m.frame(pfn)
+	if !f.inUse {
+		panic(fmt.Sprintf("mem: access to unallocated frame %d", pfn))
+	}
+	if f.data == nil {
+		f.data = make([]byte, m.geo.PageSize())
+	}
+	return f.data
+}
+
+// ReadByteAt reads one byte at a physical frame offset.
+func (m *Memory) ReadByteAt(pfn addr.PFN, offset uint64) byte {
+	return m.Data(pfn)[offset]
+}
+
+// WriteByteAt writes one byte at a physical frame offset.
+func (m *Memory) WriteByteAt(pfn addr.PFN, offset uint64, v byte) {
+	m.Data(pfn)[offset] = v
+}
+
+// ReadWord reads a 64-bit little-endian word at a frame offset.
+func (m *Memory) ReadWord(pfn addr.PFN, offset uint64) uint64 {
+	d := m.Data(pfn)
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(d[offset+i]) << (8 * i)
+	}
+	return v
+}
+
+// WriteWord writes a 64-bit little-endian word at a frame offset.
+func (m *Memory) WriteWord(pfn addr.PFN, offset uint64, v uint64) {
+	d := m.Data(pfn)
+	for i := uint64(0); i < 8; i++ {
+		d[offset+i] = byte(v >> (8 * i))
+	}
+}
+
+// Stats returns allocation/free counts.
+func (m *Memory) Stats() (allocs, frees uint64) { return m.allocs, m.frees }

@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestAllocFreeCycle(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 4)
+	if m.NumFrames() != 4 || m.FramesInUse() != 0 {
+		t.Fatal("fresh memory state wrong")
+	}
+	var pfns []addr.PFN
+	for i := 0; i < 4; i++ {
+		pfn, err := m.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		pfns = append(pfns, pfn)
+	}
+	if _, err := m.Alloc(); err != ErrOutOfFrames {
+		t.Fatalf("expected ErrOutOfFrames, got %v", err)
+	}
+	if m.FramesInUse() != 4 || m.MaxFramesUsed() != 4 {
+		t.Fatal("in-use accounting wrong")
+	}
+	for _, p := range pfns {
+		m.Free(p)
+	}
+	if m.FramesInUse() != 0 {
+		t.Fatal("free accounting wrong")
+	}
+	allocs, frees := m.Stats()
+	if allocs != 4 || frees != 4 {
+		t.Fatalf("stats = %d,%d", allocs, frees)
+	}
+}
+
+func TestAllocLowFramesFirst(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 3)
+	for want := addr.PFN(0); want < 3; want++ {
+		pfn, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pfn != want {
+			t.Fatalf("alloc order: got %d want %d", pfn, want)
+		}
+	}
+}
+
+func TestFrameDataZeroedOnRealloc(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 1)
+	pfn, _ := m.Alloc()
+	m.WriteByteAt(pfn, 0, 0xAB)
+	m.WriteWord(pfn, 8, 0xdeadbeefcafe)
+	if m.ReadByteAt(pfn, 0) != 0xAB {
+		t.Fatal("byte write lost")
+	}
+	if m.ReadWord(pfn, 8) != 0xdeadbeefcafe {
+		t.Fatal("word write lost")
+	}
+	m.Free(pfn)
+	pfn2, _ := m.Alloc()
+	if pfn2 != pfn {
+		t.Fatalf("expected frame reuse, got %d", pfn2)
+	}
+	if m.ReadByteAt(pfn2, 0) != 0 || m.ReadWord(pfn2, 8) != 0 {
+		t.Fatal("reallocated frame not zeroed")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 1)
+	pfn, _ := m.Alloc()
+	m.Free(pfn)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	m.Free(pfn)
+}
+
+func TestAccessUnallocatedPanics(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to unallocated frame did not panic")
+		}
+	}()
+	m.Data(1)
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := NewMemory(addr.BaseGeometry(), 1)
+	pfn, _ := m.Alloc()
+	f := func(off uint16, v uint64) bool {
+		offset := uint64(off) % (4096 - 8)
+		m.WriteWord(pfn, offset, v)
+		return m.ReadWord(pfn, offset) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk(100, 200)
+	data := []byte("hello page")
+	d.Write(42, data)
+	if !d.Has(42) || d.Has(43) {
+		t.Fatal("Has wrong")
+	}
+	got, err := d.Read(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Read = %q", got)
+	}
+	// The returned slice must be a copy.
+	got[0] = 'X'
+	again, _ := d.Read(42)
+	if again[0] != 'h' {
+		t.Fatal("Read aliases stored block")
+	}
+	// Stored block must be a copy of the input.
+	data[1] = 'Z'
+	again, _ = d.Read(42)
+	if again[1] != 'e' {
+		t.Fatal("Write aliases caller slice")
+	}
+	reads, writes, cycles := d.Stats()
+	if reads != 3 || writes != 1 || cycles != 3*100+200 {
+		t.Fatalf("stats = %d,%d,%d", reads, writes, cycles)
+	}
+}
+
+func TestDiskMissingBlock(t *testing.T) {
+	d := NewDisk(1, 1)
+	if _, err := d.Read(7); err == nil {
+		t.Fatal("expected error for missing block")
+	}
+	d.Write(7, []byte("x"))
+	d.Delete(7)
+	if d.Has(7) || d.Len() != 0 {
+		t.Fatal("Delete failed")
+	}
+}
+
+func TestCompressedStoreRoundTrip(t *testing.T) {
+	s := NewCompressedStore(1)
+	// Compressible page: repeated pattern.
+	page := bytes.Repeat([]byte{1, 2, 3, 4}, 1024)
+	if err := s.Put(9, page); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(9) || s.Len() != 1 {
+		t.Fatal("Has/Len wrong")
+	}
+	if r := s.Ratio(); r >= 0.5 {
+		t.Errorf("repetitive page compressed poorly: ratio %f", r)
+	}
+	got, err := s.Get(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("round trip corrupted page")
+	}
+	if s.Has(9) || s.Len() != 0 {
+		t.Fatal("Get did not remove page")
+	}
+	comp, exp, cycles := s.Stats()
+	if comp != 1 || exp != 1 || cycles != 2*uint64(len(page)) {
+		t.Fatalf("stats = %d,%d,%d", comp, exp, cycles)
+	}
+}
+
+func TestCompressedStoreMissing(t *testing.T) {
+	s := NewCompressedStore(0)
+	if _, err := s.Get(1); err == nil {
+		t.Fatal("expected error for missing page")
+	}
+	if s.Ratio() != 1.0 {
+		t.Fatal("empty store ratio should be 1.0")
+	}
+}
+
+func TestCompressedStoreOverwrite(t *testing.T) {
+	s := NewCompressedStore(0)
+	a := bytes.Repeat([]byte{7}, 4096)
+	b := bytes.Repeat([]byte{8, 9}, 2048)
+	if err := s.Put(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("overwrite returned stale page")
+	}
+}
+
+func TestCompressedStoreRandomRoundTrip(t *testing.T) {
+	s := NewCompressedStore(0)
+	f := func(data []byte, key uint64) bool {
+		if err := s.Put(key, data); err != nil {
+			return false
+		}
+		got, err := s.Get(key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

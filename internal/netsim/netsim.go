@@ -1,0 +1,93 @@
+// Package netsim models the interconnect of the distributed shared
+// virtual memory workload (Li-style DSM, Table 1 rows 5-7): an in-process
+// message-passing network between simulated nodes with latency and
+// traffic accounting. Coherence protocol messages (page fetches,
+// invalidations, ownership transfers) are function calls between node
+// structures; the network charges their costs.
+package netsim
+
+import "fmt"
+
+// Config sets the network's cost parameters.
+type Config struct {
+	// MsgLatency is the one-way latency of a small control message, in
+	// cycles.
+	MsgLatency uint64
+	// ByteCycles is the additional per-byte transfer cost (page moves
+	// dominate with 4 KB payloads).
+	ByteCycles uint64
+}
+
+// DefaultConfig returns latencies matching the DefaultCosts network round
+// trip: a 20k-cycle one-way message and 4 cycles/byte, so a 4 KB page
+// fetch round trip is ~56k cycles.
+func DefaultConfig() Config {
+	return Config{MsgLatency: 20000, ByteCycles: 4}
+}
+
+// Network accounts for message traffic between nodes. The zero value is
+// unusable; construct with New.
+type Network struct {
+	cfg   Config
+	nodes int
+
+	msgs    uint64
+	bytes   uint64
+	cycles  uint64
+	perNode []nodeStats
+}
+
+type nodeStats struct {
+	sent     uint64
+	received uint64
+}
+
+// New creates a network connecting n nodes.
+func New(n int, cfg Config) *Network {
+	if n < 1 {
+		panic("netsim: need at least one node")
+	}
+	return &Network{cfg: cfg, nodes: n, perNode: make([]nodeStats, n)}
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.nodes }
+
+func (n *Network) check(node int) {
+	if node < 0 || node >= n.nodes {
+		panic(fmt.Sprintf("netsim: node %d out of range (%d nodes)", node, n.nodes))
+	}
+}
+
+// Send charges one one-way message of the given payload size from one
+// node to another and returns its latency in cycles. Sending to self is
+// free (local call).
+func (n *Network) Send(from, to, size int) uint64 {
+	n.check(from)
+	n.check(to)
+	if from == to {
+		return 0
+	}
+	lat := n.cfg.MsgLatency + uint64(size)*n.cfg.ByteCycles
+	n.msgs++
+	n.bytes += uint64(size)
+	n.cycles += lat
+	n.perNode[from].sent++
+	n.perNode[to].received++
+	return lat
+}
+
+// RoundTrip charges a request/response pair: a small request and a
+// response carrying size payload bytes. Returns total latency.
+func (n *Network) RoundTrip(from, to, size int) uint64 {
+	return n.Send(from, to, 0) + n.Send(to, from, size)
+}
+
+// Stats returns total messages, bytes, and cycles charged.
+func (n *Network) Stats() (msgs, bytes, cycles uint64) { return n.msgs, n.bytes, n.cycles }
+
+// NodeStats returns messages sent and received by one node.
+func (n *Network) NodeStats(node int) (sent, received uint64) {
+	n.check(node)
+	return n.perNode[node].sent, n.perNode[node].received
+}

@@ -1,0 +1,213 @@
+// Package pgroup implements the processor-side page-group check of the
+// PA-RISC protection architecture (Figure 2): the structure holding the
+// set of page-groups the currently executing protection domain may access.
+//
+// Two implementations are provided:
+//
+//   - PIDRegisters: the real PA-RISC's four PID registers. The hardware
+//     gives the OS no replacement information, so the OS reloads them
+//     round-robin on misses.
+//
+//   - GroupCache: the paper's assumed variant (after Wilkes & Sears), an
+//     LRU cache of permitted page-groups.
+//
+// Both honour the write-disable bit attached to a domain's access to a
+// group, and both treat AID 0 (the global group) as always accessible.
+package pgroup
+
+import (
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+// Checker is the common interface of the two page-group check structures.
+// A Checker holds state for the currently executing domain only; domain
+// switches purge it (Section 4.1.4).
+type Checker interface {
+	// Check reports whether the current domain may access group g, and
+	// whether writes to the group are disabled. Check(GlobalGroup) is
+	// always (true, false).
+	Check(g addr.GroupID) (ok bool, writeDisabled bool)
+	// Load installs group g (after the kernel validates access on a
+	// miss trap).
+	Load(g addr.GroupID, writeDisabled bool)
+	// Remove drops group g, reporting whether it was resident (used on
+	// segment detach).
+	Remove(g addr.GroupID) bool
+	// PurgeAll empties the structure (domain switch), returning how many
+	// entries were resident.
+	PurgeAll() int
+	// Len returns the number of resident groups.
+	Len() int
+	// Capacity returns the maximum number of resident groups.
+	Capacity() int
+}
+
+// PIDRegisters is the PA-RISC register-file implementation: a fixed set
+// of page-group registers with round-robin replacement by the OS.
+type PIDRegisters struct {
+	regs []pidReg
+	next int // round-robin pointer
+
+	ctrs               *stats.Counters
+	nHit, nMiss, nLoad string
+	nPurged            string
+}
+
+type pidReg struct {
+	group        addr.GroupID
+	writeDisable bool
+	valid        bool
+}
+
+// NewPIDRegisters creates a register file with n registers (PA-RISC 1.1
+// has four), counting under prefix.
+func NewPIDRegisters(n int, ctrs *stats.Counters, prefix string) *PIDRegisters {
+	if n < 1 {
+		panic("pgroup: need at least one PID register")
+	}
+	p := &PIDRegisters{regs: make([]pidReg, n), ctrs: ctrs}
+	p.nHit = prefix + ".hit"
+	p.nMiss = prefix + ".miss"
+	p.nLoad = prefix + ".load"
+	p.nPurged = prefix + ".purged"
+	return p
+}
+
+// Check implements Checker.
+func (p *PIDRegisters) Check(g addr.GroupID) (bool, bool) {
+	if g == addr.GlobalGroup {
+		p.ctrs.Inc(p.nHit)
+		return true, false
+	}
+	for _, r := range p.regs {
+		if r.valid && r.group == g {
+			p.ctrs.Inc(p.nHit)
+			return true, r.writeDisable
+		}
+	}
+	p.ctrs.Inc(p.nMiss)
+	return false, false
+}
+
+// Load implements Checker: round-robin replacement, since the hardware
+// offers the OS no usage information (Section 3.2.2).
+func (p *PIDRegisters) Load(g addr.GroupID, writeDisabled bool) {
+	// Reuse an existing slot for the same group, or an invalid slot.
+	for i, r := range p.regs {
+		if r.valid && r.group == g {
+			p.regs[i].writeDisable = writeDisabled
+			p.ctrs.Inc(p.nLoad)
+			return
+		}
+	}
+	for i, r := range p.regs {
+		if !r.valid {
+			p.regs[i] = pidReg{group: g, writeDisable: writeDisabled, valid: true}
+			p.ctrs.Inc(p.nLoad)
+			return
+		}
+	}
+	p.regs[p.next] = pidReg{group: g, writeDisable: writeDisabled, valid: true}
+	p.next = (p.next + 1) % len(p.regs)
+	p.ctrs.Inc(p.nLoad)
+}
+
+// Remove implements Checker.
+func (p *PIDRegisters) Remove(g addr.GroupID) bool {
+	for i, r := range p.regs {
+		if r.valid && r.group == g {
+			p.regs[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// PurgeAll implements Checker.
+func (p *PIDRegisters) PurgeAll() int {
+	n := 0
+	for i := range p.regs {
+		if p.regs[i].valid {
+			p.regs[i].valid = false
+			n++
+		}
+	}
+	p.next = 0
+	p.ctrs.Add(p.nPurged, uint64(n))
+	return n
+}
+
+// Len implements Checker.
+func (p *PIDRegisters) Len() int {
+	n := 0
+	for _, r := range p.regs {
+		if r.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity implements Checker.
+func (p *PIDRegisters) Capacity() int { return len(p.regs) }
+
+// GroupCache is the Wilkes-Sears variant: an associative cache of
+// permitted page-groups with LRU replacement.
+type GroupCache struct {
+	c *assoc.Cache[addr.GroupID, bool] // value: write-disable bit
+
+	ctrs               *stats.Counters
+	nHit, nMiss, nLoad string
+	nPurged            string
+}
+
+// NewGroupCache creates a group cache with the given geometry, counting
+// under prefix.
+func NewGroupCache(cfg assoc.Config, ctrs *stats.Counters, prefix string) *GroupCache {
+	g := &GroupCache{ctrs: ctrs}
+	g.c = assoc.New[addr.GroupID, bool](cfg, func(k addr.GroupID) uint64 { return uint64(k) })
+	g.nHit = prefix + ".hit"
+	g.nMiss = prefix + ".miss"
+	g.nLoad = prefix + ".load"
+	g.nPurged = prefix + ".purged"
+	return g
+}
+
+// Check implements Checker.
+func (g *GroupCache) Check(gid addr.GroupID) (bool, bool) {
+	if gid == addr.GlobalGroup {
+		g.ctrs.Inc(g.nHit)
+		return true, false
+	}
+	wd, ok := g.c.Lookup(gid)
+	if ok {
+		g.ctrs.Inc(g.nHit)
+		return true, wd
+	}
+	g.ctrs.Inc(g.nMiss)
+	return false, false
+}
+
+// Load implements Checker.
+func (g *GroupCache) Load(gid addr.GroupID, writeDisabled bool) {
+	g.c.Insert(gid, writeDisabled)
+	g.ctrs.Inc(g.nLoad)
+}
+
+// Remove implements Checker.
+func (g *GroupCache) Remove(gid addr.GroupID) bool { return g.c.Invalidate(gid) }
+
+// PurgeAll implements Checker.
+func (g *GroupCache) PurgeAll() int {
+	n := g.c.PurgeAll()
+	g.ctrs.Add(g.nPurged, uint64(n))
+	return n
+}
+
+// Len implements Checker.
+func (g *GroupCache) Len() int { return g.c.Len() }
+
+// Capacity implements Checker.
+func (g *GroupCache) Capacity() int { return g.c.Capacity() }

@@ -1,0 +1,162 @@
+package pgroup
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+func checkers(ctrs *stats.Counters) map[string]Checker {
+	return map[string]Checker{
+		"pid-registers": NewPIDRegisters(4, ctrs, "pid"),
+		"group-cache": NewGroupCache(assoc.Config{Sets: 1, Ways: 4, Policy: assoc.LRU},
+			ctrs, "pgc"),
+	}
+}
+
+func TestCheckerCommonBehaviour(t *testing.T) {
+	for name, c := range checkers(&stats.Counters{}) {
+		t.Run(name, func(t *testing.T) {
+			// Group 0 is globally accessible, never write-disabled.
+			ok, wd := c.Check(addr.GlobalGroup)
+			if !ok || wd {
+				t.Fatal("global group check wrong")
+			}
+			// Unloaded group misses.
+			if ok, _ := c.Check(7); ok {
+				t.Fatal("unloaded group accessible")
+			}
+			c.Load(7, false)
+			if ok, wd := c.Check(7); !ok || wd {
+				t.Fatal("loaded group check wrong")
+			}
+			// Write-disable bit is surfaced.
+			c.Load(8, true)
+			if ok, wd := c.Check(8); !ok || !wd {
+				t.Fatal("write-disable bit lost")
+			}
+			if c.Len() != 2 {
+				t.Fatalf("Len = %d", c.Len())
+			}
+			// Remove drops exactly the named group.
+			if !c.Remove(7) || c.Remove(7) {
+				t.Fatal("Remove semantics wrong")
+			}
+			if ok, _ := c.Check(7); ok {
+				t.Fatal("removed group accessible")
+			}
+			// PurgeAll empties (domain switch).
+			if n := c.PurgeAll(); n != 1 {
+				t.Fatalf("PurgeAll = %d", n)
+			}
+			if c.Len() != 0 {
+				t.Fatal("entries after purge")
+			}
+			if c.Capacity() != 4 {
+				t.Fatalf("Capacity = %d", c.Capacity())
+			}
+		})
+	}
+}
+
+func TestCheckerCapacityEviction(t *testing.T) {
+	for name, c := range checkers(&stats.Counters{}) {
+		t.Run(name, func(t *testing.T) {
+			for g := addr.GroupID(1); g <= 5; g++ {
+				c.Load(g, false)
+			}
+			if c.Len() != 4 {
+				t.Fatalf("Len = %d, want capacity 4", c.Len())
+			}
+			// Group 5 must be resident; one of 1..4 was displaced.
+			if ok, _ := c.Check(5); !ok {
+				t.Fatal("most recently loaded group missing")
+			}
+		})
+	}
+}
+
+func TestPIDRoundRobinReplacement(t *testing.T) {
+	ctrs := &stats.Counters{}
+	p := NewPIDRegisters(2, ctrs, "pid")
+	p.Load(1, false)
+	p.Load(2, false)
+	p.Load(3, false) // displaces slot 0 (group 1)
+	if ok, _ := p.Check(1); ok {
+		t.Fatal("group 1 should have been displaced")
+	}
+	if ok, _ := p.Check(2); !ok {
+		t.Fatal("group 2 displaced out of order")
+	}
+	p.Load(4, false) // displaces slot 1 (group 2)
+	if ok, _ := p.Check(2); ok {
+		t.Fatal("group 2 should have been displaced second")
+	}
+}
+
+func TestGroupCacheLRUReplacement(t *testing.T) {
+	ctrs := &stats.Counters{}
+	g := NewGroupCache(assoc.Config{Sets: 1, Ways: 2, Policy: assoc.LRU}, ctrs, "pgc")
+	g.Load(1, false)
+	g.Load(2, false)
+	g.Check(1) // refresh 1; 2 becomes LRU
+	g.Load(3, false)
+	if ok, _ := g.Check(2); ok {
+		t.Fatal("LRU group 2 should have been evicted")
+	}
+	if ok, _ := g.Check(1); !ok {
+		t.Fatal("recently used group 1 evicted")
+	}
+}
+
+func TestPIDLoadExistingUpdatesWriteDisable(t *testing.T) {
+	ctrs := &stats.Counters{}
+	p := NewPIDRegisters(4, ctrs, "pid")
+	p.Load(5, false)
+	p.Load(5, true)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d (reload duplicated)", p.Len())
+	}
+	if _, wd := p.Check(5); !wd {
+		t.Fatal("write-disable not updated")
+	}
+}
+
+func TestPIDInvalidSlotReuse(t *testing.T) {
+	ctrs := &stats.Counters{}
+	p := NewPIDRegisters(2, ctrs, "pid")
+	p.Load(1, false)
+	p.Load(2, false)
+	p.Remove(1)
+	p.Load(3, false) // must reuse the freed slot, not displace group 2
+	if ok, _ := p.Check(2); !ok {
+		t.Fatal("group 2 displaced despite free slot")
+	}
+	if ok, _ := p.Check(3); !ok {
+		t.Fatal("group 3 missing")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	ctrs := &stats.Counters{}
+	g := NewGroupCache(assoc.Config{Sets: 1, Ways: 4, Policy: assoc.LRU}, ctrs, "pgc")
+	g.Check(1) // miss
+	g.Load(1, false)
+	g.Check(1) // hit
+	g.PurgeAll()
+	if ctrs.Get("pgc.miss") != 1 || ctrs.Get("pgc.hit") != 1 ||
+		ctrs.Get("pgc.load") != 1 || ctrs.Get("pgc.purged") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+}
+
+func TestNewPIDRegistersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 registers")
+		}
+	}()
+	NewPIDRegisters(0, &stats.Counters{}, "pid")
+}

@@ -1,0 +1,261 @@
+// Package plb implements the Protection Lookaside Buffer of Section 3.2.1:
+// a cache of protection-only mappings on a per-domain, per-page basis.
+// Each entry grants one protection domain's access rights to one virtual
+// protection page; it carries no translation information, which is what
+// lets the PLB sit beside a virtually indexed, virtually tagged cache with
+// the TLB demoted to a second level off the critical path (Figure 1).
+//
+// Because protection is decoupled from translation, the PLB's protection
+// page size need not equal the translation page size (Section 4.3): a PLB
+// may support sub-page entries (for fine-grained uses like DSM and
+// transactional locking) and super-page entries (one entry covering a
+// whole constant-rights segment), simultaneously.
+package plb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+// Key identifies a PLB entry: one domain's rights to one protection page
+// of a particular size class.
+type Key struct {
+	Domain addr.DomainID
+	// Page is the protection page number: VA >> Shift.
+	Page uint64
+	// Shift is the log2 protection page size of this entry.
+	Shift uint8
+}
+
+// Config describes a PLB.
+type Config struct {
+	// Assoc is the geometry of the underlying structure.
+	Assoc assoc.Config
+	// Shifts lists the supported protection page sizes (log2, ascending).
+	// A single-size PLB lists one shift, typically the base page shift.
+	Shifts []uint
+}
+
+// DefaultConfig returns a 128-entry fully associative LRU PLB with 4 KB
+// protection pages. 128 entries matches the paper's observation that PLB
+// entries are ~25% smaller than page-group TLB entries, so a PLB fits
+// more entries in the same silicon than the TLB it replaces.
+func DefaultConfig() Config {
+	return Config{
+		Assoc:  assoc.Config{Sets: 1, Ways: 128, Policy: assoc.LRU},
+		Shifts: []uint{addr.BasePageShift},
+	}
+}
+
+// PLB is the protection lookaside buffer. Construct with New. A PLB probes
+// every supported size class on lookup, modeling the parallel multi-size
+// match of a real multiple-page-size TLB (Talluri et al., cited in §4.3).
+type PLB struct {
+	cfg    Config
+	c      *assoc.Cache[Key, addr.Rights]
+	shifts []uint
+
+	ctrs                                                        *stats.Counters
+	nHit, nMiss, nInstall, nUpdate, nInval, nPurged, nInspected string
+}
+
+// New creates a PLB, recording events in ctrs under the given name prefix
+// (e.g. "plb"). It panics on an invalid configuration.
+func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
+	if len(cfg.Shifts) == 0 {
+		panic("plb: config must list at least one protection page shift")
+	}
+	shifts := append([]uint(nil), cfg.Shifts...)
+	sort.Slice(shifts, func(i, j int) bool { return shifts[i] < shifts[j] })
+	for _, s := range shifts {
+		if s < addr.MinProtShift || s > addr.MaxProtShift {
+			panic(fmt.Sprintf("plb: shift %d outside [%d,%d]", s, addr.MinProtShift, addr.MaxProtShift))
+		}
+	}
+	p := &PLB{
+		cfg:    cfg,
+		shifts: shifts,
+		ctrs:   ctrs,
+	}
+	p.c = assoc.New[Key, addr.Rights](cfg.Assoc, func(k Key) uint64 {
+		return k.Page ^ uint64(k.Domain)<<13 ^ uint64(k.Shift)<<29
+	})
+	p.nHit = prefix + ".hit"
+	p.nMiss = prefix + ".miss"
+	p.nInstall = prefix + ".install"
+	p.nUpdate = prefix + ".update"
+	p.nInval = prefix + ".invalidate"
+	p.nPurged = prefix + ".purged"
+	p.nInspected = prefix + ".inspected"
+	return p
+}
+
+// Shifts returns the supported protection page shifts, ascending.
+func (p *PLB) Shifts() []uint { return append([]uint(nil), p.shifts...) }
+
+// Capacity returns the total entry capacity.
+func (p *PLB) Capacity() int { return p.c.Capacity() }
+
+// Len returns the number of valid entries.
+func (p *PLB) Len() int { return p.c.Len() }
+
+// Lookup probes the PLB for (d, va) across all size classes. On a hit it
+// returns the entry's rights. Smaller (more specific) protection pages
+// take precedence over larger ones, so a sub-page override shadows a
+// segment-wide super-page entry.
+func (p *PLB) Lookup(d addr.DomainID, va addr.VA) (addr.Rights, bool) {
+	for _, shift := range p.shifts {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+		if r, ok := p.c.Lookup(k); ok {
+			p.ctrs.Inc(p.nHit)
+			return r, true
+		}
+	}
+	p.ctrs.Inc(p.nMiss)
+	return addr.None, false
+}
+
+// Insert installs rights for (d, va) at the given protection page shift.
+// The shift must be one of the configured size classes.
+func (p *PLB) Insert(d addr.DomainID, va addr.VA, shift uint, r addr.Rights) {
+	p.mustShift(shift)
+	k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+	p.c.Insert(k, r)
+	p.ctrs.Inc(p.nInstall)
+}
+
+func (p *PLB) mustShift(shift uint) {
+	for _, s := range p.shifts {
+		if s == shift {
+			return
+		}
+	}
+	panic(fmt.Sprintf("plb: shift %d not a configured size class %v", shift, p.shifts))
+}
+
+// Update changes the rights of the entry covering (d, va) if one is
+// resident, preserving its replacement state, and reports whether an entry
+// was found. This is the single-entry update that makes per-domain rights
+// changes cheap in the domain-page model (Section 4.1.2).
+func (p *PLB) Update(d addr.DomainID, va addr.VA, r addr.Rights) bool {
+	for _, shift := range p.shifts {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+		if p.c.Update(k, r) {
+			p.ctrs.Inc(p.nUpdate)
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes any entry covering (d, va), reporting whether one was
+// present.
+func (p *PLB) Invalidate(d addr.DomainID, va addr.VA) bool {
+	found := false
+	for _, shift := range p.shifts {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+		if p.c.Invalidate(k) {
+			found = true
+		}
+	}
+	if found {
+		p.ctrs.Inc(p.nInval)
+	}
+	return found
+}
+
+// UpdateRange rewrites the rights of all of domain d's resident entries
+// overlapping the byte range [start, start+length), returning how many
+// were updated. Like PurgeRange it must inspect every resident entry —
+// the "inspect each entry in the PLB" cost of the Table 1 operations that
+// change a domain's rights to a whole segment (GC flip, checkpoint
+// restrict).
+func (p *PLB) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.Rights) int {
+	rng := addr.Range{Start: start, Length: length}
+	updated, inspected := p.c.UpdateIf(func(k Key, _ addr.Rights) bool {
+		if k.Domain != d {
+			return false
+		}
+		size := uint64(1) << k.Shift
+		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
+		return entry.Overlaps(rng)
+	}, func(Key, addr.Rights) addr.Rights { return r })
+	p.ctrs.Add(p.nUpdate, uint64(updated))
+	p.ctrs.Add(p.nInspected, uint64(inspected))
+	return updated
+}
+
+// PurgeRange removes all of domain d's entries overlapping the byte range
+// [start, start+length), returning how many were removed. This is the
+// detach operation of Section 4.1.1: in the worst case it inspects every
+// PLB entry; the inspection count is recorded for the cost model.
+func (p *PLB) PurgeRange(d addr.DomainID, start addr.VA, length uint64) int {
+	r := addr.Range{Start: start, Length: length}
+	removed, inspected := p.c.PurgeIf(func(k Key, _ addr.Rights) bool {
+		if k.Domain != d {
+			return false
+		}
+		size := uint64(1) << k.Shift
+		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
+		return entry.Overlaps(r)
+	})
+	p.ctrs.Add(p.nPurged, uint64(removed))
+	p.ctrs.Add(p.nInspected, uint64(inspected))
+	return removed
+}
+
+// PurgeRangeAll removes every domain's entries overlapping the byte
+// range (used when a segment is destroyed).
+func (p *PLB) PurgeRangeAll(start addr.VA, length uint64) int {
+	r := addr.Range{Start: start, Length: length}
+	removed, inspected := p.c.PurgeIf(func(k Key, _ addr.Rights) bool {
+		size := uint64(1) << k.Shift
+		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
+		return entry.Overlaps(r)
+	})
+	p.ctrs.Add(p.nPurged, uint64(removed))
+	p.ctrs.Add(p.nInspected, uint64(inspected))
+	return removed
+}
+
+// PurgeDomain removes all entries belonging to domain d.
+func (p *PLB) PurgeDomain(d addr.DomainID) int {
+	removed, inspected := p.c.PurgeIf(func(k Key, _ addr.Rights) bool { return k.Domain == d })
+	p.ctrs.Add(p.nPurged, uint64(removed))
+	p.ctrs.Add(p.nInspected, uint64(inspected))
+	return removed
+}
+
+// PurgePage removes every domain's entry covering va: needed when a page's
+// rights change for all domains or its translation is destroyed.
+func (p *PLB) PurgePage(va addr.VA) int {
+	removed, inspected := p.c.PurgeIf(func(k Key, _ addr.Rights) bool {
+		size := uint64(1) << k.Shift
+		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
+		return entry.Contains(va)
+	})
+	p.ctrs.Add(p.nPurged, uint64(removed))
+	p.ctrs.Add(p.nInspected, uint64(inspected))
+	return removed
+}
+
+// PurgeAll empties the PLB, returning how many entries were dropped.
+func (p *PLB) PurgeAll() int {
+	n := p.c.PurgeAll()
+	p.ctrs.Add(p.nPurged, uint64(n))
+	return n
+}
+
+// ForEach visits all resident entries until fn returns false.
+func (p *PLB) ForEach(fn func(Key, addr.Rights) bool) { p.c.ForEach(fn) }
+
+// EntryBits returns the architectural width of one PLB entry in bits for a
+// fully associative organization: VPN tag + PD-ID + rights (Figure 1).
+// It is used by the equal-silicon comparison of Section 4.
+func EntryBits(vaBits, pageShift, domainBits, rightsBits int) int {
+	return (vaBits - pageShift) + domainBits + rightsBits
+}

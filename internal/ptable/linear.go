@@ -1,0 +1,137 @@
+package ptable
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// LinearPTE is an entry of a conventional per-address-space linear page
+// table: translation and protection stored together.
+type LinearPTE struct {
+	PFN    addr.PFN
+	Rights addr.Rights
+	Valid  bool
+	Dirty  bool
+	Ref    bool
+}
+
+// LinearTable is a VAX/SPARC-style linear page table for one address
+// space. The table is declared over contiguous VPN regions; every page of
+// every region consumes a PTE slot whether mapped or not, which is how
+// linear tables waste space on the sparse views typical of single address
+// space systems (Section 3.1).
+type LinearTable struct {
+	regions []linearRegion
+	walks   uint64
+}
+
+type linearRegion struct {
+	start addr.VPN
+	ptes  []LinearPTE
+}
+
+// NewLinearTable creates an empty linear table with no regions.
+func NewLinearTable() *LinearTable { return &LinearTable{} }
+
+// AddRegion declares PTE slots for npages pages starting at start. Regions
+// may not overlap. The slots exist (and count against SlotCount) from this
+// moment, mapped or not.
+func (t *LinearTable) AddRegion(start addr.VPN, npages uint64) error {
+	newEnd := uint64(start) + npages
+	for _, r := range t.regions {
+		rEnd := uint64(r.start) + uint64(len(r.ptes))
+		if uint64(start) < rEnd && uint64(r.start) < newEnd {
+			return fmt.Errorf("ptable: region [%#x,%#x) overlaps [%#x,%#x)",
+				uint64(start), newEnd, uint64(r.start), rEnd)
+		}
+	}
+	t.regions = append(t.regions, linearRegion{start: start, ptes: make([]LinearPTE, npages)})
+	return nil
+}
+
+func (t *LinearTable) slot(vpn addr.VPN) *LinearPTE {
+	for i := range t.regions {
+		r := &t.regions[i]
+		if vpn >= r.start && uint64(vpn) < uint64(r.start)+uint64(len(r.ptes)) {
+			return &r.ptes[vpn-r.start]
+		}
+	}
+	return nil
+}
+
+// Map sets the PTE for vpn. The page must lie inside a declared region.
+func (t *LinearTable) Map(vpn addr.VPN, pfn addr.PFN, rights addr.Rights) error {
+	s := t.slot(vpn)
+	if s == nil {
+		return fmt.Errorf("ptable: vpn %#x outside all linear regions", uint64(vpn))
+	}
+	*s = LinearPTE{PFN: pfn, Rights: rights, Valid: true}
+	return nil
+}
+
+// Unmap invalidates the PTE for vpn, returning whether it was valid.
+func (t *LinearTable) Unmap(vpn addr.VPN) bool {
+	s := t.slot(vpn)
+	if s == nil || !s.Valid {
+		return false
+	}
+	s.Valid = false
+	return true
+}
+
+// SetRights updates protection bits for a mapped page.
+func (t *LinearTable) SetRights(vpn addr.VPN, rights addr.Rights) error {
+	s := t.slot(vpn)
+	if s == nil || !s.Valid {
+		return fmt.Errorf("ptable: vpn %#x not mapped", uint64(vpn))
+	}
+	s.Rights = rights
+	return nil
+}
+
+// Walk performs a page table walk for vpn, counting the walk. Returns the
+// PTE and whether a valid mapping exists.
+func (t *LinearTable) Walk(vpn addr.VPN) (LinearPTE, bool) {
+	t.walks++
+	s := t.slot(vpn)
+	if s == nil || !s.Valid {
+		return LinearPTE{}, false
+	}
+	s.Ref = true
+	return *s, true
+}
+
+// SetDirty marks vpn dirty if mapped.
+func (t *LinearTable) SetDirty(vpn addr.VPN) {
+	if s := t.slot(vpn); s != nil && s.Valid {
+		s.Dirty = true
+		s.Ref = true
+	}
+}
+
+// SlotCount returns the total number of PTE slots allocated (the space the
+// table consumes, mapped or not).
+func (t *LinearTable) SlotCount() uint64 {
+	var n uint64
+	for _, r := range t.regions {
+		n += uint64(len(r.ptes))
+	}
+	return n
+}
+
+// MappedCount returns the number of valid PTEs.
+func (t *LinearTable) MappedCount() uint64 {
+	var n uint64
+	for _, r := range t.regions {
+		for i := range r.ptes {
+			if r.ptes[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Walks returns the number of page table walks performed.
+func (t *LinearTable) Walks() uint64 { return t.walks }

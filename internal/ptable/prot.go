@@ -1,0 +1,63 @@
+package ptable
+
+import "repro/internal/addr"
+
+// ProtTable is the sparse per-domain protection table of a single address
+// space kernel: the authoritative record of one protection domain's access
+// rights to individual virtual pages. Together with segment-level default
+// rights (kept by the kernel), it is the software structure the PLB and
+// page-group caches are refilled from.
+//
+// Entries are explicit per-(domain,page) overrides; pages with no entry
+// fall back to the domain's segment attachment rights.
+type ProtTable struct {
+	overrides map[addr.VPN]addr.Rights
+}
+
+// NewProtTable creates an empty protection table.
+func NewProtTable() *ProtTable {
+	return &ProtTable{overrides: make(map[addr.VPN]addr.Rights)}
+}
+
+// Set records an explicit per-page rights override.
+func (p *ProtTable) Set(vpn addr.VPN, r addr.Rights) { p.overrides[vpn] = r }
+
+// Get returns the override for vpn and whether one exists.
+func (p *ProtTable) Get(vpn addr.VPN) (addr.Rights, bool) {
+	r, ok := p.overrides[vpn]
+	return r, ok
+}
+
+// Clear removes the override for vpn (the page reverts to its segment
+// default), reporting whether one existed.
+func (p *ProtTable) Clear(vpn addr.VPN) bool {
+	if _, ok := p.overrides[vpn]; !ok {
+		return false
+	}
+	delete(p.overrides, vpn)
+	return true
+}
+
+// ClearRange removes all overrides for pages in [start, start+npages),
+// returning how many were removed.
+func (p *ProtTable) ClearRange(start addr.VPN, npages uint64) int {
+	n := 0
+	for vpn := start; uint64(vpn) < uint64(start)+npages; vpn++ {
+		if p.Clear(vpn) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of overrides.
+func (p *ProtTable) Len() int { return len(p.overrides) }
+
+// ForEach visits all overrides until fn returns false.
+func (p *ProtTable) ForEach(fn func(addr.VPN, addr.Rights) bool) {
+	for vpn, r := range p.overrides {
+		if !fn(vpn, r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package stats provides the measurement substrate for the simulator:
+// named event counters, cycle accounting against a parameterized cost
+// model, simple histograms, and plain-text table rendering for the
+// experiment harness.
+//
+// Every hardware structure (PLB, TLBs, page-group cache, data caches) and
+// the kernel increment counters here; experiments read them back to
+// tabulate the per-operation costs that the paper's Table 1 describes
+// qualitatively.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonic event counters. The zero value is
+// ready to use. Counters is not safe for concurrent use; the simulator is
+// single-threaded by design (cycle-accurate interleaving is explicit).
+type Counters struct {
+	m map[string]uint64
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Reset clears all counters.
+func (c *Counters) Reset() { c.m = nil }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Diff returns counters holding the difference between c and an earlier
+// snapshot (c - before). Counters absent from the snapshot are treated as
+// zero there.
+func (c *Counters) Diff(before map[string]uint64) *Counters {
+	out := &Counters{}
+	for k, v := range c.m {
+		if d := v - before[k]; d != 0 {
+			out.Add(k, d)
+		}
+	}
+	return out
+}
+
+// Merge adds all of other's counters into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		fmt.Fprintf(&b, "%-40s %12d\n", name, c.m[name])
+	}
+	return b.String()
+}
+
+// Cycles accumulates simulated processor cycles. It is kept separate from
+// Counters so cost-model changes do not disturb event counts.
+type Cycles struct {
+	total uint64
+}
+
+// Add charges n cycles.
+func (c *Cycles) Add(n uint64) { c.total += n }
+
+// Total returns the cycles charged so far.
+func (c *Cycles) Total() uint64 { return c.total }
+
+// Reset zeroes the accumulator.
+func (c *Cycles) Reset() { c.total = 0 }
+
+// Histogram is a fixed-bucket histogram of uint64 samples. Bucket i counts
+// samples in [bounds[i-1], bounds[i]); the final bucket is unbounded.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. It panics if bounds are not strictly ascending, since histogram
+// shape is fixed at construction.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample observed (zero if none).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of samples (zero if none).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Buckets returns (upper bound, count) pairs; the last pair has bound 0,
+// meaning "and above".
+func (h *Histogram) Buckets() ([]uint64, []uint64) {
+	return append([]uint64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// String renders the histogram compactly.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f max=%d\n", h.n, h.Mean(), h.max)
+	prev := uint64(0)
+	for i, c := range h.counts {
+		if i < len(h.bounds) {
+			fmt.Fprintf(&b, "  [%d,%d): %d\n", prev, h.bounds[i], c)
+			prev = h.bounds[i]
+		} else {
+			fmt.Fprintf(&b, "  [%d,+inf): %d\n", prev, c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	c.Add("y", 2)
+	if c.Get("x") != 5 || c.Get("y") != 2 {
+		t.Fatalf("got x=%d y=%d", c.Get("x"), c.Get("y"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Names = %v", names)
+	}
+	c.Reset()
+	if c.Get("x") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCountersSnapshotDiff(t *testing.T) {
+	var c Counters
+	c.Add("a", 10)
+	c.Add("b", 1)
+	snap := c.Snapshot()
+	c.Add("a", 5)
+	c.Add("c", 3)
+	d := c.Diff(snap)
+	if d.Get("a") != 5 || d.Get("b") != 0 || d.Get("c") != 3 {
+		t.Fatalf("Diff = %v", d.Snapshot())
+	}
+	// Diff must not contain zero-valued entries.
+	for _, n := range d.Names() {
+		if d.Get(n) == 0 {
+			t.Errorf("Diff contains zero counter %q", n)
+		}
+	}
+	// Snapshot must be a copy, not an alias.
+	snap["a"] = 999
+	if c.Get("a") != 15 {
+		t.Error("Snapshot aliases the live map")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 7)
+	a.Merge(&b)
+	if a.Get("x") != 3 || a.Get("y") != 7 {
+		t.Fatalf("Merge: %v", a.Snapshot())
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	var cy Cycles
+	cy.Add(10)
+	cy.Add(5)
+	if cy.Total() != 15 {
+		t.Fatalf("Total = %d", cy.Total())
+	}
+	cy.Reset()
+	if cy.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, v := range []uint64{0, 5, 9, 10, 50, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("Buckets: %v %v", bounds, counts)
+	}
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	wantMean := float64(0+5+9+10+50+99+100+1000) / 8
+	if h.Mean() != wantMean {
+		t.Fatalf("Mean = %f, want %f", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on descending bounds")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "count")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 123456)
+	tb.AddRow("gamma", 3.14159)
+	tb.AddNote("a footnote")
+	s := tb.String()
+	for _, want := range []string{"Demo", "name", "count", "alpha", "beta-long-name", "123456", "3.142", "note: a footnote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Header and first row must be aligned: 'count' column starts at same
+	// offset in header and rows.
+	lines := strings.Split(s, "\n")
+	var headerLine, rowLine string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			headerLine = l
+			rowLine = lines[i+2]
+			break
+		}
+	}
+	if strings.Index(headerLine, "count") != strings.Index(rowLine, "1") {
+		t.Errorf("misaligned columns:\n%q\n%q", headerLine, rowLine)
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(10, 5) != "2.00x" {
+		t.Errorf("Ratio(10,5) = %s", Ratio(10, 5))
+	}
+	if Ratio(0, 0) != "1.00x" {
+		t.Errorf("Ratio(0,0) = %s", Ratio(0, 0))
+	}
+	if Ratio(3, 0) != "inf" {
+		t.Errorf("Ratio(3,0) = %s", Ratio(3, 0))
+	}
+	if Pct(1, 4) != "25.0%" {
+		t.Errorf("Pct(1,4) = %s", Pct(1, 4))
+	}
+	if Pct(1, 0) != "0.0%" {
+		t.Errorf("Pct(1,0) = %s", Pct(1, 0))
+	}
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/addr"
+)
+
+// Gen produces synthetic reference streams. Construct with NewGen; all
+// streams are deterministic per seed.
+type Gen struct {
+	rng *rand.Rand
+	geo addr.Geometry
+}
+
+// NewGen creates a generator with the given seed and page geometry.
+func NewGen(seed int64, geo addr.Geometry) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), geo: geo}
+}
+
+// Sequential emits n references sweeping from start with the given byte
+// stride, storePercent of them stores.
+func (g *Gen) Sequential(d addr.DomainID, start addr.VA, n int, stride uint64, storePercent int) []Record {
+	out := make([]Record, 0, n)
+	va := start
+	for i := 0; i < n; i++ {
+		kind := addr.Load
+		if g.rng.Intn(100) < storePercent {
+			kind = addr.Store
+		}
+		out = append(out, Record{Domain: d, VA: va, Kind: kind})
+		va += addr.VA(stride)
+	}
+	return out
+}
+
+// WorkingSet emits n references confined to a working set of wsPages
+// pages starting at base, uniformly random within it.
+func (g *Gen) WorkingSet(d addr.DomainID, base addr.VA, wsPages uint64, n int, storePercent int) []Record {
+	out := make([]Record, 0, n)
+	ps := g.geo.PageSize()
+	for i := 0; i < n; i++ {
+		page := uint64(g.rng.Intn(int(wsPages)))
+		off := uint64(g.rng.Intn(int(ps/8))) * 8
+		kind := addr.Load
+		if g.rng.Intn(100) < storePercent {
+			kind = addr.Store
+		}
+		out = append(out, Record{Domain: d, VA: base + addr.VA(page*ps+off), Kind: kind})
+	}
+	return out
+}
+
+// Zipf emits n references over npages pages with Zipfian popularity
+// (skew s > 1), modeling hot-page locality.
+func (g *Gen) Zipf(d addr.DomainID, base addr.VA, npages uint64, n int, s float64, storePercent int) []Record {
+	if s <= 1 {
+		s = 1.07
+	}
+	z := rand.NewZipf(g.rng, s, 1, npages-1)
+	out := make([]Record, 0, n)
+	ps := g.geo.PageSize()
+	for i := 0; i < n; i++ {
+		page := z.Uint64()
+		kind := addr.Load
+		if g.rng.Intn(100) < storePercent {
+			kind = addr.Store
+		}
+		out = append(out, Record{Domain: d, VA: base + addr.VA(page*ps), Kind: kind})
+	}
+	return out
+}
+
+// SharedMixConfig configures the multiprogrammed sharing stream of
+// SharedMix.
+type SharedMixConfig struct {
+	// Domains is the number of protection domains.
+	Domains int
+	// PrivatePages is each domain's private working set, placed at
+	// PrivateBase + domain*PrivatePages pages.
+	PrivatePages uint64
+	// SharedPages is the size of the region all domains share, at
+	// SharedBase.
+	SharedPages uint64
+	// SharedPercent is the probability (0-100) a reference goes to the
+	// shared region.
+	SharedPercent int
+	// StorePercent is the probability (0-100) a reference is a store.
+	StorePercent int
+	// Quantum is the number of references a domain issues before the
+	// stream switches to the next domain (the context-switch interval).
+	Quantum int
+	// Records is the total stream length.
+	Records int
+	// OffsetWords confines references to the first OffsetWords 64-bit
+	// words of each page, controlling the cache footprint independently
+	// of the page footprint (0 means the whole page).
+	OffsetWords int
+	// PrivateBase and SharedBase anchor the two regions.
+	PrivateBase, SharedBase addr.VA
+}
+
+// DefaultSharedMix returns 4 domains with 16-page private sets sharing an
+// 8-page region on 10% of references, switching every 100 references.
+// References stay within the first 512 bytes of each page so the working
+// set fits a 64 KB cache once warm.
+func DefaultSharedMix() SharedMixConfig {
+	return SharedMixConfig{
+		Domains:       4,
+		PrivatePages:  16,
+		SharedPages:   8,
+		SharedPercent: 10,
+		StorePercent:  30,
+		Quantum:       100,
+		Records:       20000,
+		OffsetWords:   64,
+		PrivateBase:   addr.VA(1) << 33,
+		SharedBase:    addr.VA(1) << 32,
+	}
+}
+
+// SharedMix emits a multiprogrammed stream: domains run in round-robin
+// quanta, each referencing its private working set and a shared region —
+// the workload shape behind the sharing and domain-switch experiments
+// (Sections 3.1 and 4.1.4).
+func (g *Gen) SharedMix(cfg SharedMixConfig) []Record {
+	out := make([]Record, 0, cfg.Records)
+	ps := g.geo.PageSize()
+	offWords := cfg.OffsetWords
+	if offWords <= 0 || uint64(offWords) > ps/8 {
+		offWords = int(ps / 8)
+	}
+	dom := 0
+	for len(out) < cfg.Records {
+		d := addr.DomainID(dom + 1)
+		for q := 0; q < cfg.Quantum && len(out) < cfg.Records; q++ {
+			var va addr.VA
+			if g.rng.Intn(100) < cfg.SharedPercent {
+				page := uint64(g.rng.Intn(int(cfg.SharedPages)))
+				va = cfg.SharedBase + addr.VA(page*ps)
+			} else {
+				page := uint64(dom)*cfg.PrivatePages + uint64(g.rng.Intn(int(cfg.PrivatePages)))
+				va = cfg.PrivateBase + addr.VA(page*ps)
+			}
+			off := uint64(g.rng.Intn(offWords)) * 8
+			kind := addr.Load
+			if g.rng.Intn(100) < cfg.StorePercent {
+				kind = addr.Store
+			}
+			out = append(out, Record{Domain: d, VA: va + addr.VA(off), Kind: kind})
+		}
+		dom = (dom + 1) % cfg.Domains
+	}
+	return out
+}

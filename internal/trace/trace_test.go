@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/machine"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	records := []Record{
+		{Domain: 1, VA: 0x1000, Kind: addr.Load},
+		{Domain: 2, VA: 0xdeadbeef000, Kind: addr.Store},
+		{Domain: 0xffff, VA: 1<<63 | 5, Kind: addr.Fetch},
+		{Domain: 1, VA: 0, Kind: addr.Load},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(records)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %d records", err, len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTATRACE")))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{Domain: 1, VA: 0x123456789, Kind: addr.Load})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(data))
+	_, err := r.Read()
+	if err == nil {
+		// First read may succeed if truncation hit a later field; drain.
+		_, err = r.Read()
+	}
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated trace read: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(doms []uint16, vas []uint64, kinds []uint8) bool {
+		n := len(doms)
+		if len(vas) < n {
+			n = len(vas)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				Domain: addr.DomainID(doms[i]),
+				VA:     addr.VA(vas[i]),
+				Kind:   addr.AccessKind(kinds[i] % 3),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	g := NewGen(1, addr.BaseGeometry())
+	seq := g.Sequential(1, 0x1000, 100, 8, 50)
+	if len(seq) != 100 || seq[1].VA-seq[0].VA != 8 {
+		t.Fatal("Sequential shape wrong")
+	}
+	ws := g.WorkingSet(1, addr.VA(1)<<32, 4, 1000, 30)
+	for _, r := range ws {
+		page := (uint64(r.VA) - 1<<32) / 4096
+		if page >= 4 {
+			t.Fatalf("working set escaped: page %d", page)
+		}
+	}
+	z := g.Zipf(1, addr.VA(1)<<32, 64, 1000, 1.2, 0)
+	counts := map[addr.VA]int{}
+	for _, r := range z {
+		counts[r.VA]++
+	}
+	// Zipf must concentrate: the most popular page gets far more than
+	// the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000/64*4 {
+		t.Errorf("Zipf max page count %d not skewed", max)
+	}
+}
+
+func TestSharedMixSwitchesAndSharing(t *testing.T) {
+	g := NewGen(2, addr.BaseGeometry())
+	cfg := DefaultSharedMix()
+	recs := g.SharedMix(cfg)
+	if len(recs) != cfg.Records {
+		t.Fatalf("records = %d", len(recs))
+	}
+	domains := map[addr.DomainID]bool{}
+	shared := 0
+	for _, r := range recs {
+		domains[r.Domain] = true
+		if r.VA >= cfg.SharedBase && r.VA < cfg.PrivateBase {
+			shared++
+		}
+	}
+	if len(domains) != cfg.Domains {
+		t.Fatalf("domains seen = %d", len(domains))
+	}
+	frac := 100 * shared / len(recs)
+	if frac < cfg.SharedPercent/2 || frac > cfg.SharedPercent*2 {
+		t.Errorf("shared fraction %d%% far from configured %d%%", frac, cfg.SharedPercent)
+	}
+}
+
+func TestDriverOnAllMachines(t *testing.T) {
+	g := NewGen(3, addr.BaseGeometry())
+	recs := g.SharedMix(DefaultSharedMix())
+	os := NewOpenOS(addr.BaseGeometry(), nil)
+	machines := []machine.Machine{
+		machine.NewPLB(machine.DefaultPLBConfig(), os),
+		machine.NewPG(machine.DefaultPGConfig(), os),
+		machine.NewConventional(machine.DefaultConvConfig(), os),
+		machine.NewFlush(machine.DefaultConvConfig(), os),
+	}
+	for _, m := range machines {
+		res, err := Run(m, recs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Records != len(recs) {
+			t.Fatalf("%s: replayed %d", m.Name(), res.Records)
+		}
+		if res.Switches == 0 || res.Cycles == 0 {
+			t.Fatalf("%s: degenerate result %+v", m.Name(), res)
+		}
+		if res.Counters[machine.CtrAccesses] != uint64(len(recs)) {
+			t.Fatalf("%s: access counter %d", m.Name(), res.Counters[machine.CtrAccesses])
+		}
+	}
+}
+
+func TestOpenOSTranslationStable(t *testing.T) {
+	os := NewOpenOS(addr.BaseGeometry(), nil)
+	p1, _ := os.Translate(5)
+	p2, _ := os.Translate(5)
+	p3, _ := os.Translate(6)
+	if p1 != p2 {
+		t.Fatal("translation not stable")
+	}
+	if p3 == p1 {
+		t.Fatal("distinct pages share a frame")
+	}
+	// Per-space walks duplicate the view but keep the same frame.
+	pte1, _ := os.Walk(1, 5)
+	pte2, _ := os.Walk(2, 5)
+	if pte1.PFN != p1 || pte2.PFN != p1 {
+		t.Fatal("per-space walk diverged from global translation")
+	}
+}
+
+// Property: any trace over any domains/addresses replays on every machine
+// under open authority without faults, with consistent access counters.
+func TestReplayPropertyAllMachines(t *testing.T) {
+	f := func(doms []uint8, pages []uint16, kinds []uint8) bool {
+		n := len(doms)
+		if len(pages) < n {
+			n = len(pages)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		if n == 0 {
+			return true
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				Domain: addr.DomainID(doms[i]%8) + 1,
+				VA:     addr.VA(1)<<32 + addr.VA(pages[i])*4096,
+				Kind:   addr.AccessKind(kinds[i] % 3),
+			}
+		}
+		machines := []machine.Machine{
+			machine.NewPLB(machine.DefaultPLBConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
+			machine.NewPG(machine.DefaultPGConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
+			machine.NewConventional(machine.DefaultConvConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
+			machine.NewFlush(machine.DefaultConvConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
+		}
+		for _, m := range machines {
+			res, err := Run(m, recs)
+			if err != nil {
+				return false
+			}
+			if res.Records != n || res.Counters[machine.CtrAccesses] != uint64(n) {
+				return false
+			}
+			// No faults under open authority.
+			if res.Counters[machine.CtrFaultProt] != 0 ||
+				res.Counters[machine.CtrFaultUnmapped] != 0 ||
+				res.Counters[machine.CtrFaultAddressing] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package attach implements the segment attach/detach microbenchmark of
+// Table 1 rows 1-2 (Section 4.1.1): domains attach segments, touch a
+// working set of their pages, and detach. Under the domain-page model,
+// attach is free (rights fault into the PLB page by page) while detach
+// must scan the PLB; under the page-group model, attach and detach each
+// touch exactly one page-group cache entry.
+package attach
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Domains is the number of protection domains.
+	Domains int
+	// Segments is the number of shared segments each domain attaches.
+	Segments int
+	// PagesPerSegment sizes each segment.
+	PagesPerSegment uint64
+	// TouchPerSegment is how many pages of each segment each domain
+	// touches while attached.
+	TouchPerSegment uint64
+}
+
+// DefaultConfig returns a modest mixed workload.
+func DefaultConfig() Config {
+	return Config{Domains: 4, Segments: 8, PagesPerSegment: 16, TouchPerSegment: 8}
+}
+
+// Report summarizes the run with the model-discriminating metrics.
+type Report struct {
+	// AttachOps and DetachOps count kernel operations performed.
+	AttachOps, DetachOps uint64
+	// FirstTouchFaults counts protection-structure refill traps taken to
+	// populate rights after attach (PLB refills / pg-cache refills).
+	FirstTouchFaults uint64
+	// DetachInspected counts hardware entries inspected by detach scans
+	// (PLB model; zero under page-group).
+	DetachInspected uint64
+	// MachineCycles and KernelCycles are the cycle totals.
+	MachineCycles, KernelCycles uint64
+}
+
+// Run executes the workload on k.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Domains < 1 || cfg.Segments < 1 {
+		return Report{}, fmt.Errorf("attach: need at least one domain and segment")
+	}
+	if cfg.TouchPerSegment > cfg.PagesPerSegment {
+		cfg.TouchPerSegment = cfg.PagesPerSegment
+	}
+
+	domains := make([]*kernel.Domain, cfg.Domains)
+	for i := range domains {
+		domains[i] = k.CreateDomain()
+	}
+	segments := make([]*kernel.Segment, cfg.Segments)
+	for i := range segments {
+		segments[i] = k.CreateSegment(cfg.PagesPerSegment,
+			kernel.SegmentOptions{Name: fmt.Sprintf("seg%d", i)})
+	}
+
+	mc := k.Machine().Counters()
+	before := mc.Snapshot()
+
+	var rep Report
+	// Every domain attaches every segment, touches part of it, then
+	// detaches — the "new file accessed / library first touched /
+	// channel established" pattern of Section 4.1.1.
+	for _, d := range domains {
+		for _, s := range segments {
+			k.Attach(d, s, addr.RW)
+			rep.AttachOps++
+			for p := uint64(0); p < cfg.TouchPerSegment; p++ {
+				if err := k.Touch(d, s.PageVA(p), addr.Store); err != nil {
+					return rep, fmt.Errorf("attach: touch: %w", err)
+				}
+			}
+		}
+		for _, s := range segments {
+			if err := k.Detach(d, s); err != nil {
+				return rep, fmt.Errorf("attach: detach: %w", err)
+			}
+			rep.DetachOps++
+		}
+	}
+
+	diff := mc.Diff(before)
+	rep.FirstTouchFaults = diff.Get("trap.plb_refill") + diff.Get("trap.pg_refill")
+	rep.DetachInspected = diff.Get("plb.inspected")
+	rep.MachineCycles = k.Machine().Cycles()
+	rep.KernelCycles = k.Cycles()
+	return rep, nil
+}

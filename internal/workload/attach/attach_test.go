@@ -1,0 +1,60 @@
+package attach
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestRunBothModels(t *testing.T) {
+	cfg := DefaultConfig()
+	reports := map[kernel.Model]Report{}
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		k := kernel.New(kernel.DefaultConfig(m))
+		rep, err := Run(k, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rep.AttachOps != uint64(cfg.Domains*cfg.Segments) {
+			t.Fatalf("%v: AttachOps = %d", m, rep.AttachOps)
+		}
+		if rep.DetachOps != rep.AttachOps {
+			t.Fatalf("%v: DetachOps = %d", m, rep.DetachOps)
+		}
+		reports[m] = rep
+	}
+	// Model-discriminating shape (Section 4.1.1): the domain-page model
+	// pays per-page PLB refills and detach scans; the page-group model
+	// pays neither.
+	dp, pg := reports[kernel.ModelDomainPage], reports[kernel.ModelPageGroup]
+	wantDPFaults := uint64(cfg.Domains*cfg.Segments) * cfg.TouchPerSegment
+	if dp.FirstTouchFaults != wantDPFaults {
+		t.Errorf("domain-page first-touch faults = %d, want %d (one per touched page)",
+			dp.FirstTouchFaults, wantDPFaults)
+	}
+	if pg.FirstTouchFaults >= dp.FirstTouchFaults {
+		t.Errorf("page-group faults (%d) should be below domain-page (%d): one per segment, not per page",
+			pg.FirstTouchFaults, dp.FirstTouchFaults)
+	}
+	if dp.DetachInspected == 0 {
+		t.Error("domain-page detach scan inspected nothing")
+	}
+	if pg.DetachInspected != 0 {
+		t.Errorf("page-group detach inspected %d PLB entries (there is no PLB)", pg.DetachInspected)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	if _, err := Run(k, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestTouchClamped(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	_, err := Run(k, Config{Domains: 1, Segments: 1, PagesPerSegment: 2, TouchPerSegment: 99})
+	if err != nil {
+		t.Fatalf("clamped touch failed: %v", err)
+	}
+}

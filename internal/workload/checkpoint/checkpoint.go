@@ -1,0 +1,239 @@
+// Package checkpoint implements Li-Naughton-Plank concurrent
+// checkpointing (Table 1 rows 11-12): to take a checkpoint, the
+// checkpointer revokes the application's write access to the whole
+// segment in one operation ("Restrict Access"); the application keeps
+// running, and its first write to each page traps, at which point the
+// checkpointer saves that page to disk and restores read-write access
+// ("Checkpoint Page"). A background sweep saves the remaining pages.
+//
+// The run verifies copy-on-write consistency: the saved image must equal
+// the segment contents at the instant the checkpoint was taken, even
+// though the application mutates pages throughout.
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Pages sizes the checkpointed segment.
+	Pages uint64
+	// Checkpoints is how many checkpoints to take.
+	Checkpoints int
+	// WritesBetween is the number of application writes between
+	// checkpoints.
+	WritesBetween int
+	// WritesDuring is the number of application writes issued while each
+	// checkpoint is in progress (these race the sweep and trigger
+	// copy-on-write saves).
+	WritesDuring int
+	// SweepPerWrite is how many pages the background sweep saves per
+	// application write during a checkpoint.
+	SweepPerWrite int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a 32-page segment checkpointed twice.
+func DefaultConfig() Config {
+	return Config{
+		Pages:         32,
+		Checkpoints:   2,
+		WritesBetween: 128,
+		WritesDuring:  64,
+		SweepPerWrite: 1,
+		Seed:          1,
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Checkpoints is the number of consistent checkpoints completed.
+	Checkpoints int
+	// COWFaults counts application write faults taken during
+	// checkpoints (pages saved on demand).
+	COWFaults uint64
+	// SweepSaves counts pages saved by the background sweep.
+	SweepSaves uint64
+	// RestrictCycles is the total cost of the restrict operations (the
+	// Table 1 "Restrict Access" row) — a PLB scan under domain-page, a
+	// write-disable flip under page-group.
+	RestrictCycles uint64
+	// MachineCycles and KernelCycles are totals.
+	MachineCycles, KernelCycles uint64
+}
+
+type checkpointer struct {
+	k       *kernel.Kernel
+	app     *kernel.Domain
+	server  *kernel.Domain
+	seg     *kernel.Segment
+	saved   map[uint64][]byte // current checkpoint image, by page index
+	active  bool
+	rep     *Report
+	ckptSeq uint64
+}
+
+// onFault handles the application's write fault during a checkpoint:
+// save the page, then give write access back.
+func (c *checkpointer) onFault(f kernel.Fault) error {
+	if f.Kind != addr.Store || !c.active {
+		return fmt.Errorf("checkpoint: unexpected %v fault by domain %d", f.Kind, f.Domain.ID)
+	}
+	idx := (uint64(f.VA) - uint64(c.seg.Base())) / c.k.Geometry().PageSize()
+	if _, done := c.saved[idx]; !done {
+		if err := c.savePage(idx); err != nil {
+			return err
+		}
+		c.rep.COWFaults++
+	}
+	// "Make the page read-write for the application."
+	return c.k.SetPageRights(f.Domain, f.VA, addr.RW)
+}
+
+// savePage writes page idx to the checkpoint image on disk (the server
+// reads it; the kernel charges the disk write).
+func (c *checkpointer) savePage(idx uint64) error {
+	data, err := c.k.ReadPage(c.server, c.seg.PageVA(idx))
+	if err != nil {
+		return err
+	}
+	c.saved[idx] = data
+	// Each checkpoint gets its own disk key space.
+	c.k.Disk().Write(c.ckptSeq<<32|idx, data)
+	return nil
+}
+
+// Run executes the workload on k and verifies checkpoint consistency.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Pages == 0 || cfg.Checkpoints < 1 {
+		return Report{}, fmt.Errorf("checkpoint: invalid config %+v", cfg)
+	}
+	rep := Report{}
+	c := &checkpointer{
+		k:      k,
+		app:    k.CreateDomain(),
+		server: k.CreateDomain(),
+		rep:    &rep,
+	}
+	c.seg = k.CreateSegment(cfg.Pages, kernel.SegmentOptions{
+		Name:    "checkpointed",
+		Handler: c.onFault,
+	})
+	k.Attach(c.app, c.seg, addr.RW)
+	k.Attach(c.server, c.seg, addr.Read)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	write := func() error {
+		p := uint64(rng.Intn(int(cfg.Pages)))
+		off := uint64(rng.Intn(int(k.Geometry().PageSize()/8))) * 8
+		return k.Store(c.app, c.seg.PageVA(p)+addr.VA(off), rng.Uint64())
+	}
+
+	for ck := 0; ck < cfg.Checkpoints; ck++ {
+		for i := 0; i < cfg.WritesBetween; i++ {
+			if err := write(); err != nil {
+				return rep, fmt.Errorf("checkpoint: app write: %w", err)
+			}
+		}
+
+		// Take the checkpoint: restrict the application to read-only in
+		// one segment-wide operation.
+		oracle, err := snapshot(k, c.seg)
+		if err != nil {
+			return rep, err
+		}
+		c.saved = make(map[uint64][]byte)
+		c.active = true
+		c.ckptSeq = uint64(ck + 1)
+		cyc0 := k.TotalCycles()
+		if err := k.SetSegmentRights(c.app, c.seg, addr.Read); err != nil {
+			return rep, fmt.Errorf("checkpoint: restrict: %w", err)
+		}
+		rep.RestrictCycles += k.TotalCycles() - cyc0
+
+		// Concurrent phase: the application writes (faulting into
+		// copy-on-write saves) while the sweep saves pages in the
+		// background.
+		sweepNext := uint64(0)
+		for i := 0; i < cfg.WritesDuring; i++ {
+			if err := write(); err != nil {
+				return rep, fmt.Errorf("checkpoint: concurrent write: %w", err)
+			}
+			for s := 0; s < cfg.SweepPerWrite && sweepNext < cfg.Pages; s++ {
+				for sweepNext < cfg.Pages {
+					if _, done := c.saved[sweepNext]; done {
+						sweepNext++
+						continue
+					}
+					if err := c.savePage(sweepNext); err != nil {
+						return rep, err
+					}
+					rep.SweepSaves++
+					// The saved page may return to read-write for the
+					// application.
+					if err := k.SetPageRights(c.app, c.seg.PageVA(sweepNext), addr.RW); err != nil {
+						return rep, err
+					}
+					sweepNext++
+					break
+				}
+			}
+		}
+		// Finish the sweep.
+		for ; sweepNext < cfg.Pages; sweepNext++ {
+			if _, done := c.saved[sweepNext]; done {
+				continue
+			}
+			if err := c.savePage(sweepNext); err != nil {
+				return rep, err
+			}
+			rep.SweepSaves++
+			if err := k.SetPageRights(c.app, c.seg.PageVA(sweepNext), addr.RW); err != nil {
+				return rep, err
+			}
+		}
+		c.active = false
+		// Restore full access uniformly (clears the scattered per-page
+		// overrides left by the checkpoint).
+		if err := k.SetSegmentRights(c.app, c.seg, addr.RW); err != nil {
+			return rep, fmt.Errorf("checkpoint: restore: %w", err)
+		}
+
+		// Consistency check: the image must equal the snapshot taken at
+		// restrict time, despite the concurrent writes.
+		for p := uint64(0); p < cfg.Pages; p++ {
+			img, ok := c.saved[p]
+			if !ok {
+				return rep, fmt.Errorf("checkpoint %d: page %d missing from image", ck, p)
+			}
+			if !bytes.Equal(img, oracle[p]) {
+				return rep, fmt.Errorf("checkpoint %d: page %d image diverges from checkpoint-time contents", ck, p)
+			}
+		}
+		rep.Checkpoints++
+	}
+
+	rep.MachineCycles = k.Machine().Cycles()
+	rep.KernelCycles = k.Cycles()
+	return rep, nil
+}
+
+// snapshot copies the whole segment's bytes (test oracle; kernel-mode).
+func snapshot(k *kernel.Kernel, seg *kernel.Segment) ([][]byte, error) {
+	out := make([][]byte, seg.NumPages())
+	for p := uint64(0); p < seg.NumPages(); p++ {
+		data, err := k.KernelReadPage(seg.PageVPN(p))
+		if err != nil {
+			return nil, err
+		}
+		out[p] = data
+	}
+	return out, nil
+}

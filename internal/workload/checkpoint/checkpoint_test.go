@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestCheckpointConsistentBothModels(t *testing.T) {
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		t.Run(m.String(), func(t *testing.T) {
+			k := kernel.New(kernel.DefaultConfig(m))
+			rep, err := Run(k, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Checkpoints != DefaultConfig().Checkpoints {
+				t.Fatalf("checkpoints = %d", rep.Checkpoints)
+			}
+			if rep.COWFaults == 0 {
+				t.Fatal("no copy-on-write faults despite concurrent writes")
+			}
+			if rep.SweepSaves == 0 {
+				t.Fatal("background sweep saved nothing")
+			}
+			if rep.COWFaults+rep.SweepSaves < uint64(DefaultConfig().Pages) {
+				t.Fatalf("saved fewer pages (%d) than the segment has (%d)",
+					rep.COWFaults+rep.SweepSaves, DefaultConfig().Pages)
+			}
+			if rep.RestrictCycles == 0 {
+				t.Fatal("restrict cost zero")
+			}
+		})
+	}
+}
+
+func TestCheckpointModelCostShape(t *testing.T) {
+	// The restrict operation is a full PLB scan under domain-page but a
+	// group write-disable flip under page-group — so the page-group
+	// restrict must be cheaper (Table 1 row 11).
+	cost := map[kernel.Model]uint64{}
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		k := kernel.New(kernel.DefaultConfig(m))
+		cfg := DefaultConfig()
+		cfg.Checkpoints = 1
+		rep, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[m] = rep.RestrictCycles
+	}
+	if cost[kernel.ModelPageGroup] >= cost[kernel.ModelDomainPage] {
+		t.Errorf("page-group restrict (%d cycles) not cheaper than domain-page (%d cycles)",
+			cost[kernel.ModelPageGroup], cost[kernel.ModelDomainPage])
+	}
+}
+
+func TestCheckpointNoConcurrentWrites(t *testing.T) {
+	// With no writes during the checkpoint, every page is saved by the
+	// sweep and no COW faults occur.
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	cfg := DefaultConfig()
+	cfg.WritesDuring = 0
+	rep, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.COWFaults != 0 {
+		t.Fatalf("COW faults = %d without concurrent writes", rep.COWFaults)
+	}
+	if rep.SweepSaves != uint64(cfg.Pages)*uint64(cfg.Checkpoints) {
+		t.Fatalf("sweep saves = %d, want %d", rep.SweepSaves, cfg.Pages*uint64(cfg.Checkpoints))
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func() Report {
+		k := kernel.New(kernel.DefaultConfig(kernel.ModelPageGroup))
+		rep, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCheckpointInvalidConfig(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	if _, err := Run(k, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestIncrementalCheckpointBothModels(t *testing.T) {
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		t.Run(m.String(), func(t *testing.T) {
+			k := kernel.New(kernel.DefaultConfig(m))
+			cfg := DefaultConfig()
+			cfg.Checkpoints = 4
+			cfg.WritesBetween = 40 // touch a fraction of the 32 pages
+			rep, err := RunIncremental(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Checkpoints != 4 {
+				t.Fatalf("checkpoints = %d", rep.Checkpoints)
+			}
+			if rep.FullPages != uint64(cfg.Pages) {
+				t.Fatalf("full checkpoint saved %d pages, want %d", rep.FullPages, cfg.Pages)
+			}
+			// Incremental checkpoints must save fewer pages than full
+			// ones would (dirty subset only).
+			perInc := rep.IncrementalPages / uint64(rep.Checkpoints-1)
+			if perInc >= uint64(cfg.Pages) {
+				t.Fatalf("incremental checkpoints saved %d pages each, want < %d", perInc, cfg.Pages)
+			}
+			if rep.SkippedClean == 0 {
+				t.Fatal("no clean pages skipped")
+			}
+		})
+	}
+}
+
+func TestIncrementalCheaperThanFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checkpoints = 4
+	cfg.WritesBetween = 40
+
+	kFull := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	full, err := Run(kFull, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kInc := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	inc, err := RunIncremental(kInc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSaves := full.COWFaults + full.SweepSaves
+	incSaves := inc.FullPages + inc.IncrementalPages
+	if incSaves >= fullSaves {
+		t.Fatalf("incremental saves (%d) not below full (%d)", incSaves, fullSaves)
+	}
+	// Disk traffic follows the saves.
+	_, fullWrites, _ := kFull.Disk().Stats()
+	_, incWrites, _ := kInc.Disk().Stats()
+	if incWrites >= fullWrites {
+		t.Fatalf("incremental disk writes (%d) not below full (%d)", incWrites, fullWrites)
+	}
+}
+
+func TestIncrementalNeedsTwoCheckpoints(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	cfg := DefaultConfig()
+	cfg.Checkpoints = 1
+	if _, err := RunIncremental(k, cfg); err == nil {
+		t.Fatal("single-checkpoint incremental accepted")
+	}
+}

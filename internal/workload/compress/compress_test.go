@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestCompressPagingBothModels(t *testing.T) {
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		t.Run(m.String(), func(t *testing.T) {
+			k := kernel.New(kernel.DefaultConfig(m))
+			cfg := DefaultConfig()
+			rep, err := Run(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.PageOuts == 0 || rep.PageIns == 0 {
+				t.Fatalf("no paging happened: %+v", rep)
+			}
+			if rep.ReclaimFaults == 0 {
+				t.Fatal("no reclaim faults")
+			}
+			if rep.MaxResident > cfg.ResidentBudget {
+				t.Fatalf("budget violated: resident %d > %d", rep.MaxResident, cfg.ResidentBudget)
+			}
+			// Mostly-zero pages with a few tags compress extremely well.
+			if rep.CompressedRatio > 0.2 {
+				t.Errorf("compression ratio %.3f unexpectedly poor", rep.CompressedRatio)
+			}
+		})
+	}
+}
+
+func TestCompressLocalityReducesPaging(t *testing.T) {
+	run := func(hot int) Report {
+		k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+		cfg := DefaultConfig()
+		cfg.HotPercent = hot
+		rep, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	local := run(95)
+	uniform := run(0)
+	if local.PageOuts >= uniform.PageOuts {
+		t.Errorf("high locality page-outs (%d) not below uniform (%d)",
+			local.PageOuts, uniform.PageOuts)
+	}
+}
+
+func TestCompressDeterministic(t *testing.T) {
+	run := func() Report {
+		k := kernel.New(kernel.DefaultConfig(kernel.ModelPageGroup))
+		rep, err := Run(k, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCompressInvalidConfig(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	for _, cfg := range []Config{
+		{},
+		{Pages: 8, ResidentBudget: 8}, // budget must be smaller
+	} {
+		if _, err := Run(k, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+// Package dsm implements Li-style distributed shared virtual memory over
+// the simulated machines (Table 1 rows 5-7): N nodes, each a full
+// kernel+machine instance with one application domain, share one virtual
+// segment kept coherent by a central-manager write-invalidate protocol
+// driven entirely by page protection faults.
+//
+//   - Get Readable: a load on an invalid page traps; the manager fetches a
+//     copy from the owner and maps it read-only.
+//   - Get Writable: a store on an invalid or read-only page traps; the
+//     manager invalidates every other copy and maps the page read-write.
+//   - Invalidate: a remote write makes the local copy inaccessible.
+//
+// Because every node runs the same kernel bootstrap, the shared segment
+// occupies the same global virtual addresses on every node — the single
+// address space property that lets DSM pass pointers between machines.
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// ManagerKind selects the ownership-location protocol (Li's thesis
+// compares both).
+type ManagerKind uint8
+
+const (
+	// CentralManager routes every coherence request through node 0,
+	// which knows each page's owner: a fixed 2-message locate path, but
+	// node 0 is a bottleneck.
+	CentralManager ManagerKind = iota
+	// DistributedManager keeps a per-node "probable owner" hint per page
+	// and forwards requests along the hint chain until the true owner is
+	// reached, compressing the path afterwards: no central bottleneck,
+	// variable-length locate chains.
+	DistributedManager
+)
+
+// String names the protocol for tables.
+func (m ManagerKind) String() string {
+	if m == DistributedManager {
+		return "distributed"
+	}
+	return "central"
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// Model selects the protection model for every node.
+	Model kernel.Model
+	// Manager selects the ownership-location protocol.
+	Manager ManagerKind
+	// Nodes is the machine count.
+	Nodes int
+	// Pages sizes the shared segment.
+	Pages uint64
+	// OpsPerNode is the number of accesses each node performs.
+	OpsPerNode int
+	// WritePercent is the probability (0-100) that an access is a store.
+	WritePercent int
+	// Partitioned, when true, gives each node an affinity region of the
+	// segment (mostly-local accesses with occasional remote ones);
+	// otherwise accesses are uniform — maximal sharing.
+	Partitioned bool
+	// RemotePercent is the probability (0-100) of straying outside the
+	// affinity region when Partitioned.
+	RemotePercent int
+	// Net configures the interconnect.
+	Net netsim.Config
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a 4-node, uniform-sharing configuration.
+func DefaultConfig(m kernel.Model) Config {
+	return Config{
+		Model:         m,
+		Nodes:         4,
+		Pages:         32,
+		OpsPerNode:    400,
+		WritePercent:  30,
+		RemotePercent: 10,
+		Net:           netsim.DefaultConfig(),
+		Seed:          1,
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// ReadFaults and WriteFaults count coherence faults taken.
+	ReadFaults, WriteFaults uint64
+	// Invalidations counts remote-copy invalidations performed.
+	Invalidations uint64
+	// PageTransfers counts whole-page moves across the network.
+	PageTransfers uint64
+	// NetMsgs, NetBytes, NetCycles are interconnect totals.
+	NetMsgs, NetBytes, NetCycles uint64
+	// LocateHops counts ownership-location messages; ManagerLoad counts
+	// requests handled by node 0 (the central bottleneck measure).
+	LocateHops, ManagerLoad uint64
+	// MeanChain and MaxChain describe the per-fault locate chain length
+	// distribution (DistributedManager: probable-owner forwarding).
+	MeanChain float64
+	MaxChain  uint64
+	// MachineCycles sums machine cycles across nodes; KernelCycles sums
+	// kernel cycles.
+	MachineCycles, KernelCycles uint64
+	// ProtUpdates counts hardware protection-structure updates performed
+	// by the coherence protocol (PLB updates / TLB entry updates+moves).
+	ProtUpdates uint64
+}
+
+// node is one DSM machine.
+type node struct {
+	idx int
+	k   *kernel.Kernel
+	dom *kernel.Domain
+	seg *kernel.Segment
+}
+
+// pageMeta is the manager's record for one shared page.
+type pageMeta struct {
+	owner   int
+	copyset map[int]bool // nodes (other than owner) holding read copies
+	// ownerWritable notes whether the owner currently holds the page
+	// read-write (no read copies outstanding).
+	ownerWritable bool
+}
+
+// system is the DSM instance.
+type system struct {
+	cfg   Config
+	nodes []*node
+	net   *netsim.Network
+	meta  map[addr.VPN]*pageMeta
+	// probOwner[node][vpn] is the node's probable-owner hint
+	// (DistributedManager only).
+	probOwner []map[addr.VPN]int
+	chains    *stats.Histogram
+	rep       *Report
+}
+
+// locateOwner routes a coherence request from node i to the page's owner,
+// charging the protocol's messages, and returns the owner.
+func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) int {
+	if sys.cfg.Manager == CentralManager {
+		// Request to the manager, forwarded to the owner.
+		sys.net.Send(i, 0, 0)
+		sys.rep.ManagerLoad++
+		if m.owner != 0 {
+			sys.net.Send(0, m.owner, 0)
+		}
+		sys.rep.LocateHops += 2
+		return m.owner
+	}
+	// Follow the probable-owner chain; compress it to the true owner.
+	cur := i
+	var chain []int
+	hopCount := uint64(0)
+	for hops := 0; cur != m.owner; hops++ {
+		if hops > len(sys.nodes)*2 {
+			panic("dsm: probable-owner chain did not converge")
+		}
+		next := sys.probOwner[cur][vpn]
+		if next == cur {
+			// Stale self-hint: fall back to a broadcast-style probe of
+			// the true owner (charged as one message per other node).
+			for j := range sys.nodes {
+				if j != cur {
+					sys.net.Send(cur, j, 0)
+					sys.rep.LocateHops++
+				}
+			}
+			break
+		}
+		sys.net.Send(cur, next, 0)
+		sys.rep.LocateHops++
+		hopCount++
+		chain = append(chain, cur)
+		cur = next
+	}
+	sys.chains.Observe(hopCount)
+	for _, n := range chain {
+		sys.probOwner[n][vpn] = m.owner
+	}
+	return m.owner
+}
+
+// recordOwnerChange updates probable-owner hints after an ownership
+// transfer: the participants learn the new owner; everyone else's hints
+// age into forwarding chains.
+func (sys *system) recordOwnerChange(vpn addr.VPN, oldOwner, newOwner int) {
+	if sys.cfg.Manager != DistributedManager {
+		return
+	}
+	sys.probOwner[oldOwner][vpn] = newOwner
+	sys.probOwner[newOwner][vpn] = newOwner
+}
+
+// Run executes the workload and verifies coherence: after quiescing,
+// every node observes identical page contents, which match an oracle of
+// the writes performed.
+func Run(cfg Config) (Report, error) {
+	if cfg.Nodes < 2 || cfg.Pages == 0 || cfg.OpsPerNode < 0 {
+		return Report{}, fmt.Errorf("dsm: invalid config %+v", cfg)
+	}
+	sys := &system{
+		cfg:    cfg,
+		net:    netsim.New(cfg.Nodes, cfg.Net),
+		meta:   make(map[addr.VPN]*pageMeta),
+		chains: stats.NewHistogram(1, 2, 4, 8),
+		rep:    &Report{},
+	}
+	// Boot the nodes. Identical bootstrap order gives the shared segment
+	// the same address range on every node.
+	var base addr.VA
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{idx: i, k: kernel.New(kernel.DefaultConfig(cfg.Model))}
+		n.dom = n.k.CreateDomain()
+		idx := i
+		n.seg = n.k.CreateSegment(cfg.Pages, kernel.SegmentOptions{
+			Name:    "dsm-shared",
+			Handler: func(f kernel.Fault) error { return sys.handleFault(idx, f) },
+		})
+		if i == 0 {
+			base = n.seg.Base()
+			// Node 0 initially owns every page read-write.
+			n.k.Attach(n.dom, n.seg, addr.RW)
+		} else {
+			if n.seg.Base() != base {
+				return Report{}, fmt.Errorf("dsm: segment base mismatch: %#x vs %#x",
+					uint64(n.seg.Base()), uint64(base))
+			}
+			n.k.Attach(n.dom, n.seg, addr.None)
+		}
+		sys.nodes = append(sys.nodes, n)
+	}
+	geo := sys.nodes[0].k.Geometry()
+	sys.probOwner = make([]map[addr.VPN]int, cfg.Nodes)
+	for i := range sys.probOwner {
+		sys.probOwner[i] = make(map[addr.VPN]int)
+	}
+	for p := uint64(0); p < cfg.Pages; p++ {
+		vpn := geo.PageNumber(base + addr.VA(p*geo.PageSize()))
+		sys.meta[vpn] = &pageMeta{owner: 0, copyset: map[int]bool{}, ownerWritable: true}
+		for i := range sys.probOwner {
+			sys.probOwner[i][vpn] = 0 // everyone starts believing node 0 owns it
+		}
+	}
+
+	// The access phase. The oracle tracks the last value written to each
+	// word we touch.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	oracle := make(map[addr.VA]uint64)
+	for op := 0; op < cfg.OpsPerNode; op++ {
+		for i, n := range sys.nodes {
+			p := sys.pickPage(rng, i)
+			va := base + addr.VA(p*geo.PageSize()) // word 0 of the page
+			if rng.Intn(100) < cfg.WritePercent {
+				v := uint64(i+1)<<32 | uint64(op+1)
+				if err := n.k.Store(n.dom, va, v); err != nil {
+					return *sys.rep, fmt.Errorf("dsm: node %d store: %w", i, err)
+				}
+				oracle[va] = v
+			} else {
+				if _, err := n.k.Load(n.dom, va); err != nil {
+					return *sys.rep, fmt.Errorf("dsm: node %d load: %w", i, err)
+				}
+			}
+		}
+	}
+
+	// Verification: every node reads every written word and must observe
+	// the oracle value (the protocol fetches fresh copies as needed).
+	// Iterate deterministically so runs are reproducible.
+	vas := make([]addr.VA, 0, len(oracle))
+	for va := range oracle {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(a, b int) bool { return vas[a] < vas[b] })
+	for _, va := range vas {
+		want := oracle[va]
+		for i, n := range sys.nodes {
+			got, err := n.k.Load(n.dom, va)
+			if err != nil {
+				return *sys.rep, fmt.Errorf("dsm: verify node %d: %w", i, err)
+			}
+			if got != want {
+				return *sys.rep, fmt.Errorf("dsm: incoherent: node %d sees %#x at %#x, want %#x",
+					i, got, uint64(va), want)
+			}
+		}
+	}
+	// Cross-check whole pages match across nodes for pages with copies.
+	if err := sys.verifyReplicaEquality(); err != nil {
+		return *sys.rep, err
+	}
+
+	for _, n := range sys.nodes {
+		sys.rep.MachineCycles += n.k.Machine().Cycles()
+		sys.rep.KernelCycles += n.k.Cycles()
+		mc := n.k.Machine().Counters()
+		sys.rep.ProtUpdates += mc.Get("plb.update") + mc.Get("pgtlb.update")
+	}
+	sys.rep.NetMsgs, sys.rep.NetBytes, sys.rep.NetCycles = sys.net.Stats()
+	sys.rep.MeanChain = sys.chains.Mean()
+	sys.rep.MaxChain = sys.chains.Max()
+	return *sys.rep, nil
+}
+
+// pickPage selects a page for node i per the access pattern.
+func (sys *system) pickPage(rng *rand.Rand, i int) uint64 {
+	if !sys.cfg.Partitioned {
+		return uint64(rng.Intn(int(sys.cfg.Pages)))
+	}
+	per := sys.cfg.Pages / uint64(sys.cfg.Nodes)
+	if per == 0 {
+		per = 1
+	}
+	if rng.Intn(100) < sys.cfg.RemotePercent {
+		return uint64(rng.Intn(int(sys.cfg.Pages)))
+	}
+	lo := uint64(i) * per
+	return lo + uint64(rng.Intn(int(per)))%sys.cfg.Pages
+}
+
+// handleFault is the coherence protocol entry point: a protection fault on
+// the shared segment of node i.
+func (sys *system) handleFault(i int, f kernel.Fault) error {
+	vpn := sys.nodes[i].k.Geometry().PageNumber(f.VA)
+	m, ok := sys.meta[vpn]
+	if !ok {
+		return fmt.Errorf("dsm: fault on unmanaged page %#x", uint64(vpn))
+	}
+	if f.Kind == addr.Store {
+		sys.rep.WriteFaults++
+		return sys.getWritable(i, vpn, m)
+	}
+	sys.rep.ReadFaults++
+	return sys.getReadable(i, vpn, m)
+}
+
+// getReadable implements Table 1 "Get Readable": fetch a read-only copy.
+func (sys *system) getReadable(i int, vpn addr.VPN, m *pageMeta) error {
+	owner := sys.locateOwner(i, vpn, m)
+	if err := sys.transferPage(owner, i, vpn); err != nil {
+		return err
+	}
+	// The owner's copy degrades to read-only (it may no longer write
+	// without invalidating the new copy).
+	if m.ownerWritable {
+		if err := sys.setNodeRights(m.owner, vpn, addr.Read); err != nil {
+			return err
+		}
+		m.ownerWritable = false
+	}
+	m.copyset[i] = true
+	return sys.setNodeRights(i, vpn, addr.Read)
+}
+
+// getWritable implements Table 1 "Get Writable": take exclusive
+// ownership, invalidating all other copies.
+func (sys *system) getWritable(i int, vpn addr.VPN, m *pageMeta) error {
+	oldOwner := sys.locateOwner(i, vpn, m)
+	if oldOwner != i {
+		if err := sys.transferPage(oldOwner, i, vpn); err != nil {
+			return err
+		}
+	}
+	// Invalidate every other copy (Table 1 "Invalidate"), in
+	// deterministic order.
+	holders := make([]int, 0, len(m.copyset))
+	for j := range m.copyset {
+		holders = append(holders, j)
+	}
+	sort.Ints(holders)
+	for _, j := range holders {
+		if j == i {
+			continue
+		}
+		sys.net.RoundTrip(invalidator(sys.cfg.Manager, i), j, 0)
+		if err := sys.setNodeRights(j, vpn, addr.None); err != nil {
+			return err
+		}
+		sys.rep.Invalidations++
+	}
+	if oldOwner != i {
+		sys.net.RoundTrip(invalidator(sys.cfg.Manager, i), oldOwner, 0)
+		if err := sys.setNodeRights(oldOwner, vpn, addr.None); err != nil {
+			return err
+		}
+		sys.rep.Invalidations++
+	}
+	sys.recordOwnerChange(vpn, oldOwner, i)
+	m.owner = i
+	m.ownerWritable = true
+	m.copyset = map[int]bool{}
+	return sys.setNodeRights(i, vpn, addr.RW)
+}
+
+// transferPage moves the page's bytes from one node's memory to
+// another's over the network.
+func (sys *system) transferPage(from, to int, vpn addr.VPN) error {
+	if from == to {
+		return nil
+	}
+	data, err := sys.nodes[from].k.KernelReadPage(vpn)
+	if err != nil {
+		return err
+	}
+	sys.net.Send(from, to, len(data))
+	sys.rep.PageTransfers++
+	return sys.nodes[to].k.KernelWritePage(vpn, data)
+}
+
+// setNodeRights applies a protection change on one node's kernel. The
+// single address space makes this trivial: the page's VA is the same on
+// every node.
+func (sys *system) setNodeRights(i int, vpn addr.VPN, r addr.Rights) error {
+	n := sys.nodes[i]
+	return n.k.SetPageRights(n.dom, n.k.Geometry().Base(vpn), r)
+}
+
+// verifyReplicaEquality checks that every node holding a readable copy of
+// a page has bytes identical to the owner's.
+func (sys *system) verifyReplicaEquality() error {
+	vpns := make([]addr.VPN, 0, len(sys.meta))
+	for vpn := range sys.meta {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(a, b int) bool { return vpns[a] < vpns[b] })
+	for _, vpn := range vpns {
+		m := sys.meta[vpn]
+		ownerData, err := sys.nodes[m.owner].k.KernelReadPage(vpn)
+		if err != nil {
+			return err
+		}
+		for j := range m.copyset {
+			data, err := sys.nodes[j].k.KernelReadPage(vpn)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(ownerData, data) {
+				return fmt.Errorf("dsm: replica divergence on page %#x between nodes %d and %d",
+					uint64(vpn), m.owner, j)
+			}
+		}
+	}
+	return nil
+}
+
+// invalidator returns the node that issues invalidations: the central
+// manager under CentralManager, the requester itself under
+// DistributedManager.
+func invalidator(m ManagerKind, requester int) int {
+	if m == DistributedManager {
+		return requester
+	}
+	return 0
+}

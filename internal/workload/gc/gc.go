@@ -1,0 +1,526 @@
+// Package gc implements the Appel-Ellis-Li concurrent copying garbage
+// collector of Table 1 rows 3-4: a mutator domain and a collector domain
+// share a two-space heap; at a flip the mutator loses access to both
+// spaces except pages the collector has scanned, and every mutator touch
+// of an unscanned to-space page traps, scans that page (copying the
+// objects it references into to-space), and unprotects it.
+//
+// Objects are real: four 64-bit words (forwarding/header, two pointer
+// fields, one payload word) stored in the simulated physical memory, so a
+// run verifies that the object graph survives collection bit-for-bit
+// while the protection traffic is measured.
+package gc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+const (
+	objWords = 4
+	objSize  = objWords * 8
+
+	hdrWord     = 0 // forwarding pointer (0 = not forwarded)
+	ptrAWord    = 1
+	ptrBWord    = 2
+	payloadWord = 3
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Objects is the number of heap objects allocated before the first
+	// collection.
+	Objects int
+	// Roots is the number of root pointers.
+	Roots int
+	// GCs is the number of collections to run.
+	GCs int
+	// MutatorOps is the number of mutator pointer-chase steps between
+	// flip and scan completion (each may fault on an unscanned page).
+	MutatorOps int
+	// AllocPercent is the probability (0-100) that a mutator step also
+	// allocates a new object while collection is in progress. New
+	// objects are born "black" at the far end of to-space (the
+	// Appel-Ellis-Li new area): their pages never need scanning.
+	AllocPercent int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a heap of 2048 objects with 32 roots.
+func DefaultConfig() Config {
+	return Config{Objects: 2048, Roots: 32, GCs: 2, MutatorOps: 512, AllocPercent: 10, Seed: 1}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Flips is the number of collections performed.
+	Flips int
+	// ScanFaults counts mutator traps on unscanned to-space pages (the
+	// "access unscanned to-space" row).
+	ScanFaults uint64
+	// PagesScanned counts to-space pages scanned (on fault or in the
+	// background).
+	PagesScanned uint64
+	// ObjectsCopied counts objects evacuated across all collections.
+	ObjectsCopied uint64
+	// FlipCycles is the total machine+kernel cycle cost of the flip
+	// operations (the Table 1 "flip spaces" row), including root
+	// forwarding; FlipProtCycles isolates the protection manipulation
+	// (segment creation, attach, revoke) that distinguishes the models.
+	FlipCycles     uint64
+	FlipProtCycles uint64
+	// AllocatedDuringGC counts objects the mutator allocated while
+	// collections were in progress; NewPagesExposed counts the born-black
+	// pages made writable for it.
+	AllocatedDuringGC, NewPagesExposed uint64
+	// LiveObjects is the number of reachable objects after the last
+	// collection (verified against the pre-collection graph plus the
+	// concurrent allocations).
+	LiveObjects int
+	// MachineCycles and KernelCycles are the totals at completion.
+	MachineCycles, KernelCycles uint64
+}
+
+// collector holds the state of one GC instance.
+type collector struct {
+	k       *kernel.Kernel
+	mut     *kernel.Domain // mutator
+	col     *kernel.Domain // collector
+	from    *kernel.Segment
+	to      *kernel.Segment
+	geo     addr.Geometry
+	pages   uint64  // pages per space
+	allocAt addr.VA // to-space allocation (copy) frontier
+	// scannedUpTo maps a to-space page index to the address within it up
+	// to which objects have been scanned.
+	scannedUpTo map[uint64]addr.VA
+	// unprotected marks to-space pages the mutator may access.
+	unprotected map[uint64]bool
+	roots       []addr.VA
+	// newAllocAt is the mutator's allocation frontier during collection,
+	// growing down from the top of to-space.
+	newAllocAt addr.VA
+	// extraSum/extraCount track concurrently allocated objects for the
+	// final verification.
+	extraSum   uint64
+	extraCount int
+	rep        *Report
+}
+
+// Run executes the workload on k and verifies heap integrity.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Objects < 1 || cfg.Roots < 1 || cfg.Roots > cfg.Objects {
+		return Report{}, fmt.Errorf("gc: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	geo := k.Geometry()
+	// Size each space to hold every object plus slack.
+	pages := (uint64(cfg.Objects)*objSize + geo.PageSize() - 1) / geo.PageSize() * 2
+
+	c := &collector{
+		k:     k,
+		mut:   k.CreateDomain(),
+		col:   k.CreateDomain(),
+		geo:   geo,
+		pages: pages,
+		rep:   &Report{},
+	}
+	c.from = k.CreateSegment(pages, kernel.SegmentOptions{Name: "space0"})
+	k.Attach(c.mut, c.from, addr.RW)
+	k.Attach(c.col, c.from, addr.RW)
+
+	// Build the initial object graph in from-space.
+	objs := make([]addr.VA, cfg.Objects)
+	for i := range objs {
+		objs[i] = addr.VA(uint64(c.from.Base()) + uint64(i)*objSize)
+	}
+	for i, oa := range objs {
+		var pa, pb addr.VA
+		if i > 0 {
+			pa = objs[rng.Intn(i)] // point back to an earlier object
+		}
+		if i > 1 && rng.Intn(2) == 0 {
+			pb = objs[rng.Intn(i)]
+		}
+		if err := c.writeObj(c.mut, oa, pa, pb, payload(i)); err != nil {
+			return *c.rep, fmt.Errorf("gc: build heap: %w", err)
+		}
+	}
+	// Roots are the most recently allocated objects (everything earlier
+	// is reachable from them through the back-pointers with high
+	// probability; unreachable objects are garbage, as intended).
+	c.roots = make([]addr.VA, cfg.Roots)
+	copy(c.roots, objs[len(objs)-cfg.Roots:])
+
+	// Reference traversal before any collection.
+	wantSum, wantCount, err := c.traverse(c.mut)
+	if err != nil {
+		return *c.rep, fmt.Errorf("gc: pre-GC traverse: %w", err)
+	}
+
+	for gcn := 0; gcn < cfg.GCs; gcn++ {
+		if err := c.flip(gcn + 1); err != nil {
+			return *c.rep, fmt.Errorf("gc %d: flip: %w", gcn, err)
+		}
+		// Concurrent phase: the mutator chases pointers, faulting on
+		// unscanned pages.
+		if err := c.mutate(rng, cfg.MutatorOps, cfg.AllocPercent); err != nil {
+			return *c.rep, fmt.Errorf("gc %d: mutate: %w", gcn, err)
+		}
+		// Background scan drains the remainder.
+		if err := c.drain(); err != nil {
+			return *c.rep, fmt.Errorf("gc %d: drain: %w", gcn, err)
+		}
+		if err := c.discardFromSpace(); err != nil {
+			return *c.rep, fmt.Errorf("gc %d: discard: %w", gcn, err)
+		}
+		c.rep.Flips++
+	}
+
+	// Verify: the object graph survived all collections, including every
+	// object allocated concurrently with them.
+	gotSum, gotCount, err := c.traverse(c.mut)
+	if err != nil {
+		return *c.rep, fmt.Errorf("gc: post-GC traverse: %w", err)
+	}
+	wantSum += c.extraSum
+	wantCount += c.extraCount
+	if gotSum != wantSum || gotCount != wantCount {
+		return *c.rep, fmt.Errorf("gc: heap corrupted: sum %d->%d, count %d->%d",
+			wantSum, gotSum, wantCount, gotCount)
+	}
+	c.rep.LiveObjects = gotCount
+	c.rep.MachineCycles = c.k.Machine().Cycles()
+	c.rep.KernelCycles = c.k.Cycles()
+	return *c.rep, nil
+}
+
+func payload(i int) uint64 { return 0x9e3779b97f4a7c15 * uint64(i+1) }
+
+// writeObj writes a whole object as domain d.
+func (c *collector) writeObj(d *kernel.Domain, oa, pa, pb addr.VA, val uint64) error {
+	words := [objWords]uint64{0, uint64(pa), uint64(pb), val}
+	for w, v := range words {
+		if err := c.k.Store(d, oa+addr.VA(w*8), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flip starts collection n: create the new to-space, revoke the mutator's
+// access to both spaces, forward the roots (Table 1 "flip spaces").
+func (c *collector) flip(n int) error {
+	k := c.k
+	cyc0 := k.TotalCycles()
+	c.to = k.CreateSegment(c.pages, kernel.SegmentOptions{
+		Name:    fmt.Sprintf("space%d", n),
+		Handler: c.onFault,
+	})
+	// "Make both spaces read-write for the collector only."
+	k.Attach(c.col, c.to, addr.RW)
+	k.Attach(c.mut, c.to, addr.None)
+	if err := k.SetSegmentRights(c.mut, c.from, addr.None); err != nil {
+		return err
+	}
+	c.rep.FlipProtCycles += k.TotalCycles() - cyc0
+	c.allocAt = c.to.Base()
+	c.newAllocAt = c.to.Range.End()
+	c.scannedUpTo = make(map[uint64]addr.VA)
+	c.unprotected = make(map[uint64]bool)
+
+	// Forward the roots immediately; the mutator then resumes.
+	for i, r := range c.roots {
+		fwd, err := c.forward(r)
+		if err != nil {
+			return err
+		}
+		c.roots[i] = fwd
+	}
+	c.rep.FlipCycles += k.TotalCycles() - cyc0
+	return nil
+}
+
+// forward evacuates the object at va (a from-space address) and returns
+// its to-space address, copying it if this is the first visit.
+func (c *collector) forward(va addr.VA) (addr.VA, error) {
+	if va == 0 {
+		return 0, nil
+	}
+	if c.to.Range.Contains(va) {
+		return va, nil // already a to-space pointer
+	}
+	hdr, err := c.k.Load(c.col, va)
+	if err != nil {
+		return 0, err
+	}
+	if hdr != 0 {
+		return addr.VA(hdr), nil // already forwarded
+	}
+	dst := c.allocAt
+	c.allocAt += objSize
+	// Copy the object's words (the header becomes 0 in the copy).
+	for w := uint64(1); w < objWords; w++ {
+		v, err := c.k.Load(c.col, va+addr.VA(w*8))
+		if err != nil {
+			return 0, err
+		}
+		if err := c.k.Store(c.col, dst+addr.VA(w*8), v); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.k.Store(c.col, dst, 0); err != nil {
+		return 0, err
+	}
+	// Leave the forwarding pointer in from-space.
+	if err := c.k.Store(c.col, va, uint64(dst)); err != nil {
+		return 0, err
+	}
+	c.rep.ObjectsCopied++
+	return dst, nil
+}
+
+// pageIndex returns the to-space page index containing va.
+func (c *collector) pageIndex(va addr.VA) uint64 {
+	return (uint64(va) - uint64(c.to.Base())) / c.geo.PageSize()
+}
+
+// onFault is the to-space segment handler: the mutator touched an
+// unscanned page (Table 1 "access unscanned to-space").
+func (c *collector) onFault(f kernel.Fault) error {
+	if f.Domain != c.mut {
+		return fmt.Errorf("gc: unexpected faulting domain %d", f.Domain.ID)
+	}
+	if c.to == nil || !c.to.Range.Contains(f.VA) {
+		return fmt.Errorf("gc: mutator fault outside active to-space at %#x", uint64(f.VA))
+	}
+	c.rep.ScanFaults++
+	return c.scanPage(c.pageIndex(f.VA))
+}
+
+// scanPage scans to-space page p: forwards the pointer fields of every
+// object on it, then unprotects it for the mutator. If p is the copy
+// frontier page the remaining scan is drained so the page can be safely
+// exposed.
+func (c *collector) scanPage(p uint64) error {
+	if c.unprotected[p] {
+		return nil
+	}
+	pageStart := addr.VA(uint64(c.to.Base()) + p*c.geo.PageSize())
+	pageEnd := pageStart + addr.VA(c.geo.PageSize())
+	s, ok := c.scannedUpTo[p]
+	if !ok {
+		s = pageStart
+	}
+	for {
+		// Scan every object currently on the page; scanning may copy
+		// more objects, growing allocAt (possibly onto this very page),
+		// so the bound is re-read each iteration.
+		for s < pageEnd && s < c.allocAt {
+			if err := c.scanObject(s); err != nil {
+				return err
+			}
+			s += objSize
+		}
+		c.scannedUpTo[p] = s
+		if s >= pageEnd {
+			break // page fully scanned
+		}
+		// The copy frontier sits inside this page and everything on it
+		// is scanned. New objects may still be copied here; to expose
+		// the page safely, drain the whole remaining scan (this is the
+		// tail of the collection).
+		if err := c.drainExcept(p); err != nil {
+			return err
+		}
+		if c.allocAt > s {
+			continue // draining copied more objects onto this page
+		}
+		break // scan complete; the frontier page can be exposed
+	}
+	c.rep.PagesScanned++
+	c.unprotected[p] = true
+	// "Make it read-write for the application."
+	return c.k.SetPageRights(c.mut, pageStart, addr.RW)
+}
+
+// scanObject forwards both pointer fields of the object at va (a to-space
+// address).
+func (c *collector) scanObject(va addr.VA) error {
+	for _, w := range []uint64{ptrAWord, ptrBWord} {
+		ptr, err := c.k.Load(c.col, va+addr.VA(w*8))
+		if err != nil {
+			return err
+		}
+		if ptr == 0 {
+			continue
+		}
+		fwd, err := c.forward(addr.VA(ptr))
+		if err != nil {
+			return err
+		}
+		if fwd != addr.VA(ptr) {
+			if err := c.k.Store(c.col, va+addr.VA(w*8), uint64(fwd)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// drain scans all remaining unscanned pages in address order.
+func (c *collector) drain() error { return c.drainExcept(^uint64(0)) }
+
+// drainExcept scans all pages except skip (used when scanPage(skip) is
+// already on the stack).
+func (c *collector) drainExcept(skip uint64) error {
+	for {
+		if c.allocAt == c.to.Base() {
+			return nil // empty to-space
+		}
+		progressed := false
+		limit := c.pageIndex(c.allocAt-1) + 1
+		for p := uint64(0); p < limit; p++ {
+			if p == skip || c.unprotected[p] {
+				continue
+			}
+			if err := c.scanPage(p); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// allocateNew lets the mutator allocate a born-black object in the new
+// area at the top of to-space while collection runs. The object links to
+// the current head root (no existing edge is overwritten, so the
+// reachable set only grows) and becomes the new head root.
+func (c *collector) allocateNew(rng *rand.Rand) error {
+	if uint64(c.newAllocAt)-uint64(c.allocAt) < 4*objSize {
+		return nil // to-space nearly full: skip (2x sizing makes this rare)
+	}
+	c.newAllocAt -= objSize
+	oa := c.newAllocAt
+	page := c.pageIndex(oa)
+	if !c.unprotected[page] {
+		// A born-black page holds only objects with forwarded pointers;
+		// nothing on it ever needs scanning.
+		pageStart := addr.VA(uint64(c.to.Base()) + page*c.geo.PageSize())
+		c.scannedUpTo[page] = pageStart + addr.VA(c.geo.PageSize())
+		c.unprotected[page] = true
+		if err := c.k.SetPageRights(c.mut, pageStart, addr.RW); err != nil {
+			return err
+		}
+		c.rep.NewPagesExposed++
+	}
+	val := payload(int(rng.Int31()))
+	if err := c.writeObj(c.mut, oa, c.roots[0], 0, val); err != nil {
+		return err
+	}
+	c.roots[0] = oa
+	c.extraSum += val
+	c.extraCount++
+	c.rep.AllocatedDuringGC++
+	return nil
+}
+
+// mutate chases pointers from random roots as the mutator, occasionally
+// writing payloads and allocating new objects; every step may fault on an
+// unscanned page.
+func (c *collector) mutate(rng *rand.Rand, ops, allocPercent int) error {
+	if len(c.roots) == 0 {
+		return nil
+	}
+	cur := c.roots[0]
+	for i := 0; i < ops; i++ {
+		if allocPercent > 0 && rng.Intn(100) < allocPercent {
+			if err := c.allocateNew(rng); err != nil {
+				return err
+			}
+		}
+		if cur == 0 {
+			cur = c.roots[rng.Intn(len(c.roots))]
+			continue
+		}
+		w := ptrAWord
+		if rng.Intn(2) == 0 {
+			w = ptrBWord
+		}
+		v, err := c.k.Load(c.mut, cur+addr.VA(w*8))
+		if err != nil {
+			return err
+		}
+		if rng.Intn(4) == 0 {
+			// Mutate the payload.
+			pv, err := c.k.Load(c.mut, cur+addr.VA(payloadWord*8))
+			if err != nil {
+				return err
+			}
+			if err := c.k.Store(c.mut, cur+addr.VA(payloadWord*8), pv); err != nil {
+				return err
+			}
+		}
+		cur = addr.VA(v)
+	}
+	return nil
+}
+
+// discardFromSpace reclaims the old from-space and promotes to-space.
+func (c *collector) discardFromSpace() error {
+	k := c.k
+	for i := uint64(0); i < c.from.NumPages(); i++ {
+		vpn := c.from.PageVPN(i)
+		if k.Mapped(vpn) {
+			if err := k.Unmap(vpn); err != nil {
+				return err
+			}
+		}
+	}
+	if err := k.Detach(c.col, c.from); err != nil {
+		return err
+	}
+	// The mutator's attachment rights are already None; detach fully.
+	if err := k.Detach(c.mut, c.from); err != nil {
+		return err
+	}
+	c.from = c.to
+	c.to = nil
+	return nil
+}
+
+// traverse walks the graph from the roots as domain d, returning a
+// payload checksum and the reachable object count.
+func (c *collector) traverse(d *kernel.Domain) (uint64, int, error) {
+	seen := make(map[addr.VA]bool)
+	stack := append([]addr.VA(nil), c.roots...)
+	var sum uint64
+	for len(stack) > 0 {
+		va := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if va == 0 || seen[va] {
+			continue
+		}
+		seen[va] = true
+		pv, err := c.k.Load(d, va+addr.VA(payloadWord*8))
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += pv
+		for _, w := range []uint64{ptrAWord, ptrBWord} {
+			p, err := c.k.Load(d, va+addr.VA(w*8))
+			if err != nil {
+				return 0, 0, err
+			}
+			stack = append(stack, addr.VA(p))
+		}
+	}
+	return sum, len(seen), nil
+}

@@ -1,0 +1,131 @@
+// Package rpc implements the cross-domain call microbenchmark of Section
+// 4.1.4: a client repeatedly invokes a server in another protection
+// domain through a portal; each call is two protection domain switches
+// plus the server touching its working set.
+//
+// The models differ sharply here: a PLB machine switches domains by
+// writing one register (rights stay resident, tagged by PD-ID); a
+// page-group machine purges its page-group cache on every switch and
+// reloads it, lazily through faults or eagerly from the domain's group
+// list.
+package rpc
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Calls is the number of round trips.
+	Calls int
+	// ServerSegments is the number of segments the server has attached
+	// (its page-group working set).
+	ServerSegments int
+	// TouchPerCall is how many pages the server touches per call,
+	// rotating across its segments.
+	TouchPerCall int
+	// SharedPages sizes the argument segment shared by client and
+	// server.
+	SharedPages uint64
+}
+
+// DefaultConfig returns 256 calls against a server with 8 segments.
+func DefaultConfig() Config {
+	return Config{Calls: 256, ServerSegments: 8, TouchPerCall: 8, SharedPages: 4}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Calls is the number of round trips completed.
+	Calls int
+	// Switches and SwitchCycles are the hardware domain-switch totals.
+	Switches, SwitchCycles uint64
+	// PGRefills counts page-group cache refill traps (page-group model
+	// only); PLBRefills counts PLB refill traps.
+	PGRefills, PLBRefills uint64
+	// CyclesPerCall is the mean machine+kernel cycles per round trip.
+	CyclesPerCall float64
+	// MachineCycles and KernelCycles are totals.
+	MachineCycles, KernelCycles uint64
+}
+
+// Run executes the workload on k.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Calls < 1 || cfg.ServerSegments < 1 || cfg.TouchPerCall < 0 {
+		return Report{}, fmt.Errorf("rpc: invalid config %+v", cfg)
+	}
+	client := k.CreateDomain()
+	server := k.CreateDomain()
+
+	// The shared argument segment: the client writes arguments, the
+	// server reads them — by pointer, never copied (the single address
+	// space communication style of Section 2.1).
+	shared := k.CreateSegment(cfg.SharedPages, kernel.SegmentOptions{Name: "args"})
+	k.Attach(client, shared, addr.RW)
+	k.Attach(server, shared, addr.Read)
+
+	// The server's private working set, spread over several segments so
+	// the page-group model has several groups to juggle.
+	segs := make([]*kernel.Segment, cfg.ServerSegments)
+	for i := range segs {
+		segs[i] = k.CreateSegment(4, kernel.SegmentOptions{Name: fmt.Sprintf("srv%d", i)})
+		k.Attach(server, segs[i], addr.RW)
+	}
+
+	// Client-side working set so switching back isn't free either.
+	clientSeg := k.CreateSegment(4, kernel.SegmentOptions{Name: "client-heap"})
+	k.Attach(client, clientSeg, addr.RW)
+
+	mc := k.Machine().Counters()
+	before := mc.Snapshot()
+	cyc0 := k.TotalCycles()
+
+	rep := Report{}
+	next := 0
+	for call := 0; call < cfg.Calls; call++ {
+		// The client writes an argument (a pointer into the shared
+		// segment) and calls.
+		arg := shared.Base() + addr.VA(8*(call%32))
+		if err := k.Store(client, arg, uint64(arg)); err != nil {
+			return rep, fmt.Errorf("rpc: client arg write: %w", err)
+		}
+		err := k.Call(client, server, func() error {
+			// The server dereferences the argument...
+			if _, err := k.Load(server, arg); err != nil {
+				return err
+			}
+			// ...and does its work across its segments.
+			for t := 0; t < cfg.TouchPerCall; t++ {
+				s := segs[next%len(segs)]
+				va := s.PageVA(uint64(next % 4))
+				next++
+				if err := k.Touch(server, va, addr.Store); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return rep, fmt.Errorf("rpc: call %d: %w", call, err)
+		}
+		// Client-side work between calls.
+		if err := k.Touch(client, clientSeg.Base(), addr.Store); err != nil {
+			return rep, err
+		}
+		rep.Calls++
+	}
+
+	diff := mc.Diff(before)
+	rep.Switches = diff.Get("switch.count")
+	rep.SwitchCycles = diff.Get("switch.cycles")
+	rep.PGRefills = diff.Get("trap.pg_refill")
+	rep.PLBRefills = diff.Get("trap.plb_refill")
+	total := k.TotalCycles() - cyc0
+	rep.CyclesPerCall = float64(total) / float64(rep.Calls)
+	rep.MachineCycles = k.Machine().Cycles()
+	rep.KernelCycles = k.Cycles()
+	return rep, nil
+}

@@ -1,0 +1,105 @@
+package rpc
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+func TestRPCBothModels(t *testing.T) {
+	cfg := DefaultConfig()
+	reps := map[kernel.Model]Report{}
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		k := kernel.New(kernel.DefaultConfig(m))
+		rep, err := Run(k, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rep.Calls != cfg.Calls {
+			t.Fatalf("%v: calls = %d", m, rep.Calls)
+		}
+		if rep.Switches < uint64(2*cfg.Calls) {
+			t.Fatalf("%v: switches = %d, want >= %d", m, rep.Switches, 2*cfg.Calls)
+		}
+		reps[m] = rep
+	}
+	dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
+	// Section 4.1.4: the PLB machine's switch is one register write, and
+	// PLB rights persist across switches — after warmup no refills. The
+	// page-group machine purges its group cache on every switch and
+	// refaults the working set's groups on every call.
+	if dp.SwitchCycles >= pg.SwitchCycles {
+		t.Errorf("domain-page switch cycles (%d) not below page-group (%d)",
+			dp.SwitchCycles, pg.SwitchCycles)
+	}
+	if pg.PGRefills < uint64(cfg.Calls) {
+		t.Errorf("page-group refills = %d, want >= one per call (%d)", pg.PGRefills, cfg.Calls)
+	}
+	// PLB refills happen only during warmup, far fewer than one per call.
+	if dp.PLBRefills >= uint64(cfg.Calls) {
+		t.Errorf("PLB refills = %d, want warmup-only (< %d)", dp.PLBRefills, cfg.Calls)
+	}
+	if dp.CyclesPerCall >= pg.CyclesPerCall {
+		t.Errorf("domain-page cycles/call (%.0f) not below page-group (%.0f)",
+			dp.CyclesPerCall, pg.CyclesPerCall)
+	}
+}
+
+func TestRPCEagerReloadReducesFaults(t *testing.T) {
+	lazyCfg := kernel.DefaultConfig(kernel.ModelPageGroup)
+	eagerCfg := kernel.DefaultConfig(kernel.ModelPageGroup)
+	eagerCfg.PG.EagerReload = true
+	// Make the checker large enough to hold the server's whole group set.
+	lazyCfg.PG.CheckerEntries = 16
+	eagerCfg.PG.CheckerEntries = 16
+
+	lazyK := kernel.New(lazyCfg)
+	eagerK := kernel.New(eagerCfg)
+	cfg := DefaultConfig()
+	lazy, err := Run(lazyK, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := Run(eagerK, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.PGRefills >= lazy.PGRefills {
+		t.Errorf("eager reload refills (%d) not below lazy (%d)", eager.PGRefills, lazy.PGRefills)
+	}
+}
+
+func TestRPCPIDRegisterThrash(t *testing.T) {
+	// With only 4 PID registers and a server working set of 9 groups
+	// (8 private + 1 shared), every call thrashes the registers.
+	small := kernel.DefaultConfig(kernel.ModelPageGroup)
+	small.PG.Checker = machine.PGCheckerPIDRegisters
+	small.PG.CheckerEntries = 4
+	large := kernel.DefaultConfig(kernel.ModelPageGroup)
+	large.PG.CheckerEntries = 32
+
+	cfg := DefaultConfig()
+	// Two passes over the server's segments per call: with a big group
+	// cache the second pass hits; with 4 registers it thrashes.
+	cfg.TouchPerCall = 16
+	smallRep, err := Run(kernel.New(small), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeRep, err := Run(kernel.New(large), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallRep.PGRefills <= largeRep.PGRefills {
+		t.Errorf("4-register refills (%d) not above 32-entry cache (%d)",
+			smallRep.PGRefills, largeRep.PGRefills)
+	}
+}
+
+func TestRPCInvalidConfig(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	if _, err := Run(k, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Package txn implements 801/Camelot-style transactional virtual memory
+// (Table 1 rows 8-10): each transaction runs in its own protection domain
+// with no access to the shared database segment; page touches fault into
+// a lock manager that grants page locks and access rights on demand
+// (lock-on-fault); commit releases the locks and returns the pages to the
+// inaccessible state; conflicting lock requests abort the requester,
+// rolling its pages back from an undo log.
+//
+// Transactions perform real read-modify-write work on counters stored in
+// the database pages, so serializability is verified: the final counter
+// totals must equal the committed increments exactly.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Model selects the protection model.
+	Model kernel.Model
+	// Pages sizes the database segment.
+	Pages uint64
+	// Domains is the number of concurrent transaction domains.
+	Domains int
+	// Transactions is the total number of transactions to commit.
+	Transactions int
+	// OpsPerTxn is the number of counter increments per transaction.
+	OpsPerTxn int
+	// ReadOnlyPercent is the probability (0-100) that an op only reads
+	// its counter (taking a shared read lock).
+	ReadOnlyPercent int
+	// HotPercent is the probability (0-100) that an op targets the hot
+	// page set (the first 2 pages), inducing conflicts.
+	HotPercent int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a contended mix: 8 domains over 16 pages with a
+// hot set.
+func DefaultConfig(m kernel.Model) Config {
+	return Config{
+		Model:           m,
+		Pages:           16,
+		Domains:         8,
+		Transactions:    64,
+		OpsPerTxn:       6,
+		ReadOnlyPercent: 30,
+		HotPercent:      25,
+		Seed:            1,
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Commits and Aborts count transaction outcomes.
+	Commits, Aborts uint64
+	// ReadLocks and WriteLocks count lock grants (each a protection
+	// fault + rights change, Table 1 rows 8-9).
+	ReadLocks, WriteLocks uint64
+	// CommitReleases counts per-page rights revocations at commit
+	// (Table 1 row 10).
+	CommitReleases uint64
+	// GroupsCreated and PageMoves are the page-group model's group
+	// traffic (zero under domain-page).
+	GroupsCreated, PageMoves uint64
+	// CommittedIncrements is the verified number of increments applied.
+	CommittedIncrements uint64
+	// MachineCycles and KernelCycles are totals.
+	MachineCycles, KernelCycles uint64
+}
+
+type lockMode uint8
+
+const (
+	lockFree lockMode = iota
+	lockRead
+	lockWrite
+)
+
+type lockState struct {
+	mode    lockMode
+	holders map[addr.DomainID]bool
+}
+
+// errConflict aborts the faulting transaction.
+var errConflict = errors.New("txn: lock conflict")
+
+type manager struct {
+	k     *kernel.Kernel
+	seg   *kernel.Segment
+	locks map[addr.VPN]*lockState
+	// undo holds pre-image pages per transaction domain.
+	undo map[addr.DomainID]map[addr.VPN][]byte
+	rep  *Report
+}
+
+// onFault is the lock-on-fault path.
+func (m *manager) onFault(f kernel.Fault) error {
+	vpn := m.k.Geometry().PageNumber(f.VA)
+	ls := m.locks[vpn]
+	if ls == nil {
+		ls = &lockState{holders: map[addr.DomainID]bool{}}
+		m.locks[vpn] = ls
+	}
+	d := f.Domain
+	if f.Kind == addr.Store {
+		// Write lock: exclusive.
+		if ls.mode == lockFree || (len(ls.holders) == 1 && ls.holders[d.ID]) {
+			if err := m.saveUndo(d.ID, vpn); err != nil {
+				return err
+			}
+			ls.mode = lockWrite
+			ls.holders = map[addr.DomainID]bool{d.ID: true}
+			m.rep.WriteLocks++
+			return m.k.SetPageRights(d, f.VA, addr.RW)
+		}
+		return errConflict
+	}
+	// Read lock: shared among readers.
+	switch ls.mode {
+	case lockFree, lockRead:
+		ls.mode = lockRead
+		ls.holders[d.ID] = true
+		m.rep.ReadLocks++
+		return m.k.SetPageRights(d, f.VA, addr.Read)
+	case lockWrite:
+		if ls.holders[d.ID] {
+			return nil // already writable; spurious
+		}
+		return errConflict
+	}
+	return errConflict
+}
+
+// saveUndo snapshots the page before its first modification by d.
+func (m *manager) saveUndo(d addr.DomainID, vpn addr.VPN) error {
+	if m.undo[d] == nil {
+		m.undo[d] = make(map[addr.VPN][]byte)
+	}
+	if _, ok := m.undo[d][vpn]; ok {
+		return nil
+	}
+	data, err := m.k.KernelReadPage(vpn)
+	if err != nil {
+		return err
+	}
+	m.undo[d][vpn] = data
+	return nil
+}
+
+// release drops all locks held by domain d, restoring the inaccessible
+// state (Table 1 "Commit: unlock all locked pages and return them to the
+// inaccessible state"). If rollback is set, write-locked pages are
+// restored from the undo log first.
+func (m *manager) release(dom *kernel.Domain, rollback bool) error {
+	for vpn, ls := range m.locks {
+		if !ls.holders[dom.ID] {
+			continue
+		}
+		if rollback && ls.mode == lockWrite {
+			if pre, ok := m.undo[dom.ID][vpn]; ok {
+				if err := m.k.KernelWritePage(vpn, pre); err != nil {
+					return err
+				}
+			}
+		}
+		delete(ls.holders, dom.ID)
+		if len(ls.holders) == 0 {
+			ls.mode = lockFree
+		}
+		m.rep.CommitReleases++
+		if err := m.k.SetPageRights(dom, m.k.Geometry().Base(vpn), addr.None); err != nil {
+			return err
+		}
+	}
+	delete(m.undo, dom.ID)
+	return nil
+}
+
+// Run executes the workload and verifies serializability.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Model != k.Model() {
+		return Report{}, fmt.Errorf("txn: config model %v != kernel model %v", cfg.Model, k.Model())
+	}
+	if cfg.Pages == 0 || cfg.Domains < 1 || cfg.Transactions < 1 {
+		return Report{}, fmt.Errorf("txn: invalid config %+v", cfg)
+	}
+	rep := Report{}
+	mgr := &manager{
+		k:     k,
+		locks: make(map[addr.VPN]*lockState),
+		undo:  make(map[addr.DomainID]map[addr.VPN][]byte),
+		rep:   &rep,
+	}
+	mgr.seg = k.CreateSegment(cfg.Pages, kernel.SegmentOptions{
+		Name:    "database",
+		Handler: mgr.onFault,
+	})
+	domains := make([]*kernel.Domain, cfg.Domains)
+	for i := range domains {
+		domains[i] = k.CreateDomain()
+		// Attached for authority, but with no access: every touch
+		// faults to the lock manager.
+		k.Attach(domains[i], mgr.seg, addr.None)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pgBefore := k.Counters().Snapshot()
+
+	// Transactions run concurrently: one per domain, with their
+	// operations interleaved round-robin by a scheduler, so lock
+	// conflicts (and aborts) arise exactly as they would on a real
+	// multiprogrammed system.
+	type op struct {
+		page     uint64
+		readOnly bool
+	}
+	type txnState struct {
+		dom    *kernel.Domain
+		script []op
+		step   int
+		// pending holds the increment value between the read and the
+		// write of the current read-modify-write op.
+		pending uint64
+		midRMW  bool
+		// backoff makes the transaction sit out scheduler turns after an
+		// abort (exponential in consecutive aborts, offset by the slot
+		// index) so competing transactions can drain — without it,
+		// upgrade conflicts livelock under round-robin scheduling.
+		backoff      int
+		consecAborts int
+	}
+	newScript := func() []op {
+		script := make([]op, cfg.OpsPerTxn)
+		for i := range script {
+			var page uint64
+			if rng.Intn(100) < cfg.HotPercent {
+				page = uint64(rng.Intn(2)) % cfg.Pages
+			} else {
+				page = uint64(rng.Intn(int(cfg.Pages)))
+			}
+			script[i] = op{page: page, readOnly: rng.Intn(100) < cfg.ReadOnlyPercent}
+		}
+		return script
+	}
+	active := make([]*txnState, cfg.Domains)
+	for i := range active {
+		active[i] = &txnState{dom: domains[i], script: newScript()}
+	}
+	committed := uint64(0)
+	started := cfg.Domains
+	remaining := cfg.Transactions
+
+	abort := func(t *txnState, slot int) error {
+		if err := mgr.release(t.dom, true); err != nil {
+			return fmt.Errorf("txn: rollback: %w", err)
+		}
+		rep.Aborts++
+		t.step = 0
+		t.midRMW = false
+		t.consecAborts++
+		shift := t.consecAborts
+		if shift > 6 {
+			shift = 6
+		}
+		t.backoff = (1 << shift) + slot
+		return nil
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for i, t := range active {
+			if t == nil {
+				continue
+			}
+			progressed = true
+			if t.backoff > 0 {
+				t.backoff--
+				continue
+			}
+			o := t.script[t.step]
+			va := mgr.seg.PageVA(o.page) // the page's counter word
+			var err error
+			switch {
+			case o.readOnly:
+				_, err = k.Load(t.dom, va)
+			case !t.midRMW:
+				var v uint64
+				v, err = k.Load(t.dom, va)
+				if err == nil {
+					t.pending = v + 1
+					t.midRMW = true
+					continue // the write happens on the next step
+				}
+			default:
+				err = k.Store(t.dom, va, t.pending)
+				if err == nil {
+					t.midRMW = false
+				}
+			}
+			if err != nil {
+				if !isConflict(err) {
+					return rep, fmt.Errorf("txn: unexpected failure: %w", err)
+				}
+				if err := abort(t, i); err != nil {
+					return rep, err
+				}
+				continue
+			}
+			t.step++
+			if t.step == len(t.script) {
+				if err := mgr.release(t.dom, false); err != nil {
+					return rep, fmt.Errorf("txn: commit: %w", err)
+				}
+				t.consecAborts = 0
+				rep.Commits++
+				for _, o := range t.script {
+					if !o.readOnly {
+						committed++
+					}
+				}
+				remaining--
+				if started < cfg.Transactions {
+					active[i] = &txnState{dom: t.dom, script: newScript()}
+					started++
+				} else {
+					active[i] = nil
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Roll back any transactions still in flight when the quota was
+	// reached, so the audit sees only committed state.
+	for i, t := range active {
+		if t == nil {
+			continue
+		}
+		if err := abort(t, i); err != nil {
+			return rep, err
+		}
+	}
+
+	// Serializability check: the counters must sum to exactly the
+	// committed increments.
+	auditor := k.CreateDomain()
+	k.Attach(auditor, mgr.seg, addr.Read)
+	var sum uint64
+	for p := uint64(0); p < cfg.Pages; p++ {
+		v, err := k.Load(auditor, mgr.seg.PageVA(p))
+		if err != nil {
+			return rep, fmt.Errorf("txn: audit: %w", err)
+		}
+		sum += v
+	}
+	if sum != committed {
+		return rep, fmt.Errorf("txn: serializability violated: counters sum to %d, want %d",
+			sum, committed)
+	}
+	rep.CommittedIncrements = committed
+
+	pgDiff := k.Counters().Diff(pgBefore)
+	rep.GroupsCreated = pgDiff.Get("pg.groups_created")
+	rep.PageMoves = pgDiff.Get("pg.page_moves")
+	rep.MachineCycles = k.Machine().Cycles()
+	rep.KernelCycles = k.Cycles()
+	return rep, nil
+}
+
+func isConflict(err error) bool { return errors.Is(err, errConflict) }

@@ -1,0 +1,99 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func run(t *testing.T, m kernel.Model, cfg Config) Report {
+	t.Helper()
+	k := kernel.New(kernel.DefaultConfig(m))
+	cfg.Model = m
+	rep, err := Run(k, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	return rep
+}
+
+func TestTxnSerializableBothModels(t *testing.T) {
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		t.Run(m.String(), func(t *testing.T) {
+			rep := run(t, m, DefaultConfig(m))
+			if rep.Commits < uint64(DefaultConfig(m).Transactions) {
+				t.Fatalf("commits = %d, want >= %d", rep.Commits, DefaultConfig(m).Transactions)
+			}
+			if rep.ReadLocks == 0 || rep.WriteLocks == 0 {
+				t.Fatalf("degenerate lock traffic: %+v", rep)
+			}
+			if rep.CommitReleases == 0 {
+				t.Fatal("no commit-time releases")
+			}
+			if rep.CommittedIncrements == 0 {
+				t.Fatal("no committed work")
+			}
+		})
+	}
+}
+
+func TestTxnConflictsUnderContention(t *testing.T) {
+	cfg := DefaultConfig(kernel.ModelDomainPage)
+	cfg.HotPercent = 90 // nearly all ops hit 2 pages
+	cfg.ReadOnlyPercent = 0
+	rep := run(t, kernel.ModelDomainPage, cfg)
+	if rep.Aborts == 0 {
+		t.Fatalf("no aborts under extreme contention: %+v", rep)
+	}
+}
+
+func TestTxnNoContentionNoAborts(t *testing.T) {
+	cfg := DefaultConfig(kernel.ModelDomainPage)
+	cfg.Domains = 1 // a single transaction at a time cannot conflict
+	rep := run(t, kernel.ModelDomainPage, cfg)
+	if rep.Aborts != 0 {
+		t.Fatalf("aborts without concurrency: %+v", rep)
+	}
+}
+
+func TestTxnPageGroupTraffic(t *testing.T) {
+	// The page-group model must create lock groups and move pages
+	// between them as locks are acquired and released (Section 4.1.2).
+	rep := run(t, kernel.ModelPageGroup, DefaultConfig(kernel.ModelPageGroup))
+	if rep.GroupsCreated == 0 {
+		t.Fatal("no page-groups created for locks")
+	}
+	if rep.PageMoves == 0 {
+		t.Fatal("no page moves between lock groups")
+	}
+	// The domain-page model has neither.
+	dp := run(t, kernel.ModelDomainPage, DefaultConfig(kernel.ModelDomainPage))
+	if dp.GroupsCreated != 0 || dp.PageMoves != 0 {
+		t.Fatalf("domain-page model reported group traffic: %+v", dp)
+	}
+}
+
+func TestTxnDeterministic(t *testing.T) {
+	cfg := DefaultConfig(kernel.ModelPageGroup)
+	a := run(t, kernel.ModelPageGroup, cfg)
+	b := run(t, kernel.ModelPageGroup, cfg)
+	if a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTxnModelMismatchRejected(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	cfg := DefaultConfig(kernel.ModelPageGroup)
+	if _, err := Run(k, cfg); err == nil {
+		t.Fatal("model mismatch accepted")
+	}
+}
+
+func TestTxnInvalidConfig(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	cfg := Config{Model: kernel.ModelDomainPage}
+	if _, err := Run(k, cfg); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package sasos_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/sasos"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start sequence
+// through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	for _, m := range []sasos.Model{sasos.ModelDomainPage, sasos.ModelPageGroup} {
+		k := sasos.New(sasos.DefaultConfig(m))
+		app := k.CreateDomain()
+		seg := k.CreateSegment(16, sasos.SegmentOptions{Name: "heap"})
+		k.Attach(app, seg, sasos.RW)
+		if err := k.Store(app, seg.Base(), 42); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		v, err := k.Load(app, seg.Base())
+		if err != nil || v != 42 {
+			t.Fatalf("%v: load = %d, %v", m, v, err)
+		}
+		// A second domain without attachment is denied.
+		spy := k.CreateDomain()
+		if err := k.Touch(spy, seg.Base(), sasos.Load); !errors.Is(err, sasos.ErrProtection) {
+			t.Fatalf("%v: spy access: %v", m, err)
+		}
+	}
+}
+
+func TestPublicAPIFaultHandler(t *testing.T) {
+	k := sasos.New(sasos.DefaultConfig(sasos.ModelDomainPage))
+	d := k.CreateDomain()
+	faults := 0
+	seg := k.CreateSegment(4, sasos.SegmentOptions{
+		Name: "guarded",
+		Handler: func(f sasos.Fault) error {
+			faults++
+			return f.K.SetPageRights(f.Domain, f.VA, sasos.RW)
+		},
+	})
+	k.Attach(d, seg, sasos.None)
+	if err := k.Store(d, seg.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d", faults)
+	}
+}
+
+func TestRightsStrings(t *testing.T) {
+	if sasos.RW.String() != "rw-" || sasos.None.String() != "---" {
+		t.Fatal("rights formatting changed")
+	}
+}
+
+func TestPublicAPIConventionalModel(t *testing.T) {
+	k := sasos.New(sasos.DefaultConfig(sasos.ModelConventional))
+	d := k.CreateDomain()
+	s := k.CreateSegment(2, sasos.SegmentOptions{})
+	k.Attach(d, s, sasos.RW)
+	if err := k.Store(d, s.Base(), 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISegmentLifecycle(t *testing.T) {
+	k := sasos.New(sasos.DefaultConfig(sasos.ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(2, sasos.SegmentOptions{})
+	k.Attach(d, s, sasos.RW)
+	if err := k.DestroySegment(s); !errors.Is(err, sasos.ErrSegmentBusy) {
+		t.Fatalf("busy destroy: %v", err)
+	}
+	k.Detach(d, s)
+	if err := k.DestroySegment(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIExecKeyed(t *testing.T) {
+	k := sasos.New(sasos.DefaultConfig(sasos.ModelDomainPage))
+	d := k.CreateDomain()
+	code := k.CreateSegment(2, sasos.SegmentOptions{Name: "code"})
+	data := k.CreateSegment(2, sasos.SegmentOptions{Name: "data"})
+	k.Attach(d, code, sasos.RX)
+	if err := k.GrantExecutor(data, code, sasos.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetExecutionSite(d, code.Base()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Store(d, data.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
