@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race check fmt vet bench tables
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector (the DSM and netsim
+# fault machinery must stay race-clean).
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector.
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+tables:
+	$(GO) run ./cmd/tablegen

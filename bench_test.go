@@ -45,6 +45,7 @@ func BenchmarkE7AMAT(b *testing.B)         { benchExperiment(b, "E7") }
 func BenchmarkE8Granularity(b *testing.B)  { benchExperiment(b, "E8") }
 func BenchmarkE9Paging(b *testing.B)       { benchExperiment(b, "E9") }
 func BenchmarkE10Mixed(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE13Fault(b *testing.B)       { benchExperiment(b, "E13") }
 
 // --- Workload benches with simulated-cycle metrics: each reports
 // sim-cycles/op alongside wall time, so regressions in either the

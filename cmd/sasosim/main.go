@@ -5,6 +5,7 @@
 //
 //	sasosim -workload gc -model domain-page
 //	sasosim -workload txn -model page-group
+//	sasosim -workload dsm -drop 10 -crash-node 2 -crash-at 200
 //	sasosim -trace refs.trc -machine flush
 package main
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/internal/workload/attach"
 	"repro/internal/workload/checkpoint"
@@ -29,10 +31,17 @@ import (
 func main() {
 	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc")
 	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional")
-	manager := flag.String("manager", "central", "dsm ownership protocol: central|distributed")
 	incremental := flag.Bool("incremental", false, "checkpoint workload: incremental instead of full")
 	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
 	machName := flag.String("machine", "plb", "machine for trace replay: plb|page-group|conventional|flush")
+	var d dsmOpts
+	flag.StringVar(&d.manager, "manager", "central", "dsm ownership protocol: central|distributed")
+	flag.IntVar(&d.drop, "drop", 0, "dsm: percent of messages dropped in transit (0-100)")
+	flag.IntVar(&d.dup, "dup", 0, "dsm: percent of messages duplicated by the wire (0-100)")
+	flag.IntVar(&d.reorder, "reorder", 0, "dsm: percent of messages reordered (0-100)")
+	flag.IntVar(&d.crashNode, "crash-node", 0, "dsm: crash this node mid-run (0 disables; node 0 cannot crash)")
+	flag.IntVar(&d.crashAt, "crash-at", 0, "dsm: round after which -crash-node fails")
+	flag.Int64Var(&d.seed, "seed", 1, "dsm: seed for the workload and the fault plan")
 	flag.Parse()
 
 	if *traceFile != "" {
@@ -46,10 +55,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *manager, *incremental); err != nil {
+	if err := runWorkload(*workload, *model, *incremental, d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// dsmOpts bundles the DSM-specific command-line options.
+type dsmOpts struct {
+	manager            string
+	drop, dup, reorder int
+	crashNode, crashAt int
+	seed               int64
 }
 
 func parseModel(s string) (kernel.Model, error) {
@@ -65,24 +82,46 @@ func parseModel(s string) (kernel.Model, error) {
 	}
 }
 
-func runWorkload(name, modelName, manager string, incremental bool) error {
+func runWorkload(name, modelName string, incremental bool, d dsmOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
 	}
 	k := kernel.New(kernel.DefaultConfig(m))
 	var rep any
+	var dsmRep *dsm.Report
 	switch name {
 	case "attach":
 		rep, err = attach.Run(k, attach.DefaultConfig())
 	case "gc":
 		rep, err = gc.Run(k, gc.DefaultConfig())
 	case "dsm":
+		for _, p := range []struct {
+			name string
+			v    int
+		}{{"-drop", d.drop}, {"-dup", d.dup}, {"-reorder", d.reorder}} {
+			if p.v < 0 || p.v > 100 {
+				return fmt.Errorf("sasosim: %s %d out of [0,100]", p.name, p.v)
+			}
+		}
 		cfg := dsm.DefaultConfig(m)
-		if manager == "distributed" {
+		cfg.Seed = d.seed
+		if d.manager == "distributed" {
 			cfg.Manager = dsm.DistributedManager
 		}
-		rep, err = dsm.Run(cfg)
+		if d.drop > 0 || d.dup > 0 || d.reorder > 0 {
+			cfg.Net.Faults = netsim.FaultPlan{
+				Seed:           d.seed,
+				DropPercent:    d.drop,
+				DupPercent:     d.dup,
+				ReorderPercent: d.reorder,
+			}
+		}
+		cfg.CrashNode = d.crashNode
+		cfg.CrashAtOp = d.crashAt
+		var r dsm.Report
+		r, err = dsm.Run(cfg)
+		rep, dsmRep = r, &r
 	case "txn":
 		rep, err = txn.Run(k, txn.DefaultConfig(m))
 	case "checkpoint":
@@ -106,6 +145,15 @@ func runWorkload(name, modelName, manager string, incremental bool) error {
 	fmt.Printf("workload %s on %s\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
 		name, m, rep, k.Machine().Counters(), k.Counters())
 	fmt.Printf("machine cycles: %d\nkernel cycles:  %d\n", k.Machine().Cycles(), k.Cycles())
+	if dsmRep != nil {
+		fmt.Printf("\nreliability: retransmits=%d timeouts=%d acks=%d dup_suppressed=%d drops=%d dups=%d reorders=%d down_drops=%d\n",
+			dsmRep.Retransmits, dsmRep.Timeouts, dsmRep.Acks, dsmRep.DupSuppressed,
+			dsmRep.Drops, dsmRep.Dups, dsmRep.Reorders, dsmRep.DownDrops)
+		fmt.Printf("reliability cycles: retransmit=%d timeout=%d ack=%d\n",
+			dsmRep.RetransCycles, dsmRep.TimeoutCycles, dsmRep.AckCycles)
+		fmt.Printf("recovery: crashes=%d checkpoint_saves=%d recovered_pages=%d store_fetches=%d recovery_cycles=%d\n",
+			dsmRep.Crashes, dsmRep.CheckpointSaves, dsmRep.RecoveredPages, dsmRep.StoreFetches, dsmRep.RecoveryCycles)
+	}
 	return nil
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/workload/dsm"
+)
+
+// E13Fault measures what network unreliability costs the DSM coherence
+// protocol (Table 1 rows 5-7 under faults): a drop-rate sweep showing
+// retransmission/timeout/ack overhead per protection model, and a
+// mid-run node crash recovered from the stable checkpoint image. The
+// paper's protocols assume a reliable interconnect; this experiment
+// quantifies the tax of providing that reliability in software.
+func E13Fault() ([]*stats.Table, error) {
+	models := []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional}
+	var tables []*stats.Table
+
+	// Sweep the drop rate. Duplication and reordering ride along at a
+	// fixed low rate so suppression is exercised too.
+	t := stats.NewTable("E13.1 DSM over a lossy network (drop-rate sweep, central manager)",
+		"model / drop%", "retransmits", "timeouts", "acks", "dups suppressed",
+		"reliability cycles", "net cycles", "total cycles")
+	var cfg dsm.Config
+	for _, m := range models {
+		for _, drop := range []int{0, 5, 10, 20} {
+			cfg = dsm.DefaultConfig(m)
+			if drop > 0 {
+				cfg.Net.Faults = netsim.FaultPlan{
+					Seed:           11,
+					DropPercent:    drop,
+					DupPercent:     2,
+					ReorderPercent: 2,
+				}
+			}
+			rep, err := dsm.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: E13 %v drop %d%%: %w", m, drop, err)
+			}
+			t.AddRow(fmt.Sprintf("%v / %d%%", m, drop),
+				rep.Retransmits, rep.Timeouts, rep.Acks, rep.DupSuppressed,
+				rep.RetransCycles+rep.TimeoutCycles+rep.AckCycles,
+				rep.NetCycles, rep.MachineCycles+rep.KernelCycles)
+		}
+	}
+	t.AddNote("workload: %d nodes, %d pages, %d ops/node, %d%% writes; dup/reorder fixed at 2%%",
+		cfg.Nodes, cfg.Pages, cfg.OpsPerNode, cfg.WritePercent)
+	t.AddNote("0%% drop short-circuits the reliable layer: overhead is exactly zero")
+	t.AddNote("every run passes the same coherence verification as the fault-free protocol")
+	tables = append(tables, t)
+
+	// Crash one node mid-run on a lossy network; recovery restores its
+	// pages from the stable checkpoint image.
+	t2 := stats.NewTable("E13.2 DSM node crash and checkpoint recovery (5% drop)",
+		"model", "checkpoint saves", "recovered pages", "store fetches",
+		"down drops", "recovery cycles", "total cycles")
+	var ccfg dsm.Config
+	for _, m := range models {
+		ccfg = dsm.DefaultConfig(m)
+		ccfg.Pages = 8
+		ccfg.WritePercent = 60
+		ccfg.Net.Faults = netsim.FaultPlan{Seed: 5, DropPercent: 5}
+		ccfg.CrashNode = 2
+		ccfg.CrashAtOp = ccfg.OpsPerNode / 2
+		rep, err := dsm.Run(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: E13 crash on %v: %w", m, err)
+		}
+		if rep.Crashes != 1 {
+			return nil, fmt.Errorf("core: E13 crash on %v: %d crashes recorded", m, rep.Crashes)
+		}
+		t2.AddRow(m.String(), rep.CheckpointSaves, rep.RecoveredPages, rep.StoreFetches,
+			rep.DownDrops, rep.RecoveryCycles, rep.MachineCycles+rep.KernelCycles)
+	}
+	t2.AddNote("node %d crashes after its access in round %d and reboots one round later",
+		ccfg.CrashNode, ccfg.CrashAtOp)
+	t2.AddNote("owned pages flush to the stable image at failure; peers fetch them from node 0 while the owner is down")
+	t2.AddNote("final memory contents are verified identical to a fault-free run (same access sequence)")
+	tables = append(tables, t2)
+	return tables, nil
+}

@@ -158,6 +158,151 @@ func TestAutoEvictSurvivesPressure(t *testing.T) {
 	}
 }
 
+// --- First-class fault injection (Config.FaultInjector) ---
+
+func TestInjectedFrameAllocFailure(t *testing.T) {
+	// The injector makes allocation fail for one specific page; the
+	// kernel surfaces the error cleanly, other pages are untouched, and
+	// removing the injector heals the page.
+	errBadFrame := errors.New("injected frame failure")
+	for _, m := range []Model{ModelDomainPage, ModelPageGroup, ModelConventional} {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := DefaultConfig(m)
+			k := New(cfg)
+			d := k.CreateDomain()
+			s := k.CreateSegment(4, SegmentOptions{})
+			k.Attach(d, s, addr.RW)
+			poison := s.PageVPN(2)
+			k.SetFaultInjector(&FaultInjector{
+				FrameAlloc: func(vpn addr.VPN) error {
+					if vpn == poison {
+						return errBadFrame
+					}
+					return nil
+				},
+			})
+			for p := uint64(0); p < 4; p++ {
+				err := k.Touch(d, s.PageVA(p), addr.Store)
+				if p == 2 {
+					if !errors.Is(err, errBadFrame) {
+						t.Fatalf("page 2 err = %v, want injected failure", err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("page %d: %v", p, err)
+				}
+			}
+			if got := k.Counters().Get("kernel.injected_frame_failures"); got == 0 {
+				t.Fatal("injection not counted")
+			}
+			k.SetFaultInjector(nil)
+			if err := k.Touch(d, s.PageVA(2), addr.Store); err != nil {
+				t.Fatalf("page 2 still broken after removing injector: %v", err)
+			}
+		})
+	}
+}
+
+func TestInjectedHandlerError(t *testing.T) {
+	// The injector replaces the handler's verdict for the first fault
+	// only; the kernel reports a protection error without corrupting its
+	// tables, and the retried access succeeds through the real handler.
+	k := New(DefaultConfig(ModelDomainPage))
+	d := k.CreateDomain()
+	handlerRuns := 0
+	s := k.CreateSegment(1, SegmentOptions{
+		Handler: func(f Fault) error {
+			handlerRuns++
+			return f.K.SetPageRights(f.Domain, f.VA, addr.RW)
+		},
+	})
+	k.Attach(d, s, addr.None)
+	errCrash := errors.New("injected handler crash")
+	fired := false
+	k.SetFaultInjector(&FaultInjector{
+		HandlerError: func(f Fault) error {
+			if fired {
+				return nil
+			}
+			fired = true
+			return errCrash
+		},
+	})
+	err := k.Store(d, s.Base(), 1)
+	if !errors.Is(err, ErrProtection) || !errors.Is(err, errCrash) {
+		t.Fatalf("err = %v, want ErrProtection wrapping the injected error", err)
+	}
+	if handlerRuns != 0 {
+		t.Fatal("real handler ran despite injected error")
+	}
+	if err := k.Store(d, s.Base(), 2); err != nil {
+		t.Fatalf("retry after injected crash: %v", err)
+	}
+	if handlerRuns != 1 {
+		t.Fatalf("handler runs = %d", handlerRuns)
+	}
+	if k.Counters().Get("kernel.injected_handler_errors") != 1 {
+		t.Fatal("injection not counted")
+	}
+}
+
+func TestInjectedSpuriousTraps(t *testing.T) {
+	// Spurious traps hit an idempotent handler; data stays correct and
+	// every injected trap is charged and counted.
+	for _, m := range []Model{ModelDomainPage, ModelPageGroup, ModelConventional} {
+		t.Run(m.String(), func(t *testing.T) {
+			k := New(DefaultConfig(m))
+			d := k.CreateDomain()
+			s := k.CreateSegment(2, SegmentOptions{
+				Handler: func(f Fault) error {
+					return f.K.SetPageRights(f.Domain, f.VA, addr.RW)
+				},
+			})
+			k.Attach(d, s, addr.RW)
+			n := 0
+			k.SetFaultInjector(&FaultInjector{
+				SpuriousTrap: func(dom addr.DomainID, va addr.VA, kind addr.AccessKind) bool {
+					n++
+					return n%3 == 0 // every third access glitches
+				},
+			})
+			cyc0 := k.Cycles()
+			for i := 0; i < 12; i++ {
+				va := s.PageVA(uint64(i % 2))
+				if err := k.Store(d, va, uint64(i)); err != nil {
+					t.Fatalf("store %d: %v", i, err)
+				}
+			}
+			traps := k.Counters().Get("kernel.injected_spurious_traps")
+			if traps == 0 {
+				t.Fatal("no spurious traps fired")
+			}
+			if k.Cycles() == cyc0 {
+				t.Fatal("spurious traps charged no cycles")
+			}
+			if v, _ := k.Load(d, s.PageVA(1)); v != 11 {
+				t.Fatalf("data corrupted under spurious traps: %d", v)
+			}
+		})
+	}
+}
+
+func TestSpuriousTrapWithoutHandlerIsFatal(t *testing.T) {
+	// A glitching access to a handler-less segment cannot be recovered:
+	// the kernel surfaces ErrProtection instead of looping.
+	k := New(DefaultConfig(ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(1, SegmentOptions{})
+	k.Attach(d, s, addr.RW)
+	k.SetFaultInjector(&FaultInjector{
+		SpuriousTrap: func(addr.DomainID, addr.VA, addr.AccessKind) bool { return true },
+	})
+	if err := k.Touch(d, s.Base(), addr.Load); !errors.Is(err, ErrProtection) {
+		t.Fatalf("err = %v, want ErrProtection", err)
+	}
+}
+
 func TestAutoEvictOffByDefault(t *testing.T) {
 	cfg := DefaultConfig(ModelDomainPage)
 	cfg.Frames = 2

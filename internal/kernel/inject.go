@@ -1,0 +1,74 @@
+package kernel
+
+import "repro/internal/addr"
+
+// FaultInjector forces failures at the kernel's decision points, making
+// the ad-hoc degradation scenarios of failure_test.go a first-class,
+// reusable mechanism: robustness workloads install one via
+// Config.FaultInjector and the kernel consults it at each hook. A nil
+// injector (or nil hook) costs nothing. Every fired injection is counted
+// (kernel.injected_*) so experiments can correlate injected faults with
+// the recovery work they triggered.
+type FaultInjector struct {
+	// FrameAlloc is consulted before every physical frame allocation; a
+	// non-nil error makes the allocation fail with it (simulating memory
+	// exhaustion or a faulty frame pool) before the allocator runs.
+	FrameAlloc func(vpn addr.VPN) error
+	// HandlerError is consulted before a segment fault handler runs; a
+	// non-nil error replaces the handler's verdict (simulating a buggy
+	// or crashed user-level handler). The fault is then surfaced as a
+	// protection error exactly as a real handler failure would be.
+	HandlerError func(f Fault) error
+	// SpuriousTrap is consulted before each access; returning true
+	// raises a protection trap even though the domain's rights are fine
+	// (simulating glitching protection hardware). The trap is charged
+	// and delivered to the segment's handler like any real fault, so
+	// handlers must be idempotent to survive it.
+	SpuriousTrap func(d addr.DomainID, va addr.VA, kind addr.AccessKind) bool
+}
+
+// SetFaultInjector installs (or, with nil, removes) the kernel's fault
+// injector at runtime, so tests can scope injection to one phase of a
+// workload.
+func (k *Kernel) SetFaultInjector(inj *FaultInjector) { k.cfg.FaultInjector = inj }
+
+// injectFrameAlloc runs the FrameAlloc hook, counting fired injections.
+func (k *Kernel) injectFrameAlloc(vpn addr.VPN) error {
+	inj := k.cfg.FaultInjector
+	if inj == nil || inj.FrameAlloc == nil {
+		return nil
+	}
+	if err := inj.FrameAlloc(vpn); err != nil {
+		k.ctrs.Inc("kernel.injected_frame_failures")
+		return err
+	}
+	return nil
+}
+
+// injectHandlerError runs the HandlerError hook, counting fired
+// injections.
+func (k *Kernel) injectHandlerError(f Fault) error {
+	inj := k.cfg.FaultInjector
+	if inj == nil || inj.HandlerError == nil {
+		return nil
+	}
+	if err := inj.HandlerError(f); err != nil {
+		k.ctrs.Inc("kernel.injected_handler_errors")
+		return err
+	}
+	return nil
+}
+
+// injectSpuriousTrap runs the SpuriousTrap hook, counting fired
+// injections.
+func (k *Kernel) injectSpuriousTrap(d *Domain, va addr.VA, kind addr.AccessKind) bool {
+	inj := k.cfg.FaultInjector
+	if inj == nil || inj.SpuriousTrap == nil {
+		return false
+	}
+	if inj.SpuriousTrap(d.ID, va, kind) {
+		k.ctrs.Inc("kernel.injected_spurious_traps")
+		return true
+	}
+	return false
+}

@@ -111,6 +111,10 @@ type Config struct {
 	// that cannot be satisfied within this many handled faults is a bug
 	// in a fault handler.
 	MaxFaultRetries int
+	// FaultInjector, when non-nil, forces failures at configured kernel
+	// hook points (frame allocation, handler dispatch, spurious traps).
+	// Production configurations leave it nil.
+	FaultInjector *FaultInjector
 }
 
 // DefaultConfig returns a kernel configuration for the given model with

@@ -17,6 +17,16 @@ func (k *Kernel) Touch(d *Domain, va addr.VA, kind addr.AccessKind) error {
 	k.Switch(d)
 	for try := 0; try < k.cfg.MaxFaultRetries; try++ {
 		k.Switch(d) // a fault handler may have switched domains
+		if k.injectSpuriousTrap(d, va, kind) {
+			// Injected glitch: the hardware trapped although rights are
+			// fine. Charge the trap and deliver it like a real fault;
+			// idempotent handlers re-grant and the access retries.
+			k.cycles.Add(k.costs().Trap)
+			if err := k.handleProtFault(d, va, kind); err != nil {
+				return err
+			}
+			continue
+		}
 		out := k.mach.Access(va, kind)
 		switch out.Fault {
 		case cpu.FaultNone:
@@ -73,6 +83,9 @@ func (k *Kernel) handlePageFault(va addr.VA) error {
 // mapFresh allocates and maps a zeroed frame for vpn, letting the page
 // daemon evict under memory pressure when enabled.
 func (k *Kernel) mapFresh(vpn addr.VPN) error {
+	if err := k.injectFrameAlloc(vpn); err != nil {
+		return fmt.Errorf("kernel: page fault at %#x: %w", uint64(k.geo.Base(vpn)), err)
+	}
 	pfn, err := k.memory.Alloc()
 	if err != nil && k.cfg.AutoEvict {
 		if evErr := k.evictOne(vpn); evErr == nil {
@@ -119,7 +132,11 @@ func (k *Kernel) handleProtFault(d *Domain, va addr.VA, kind addr.AccessKind) er
 	// Delivering the fault to a user-level handler costs a trap (the
 	// machine already charged the hardware fault itself).
 	k.cycles.Add(k.costs().Trap)
-	if err := s.handler(Fault{K: k, Domain: d, VA: va, Kind: kind, Segment: s}); err != nil {
+	f := Fault{K: k, Domain: d, VA: va, Kind: kind, Segment: s}
+	if err := k.injectHandlerError(f); err != nil {
+		return fmt.Errorf("%w: domain %d at %#x: %w", ErrProtection, d.ID, uint64(va), err)
+	}
+	if err := s.handler(f); err != nil {
 		return fmt.Errorf("%w: domain %d at %#x: %w", ErrProtection, d.ID, uint64(va), err)
 	}
 	return nil

@@ -1,0 +1,266 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() ([]Outcome, map[string]uint64) {
+		n := New(3, Config{MsgLatency: 100, ByteCycles: 1, Faults: FaultPlan{
+			Seed: 7, DropPercent: 30, DupPercent: 20, DelayPercent: 25,
+			DelayMaxCycles: 50, ReorderPercent: 10,
+		}})
+		var outs []Outcome
+		for i := 0; i < 200; i++ {
+			outs = append(outs, n.SendUnreliable(i%3, (i+1)%3, i%64))
+		}
+		return outs, n.Counters().Snapshot()
+	}
+	o1, c1 := run()
+	o2, c2 := run()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("attempt %d diverged: %+v vs %+v", i, o1[i], o2[i])
+		}
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("counter %s: %d vs %d", k, v, c2[k])
+		}
+	}
+	if c1["net.drops"] == 0 || c1["net.dups"] == 0 || c1["net.delays"] == 0 || c1["net.reorders"] == 0 {
+		t.Fatalf("fault mix did not exercise all faults: %v", c1)
+	}
+}
+
+func TestDropAllNeverDelivers(t *testing.T) {
+	n := New(2, Config{MsgLatency: 10, Faults: FaultPlan{Seed: 1, DropPercent: 100}})
+	for i := 0; i < 50; i++ {
+		if out := n.SendUnreliable(0, 1, 8); out.Delivered {
+			t.Fatal("message delivered through a 100% drop link")
+		}
+	}
+	if n.Counters().Get("net.drops") != 50 {
+		t.Fatalf("drops = %d", n.Counters().Get("net.drops"))
+	}
+	// The sender still paid for every transmission.
+	if msgs, _, cycles := n.Stats(); msgs != 50 || cycles == 0 {
+		t.Fatalf("dropped traffic not charged: msgs=%d cycles=%d", msgs, cycles)
+	}
+}
+
+func TestCrashWindowByAttemptCount(t *testing.T) {
+	n := New(2, Config{MsgLatency: 10, Faults: FaultPlan{
+		Seed:    1,
+		Crashes: []CrashWindow{{Node: 1, From: 3, To: 6}},
+	}})
+	var delivered []bool
+	for i := 0; i < 8; i++ {
+		delivered = append(delivered, n.SendUnreliable(0, 1, 0).Delivered)
+	}
+	// Attempts are counted before delivery: attempt i has clock i+1, so
+	// the [3,6) window downs attempts with clock 3,4,5 (indices 2,3,4).
+	want := []bool{true, true, false, false, false, true, true, true}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("attempt %d delivered=%v, want %v (all: %v)", i, delivered[i], want[i], delivered)
+		}
+	}
+	if n.Counters().Get("net.down_drops") != 3 {
+		t.Fatalf("down_drops = %d", n.Counters().Get("net.down_drops"))
+	}
+}
+
+func TestManualCrashRecover(t *testing.T) {
+	n := New(3, DefaultConfig())
+	if !n.NodeUp(2) {
+		t.Fatal("fresh node down")
+	}
+	n.CrashNode(2)
+	if n.NodeUp(2) {
+		t.Fatal("crashed node still up")
+	}
+	if !n.Faulty() {
+		t.Fatal("network with a crashed node not reported faulty")
+	}
+	if out := n.SendUnreliable(0, 2, 8); out.Delivered {
+		t.Fatal("delivered to crashed node")
+	}
+	n.RecoverNode(2)
+	if !n.NodeUp(2) {
+		t.Fatal("recovered node still down")
+	}
+	if out := n.SendUnreliable(0, 2, 8); !out.Delivered {
+		t.Fatal("not delivered to recovered node")
+	}
+}
+
+func TestReliablePerfectNetworkShortCircuits(t *testing.T) {
+	n := New(2, Config{MsgLatency: 100, ByteCycles: 1})
+	r := NewReliable(n, ReliableConfig{})
+	calls := 0
+	lat, err := r.Send(0, 1, 64, func() { calls++ })
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if lat != 164 {
+		t.Fatalf("latency = %d, want plain send cost", lat)
+	}
+	// No ack traffic on a perfect network.
+	if msgs, _, _ := n.Stats(); msgs != 1 {
+		t.Fatalf("msgs = %d", msgs)
+	}
+	if n.Counters().Get("reliable.acks") != 0 {
+		t.Fatal("acks charged on perfect network")
+	}
+}
+
+func TestReliableRetransmitsThroughLoss(t *testing.T) {
+	n := New(2, Config{MsgLatency: 100, Faults: FaultPlan{Seed: 3, DropPercent: 40}})
+	r := NewReliable(n, ReliableConfig{})
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		if _, err := r.Send(0, 1, 32, func() { delivered++ }); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if delivered != 100 {
+		t.Fatalf("delivered %d of 100", delivered)
+	}
+	c := n.Counters()
+	if c.Get("reliable.retransmits") == 0 || c.Get("reliable.timeouts") == 0 {
+		t.Fatalf("40%% loss caused no retries: %v", c.Snapshot())
+	}
+	retrans, timeouts, acks := r.OverheadCycles()
+	if retrans == 0 || timeouts == 0 || acks == 0 {
+		t.Fatalf("overhead cycles not charged: %d %d %d", retrans, timeouts, acks)
+	}
+}
+
+func TestReliableSuppressesWireDuplicates(t *testing.T) {
+	n := New(2, Config{MsgLatency: 100, Faults: FaultPlan{Seed: 5, DupPercent: 100}})
+	r := NewReliable(n, ReliableConfig{})
+	delivered := 0
+	for i := 0; i < 20; i++ {
+		if _, err := r.Send(0, 1, 8, func() { delivered++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered != 20 {
+		t.Fatalf("delivered %d, want exactly 20 (duplicates leaked)", delivered)
+	}
+	if n.Counters().Get("reliable.dup_suppressed") == 0 {
+		t.Fatal("no duplicates suppressed under 100% duplication")
+	}
+}
+
+func TestReliableFailsCleanlyToDownNode(t *testing.T) {
+	n := New(2, DefaultConfig())
+	n.CrashNode(1)
+	r := NewReliable(n, ReliableConfig{MaxRetries: 3})
+	delivered := 0
+	_, err := r.Send(0, 1, 8, func() { delivered++ })
+	if !errors.Is(err, ErrDeliveryFailed) {
+		t.Fatalf("err = %v, want ErrDeliveryFailed", err)
+	}
+	if delivered != 0 {
+		t.Fatal("delivered to a crashed node")
+	}
+	if n.Counters().Get("reliable.failures") != 1 {
+		t.Fatalf("failures = %d", n.Counters().Get("reliable.failures"))
+	}
+	// Backoff: 4 attempts, each with a timeout, exponentially doubled.
+	if n.Counters().Get("reliable.timeouts") != 4 {
+		t.Fatalf("timeouts = %d", n.Counters().Get("reliable.timeouts"))
+	}
+}
+
+func TestReliableRequestRoundTrip(t *testing.T) {
+	n := New(2, Config{MsgLatency: 100, ByteCycles: 1, Faults: FaultPlan{Seed: 9, DropPercent: 20}})
+	r := NewReliable(n, ReliableConfig{})
+	handled := 0
+	for i := 0; i < 50; i++ {
+		if _, err := r.Request(0, 1, 16, 4096, func() { handled++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if handled != 50 {
+		t.Fatalf("handled %d of 50 requests", handled)
+	}
+}
+
+func TestResetNodeRestartsSequences(t *testing.T) {
+	n := New(2, Config{MsgLatency: 10, Faults: FaultPlan{Seed: 1, DropPercent: 1}})
+	r := NewReliable(n, ReliableConfig{})
+	for i := 0; i < 5; i++ {
+		if _, err := r.Send(0, 1, 8, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.ResetNode(1)
+	// After the reset the link restarts at seq 0; deliveries must still
+	// be exactly-once.
+	delivered := 0
+	for i := 0; i < 5; i++ {
+		if _, err := r.Send(0, 1, 8, func() { delivered++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered %d of 5 after reset", delivered)
+	}
+}
+
+// TestReliableExactlyOnceProperty is the subsystem's core contract,
+// checked over randomized fault mixes (testing/quick): for any seed and
+// any drop/dup/delay/reorder probabilities, every message sent to a live
+// node is either delivered exactly once with a nil error, or reported
+// failed by the retry cap — never silently lost, never delivered twice
+// to the application.
+func TestReliableExactlyOnceProperty(t *testing.T) {
+	prop := func(seed int64, drop, dup, reorder, delay uint8) bool {
+		plan := FaultPlan{
+			Seed:           seed,
+			DropPercent:    int(drop % 61), // up to 60% loss
+			DupPercent:     int(dup % 101), // up to 100% duplication
+			ReorderPercent: int(reorder % 101),
+			DelayPercent:   int(delay % 101),
+			DelayMaxCycles: 500,
+		}
+		n := New(4, Config{MsgLatency: 100, ByteCycles: 1, Faults: plan})
+		r := NewReliable(n, ReliableConfig{MaxRetries: 10})
+		for msg := 0; msg < 120; msg++ {
+			from := msg % 4
+			to := (msg + 1 + msg/4) % 4
+			count := 0
+			_, err := r.Send(from, to, msg%512, func() { count++ })
+			if err == nil && count != 1 {
+				t.Logf("seed=%d plan=%+v msg %d: err=nil delivered %d times", seed, plan, msg, count)
+				return false
+			}
+			if count > 1 {
+				t.Logf("seed=%d plan=%+v msg %d: delivered %d times", seed, plan, msg, count)
+				return false
+			}
+			if err != nil && !errors.Is(err, ErrDeliveryFailed) {
+				t.Logf("seed=%d plan=%+v msg %d: unexpected error %v", seed, plan, msg, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on DropPercent > 100")
+		}
+	}()
+	New(2, Config{Faults: FaultPlan{DropPercent: 150}})
+}

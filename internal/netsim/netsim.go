@@ -4,9 +4,19 @@
 // traffic accounting. Coherence protocol messages (page fetches,
 // invalidations, ownership transfers) are function calls between node
 // structures; the network charges their costs.
+//
+// The network is perfect by default. A FaultPlan makes it unreliable —
+// seeded, deterministic drop/duplicate/delay/reorder injection and
+// scheduled node crashes — and the Reliable layer restores exactly-once
+// application-level delivery on top, charging what that robustness
+// costs (retransmissions, timeouts, acks) in cycles and counters.
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // Config sets the network's cost parameters.
 type Config struct {
@@ -16,6 +26,9 @@ type Config struct {
 	// ByteCycles is the additional per-byte transfer cost (page moves
 	// dominate with 4 KB payloads).
 	ByteCycles uint64
+	// Faults injects deterministic unreliability (see FaultPlan); the
+	// zero value keeps the interconnect perfect.
+	Faults FaultPlan
 }
 
 // DefaultConfig returns latencies matching the DefaultCosts network round
@@ -35,6 +48,9 @@ type Network struct {
 	bytes   uint64
 	cycles  uint64
 	perNode []nodeStats
+
+	faults *faultState
+	ctrs   stats.Counters
 }
 
 type nodeStats struct {
@@ -47,7 +63,11 @@ func New(n int, cfg Config) *Network {
 	if n < 1 {
 		panic("netsim: need at least one node")
 	}
-	return &Network{cfg: cfg, nodes: n, perNode: make([]nodeStats, n)}
+	net := &Network{cfg: cfg, nodes: n, perNode: make([]nodeStats, n)}
+	if cfg.Faults.Enabled() {
+		net.faults = newFaultState(cfg.Faults, n)
+	}
+	return net
 }
 
 // Nodes returns the node count.
@@ -77,14 +97,20 @@ func (n *Network) Send(from, to, size int) uint64 {
 	return lat
 }
 
-// RoundTrip charges a request/response pair: a small request and a
-// response carrying size payload bytes. Returns total latency.
-func (n *Network) RoundTrip(from, to, size int) uint64 {
-	return n.Send(from, to, 0) + n.Send(to, from, size)
+// RoundTrip charges a request/response pair: a request carrying reqSize
+// payload bytes (ownership-forward messages carry copysets, invalidations
+// name their page) and a response carrying respSize bytes. Returns total
+// latency.
+func (n *Network) RoundTrip(from, to, reqSize, respSize int) uint64 {
+	return n.Send(from, to, reqSize) + n.Send(to, from, respSize)
 }
 
 // Stats returns total messages, bytes, and cycles charged.
 func (n *Network) Stats() (msgs, bytes, cycles uint64) { return n.msgs, n.bytes, n.cycles }
+
+// Counters returns the network's fault and reliability event counters
+// (net.drops, net.dups, reliable.retransmits, ...).
+func (n *Network) Counters() *stats.Counters { return &n.ctrs }
 
 // NodeStats returns messages sent and received by one node.
 func (n *Network) NodeStats(node int) (sent, received uint64) {

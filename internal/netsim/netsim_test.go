@@ -34,11 +34,11 @@ func TestSelfSendFree(t *testing.T) {
 
 func TestRoundTrip(t *testing.T) {
 	n := New(2, Config{MsgLatency: 1000, ByteCycles: 1})
-	lat := n.RoundTrip(0, 1, 4096)
-	if lat != 1000+1000+4096 {
+	lat := n.RoundTrip(0, 1, 16, 4096)
+	if lat != 1000+16+1000+4096 {
 		t.Fatalf("round trip = %d", lat)
 	}
-	if msgs, bytes, _ := n.Stats(); msgs != 2 || bytes != 4096 {
+	if msgs, bytes, _ := n.Stats(); msgs != 2 || bytes != 4112 {
 		t.Fatalf("stats = %d,%d", msgs, bytes)
 	}
 }

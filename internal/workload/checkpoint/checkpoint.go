@@ -65,19 +65,21 @@ type Report struct {
 	// Table 1 "Restrict Access" row) — a PLB scan under domain-page, a
 	// write-disable flip under page-group.
 	RestrictCycles uint64
+	// StableWrites counts pages written to the stable checkpoint store.
+	StableWrites uint64
 	// MachineCycles and KernelCycles are totals.
 	MachineCycles, KernelCycles uint64
 }
 
 type checkpointer struct {
-	k       *kernel.Kernel
-	app     *kernel.Domain
-	server  *kernel.Domain
-	seg     *kernel.Segment
-	saved   map[uint64][]byte // current checkpoint image, by page index
-	active  bool
-	rep     *Report
-	ckptSeq uint64
+	k      *kernel.Kernel
+	app    *kernel.Domain
+	server *kernel.Domain
+	seg    *kernel.Segment
+	saved  map[uint64][]byte // current checkpoint image, by page index
+	im     *Image            // stable store behind the image
+	active bool
+	rep    *Report
 }
 
 // onFault handles the application's write fault during a checkpoint:
@@ -97,16 +99,16 @@ func (c *checkpointer) onFault(f kernel.Fault) error {
 	return c.k.SetPageRights(f.Domain, f.VA, addr.RW)
 }
 
-// savePage writes page idx to the checkpoint image on disk (the server
-// reads it; the kernel charges the disk write).
+// savePage writes page idx to the stable checkpoint image (the server
+// reads it; the kernel is charged the disk write).
 func (c *checkpointer) savePage(idx uint64) error {
 	data, err := c.k.ReadPage(c.server, c.seg.PageVA(idx))
 	if err != nil {
 		return err
 	}
 	c.saved[idx] = data
-	// Each checkpoint gets its own disk key space.
-	c.k.Disk().Write(c.ckptSeq<<32|idx, data)
+	c.im.Put(c.k, c.seg.PageVPN(idx), data)
+	c.rep.StableWrites++
 	return nil
 }
 
@@ -126,6 +128,7 @@ func Run(k *kernel.Kernel, cfg Config) (Report, error) {
 		Name:    "checkpointed",
 		Handler: c.onFault,
 	})
+	c.im = NewImageFor(k)
 	k.Attach(c.app, c.seg, addr.RW)
 	k.Attach(c.server, c.seg, addr.Read)
 
@@ -151,7 +154,6 @@ func Run(k *kernel.Kernel, cfg Config) (Report, error) {
 		}
 		c.saved = make(map[uint64][]byte)
 		c.active = true
-		c.ckptSeq = uint64(ck + 1)
 		cyc0 := k.TotalCycles()
 		if err := k.SetSegmentRights(c.app, c.seg, addr.Read); err != nil {
 			return rep, fmt.Errorf("checkpoint: restrict: %w", err)

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"testing"
 
+	"repro/internal/addr"
 	"repro/internal/kernel"
 )
 
@@ -145,11 +146,13 @@ func TestIncrementalCheaperThanFull(t *testing.T) {
 	if incSaves >= fullSaves {
 		t.Fatalf("incremental saves (%d) not below full (%d)", incSaves, fullSaves)
 	}
-	// Disk traffic follows the saves.
-	_, fullWrites, _ := kFull.Disk().Stats()
-	_, incWrites, _ := kInc.Disk().Stats()
-	if incWrites >= fullWrites {
-		t.Fatalf("incremental disk writes (%d) not below full (%d)", incWrites, fullWrites)
+	// Stable-store traffic follows the saves.
+	if inc.StableWrites >= full.StableWrites {
+		t.Fatalf("incremental stable writes (%d) not below full (%d)", inc.StableWrites, full.StableWrites)
+	}
+	if full.StableWrites != fullSaves || inc.StableWrites != incSaves {
+		t.Fatalf("stable writes (%d, %d) diverge from saves (%d, %d)",
+			full.StableWrites, inc.StableWrites, fullSaves, incSaves)
 	}
 }
 
@@ -159,5 +162,89 @@ func TestIncrementalNeedsTwoCheckpoints(t *testing.T) {
 	cfg.Checkpoints = 1
 	if _, err := RunIncremental(k, cfg); err == nil {
 		t.Fatal("single-checkpoint incremental accepted")
+	}
+}
+
+func TestImageSurvivesKernelReboot(t *testing.T) {
+	// The DSM crash-recovery contract: pages saved from one kernel
+	// instance restore byte-identically into a fresh instance booted the
+	// same way (the single address space keeps VPNs stable).
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	boot := func() (*kernel.Kernel, *kernel.Domain, *kernel.Segment) {
+		k := kernel.New(cfg)
+		d := k.CreateDomain()
+		s := k.CreateSegment(4, kernel.SegmentOptions{Name: "ckpt-image"})
+		k.Attach(d, s, addr.RW)
+		return k, d, s
+	}
+	k1, d1, s1 := boot()
+	for p := uint64(0); p < 4; p++ {
+		if err := k1.Store(d1, s1.PageVA(p), 0xbeef<<8|p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im := NewImageFor(k1)
+	cyc0 := k1.Cycles()
+	for p := uint64(0); p < 4; p++ {
+		if err := im.SavePage(k1, s1.PageVPN(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k1.Cycles() == cyc0 {
+		t.Fatal("image saves charged no cycles")
+	}
+	if im.Len() != 4 {
+		t.Fatalf("image holds %d pages", im.Len())
+	}
+
+	// Reboot: fresh kernel, identical bootstrap, empty memory.
+	k2, d2, s2 := boot()
+	if s2.Base() != s1.Base() {
+		t.Fatalf("segment base moved across reboot: %#x vs %#x",
+			uint64(s2.Base()), uint64(s1.Base()))
+	}
+	for p := uint64(0); p < 4; p++ {
+		if err := im.RestorePage(k2, s2.PageVPN(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := uint64(0); p < 4; p++ {
+		v, err := k2.Load(d2, s2.PageVA(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0xbeef<<8|p {
+			t.Fatalf("page %d = %#x after restore", p, v)
+		}
+	}
+}
+
+func TestImageReadAndMissingPage(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelPageGroup))
+	d := k.CreateDomain()
+	s := k.CreateSegment(1, kernel.SegmentOptions{})
+	k.Attach(d, s, addr.RW)
+	if err := k.Store(d, s.Base(), 7); err != nil {
+		t.Fatal(err)
+	}
+	im := NewImageFor(k)
+	if im.Has(s.PageVPN(0)) {
+		t.Fatal("empty image claims a page")
+	}
+	if _, err := im.Read(s.PageVPN(0)); err == nil {
+		t.Fatal("reading a missing page succeeded")
+	}
+	if err := im.RestorePage(k, s.PageVPN(0)); err == nil {
+		t.Fatal("restoring a missing page succeeded")
+	}
+	if err := im.SavePage(k, s.PageVPN(0)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := im.Read(s.PageVPN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 7 {
+		t.Fatalf("image bytes wrong: %d", data[0])
 	}
 }

@@ -27,6 +27,8 @@ type IncrementalReport struct {
 	SkippedClean uint64
 	// COWFaults counts write faults during in-progress checkpoints.
 	COWFaults uint64
+	// StableWrites counts pages written to the stable checkpoint store.
+	StableWrites uint64
 	// MachineCycles and KernelCycles are totals.
 	MachineCycles, KernelCycles uint64
 }
@@ -39,6 +41,7 @@ type incState struct {
 	seg    *kernel.Segment
 	saved  map[uint64][]byte // pages saved in the current checkpoint
 	image  map[uint64][]byte // the cumulative recovery image
+	im     *Image            // stable store behind the image
 	active bool
 	inSet  map[uint64]bool // pages that must be saved this checkpoint
 	rep    *IncrementalReport
@@ -67,7 +70,8 @@ func (c *incState) savePage(idx uint64) error {
 	}
 	c.saved[idx] = data
 	c.image[idx] = data
-	c.k.Disk().Write(uint64(c.rep.Checkpoints+1)<<32|idx, data)
+	c.im.Put(c.k, c.seg.PageVPN(idx), data)
+	c.rep.StableWrites++
 	return nil
 }
 
@@ -90,6 +94,7 @@ func RunIncremental(k *kernel.Kernel, cfg Config) (IncrementalReport, error) {
 		Name:    "inc-checkpointed",
 		Handler: c.onFault,
 	})
+	c.im = NewImageFor(k)
 	k.Attach(c.app, c.seg, addr.RW)
 	k.Attach(c.server, c.seg, addr.Read)
 

@@ -13,6 +13,14 @@
 // Because every node runs the same kernel bootstrap, the shared segment
 // occupies the same global virtual addresses on every node — the single
 // address space property that lets DSM pass pointers between machines.
+//
+// All coherence traffic flows through netsim's reliable-delivery layer,
+// so the protocol survives a lossy interconnect (configured via
+// Config.Net.Faults) and a mid-run node crash (Config.CrashNode): the
+// crashed node's owned pages are flushed to a stable checkpoint image at
+// failure time and restored — or served to peers — from it while the
+// node reboots. On a perfect network the layer short-circuits to plain
+// sends, so fault-free runs cost exactly what they always did.
 package dsm
 
 import (
@@ -25,6 +33,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/workload/checkpoint"
 )
 
 // ManagerKind selects the ownership-location protocol (Li's thesis
@@ -72,8 +81,23 @@ type Config struct {
 	// RemotePercent is the probability (0-100) of straying outside the
 	// affinity region when Partitioned.
 	RemotePercent int
-	// Net configures the interconnect.
+	// Net configures the interconnect; Net.Faults injects message loss,
+	// duplication, delay and reordering. (Scheduled netsim crash windows
+	// are for raw-network experiments — crash a DSM node with CrashNode,
+	// which ties the outage to the protocol's own schedule.)
 	Net netsim.Config
+	// Reliable tunes the reliable-delivery layer used when the network is
+	// faulty; the zero value picks defaults sized to Net.
+	Reliable netsim.ReliableConfig
+	// CrashNode, when nonzero, crashes that node immediately after its
+	// access in round CrashAtOp and reboots it just before its next
+	// access, so every other node runs one full round against the outage.
+	// Node 0 cannot crash: it is the central manager and serves the
+	// stable checkpoint store.
+	CrashNode int
+	// CrashAtOp is the round after which CrashNode fails (0-based,
+	// < OpsPerNode).
+	CrashAtOp int
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -92,7 +116,8 @@ func DefaultConfig(m kernel.Model) Config {
 	}
 }
 
-// Report summarizes a run.
+// Report summarizes a run. All fields are scalars so reports compare
+// with ==.
 type Report struct {
 	// ReadFaults and WriteFaults count coherence faults taken.
 	ReadFaults, WriteFaults uint64
@@ -110,11 +135,31 @@ type Report struct {
 	MeanChain float64
 	MaxChain  uint64
 	// MachineCycles sums machine cycles across nodes; KernelCycles sums
-	// kernel cycles.
+	// kernel cycles. Both include cycles burned by a crashed node's dead
+	// instance.
 	MachineCycles, KernelCycles uint64
 	// ProtUpdates counts hardware protection-structure updates performed
 	// by the coherence protocol (PLB updates / TLB entry updates+moves).
 	ProtUpdates uint64
+
+	// Reliable-delivery layer totals (zero on a perfect network).
+	Retransmits, Timeouts, Acks, DupSuppressed uint64
+	// RetransCycles, TimeoutCycles and AckCycles break down what
+	// reliability cost: retransmitted copies, timeout waits, acks.
+	RetransCycles, TimeoutCycles, AckCycles uint64
+	// Injected network fault counts.
+	Drops, Dups, Reorders, Delays, DownDrops uint64
+
+	// Crash-recovery totals.
+	Crashes uint64
+	// CheckpointSaves counts pages flushed to the stable image at crash
+	// time; RecoveredPages counts pages restored into the rebooted node;
+	// StoreFetches counts pages served to peers from the stable image
+	// while the owner was down.
+	CheckpointSaves, RecoveredPages, StoreFetches uint64
+	// RecoveryCycles is the cycle cost of the crash flush plus the
+	// rebooted instance's restore work.
+	RecoveryCycles uint64
 }
 
 // node is one DSM machine.
@@ -139,26 +184,94 @@ type system struct {
 	cfg   Config
 	nodes []*node
 	net   *netsim.Network
-	meta  map[addr.VPN]*pageMeta
+	rel   *netsim.Reliable
+	// stable is the checkpoint image pages are flushed to when a node
+	// crashes (served by node 0, keyed by global VPN).
+	stable *checkpoint.Image
+	base   addr.VA
+	meta   map[addr.VPN]*pageMeta
 	// probOwner[node][vpn] is the node's probable-owner hint
 	// (DistributedManager only).
 	probOwner []map[addr.VPN]int
 	chains    *stats.Histogram
 	rep       *Report
+	// down is the currently crashed node (-1: none); detected reports
+	// whether its death has been noticed and broadcast yet.
+	down     int
+	detected bool
+	// carry* bank a dead kernel instance's totals so a reboot doesn't
+	// erase its costs from the report.
+	carryMachine, carryKernel, carryProt uint64
+}
+
+// bootNode creates node i's kernel with the standard bootstrap. Reused
+// verbatim for crash recovery: identical bootstrap order puts the shared
+// segment at the same global addresses.
+func (sys *system) bootNode(i int) *node {
+	n := &node{idx: i, k: kernel.New(kernel.DefaultConfig(sys.cfg.Model))}
+	n.dom = n.k.CreateDomain()
+	n.seg = n.k.CreateSegment(sys.cfg.Pages, kernel.SegmentOptions{
+		Name:    "dsm-shared",
+		Handler: func(f kernel.Fault) error { return sys.handleFault(i, f) },
+	})
+	return n
+}
+
+// nodeUp reports whether a node is live.
+func (sys *system) nodeUp(i int) bool { return sys.net.NodeUp(i) }
+
+// send delivers one protocol message reliably (exactly-once, retried
+// through loss); on a perfect network it degenerates to a plain send.
+func (sys *system) send(from, to, size int) error {
+	_, err := sys.rel.Send(from, to, size, nil)
+	return err
+}
+
+// request charges a reliable request/response exchange.
+func (sys *system) request(from, to, reqSize, respSize int) error {
+	_, err := sys.rel.Request(from, to, reqSize, respSize, nil)
+	return err
+}
+
+// noteDown charges the discovery that a node died: the first peer to
+// notice pays a full (failed) retry volley against the silent node, then
+// broadcasts the death so later requests go straight to the recovery
+// paths instead of timing out again.
+func (sys *system) noteDown(reporter, dead int) {
+	if sys.detected {
+		return
+	}
+	sys.detected = true
+	sys.rel.Send(reporter, dead, 0, nil) // the detection volley: fails after the retry cap
+	for j := range sys.nodes {
+		if j != reporter && j != dead && sys.nodeUp(j) {
+			// Death notices are best-effort.
+			sys.rel.Send(reporter, j, 0, nil)
+		}
+	}
 }
 
 // locateOwner routes a coherence request from node i to the page's owner,
-// charging the protocol's messages, and returns the owner.
-func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) int {
+// charging the protocol's messages, and returns the owner (which may be
+// down — callers check).
+func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) (int, error) {
 	if sys.cfg.Manager == CentralManager {
 		// Request to the manager, forwarded to the owner.
-		sys.net.Send(i, 0, 0)
-		sys.rep.ManagerLoad++
-		if m.owner != 0 {
-			sys.net.Send(0, m.owner, 0)
+		if err := sys.send(i, 0, 0); err != nil {
+			return 0, err
 		}
+		sys.rep.ManagerLoad++
 		sys.rep.LocateHops += 2
-		return m.owner
+		if m.owner != 0 {
+			if sys.nodeUp(m.owner) {
+				if err := sys.send(0, m.owner, 0); err != nil {
+					return 0, err
+				}
+			} else {
+				sys.noteDown(0, m.owner)
+			}
+		}
+		return m.owner, nil
 	}
 	// Follow the probable-owner chain; compress it to the true owner.
 	cur := i
@@ -169,18 +282,26 @@ func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) int {
 			panic("dsm: probable-owner chain did not converge")
 		}
 		next := sys.probOwner[cur][vpn]
-		if next == cur {
-			// Stale self-hint: fall back to a broadcast-style probe of
-			// the true owner (charged as one message per other node).
+		if next != cur && !sys.nodeUp(next) {
+			sys.noteDown(cur, next)
+		}
+		if next == cur || !sys.nodeUp(next) {
+			// Stale self-hint or dead forwarding hop: fall back to a
+			// broadcast-style probe of the true owner (charged as one
+			// message per live peer).
 			for j := range sys.nodes {
-				if j != cur {
-					sys.net.Send(cur, j, 0)
+				if j != cur && sys.nodeUp(j) {
+					if err := sys.send(cur, j, 0); err != nil {
+						return 0, err
+					}
 					sys.rep.LocateHops++
 				}
 			}
 			break
 		}
-		sys.net.Send(cur, next, 0)
+		if err := sys.send(cur, next, 0); err != nil {
+			return 0, err
+		}
 		sys.rep.LocateHops++
 		hopCount++
 		chain = append(chain, cur)
@@ -190,7 +311,7 @@ func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) int {
 	for _, n := range chain {
 		sys.probOwner[n][vpn] = m.owner
 	}
-	return m.owner
+	return m.owner, nil
 }
 
 // recordOwnerChange updates probable-owner hints after an ownership
@@ -211,44 +332,48 @@ func Run(cfg Config) (Report, error) {
 	if cfg.Nodes < 2 || cfg.Pages == 0 || cfg.OpsPerNode < 0 {
 		return Report{}, fmt.Errorf("dsm: invalid config %+v", cfg)
 	}
+	if cfg.CrashNode != 0 {
+		if cfg.CrashNode < 1 || cfg.CrashNode >= cfg.Nodes {
+			return Report{}, fmt.Errorf("dsm: CrashNode %d out of [1,%d)", cfg.CrashNode, cfg.Nodes)
+		}
+		if cfg.CrashAtOp < 0 || cfg.CrashAtOp >= cfg.OpsPerNode {
+			return Report{}, fmt.Errorf("dsm: CrashAtOp %d out of [0,%d)", cfg.CrashAtOp, cfg.OpsPerNode)
+		}
+	}
 	sys := &system{
 		cfg:    cfg,
 		net:    netsim.New(cfg.Nodes, cfg.Net),
 		meta:   make(map[addr.VPN]*pageMeta),
 		chains: stats.NewHistogram(1, 2, 4, 8),
 		rep:    &Report{},
+		down:   -1,
 	}
+	sys.rel = netsim.NewReliable(sys.net, cfg.Reliable)
 	// Boot the nodes. Identical bootstrap order gives the shared segment
 	// the same address range on every node.
-	var base addr.VA
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &node{idx: i, k: kernel.New(kernel.DefaultConfig(cfg.Model))}
-		n.dom = n.k.CreateDomain()
-		idx := i
-		n.seg = n.k.CreateSegment(cfg.Pages, kernel.SegmentOptions{
-			Name:    "dsm-shared",
-			Handler: func(f kernel.Fault) error { return sys.handleFault(idx, f) },
-		})
+		n := sys.bootNode(i)
 		if i == 0 {
-			base = n.seg.Base()
+			sys.base = n.seg.Base()
 			// Node 0 initially owns every page read-write.
 			n.k.Attach(n.dom, n.seg, addr.RW)
 		} else {
-			if n.seg.Base() != base {
+			if n.seg.Base() != sys.base {
 				return Report{}, fmt.Errorf("dsm: segment base mismatch: %#x vs %#x",
-					uint64(n.seg.Base()), uint64(base))
+					uint64(n.seg.Base()), uint64(sys.base))
 			}
 			n.k.Attach(n.dom, n.seg, addr.None)
 		}
 		sys.nodes = append(sys.nodes, n)
 	}
+	sys.stable = checkpoint.NewImageFor(sys.nodes[0].k)
 	geo := sys.nodes[0].k.Geometry()
 	sys.probOwner = make([]map[addr.VPN]int, cfg.Nodes)
 	for i := range sys.probOwner {
 		sys.probOwner[i] = make(map[addr.VPN]int)
 	}
 	for p := uint64(0); p < cfg.Pages; p++ {
-		vpn := geo.PageNumber(base + addr.VA(p*geo.PageSize()))
+		vpn := geo.PageNumber(sys.base + addr.VA(p*geo.PageSize()))
 		sys.meta[vpn] = &pageMeta{owner: 0, copyset: map[int]bool{}, ownerWritable: true}
 		for i := range sys.probOwner {
 			sys.probOwner[i][vpn] = 0 // everyone starts believing node 0 owns it
@@ -261,8 +386,18 @@ func Run(cfg Config) (Report, error) {
 	oracle := make(map[addr.VA]uint64)
 	for op := 0; op < cfg.OpsPerNode; op++ {
 		for i, n := range sys.nodes {
+			if sys.down == i {
+				// The crashed node's turn has come around again: reboot it
+				// before its access, so the sequential access order — and
+				// therefore the final memory contents — match a fault-free
+				// run exactly.
+				if err := sys.recoverNode(i); err != nil {
+					return *sys.rep, err
+				}
+				n = sys.nodes[i]
+			}
 			p := sys.pickPage(rng, i)
-			va := base + addr.VA(p*geo.PageSize()) // word 0 of the page
+			va := sys.base + addr.VA(p*geo.PageSize()) // word 0 of the page
 			if rng.Intn(100) < cfg.WritePercent {
 				v := uint64(i+1)<<32 | uint64(op+1)
 				if err := n.k.Store(n.dom, va, v); err != nil {
@@ -274,6 +409,17 @@ func Run(cfg Config) (Report, error) {
 					return *sys.rep, fmt.Errorf("dsm: node %d load: %w", i, err)
 				}
 			}
+			if cfg.CrashNode > 0 && cfg.CrashNode == i && op == cfg.CrashAtOp {
+				if err := sys.crashNode(i); err != nil {
+					return *sys.rep, err
+				}
+			}
+		}
+	}
+	if sys.down >= 0 {
+		// The run ended inside the outage window; recover before verifying.
+		if err := sys.recoverNode(sys.down); err != nil {
+			return *sys.rep, err
 		}
 	}
 
@@ -309,9 +455,23 @@ func Run(cfg Config) (Report, error) {
 		mc := n.k.Machine().Counters()
 		sys.rep.ProtUpdates += mc.Get("plb.update") + mc.Get("pgtlb.update")
 	}
+	sys.rep.MachineCycles += sys.carryMachine
+	sys.rep.KernelCycles += sys.carryKernel
+	sys.rep.ProtUpdates += sys.carryProt
 	sys.rep.NetMsgs, sys.rep.NetBytes, sys.rep.NetCycles = sys.net.Stats()
 	sys.rep.MeanChain = sys.chains.Mean()
 	sys.rep.MaxChain = sys.chains.Max()
+	ctrs := sys.net.Counters()
+	sys.rep.Retransmits = ctrs.Get("reliable.retransmits")
+	sys.rep.Timeouts = ctrs.Get("reliable.timeouts")
+	sys.rep.Acks = ctrs.Get("reliable.acks")
+	sys.rep.DupSuppressed = ctrs.Get("reliable.dup_suppressed")
+	sys.rep.Drops = ctrs.Get("net.drops")
+	sys.rep.Dups = ctrs.Get("net.dups")
+	sys.rep.Reorders = ctrs.Get("net.reorders")
+	sys.rep.Delays = ctrs.Get("net.delays")
+	sys.rep.DownDrops = ctrs.Get("net.down_drops")
+	sys.rep.RetransCycles, sys.rep.TimeoutCycles, sys.rep.AckCycles = sys.rel.OverheadCycles()
 	return *sys.rep, nil
 }
 
@@ -349,7 +509,23 @@ func (sys *system) handleFault(i int, f kernel.Fault) error {
 
 // getReadable implements Table 1 "Get Readable": fetch a read-only copy.
 func (sys *system) getReadable(i int, vpn addr.VPN, m *pageMeta) error {
-	owner := sys.locateOwner(i, vpn, m)
+	owner, err := sys.locateOwner(i, vpn, m)
+	if err != nil {
+		return err
+	}
+	if !sys.nodeUp(owner) {
+		// The owner died. Fetch its last checkpointed copy from the
+		// stable store and let the reader adopt ownership (read-only;
+		// surviving read copies stay valid).
+		if err := sys.fetchFromStable(i, vpn); err != nil {
+			return err
+		}
+		sys.recordOwnerChange(vpn, owner, i)
+		delete(m.copyset, i)
+		m.owner = i
+		m.ownerWritable = false
+		return sys.setNodeRights(i, vpn, addr.Read)
+	}
 	if err := sys.transferPage(owner, i, vpn); err != nil {
 		return err
 	}
@@ -368,31 +544,46 @@ func (sys *system) getReadable(i int, vpn addr.VPN, m *pageMeta) error {
 // getWritable implements Table 1 "Get Writable": take exclusive
 // ownership, invalidating all other copies.
 func (sys *system) getWritable(i int, vpn addr.VPN, m *pageMeta) error {
-	oldOwner := sys.locateOwner(i, vpn, m)
+	oldOwner, err := sys.locateOwner(i, vpn, m)
+	if err != nil {
+		return err
+	}
+	// The ownership-forward response carries the old owner's copyset
+	// (one word per member plus the owner record).
+	csPayload := 8 * (len(m.copyset) + 1)
+	ownerUp := sys.nodeUp(oldOwner)
 	if oldOwner != i {
-		if err := sys.transferPage(oldOwner, i, vpn); err != nil {
+		if ownerUp {
+			if err := sys.transferPage(oldOwner, i, vpn); err != nil {
+				return err
+			}
+		} else if err := sys.fetchFromStable(i, vpn); err != nil {
 			return err
 		}
 	}
 	// Invalidate every other copy (Table 1 "Invalidate"), in
-	// deterministic order.
+	// deterministic order. A crashed node's copies died with it.
 	holders := make([]int, 0, len(m.copyset))
 	for j := range m.copyset {
 		holders = append(holders, j)
 	}
 	sort.Ints(holders)
 	for _, j := range holders {
-		if j == i {
+		if j == i || !sys.nodeUp(j) {
 			continue
 		}
-		sys.net.RoundTrip(invalidator(sys.cfg.Manager, i), j, 0)
+		if err := sys.request(invalidator(sys.cfg.Manager, i), j, 0, 0); err != nil {
+			return err
+		}
 		if err := sys.setNodeRights(j, vpn, addr.None); err != nil {
 			return err
 		}
 		sys.rep.Invalidations++
 	}
-	if oldOwner != i {
-		sys.net.RoundTrip(invalidator(sys.cfg.Manager, i), oldOwner, 0)
+	if oldOwner != i && ownerUp {
+		if err := sys.request(invalidator(sys.cfg.Manager, i), oldOwner, 0, csPayload); err != nil {
+			return err
+		}
 		if err := sys.setNodeRights(oldOwner, vpn, addr.None); err != nil {
 			return err
 		}
@@ -406,7 +597,7 @@ func (sys *system) getWritable(i int, vpn addr.VPN, m *pageMeta) error {
 }
 
 // transferPage moves the page's bytes from one node's memory to
-// another's over the network.
+// another's over the (reliable) network.
 func (sys *system) transferPage(from, to int, vpn addr.VPN) error {
 	if from == to {
 		return nil
@@ -415,9 +606,130 @@ func (sys *system) transferPage(from, to int, vpn addr.VPN) error {
 	if err != nil {
 		return err
 	}
-	sys.net.Send(from, to, len(data))
+	if err := sys.send(from, to, len(data)); err != nil {
+		return err
+	}
 	sys.rep.PageTransfers++
 	return sys.nodes[to].k.KernelWritePage(vpn, data)
+}
+
+// fetchFromStable serves a page whose owner is down: node 0 reads the
+// crashed node's checkpoint image from the stable store and ships the
+// page to the requester.
+func (sys *system) fetchFromStable(to int, vpn addr.VPN) error {
+	data, err := sys.stable.Read(vpn)
+	if err != nil {
+		return fmt.Errorf("dsm: owner of page %#x is down and the stable store has no copy: %w",
+			uint64(vpn), err)
+	}
+	sys.nodes[0].k.Charge(sys.nodes[0].k.Machine().Costs().DiskRead)
+	if to != 0 {
+		if err := sys.send(0, to, len(data)); err != nil {
+			return err
+		}
+	}
+	sys.rep.StoreFetches++
+	sys.rep.PageTransfers++
+	return sys.nodes[to].k.KernelWritePage(vpn, data)
+}
+
+// crashNode fails node x: flush the pages it owns to the stable
+// checkpoint image (write-through at failure time — the mechanism of
+// workload/checkpoint), bank the dying instance's cycle totals, drop its
+// read copies and connection state, and take it off the network.
+func (sys *system) crashNode(x int) error {
+	n := sys.nodes[x]
+	cyc0 := n.k.TotalCycles()
+	vpns := sys.sortedVPNs()
+	for _, vpn := range vpns {
+		if sys.meta[vpn].owner != x {
+			continue
+		}
+		if err := sys.stable.SavePage(n.k, vpn); err != nil {
+			return fmt.Errorf("dsm: crash flush: %w", err)
+		}
+		sys.rep.CheckpointSaves++
+	}
+	sys.rep.RecoveryCycles += n.k.TotalCycles() - cyc0
+	sys.carryMachine += n.k.Machine().Cycles()
+	sys.carryKernel += n.k.Cycles()
+	mc := n.k.Machine().Counters()
+	sys.carryProt += mc.Get("plb.update") + mc.Get("pgtlb.update")
+	for _, vpn := range vpns {
+		delete(sys.meta[vpn].copyset, x)
+	}
+	sys.rel.ResetNode(x)
+	sys.net.CrashNode(x)
+	sys.down = x
+	sys.rep.Crashes++
+	return nil
+}
+
+// recoverNode reboots node x with the identical bootstrap (the single
+// address space guarantees the shared segment reappears at the same
+// global addresses), restores the pages it still owns from the stable
+// image, resynchronizes ownership knowledge, and rejoins the network.
+func (sys *system) recoverNode(x int) error {
+	n := sys.bootNode(x)
+	if n.seg.Base() != sys.base {
+		return fmt.Errorf("dsm: recovery segment base mismatch: %#x vs %#x",
+			uint64(n.seg.Base()), uint64(sys.base))
+	}
+	n.k.Attach(n.dom, n.seg, addr.None)
+	sys.nodes[x] = n
+	sys.net.RecoverNode(x)
+	sys.down = -1
+	sys.detected = false
+	vpns := sys.sortedVPNs()
+	for _, vpn := range vpns {
+		m := sys.meta[vpn]
+		if m.owner != x {
+			continue // ownership seized while down; the page lives elsewhere now
+		}
+		if err := sys.stable.RestorePage(n.k, vpn); err != nil {
+			return fmt.Errorf("dsm: recovery restore: %w", err)
+		}
+		r := addr.Read
+		if m.ownerWritable {
+			r = addr.RW
+		}
+		if err := sys.setNodeRights(x, vpn, r); err != nil {
+			return err
+		}
+		sys.rep.RecoveredPages++
+	}
+	// Resynchronize ownership knowledge: the manager replays the page
+	// directory (one word per page) to the rebooted node; under the
+	// distributed protocol each live peer shares its hint table instead.
+	dirBytes := 8 * len(sys.meta)
+	if sys.cfg.Manager == CentralManager {
+		if err := sys.request(x, 0, 0, dirBytes); err != nil {
+			return err
+		}
+	} else {
+		for j := range sys.nodes {
+			if j != x && sys.nodeUp(j) {
+				if err := sys.request(x, j, 0, dirBytes); err != nil {
+					return err
+				}
+			}
+		}
+		for _, vpn := range vpns {
+			sys.probOwner[x][vpn] = sys.meta[vpn].owner
+		}
+	}
+	sys.rep.RecoveryCycles += n.k.TotalCycles()
+	return nil
+}
+
+// sortedVPNs returns the managed pages in deterministic order.
+func (sys *system) sortedVPNs() []addr.VPN {
+	vpns := make([]addr.VPN, 0, len(sys.meta))
+	for vpn := range sys.meta {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(a, b int) bool { return vpns[a] < vpns[b] })
+	return vpns
 }
 
 // setNodeRights applies a protection change on one node's kernel. The
@@ -431,12 +743,7 @@ func (sys *system) setNodeRights(i int, vpn addr.VPN, r addr.Rights) error {
 // verifyReplicaEquality checks that every node holding a readable copy of
 // a page has bytes identical to the owner's.
 func (sys *system) verifyReplicaEquality() error {
-	vpns := make([]addr.VPN, 0, len(sys.meta))
-	for vpn := range sys.meta {
-		vpns = append(vpns, vpn)
-	}
-	sort.Slice(vpns, func(a, b int) bool { return vpns[a] < vpns[b] })
-	for _, vpn := range vpns {
+	for _, vpn := range sys.sortedVPNs() {
 		m := sys.meta[vpn]
 		ownerData, err := sys.nodes[m.owner].k.KernelReadPage(vpn)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/kernel"
+	"repro/internal/netsim"
 )
 
 func TestDSMCoherentBothModels(t *testing.T) {
@@ -139,5 +140,175 @@ func TestCentralManagerBottleneck(t *testing.T) {
 func TestManagerKindString(t *testing.T) {
 	if CentralManager.String() != "central" || DistributedManager.String() != "distributed" {
 		t.Fatal("manager names wrong")
+	}
+}
+
+// lossyConfig returns a configuration with a 20% drop rate plus
+// duplication and reordering — the acceptance bar for the reliability
+// layer.
+func lossyConfig(m kernel.Model) Config {
+	cfg := DefaultConfig(m)
+	cfg.OpsPerNode = 120
+	cfg.Net.Faults = netsim.FaultPlan{
+		Seed:           7,
+		DropPercent:    20,
+		DupPercent:     5,
+		ReorderPercent: 5,
+	}
+	return cfg
+}
+
+func TestDSMCoherentUnderLossAllModels(t *testing.T) {
+	// 20% message loss: the run must still pass Run's internal coherence
+	// verification (oracle values + replica equality) on every protection
+	// model — which also means the final contents match a fault-free run,
+	// since the access sequence is independent of the fault plan.
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional} {
+		for _, mgr := range []ManagerKind{CentralManager, DistributedManager} {
+			t.Run(m.String()+"/"+mgr.String(), func(t *testing.T) {
+				cfg := lossyConfig(m)
+				cfg.Manager = mgr
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Drops == 0 {
+					t.Fatal("fault plan injected no drops")
+				}
+				if rep.Retransmits == 0 || rep.Timeouts == 0 {
+					t.Fatalf("no retransmissions under 20%% loss: %+v", rep)
+				}
+				if rep.Acks == 0 {
+					t.Fatal("reliable layer sent no acks on a faulty network")
+				}
+				if rep.RetransCycles == 0 || rep.TimeoutCycles == 0 || rep.AckCycles == 0 {
+					t.Fatal("reliability overhead not charged in cycles")
+				}
+			})
+		}
+	}
+}
+
+func TestDSMFaultFreeHasNoReliabilityOverhead(t *testing.T) {
+	// On a perfect network the reliable layer must short-circuit: no
+	// acks, no retransmissions, zero overhead cycles.
+	rep, err := Run(DefaultConfig(kernel.ModelDomainPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acks != 0 || rep.Retransmits != 0 || rep.Timeouts != 0 {
+		t.Fatalf("reliability traffic on a perfect network: %+v", rep)
+	}
+	if rep.RetransCycles+rep.TimeoutCycles+rep.AckCycles != 0 {
+		t.Fatal("reliability cycles charged on a perfect network")
+	}
+}
+
+func TestDSMSurvivesCrashBothManagers(t *testing.T) {
+	// A node crashes mid-run on a lossy network; its owned pages come
+	// back from the stable checkpoint image and the run stays coherent.
+	for _, m := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional} {
+		for _, mgr := range []ManagerKind{CentralManager, DistributedManager} {
+			t.Run(m.String()+"/"+mgr.String(), func(t *testing.T) {
+				cfg := DefaultConfig(m)
+				cfg.Manager = mgr
+				cfg.Pages = 8
+				cfg.OpsPerNode = 80
+				cfg.WritePercent = 100 // every node owns pages at any instant
+				cfg.Net.Faults = netsim.FaultPlan{Seed: 3, DropPercent: 5}
+				cfg.CrashNode = 2
+				cfg.CrashAtOp = 40
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Crashes != 1 {
+					t.Fatalf("crashes = %d", rep.Crashes)
+				}
+				// Node 2 stored in round 40, so it owned at least that page
+				// when it died.
+				if rep.CheckpointSaves == 0 {
+					t.Fatal("crash flushed nothing to the stable image")
+				}
+				if rep.RecoveryCycles == 0 {
+					t.Fatal("recovery charged no cycles")
+				}
+			})
+		}
+	}
+}
+
+func TestDSMCrashRecoveryRestoresPages(t *testing.T) {
+	// With few pages and heavy writing, the outage window sees traffic to
+	// the dead node (detection + stable-store fetches) and the reboot
+	// restores pages the node still owns.
+	cfg := DefaultConfig(kernel.ModelDomainPage)
+	cfg.Pages = 4
+	cfg.OpsPerNode = 60
+	cfg.WritePercent = 100
+	cfg.CrashNode = 1
+	cfg.CrashAtOp = 30
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 || rep.CheckpointSaves == 0 {
+		t.Fatalf("crash not exercised: %+v", rep)
+	}
+	if rep.RecoveredPages == 0 && rep.StoreFetches == 0 {
+		t.Fatalf("stable image never used: %+v", rep)
+	}
+	if rep.DownDrops == 0 {
+		t.Fatalf("no traffic hit the dead node during the outage: %+v", rep)
+	}
+}
+
+func TestDSMCrashAtLastOpRecoversBeforeVerify(t *testing.T) {
+	cfg := DefaultConfig(kernel.ModelPageGroup)
+	cfg.Pages = 8
+	cfg.OpsPerNode = 20
+	cfg.WritePercent = 100
+	cfg.CrashNode = 3
+	cfg.CrashAtOp = 19 // crash after the final round; recovery runs pre-verification
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 {
+		t.Fatalf("crashes = %d", rep.Crashes)
+	}
+}
+
+func TestDSMFaultyDeterministic(t *testing.T) {
+	cfg := lossyConfig(kernel.ModelPageGroup)
+	cfg.Manager = DistributedManager
+	cfg.CrashNode = 2
+	cfg.CrashAtOp = 60
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic under faults:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDSMCrashConfigValidation(t *testing.T) {
+	base := DefaultConfig(kernel.ModelDomainPage)
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.CrashNode = -1 },
+		func(c *Config) { c.CrashNode = c.Nodes },
+		func(c *Config) { c.CrashNode = 1; c.CrashAtOp = c.OpsPerNode },
+		func(c *Config) { c.CrashNode = 1; c.CrashAtOp = -1 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
 	}
 }
