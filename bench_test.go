@@ -29,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(); err != nil {
+		if _, err := e.Run(nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -261,3 +261,21 @@ func BenchmarkConventionalTouchWarm(b *testing.B) {
 		}
 	}
 }
+
+// --- Suite-level benches: the parallel harness end to end. On multicore
+// hosts the parallel run should beat serial by roughly min(cores, 13)/13;
+// output is byte-identical either way (see core.RunAll).
+
+func benchRunAll(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := core.RunAll(parallelism)
+		if len(sum.Failures) > 0 {
+			b.Fatal(sum.Failures)
+		}
+		b.ReportMetric(float64(sum.SimCycles), "sim-cycles")
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)    { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel4(b *testing.B) { benchRunAll(b, 4) }

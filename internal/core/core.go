@@ -5,7 +5,11 @@
 // row of its Table 1.
 //
 // Experiments are pure functions returning rendered tables, shared
-// between cmd/tablegen (interactive use) and the benchmark suite.
+// between cmd/tablegen (interactive use), cmd/benchreport (the
+// regression pipeline), and the benchmark suite. Each experiment
+// constructs its own kernels, machines, and seeded RNGs, so the runner
+// (RunAll) executes them concurrently while producing byte-identical
+// tables at any parallelism.
 package core
 
 import (
@@ -64,8 +68,9 @@ type Experiment struct {
 	Title string
 	// Source cites the paper section or table the experiment reproduces.
 	Source string
-	// Run regenerates the experiment's tables.
-	Run func() ([]*stats.Table, error)
+	// Run regenerates the experiment's tables, recording simulated
+	// cycles and hardware counters on the probe (which may be nil).
+	Run func(*Probe) ([]*stats.Table, error)
 }
 
 // All returns every experiment in order.

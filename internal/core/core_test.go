@@ -13,7 +13,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run()
+			tables, err := e.Run(nil)
 			if err != nil {
 				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
 			}
@@ -78,7 +78,7 @@ func TestRunBoth(t *testing.T) {
 // Shape assertions: the qualitative orderings the paper predicts must
 // hold in the regenerated tables.
 func TestPaperShapeE2Duplication(t *testing.T) {
-	tables, err := E2PLB()
+	tables, err := E2PLB(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestPaperShapeE2Duplication(t *testing.T) {
 }
 
 func TestPaperShapeE7Sequential(t *testing.T) {
-	tables, err := E7AMAT()
+	tables, err := E7AMAT(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

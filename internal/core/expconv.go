@@ -15,7 +15,7 @@ import (
 // segment-wide protection changes become per-page loops, and mapping
 // changes must hunt down every space's duplicates. The same kernel runs
 // on all three machines.
-func E11Conventional() ([]*stats.Table, error) {
+func E11Conventional(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 	models := []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional}
 
@@ -55,6 +55,7 @@ func E11Conventional() ([]*stats.Table, error) {
 			}
 			refills := mc.Get("trap.plb_refill") + mc.Get("trap.pg_refill") + mc.Get("trap.tlb_refill")
 			t.AddRow(m.String(), prot, trans, refills)
+			p.ObserveKernel(k)
 		}
 		t.AddNote("conventional: one combined entry per (space, page); PLB: per-domain protection but shared translation;")
 		t.AddNote("page-group: one combined entry per page serves all domains")
@@ -74,6 +75,7 @@ func E11Conventional() ([]*stats.Table, error) {
 				return nil, err
 			}
 			t.AddRow(m.String(), rep.RestrictCycles, k.Counters().Get("conv.per_page_rights_ops"))
+			p.ObserveKernel(k)
 		}
 		t.AddNote("page-group: one write-disable flip; PLB: one scan; conventional: one TLB op per page per change")
 		tables = append(tables, t)
@@ -95,6 +97,8 @@ func E11Conventional() ([]*stats.Table, error) {
 				return nil, err
 			}
 			t.AddRow(m.String(), rpcRep.CyclesPerCall, txnRep.MachineCycles)
+			p.ObserveKernel(k)
+			p.ObserveKernel(k2)
 		}
 		t.AddNote("the same kernel and workloads run unmodified on all three machines")
 		t.AddNote("conventional can match domain-page when working sets are small: its penalty is")

@@ -15,7 +15,7 @@ import (
 // mid-run node crash recovered from the stable checkpoint image. The
 // paper's protocols assume a reliable interconnect; this experiment
 // quantifies the tax of providing that reliability in software.
-func E13Fault() ([]*stats.Table, error) {
+func E13Fault(p *Probe) ([]*stats.Table, error) {
 	models := []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional}
 	var tables []*stats.Table
 
@@ -40,6 +40,7 @@ func E13Fault() ([]*stats.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: E13 %v drop %d%%: %w", m, drop, err)
 			}
+			observeDSM(p, rep)
 			t.AddRow(fmt.Sprintf("%v / %d%%", m, drop),
 				rep.Retransmits, rep.Timeouts, rep.Acks, rep.DupSuppressed,
 				rep.RetransCycles+rep.TimeoutCycles+rep.AckCycles,
@@ -69,6 +70,7 @@ func E13Fault() ([]*stats.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: E13 crash on %v: %w", m, err)
 		}
+		observeDSM(p, rep)
 		if rep.Crashes != 1 {
 			return nil, fmt.Errorf("core: E13 crash on %v: %d crashes recorded", m, rep.Crashes)
 		}

@@ -14,7 +14,7 @@ import (
 // protection from translation, protection pages can be smaller than
 // translation pages (reducing false sharing in DSM-style uses) or larger
 // (one entry covering a whole constant-rights segment).
-func E8Granularity() ([]*stats.Table, error) {
+func E8Granularity(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// (a) Sub-page protection: two domains write-share a 4 KB page but
@@ -31,10 +31,10 @@ func E8Granularity() ([]*stats.Table, error) {
 			ops      = 4096
 		)
 		for _, shift := range []uint{addr.BasePageShift, 9, 7} {
-			p := plbNew(shift)
+			h := plbNew(shift)
 			owner := map[uint64]addr.DomainID{}
 			transfers := 0
-			ctrs := p.ctrs
+			ctrs := h.ctrs
 			for i := 0; i < ops; i++ {
 				d := addr.DomainID(1 + i%2)
 				page := uint64(i/2) % npages
@@ -46,16 +46,17 @@ func E8Granularity() ([]*stats.Table, error) {
 				if cur, ok := owner[unit]; ok && cur != d {
 					// False sharing at this granularity: revoke the
 					// other domain's entry, transfer ownership.
-					p.plb.Invalidate(cur, va)
+					h.plb.Invalidate(cur, va)
 					transfers++
 				}
-				if r, ok := p.plb.Lookup(d, va); !ok || !r.Allows(addr.Store) {
-					p.plb.Insert(d, va, shift, addr.RW)
+				if r, ok := h.plb.Lookup(d, va); !ok || !r.Allows(addr.Store) {
+					h.plb.Insert(d, va, shift, addr.RW)
 				}
 				owner[unit] = d
 			}
 			t.AddRow(fmt.Sprintf("%d B", uint64(1)<<shift), ops, transfers,
-				ctrs.Get("plb.install"), p.plb.Len())
+				ctrs.Get("plb.install"), h.plb.Len())
+			p.ObserveCounters(ctrs.Snapshot())
 		}
 		t.AddNote("disjoint halves: 4 KB protection units false-share (transfer per alternation); <=2 KB units never conflict")
 		tables = append(tables, t)
@@ -73,14 +74,14 @@ func E8Granularity() ([]*stats.Table, error) {
 			domains  = 4
 		)
 		for _, shift := range []uint{addr.BasePageShift, 16, 20} {
-			p := plbNew(shift)
+			h := plbNew(shift)
 			// Each domain sweeps the whole segment twice.
 			for round := 0; round < 2; round++ {
 				for d := addr.DomainID(1); d <= domains; d++ {
 					for pg := uint64(0); pg < segPages; pg++ {
 						va := segBase + addr.VA(pg*4096)
-						if _, ok := p.plb.Lookup(d, va); !ok {
-							p.plb.Insert(d, va, shift, addr.RX)
+						if _, ok := h.plb.Lookup(d, va); !ok {
+							h.plb.Insert(d, va, shift, addr.RX)
 						}
 					}
 				}
@@ -90,7 +91,8 @@ func E8Granularity() ([]*stats.Table, error) {
 				perDomain = 1
 			}
 			t.AddRow(fmt.Sprintf("%d KB", (uint64(1)<<shift)/1024), perDomain,
-				p.ctrs.Get("plb.miss"), p.plb.Len())
+				h.ctrs.Get("plb.miss"), h.plb.Len())
+			p.ObserveCounters(h.ctrs.Snapshot())
 		}
 		t.AddNote("a 1 MB protection page maps the whole segment with one entry per domain (§4.3)")
 		t.AddNote("duplication across domains remains, but over far fewer entries")
@@ -137,6 +139,7 @@ func E8Granularity() ([]*stats.Table, error) {
 			diff := mc.Diff(before)
 			t.AddRow(variant.name, diff.Get("trap.plb_refill"),
 				k.PLBMachine().PLB().Len(), k.Machine().Cycles())
+			p.ObserveKernel(k)
 		}
 		t.AddNote("one super-page entry per domain replaces 64 base entries each (§4.3)")
 		tables = append(tables, t)

@@ -26,7 +26,7 @@ func pct(part, whole uint64) string { return stats.Pct(part, whole) }
 // E2PLB characterizes the protection lookaside buffer (Figure 1):
 // hit ratio vs capacity, per-domain entry duplication under sharing, and
 // the architectural entry-size comparison of Section 4.
-func E2PLB() ([]*stats.Table, error) {
+func E2PLB(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// (a) Capacity sweep under the standard multiprogrammed mix.
@@ -39,7 +39,7 @@ func E2PLB() ([]*stats.Table, error) {
 			mcfg := machine.DefaultPLBConfig()
 			mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: entries, Policy: assoc.LRU}
 			m := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
-			res, err := trace.Run(m, recs)
+			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
 			}
@@ -65,11 +65,11 @@ func E2PLB() ([]*stats.Table, error) {
 			recs := mixTrace(7, cfg)
 
 			plbM := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
-			if _, err := trace.Run(plbM, recs); err != nil {
+			if _, err := runTrace(p, plbM, recs); err != nil {
 				return nil, err
 			}
 			pgM := machine.NewPG(machine.DefaultPGConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
-			resPG, err := trace.Run(pgM, recs)
+			resPG, err := runTrace(p, pgM, recs)
 			if err != nil {
 				return nil, err
 			}
@@ -104,7 +104,7 @@ func E2PLB() ([]*stats.Table, error) {
 			mcfg := machine.DefaultPLBConfig()
 			mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: 64, Policy: pol, Seed: 3}
 			m := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
-			res, err := trace.Run(m, recs)
+			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
 			}
@@ -167,6 +167,7 @@ func E2PLB() ([]*stats.Table, error) {
 			diff := mc.Diff(before)
 			t.AddRow(pol.name, rounds, diff.Get("plb.inspected"),
 				diff.Get("trap.plb_refill"), k.Machine().Cycles())
+			p.ObserveKernel(k)
 		}
 		t.AddNote("the purge avoids the scan but forces bystanders to re-fault their rights after every detach (§4.1.1)")
 		tables = append(tables, t)
@@ -198,7 +199,7 @@ func E2PLB() ([]*stats.Table, error) {
 		mcfg := machine.DefaultPLBConfig()
 		mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: plbEntries, Policy: assoc.LRU}
 		mp := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
-		resP, err := trace.Run(mp, recs)
+		resP, err := runTrace(p, mp, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +209,7 @@ func E2PLB() ([]*stats.Table, error) {
 		gcfg := machine.DefaultPGConfig()
 		gcfg.TLB = assoc.Config{Sets: 1, Ways: pgEntries, Policy: assoc.LRU}
 		mg := machine.NewPG(gcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
-		resG, err := trace.Run(mg, recs)
+		resG, err := runTrace(p, mg, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +225,7 @@ func E2PLB() ([]*stats.Table, error) {
 
 // E3PageGroup characterizes the page-group check structure (Figure 2):
 // group-cache capacity sweeps and the PID-register-file comparison.
-func E3PageGroup() ([]*stats.Table, error) {
+func E3PageGroup(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// Fine-grained groups: 4 pages per group, so each domain's quantum
@@ -243,7 +244,7 @@ func E3PageGroup() ([]*stats.Table, error) {
 			mcfg := machine.DefaultPGConfig()
 			mcfg.CheckerEntries = entries
 			m := machine.NewPG(mcfg, trace.NewOpenOS(addr.BaseGeometry(), groupOf))
-			res, err := trace.Run(m, recs)
+			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
 			}
@@ -270,7 +271,7 @@ func E3PageGroup() ([]*stats.Table, error) {
 			mcfg.Checker = variant.kind
 			mcfg.CheckerEntries = variant.entries
 			m := machine.NewPG(mcfg, trace.NewOpenOS(addr.BaseGeometry(), groupOf))
-			res, err := trace.Run(m, recs)
+			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +287,7 @@ func E3PageGroup() ([]*stats.Table, error) {
 // E4VirtualCache reproduces Section 2.2: a single address space keeps a
 // virtually indexed, virtually tagged cache without flushes, ASID tags or
 // synonym hazards; multiple address spaces must pick their poison.
-func E4VirtualCache() ([]*stats.Table, error) {
+func E4VirtualCache(p *Probe) ([]*stats.Table, error) {
 	// Cache-resident working sets, so the cache effects under comparison
 	// (flush losses, synonym duplication) are not drowned by capacity
 	// misses.
@@ -314,7 +315,7 @@ func E4VirtualCache() ([]*stats.Table, error) {
 		{"multi-AS, flush on every switch (i860)", flush, flush.Cache().SynonymLines},
 	}
 	for _, r := range rows {
-		res, err := trace.Run(r.m, recs)
+		res, err := runTrace(p, r.m, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +332,7 @@ func E4VirtualCache() ([]*stats.Table, error) {
 // E5TLBDup reproduces Section 3.1: an ASID-tagged combined TLB replicates
 // entries for shared pages, degrading as sharing rises; the single
 // address space TLB holds one entry per page regardless.
-func E5TLBDup() ([]*stats.Table, error) {
+func E5TLBDup(p *Probe) ([]*stats.Table, error) {
 	t := stats.NewTable("E5 TLB entry duplication vs sharing (128-entry TLBs)",
 		"shared refs", "ASID-TLB miss ratio", "SAS-TLB miss ratio", "ASID entries for shared pages", "SAS entries for shared pages")
 	for _, sharedPct := range []int{0, 25, 50, 75, 100} {
@@ -341,12 +342,12 @@ func E5TLBDup() ([]*stats.Table, error) {
 		recs := mixTrace(5, cfg)
 
 		conv := machine.NewConventional(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
-		resC, err := trace.Run(conv, recs)
+		resC, err := runTrace(p, conv, recs)
 		if err != nil {
 			return nil, err
 		}
 		pg := machine.NewPG(machine.DefaultPGConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
-		resP, err := trace.Run(pg, recs)
+		resP, err := runTrace(p, pg, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +374,7 @@ func E5TLBDup() ([]*stats.Table, error) {
 // E6Switch reproduces Section 4.1.4: the cost of protection domain
 // switches across organizations, plus the RPC round-trip comparison with
 // lazy and eager page-group reload (ablation A2).
-func E6Switch() ([]*stats.Table, error) {
+func E6Switch(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// (a) Trace-level switch costs vs quantum.
@@ -398,7 +399,7 @@ func E6Switch() ([]*stats.Table, error) {
 				{"page-group (cache purge + lazy reload)", pgM, machine.CtrTrapPGRefill},
 				{"flush machine (TLB+cache flush)", flushM, machine.CtrTrapTLBRefill},
 			} {
-				res, err := trace.Run(sys.m, recs)
+				res, err := runTrace(p, sys.m, recs)
 				if err != nil {
 					return nil, err
 				}
@@ -421,6 +422,7 @@ func E6Switch() ([]*stats.Table, error) {
 			return nil, err
 		}
 		t.AddRow("domain-page (PLB)", dpRep.Calls, dpRep.SwitchCycles, dpRep.PLBRefills, dpRep.CyclesPerCall)
+		p.ObserveKernel(dpK)
 
 		lazyK := NewSystem(kernel.ModelPageGroup)
 		lazyRep, err := rpc.Run(lazyK, cfg)
@@ -428,14 +430,17 @@ func E6Switch() ([]*stats.Table, error) {
 			return nil, err
 		}
 		t.AddRow("page-group, lazy reload", lazyRep.Calls, lazyRep.SwitchCycles, lazyRep.PGRefills, lazyRep.CyclesPerCall)
+		p.ObserveKernel(lazyK)
 
 		eagerCfg := kernel.DefaultConfig(kernel.ModelPageGroup)
 		eagerCfg.PG.EagerReload = true
-		eagerRep, err := rpc.Run(kernel.New(eagerCfg), cfg)
+		eagerK := kernel.New(eagerCfg)
+		eagerRep, err := rpc.Run(eagerK, cfg)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow("page-group, eager reload", eagerRep.Calls, eagerRep.SwitchCycles, eagerRep.PGRefills, eagerRep.CyclesPerCall)
+		p.ObserveKernel(eagerK)
 		t.AddNote("workload: %d calls, server working set of %d segments", cfg.Calls, cfg.ServerSegments)
 		tables = append(tables, t)
 	}
@@ -449,7 +454,7 @@ func E6Switch() ([]*stats.Table, error) {
 // off-chip TLB touched only on cache misses. The PLB therefore wins when
 // the cache hits (the common case the organization is designed for),
 // while a miss-heavy stream shifts the balance toward the on-chip TLB.
-func E7AMAT() ([]*stats.Table, error) {
+func E7AMAT(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 	run := func(title string, cfg trace.SharedMixConfig) error {
 		recs := mixTrace(21, cfg)
@@ -458,7 +463,7 @@ func E7AMAT() ([]*stats.Table, error) {
 		n := uint64(len(recs))
 
 		plbM := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
-		res, err := trace.Run(plbM, recs)
+		res, err := runTrace(p, plbM, recs)
 		if err != nil {
 			return err
 		}
@@ -470,7 +475,7 @@ func E7AMAT() ([]*stats.Table, error) {
 			mcfg := machine.DefaultPGConfig()
 			mcfg.Costs.OnChipLookup = seq
 			m := machine.NewPG(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
-			res, err := trace.Run(m, recs)
+			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return err
 			}

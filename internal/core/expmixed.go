@@ -13,7 +13,7 @@ import (
 
 // E9Paging reproduces Section 4.1.3: the protection and cache maintenance
 // costs of page-out and page-in, per model.
-func E9Paging() ([]*stats.Table, error) {
+func E9Paging(p *Probe) ([]*stats.Table, error) {
 	t := stats.NewTable("E9 Paging operation costs (32 dirty pages out and back)",
 		"metric", "domain-page", "page-group")
 	type res struct {
@@ -60,6 +60,7 @@ func E9Paging() ([]*stats.Table, error) {
 			}
 		}
 		inCycles := k.TotalCycles() - cyc0
+		p.ObserveKernel(k)
 
 		results[m] = res{
 			outCycles:    outCycles,
@@ -88,7 +89,7 @@ func errCorrupt(m kernel.Model, page, got uint64) error {
 // E10Mixed reproduces the paper's closing question — which model wins
 // depends on the operation mix — with an end-to-end scenario combining
 // RPC-heavy serving, transactional locking, and a garbage collection.
-func E10Mixed() ([]*stats.Table, error) {
+func E10Mixed(p *Probe) ([]*stats.Table, error) {
 	t := stats.NewTable("E10 End-to-end mixed workload (RPC + transactions + GC)",
 		"metric", "domain-page", "page-group")
 	type agg struct {
@@ -118,6 +119,7 @@ func E10Mixed() ([]*stats.Table, error) {
 		}
 
 		mc := k.Machine().Counters()
+		p.ObserveKernel(k)
 		results[m] = agg{
 			machineCycles: k.Machine().Cycles(),
 			kernelCycles:  k.Cycles(),
@@ -137,7 +139,7 @@ func E10Mixed() ([]*stats.Table, error) {
 	t.AddRow("cycles ratio (pg/dp)", "1.00x", stats.Ratio(pg.machineCycles+pg.kernelCycles, dp.machineCycles+dp.kernelCycles))
 	t.AddNote("one kernel per model runs 128 RPC calls, 32 transactions, then a 1024-object GC")
 
-	sweep, err := mixSweep()
+	sweep, err := mixSweep(p)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +151,7 @@ func E10Mixed() ([]*stats.Table, error) {
 // sweeping an operation mix between the page-group model's best case
 // (segment attach/detach churn) and the domain-page model's best case
 // (cross-domain RPC), and reporting where the crossover falls.
-func mixSweep() (*stats.Table, error) {
+func mixSweep(p *Probe) (*stats.Table, error) {
 	t := stats.NewTable("E10.2 Which model wins vs operation mix (Wilkes-Sears style)",
 		"rpc share", "domain-page cycles", "page-group cycles", "pg/dp", "winner")
 	const totalOps = 200
@@ -204,6 +206,7 @@ func mixSweep() (*stats.Table, error) {
 				}
 			}
 			cycles[m] = k.TotalCycles() - cyc0
+			p.ObserveKernel(k)
 		}
 		dpC, pgC := cycles[kernel.ModelDomainPage], cycles[kernel.ModelPageGroup]
 		winner := "domain-page"

@@ -13,7 +13,7 @@ import (
 // internal fragmentation (protection granularity stays decoupled on the
 // PLB machine), and an inverted page table keeps software walk costs
 // near-constant while sized by physical memory.
-func E12Translation() ([]*stats.Table, error) {
+func E12Translation(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// (a) Translation page size sweep: a fixed 576 KB of live data in 16
@@ -56,6 +56,7 @@ func E12Translation() ([]*stats.Table, error) {
 			live := uint64(segs * segBytes)
 			t.AddRow(fmt.Sprintf("%d KB", pageSize/1024), mc.Get("tlb.miss"), frames,
 				allocated, stats.Pct(allocated-live, allocated))
+			p.ObserveKernel(k)
 		}
 		t.AddNote("larger pages cut TLB misses (each entry covers more) but waste partially-used frames (§4.3)")
 		t.AddNote("on the PLB machine, protection granularity is chosen independently of this tradeoff")
@@ -95,6 +96,7 @@ func E12Translation() ([]*stats.Table, error) {
 				avg = float64(dp) / float64(dl)
 			}
 			t.AddRow(fmt.Sprintf("%d%%", pct), pages, avg)
+			p.ObserveKernel(k)
 		}
 		t.AddNote("the table is sized by physical memory (2x anchors), so chains stay short even near full")
 		t.AddNote("one entry per page regardless of how many domains share it — the §3.1 organization")

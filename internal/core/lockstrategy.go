@@ -27,7 +27,7 @@ import (
 // The simulation runs both strategies over the same access pattern: two
 // domains alternate quanta, each touching every read-locked page once
 // per quantum, with a 16-entry page-group cache.
-func lockStrategyTable() (*stats.Table, error) {
+func lockStrategyTable(p *Probe) (*stats.Table, error) {
 	t := stats.NewTable("E1.4b Read-lock representation in the page-group model (ablation A4)",
 		"locked pages", "strategy", "page moves (TLB rewrites)", "pg-cache refills", "resident groups")
 	const (
@@ -101,6 +101,7 @@ func lockStrategyTable() (*stats.Table, error) {
 				resident = locks
 			}
 			t.AddRow(locks, strategy, moves, refills, fmt.Sprintf("%d needed / %d fit", resident, cacheWays))
+			p.ObserveCounters(ctrs.Snapshot())
 		}
 	}
 	t.AddNote("strategy A rewrites a TLB entry for every shared lock on every switch (\"a page can")

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestRunAllDeterministic is the harness's core guarantee: serial and
+// wide-parallel sweeps must render byte-identical tables and identical
+// measurements, because every experiment isolates its own state.
+func TestRunAllDeterministic(t *testing.T) {
+	s1 := RunAll(1)
+	s8 := RunAll(8)
+	if len(s1.Results) != len(s8.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(s1.Results), len(s8.Results))
+	}
+	if len(s1.Failures) != 0 || len(s8.Failures) != 0 {
+		t.Fatalf("failures: serial %v, parallel %v", s1.Failures, s8.Failures)
+	}
+	for i := range s1.Results {
+		a, b := s1.Results[i], s8.Results[i]
+		if a.Experiment.ID != b.Experiment.ID {
+			t.Fatalf("result %d order differs: %s vs %s", i, a.Experiment.ID, b.Experiment.ID)
+		}
+		if sa, sb := a.Section(), b.Section(); sa != sb {
+			t.Errorf("%s: table output differs between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s",
+				a.Experiment.ID, sa, sb)
+		}
+		if a.SimCycles != b.SimCycles {
+			t.Errorf("%s: sim cycles differ: %d vs %d", a.Experiment.ID, a.SimCycles, b.SimCycles)
+		}
+		if a.SimCycles == 0 {
+			t.Errorf("%s: probe observed no simulated cycles", a.Experiment.ID)
+		}
+		if len(a.Counters) == 0 {
+			t.Errorf("%s: probe observed no counters", a.Experiment.ID)
+		}
+		if !mapsEqual(a.Counters, b.Counters) {
+			t.Errorf("%s: counters differ between parallelism levels", a.Experiment.ID)
+		}
+	}
+	if s1.SimCycles != s8.SimCycles {
+		t.Errorf("suite sim cycles differ: %d vs %d", s1.SimCycles, s8.SimCycles)
+	}
+	if !mapsEqual(s1.Totals, s8.Totals) {
+		t.Errorf("suite counter totals differ between parallelism levels")
+	}
+}
+
+// TestExperimentsConcurrentSameID runs one experiment from several
+// goroutines at once — under -race this fails loudly if any experiment
+// state is shared rather than per-run.
+func TestExperimentsConcurrentSameID(t *testing.T) {
+	e, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	outs := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w] = runOne(e).Section()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if outs[w] != outs[0] {
+			t.Errorf("concurrent run %d rendered different output", w)
+		}
+	}
+}
+
+// TestRunExperimentsCollectsAllErrors: a failing experiment must not
+// stop the sweep; every failure is reported, in experiment order.
+func TestRunExperimentsCollectsAllErrors(t *testing.T) {
+	ok := func(id string) Experiment {
+		return Experiment{ID: id, Title: "ok", Source: "test",
+			Run: func(p *Probe) ([]*stats.Table, error) {
+				p.ObserveCycles(1)
+				tb := stats.NewTable(id+" table", "col")
+				tb.AddRow(1)
+				return []*stats.Table{tb}, nil
+			}}
+	}
+	boom := func(id string) Experiment {
+		return Experiment{ID: id, Title: "boom", Source: "test",
+			Run: func(*Probe) ([]*stats.Table, error) {
+				return nil, errors.New(id + " exploded")
+			}}
+	}
+	exps := []Experiment{ok("X1"), boom("X2"), ok("X3"), boom("X4"), ok("X5")}
+	sum := RunExperiments(exps, 3)
+
+	if len(sum.Results) != len(exps) {
+		t.Fatalf("results = %d, want %d", len(sum.Results), len(exps))
+	}
+	if len(sum.Failures) != 2 {
+		t.Fatalf("failures = %v, want 2", sum.Failures)
+	}
+	for i, want := range []string{"X2", "X4"} {
+		if !strings.Contains(sum.Failures[i].Error(), want) {
+			t.Errorf("failure %d = %v, want experiment %s", i, sum.Failures[i], want)
+		}
+	}
+	for i, r := range sum.Results {
+		if r.Experiment.ID != exps[i].ID {
+			t.Errorf("result %d is %s, want %s (order must be preserved)", i, r.Experiment.ID, exps[i].ID)
+		}
+		failed := r.Experiment.ID == "X2" || r.Experiment.ID == "X4"
+		if (r.Err != nil) != failed {
+			t.Errorf("%s: err = %v", r.Experiment.ID, r.Err)
+		}
+		if !failed && len(r.Tables) == 0 {
+			t.Errorf("%s: successful run lost its tables", r.Experiment.ID)
+		}
+	}
+	if sum.SimCycles != 3 {
+		t.Errorf("suite sim cycles = %d, want 3 (one per successful run)", sum.SimCycles)
+	}
+}
+
+// TestProbeNilSafe: experiments must run uninstrumented.
+func TestProbeNilSafe(t *testing.T) {
+	var p *Probe
+	p.ObserveCycles(5)
+	p.ObserveCounters(map[string]uint64{"x": 1})
+	p.ObserveKernel(nil)
+	if p.SimCycles() != 0 || p.CounterSnapshot() != nil {
+		t.Fatal("nil probe recorded something")
+	}
+}
+
+func mapsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

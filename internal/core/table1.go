@@ -15,7 +15,7 @@ import (
 // identically on the domain-page (PLB) and page-group (PA-RISC) systems,
 // and the operations the paper lists qualitatively are reported as
 // measured counts and cycles.
-func E1Table1() ([]*stats.Table, error) {
+func E1Table1(p *Probe) ([]*stats.Table, error) {
 	var tables []*stats.Table
 
 	// Rows 1-2: attach / detach segment.
@@ -23,10 +23,12 @@ func E1Table1() ([]*stats.Table, error) {
 		cfg := attach.DefaultConfig()
 		reps := map[kernel.Model]attach.Report{}
 		for _, m := range Models {
-			rep, err := attach.Run(NewSystem(m), cfg)
+			k := NewSystem(m)
+			rep, err := attach.Run(k, cfg)
 			if err != nil {
 				return nil, err
 			}
+			p.ObserveKernel(k)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
@@ -48,10 +50,12 @@ func E1Table1() ([]*stats.Table, error) {
 		cfg := gc.DefaultConfig()
 		reps := map[kernel.Model]gc.Report{}
 		for _, m := range Models {
-			rep, err := gc.Run(NewSystem(m), cfg)
+			k := NewSystem(m)
+			rep, err := gc.Run(k, cfg)
 			if err != nil {
 				return nil, err
 			}
+			p.ObserveKernel(k)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
@@ -81,6 +85,7 @@ func E1Table1() ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			observeDSM(p, rep)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
@@ -109,6 +114,7 @@ func E1Table1() ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			observeDSM(p, rep)
 			t2.AddRow(mk.String(), rep.LocateHops, rep.ManagerLoad, rep.NetMsgs, rep.NetCycles)
 			if mk == dsm.DistributedManager {
 				t2.AddNote("probable-owner chains: mean %.2f hops, max %d (path compression keeps them short)",
@@ -125,10 +131,12 @@ func E1Table1() ([]*stats.Table, error) {
 		var cfg txn.Config
 		for _, m := range Models {
 			cfg = txn.DefaultConfig(m)
-			rep, err := txn.Run(NewSystem(m), cfg)
+			k := NewSystem(m)
+			rep, err := txn.Run(k, cfg)
 			if err != nil {
 				return nil, err
 			}
+			p.ObserveKernel(k)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
@@ -147,7 +155,7 @@ func E1Table1() ([]*stats.Table, error) {
 		t.AddNote("paper: DP updates one PLB entry per lock; PG moves pages between lock groups (§4.1.2)")
 		tables = append(tables, t)
 
-		lockT, err := lockStrategyTable()
+		lockT, err := lockStrategyTable(p)
 		if err != nil {
 			return nil, err
 		}
@@ -159,10 +167,12 @@ func E1Table1() ([]*stats.Table, error) {
 		cfg := checkpoint.DefaultConfig()
 		reps := map[kernel.Model]checkpoint.Report{}
 		for _, m := range Models {
-			rep, err := checkpoint.Run(NewSystem(m), cfg)
+			k := NewSystem(m)
+			rep, err := checkpoint.Run(k, cfg)
 			if err != nil {
 				return nil, err
 			}
+			p.ObserveKernel(k)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
@@ -184,10 +194,12 @@ func E1Table1() ([]*stats.Table, error) {
 		cfg := compress.DefaultConfig()
 		reps := map[kernel.Model]compress.Report{}
 		for _, m := range Models {
-			rep, err := compress.Run(NewSystem(m), cfg)
+			k := NewSystem(m)
+			rep, err := compress.Run(k, cfg)
 			if err != nil {
 				return nil, err
 			}
+			p.ObserveKernel(k)
 			reps[m] = rep
 		}
 		dp, pg := reps[kernel.ModelDomainPage], reps[kernel.ModelPageGroup]
