@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench tables bench-report baseline
+.PHONY: all build test race check fmt vet lint bench bench-hot tables bench-report baseline
 
 all: check
 
@@ -41,6 +41,12 @@ check: fmt vet lint build race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# bench-hot measures the simulator's access-path micro-benchmarks with
+# allocation reporting. The warm access path must stay at 0 allocs/op
+# (guarded by TestAccessPathZeroAllocs and the CI alloc gate).
+bench-hot:
+	$(GO) test -bench Access -benchmem -run '^$$' .
 
 tables:
 	$(GO) run ./cmd/tablegen -parallel 4

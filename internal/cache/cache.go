@@ -20,6 +20,8 @@
 package cache
 
 import (
+	"math/bits"
+
 	"repro/internal/addr"
 	"repro/internal/assoc"
 	"repro/internal/stats"
@@ -66,30 +68,31 @@ type VirtualCache struct {
 	cfg Config
 	c   *assoc.Cache[lineKey, lineState]
 
-	ctrs       *stats.Counters
-	nHit       string
-	nMiss      string
-	nFill      string
-	nWriteback string
-	nFlushLine string
-	nFlushWB   string
+	nHit       stats.Handle
+	nMiss      stats.Handle
+	nFill      stats.Handle
+	nWriteback stats.Handle
+	nFlushLine stats.Handle
+	nFlushWB   stats.Handle
 }
 
-// NewVirtual creates a VIVT cache counting under prefix.
+// NewVirtual creates a VIVT cache counting under prefix. Counter names
+// resolve to handles once here, keeping the per-access path free of name
+// hashing.
 func NewVirtual(cfg Config, ctrs *stats.Counters, prefix string) *VirtualCache {
-	v := &VirtualCache{cfg: cfg, ctrs: ctrs}
+	v := &VirtualCache{cfg: cfg}
 	v.c = assoc.New[lineKey, lineState](cfg.Assoc, func(k lineKey) uint64 {
 		// Virtually indexed: the set is chosen by VA line-number bits
 		// only, regardless of ASID tag extension — this is why ASID tags
 		// do not prevent synonym duplication across sets.
 		return k.line
 	})
-	v.nHit = prefix + ".hit"
-	v.nMiss = prefix + ".miss"
-	v.nFill = prefix + ".fill"
-	v.nWriteback = prefix + ".writeback"
-	v.nFlushLine = prefix + ".flushed_lines"
-	v.nFlushWB = prefix + ".flush_writebacks"
+	v.nHit = ctrs.Handle(prefix + ".hit")
+	v.nMiss = ctrs.Handle(prefix + ".miss")
+	v.nFill = ctrs.Handle(prefix + ".fill")
+	v.nWriteback = ctrs.Handle(prefix + ".writeback")
+	v.nFlushLine = ctrs.Handle(prefix + ".flushed_lines")
+	v.nFlushWB = ctrs.Handle(prefix + ".flush_writebacks")
 	return v
 }
 
@@ -117,14 +120,14 @@ func (v *VirtualCache) Access(space addr.ASID, va addr.VA, store bool) bool {
 	k := v.key(space, va)
 	st, ok := v.c.Lookup(k)
 	if !ok {
-		v.ctrs.Inc(v.nMiss)
+		v.nMiss.Inc()
 		return false
 	}
 	if store && !st.dirty {
 		st.dirty = true
 		v.c.Update(k, st)
 	}
-	v.ctrs.Inc(v.nHit)
+	v.nHit.Inc()
 	return true
 }
 
@@ -135,9 +138,9 @@ func (v *VirtualCache) Access(space addr.ASID, va addr.VA, store bool) bool {
 func (v *VirtualCache) Fill(space addr.ASID, va addr.VA, pfn addr.PFN, store bool) (wroteBack bool) {
 	k := v.key(space, va)
 	_, victim, evicted := v.c.Insert(k, lineState{dirty: store, pfn: pfn})
-	v.ctrs.Inc(v.nFill)
+	v.nFill.Inc()
 	if evicted && victim.dirty {
-		v.ctrs.Inc(v.nWriteback)
+		v.nWriteback.Inc()
 		return true
 	}
 	return false
@@ -167,8 +170,8 @@ func (v *VirtualCache) FlushPage(va addr.VA, geo addr.Geometry) (flushed, dirty 
 		return false
 	})
 	flushed = removed
-	v.ctrs.Add(v.nFlushLine, uint64(flushed))
-	v.ctrs.Add(v.nFlushWB, uint64(dirty))
+	v.nFlushLine.Add(uint64(flushed))
+	v.nFlushWB.Add(uint64(dirty))
 	return flushed, dirty
 }
 
@@ -182,8 +185,8 @@ func (v *VirtualCache) FlushAll() (flushed, dirty int) {
 		return true
 	})
 	flushed = v.c.PurgeAll()
-	v.ctrs.Add(v.nFlushLine, uint64(flushed))
-	v.ctrs.Add(v.nFlushWB, uint64(dirty))
+	v.nFlushLine.Add(uint64(flushed))
+	v.nFlushWB.Add(uint64(dirty))
 	return flushed, dirty
 }
 
@@ -195,8 +198,12 @@ func (v *VirtualCache) Capacity() int { return v.c.Capacity() }
 
 // SynonymLines counts resident lines whose physical data is simultaneously
 // resident under another key — the synonym duplication of Section 2.2.
-// On a true single address space system this is always zero.
-func (v *VirtualCache) SynonymLines() int {
+// On a true single address space system this is always zero. geo is the
+// machine's translation page geometry: the line-in-page offset depends on
+// the page size, so a super-page machine must not be counted with
+// base-page arithmetic (offsets in the upper parts of a large page would
+// alias and be miscounted as synonyms).
+func (v *VirtualCache) SynonymLines(geo addr.Geometry) int {
 	type phys struct {
 		pfn    addr.PFN
 		offset uint64
@@ -205,7 +212,7 @@ func (v *VirtualCache) SynonymLines() int {
 	// offset is the low bits of the virtual line number, which is exact
 	// for page-aligned sharing (the only kind the kernel creates).
 	byPhys := make(map[phys]int)
-	linesPerPage := uint64(1) << (addr.BasePageShift - v.cfg.LineShift)
+	linesPerPage := v.LinesPerPage(geo)
 	v.c.ForEach(func(k lineKey, st lineState) bool {
 		byPhys[phys{pfn: st.pfn, offset: k.line % linesPerPage}]++
 		return true
@@ -221,7 +228,8 @@ func (v *VirtualCache) SynonymLines() int {
 
 // IncoherentLines counts physical lines resident under multiple keys where
 // at least one copy is dirty: the write-coherence hazard synonyms create.
-func (v *VirtualCache) IncoherentLines() int {
+// geo is the machine's translation page geometry (see SynonymLines).
+func (v *VirtualCache) IncoherentLines(geo addr.Geometry) int {
 	type phys struct {
 		pfn    addr.PFN
 		offset uint64
@@ -231,7 +239,7 @@ func (v *VirtualCache) IncoherentLines() int {
 		dirty int
 	}
 	byPhys := make(map[phys]*info)
-	linesPerPage := uint64(1) << (addr.BasePageShift - v.cfg.LineShift)
+	linesPerPage := v.LinesPerPage(geo)
 	v.c.ForEach(func(k lineKey, st lineState) bool {
 		p := phys{pfn: st.pfn, offset: k.line % linesPerPage}
 		i := byPhys[p]
@@ -261,9 +269,12 @@ func (v *VirtualCache) IncoherentLines() int {
 // This is the cache-size restriction the paper's footnote 3 refers to:
 // a VIPT cache grows only by adding associativity.
 func ValidVIPT(cfg Config, geo addr.Geometry) bool {
+	// Index bits are ceil(log2(Sets)): a non-power-of-two set count still
+	// needs enough bits to address every set, so rounding down would
+	// validate geometries whose index spills into translated bits.
 	indexBits := uint(0)
-	for s := cfg.Assoc.Sets; s > 1; s >>= 1 {
-		indexBits++
+	if cfg.Assoc.Sets > 1 {
+		indexBits = uint(bits.Len(uint(cfg.Assoc.Sets - 1)))
 	}
 	return cfg.LineShift+indexBits <= geo.Shift()
 }
@@ -277,25 +288,24 @@ type PhysicalCache struct {
 	cfg Config
 	c   *assoc.Cache[uint64, lineState]
 
-	ctrs       *stats.Counters
-	nHit       string
-	nMiss      string
-	nFill      string
-	nWriteback string
-	nFlushLine string
-	nFlushWB   string
+	nHit       stats.Handle
+	nMiss      stats.Handle
+	nFill      stats.Handle
+	nWriteback stats.Handle
+	nFlushLine stats.Handle
+	nFlushWB   stats.Handle
 }
 
 // NewPhysical creates a PIPT cache counting under prefix.
 func NewPhysical(cfg Config, ctrs *stats.Counters, prefix string) *PhysicalCache {
-	p := &PhysicalCache{cfg: cfg, ctrs: ctrs}
+	p := &PhysicalCache{cfg: cfg}
 	p.c = assoc.New[uint64, lineState](cfg.Assoc, func(line uint64) uint64 { return line })
-	p.nHit = prefix + ".hit"
-	p.nMiss = prefix + ".miss"
-	p.nFill = prefix + ".fill"
-	p.nWriteback = prefix + ".writeback"
-	p.nFlushLine = prefix + ".flushed_lines"
-	p.nFlushWB = prefix + ".flush_writebacks"
+	p.nHit = ctrs.Handle(prefix + ".hit")
+	p.nMiss = ctrs.Handle(prefix + ".miss")
+	p.nFill = ctrs.Handle(prefix + ".fill")
+	p.nWriteback = ctrs.Handle(prefix + ".writeback")
+	p.nFlushLine = ctrs.Handle(prefix + ".flushed_lines")
+	p.nFlushWB = ctrs.Handle(prefix + ".flush_writebacks")
 	return p
 }
 
@@ -304,14 +314,14 @@ func (p *PhysicalCache) Access(pa addr.PA, store bool) bool {
 	line := uint64(pa) >> p.cfg.LineShift
 	st, ok := p.c.Lookup(line)
 	if !ok {
-		p.ctrs.Inc(p.nMiss)
+		p.nMiss.Inc()
 		return false
 	}
 	if store && !st.dirty {
 		st.dirty = true
 		p.c.Update(line, st)
 	}
-	p.ctrs.Inc(p.nHit)
+	p.nHit.Inc()
 	return true
 }
 
@@ -319,9 +329,9 @@ func (p *PhysicalCache) Access(pa addr.PA, store bool) bool {
 func (p *PhysicalCache) Fill(pa addr.PA, store bool) (wroteBack bool) {
 	line := uint64(pa) >> p.cfg.LineShift
 	_, victim, evicted := p.c.Insert(line, lineState{dirty: store})
-	p.ctrs.Inc(p.nFill)
+	p.nFill.Inc()
 	if evicted && victim.dirty {
-		p.ctrs.Inc(p.nWriteback)
+		p.nWriteback.Inc()
 		return true
 	}
 	return false
@@ -342,8 +352,8 @@ func (p *PhysicalCache) FlushFrame(pfn addr.PFN, geo addr.Geometry) (flushed, di
 		return false
 	})
 	flushed = removed
-	p.ctrs.Add(p.nFlushLine, uint64(flushed))
-	p.ctrs.Add(p.nFlushWB, uint64(dirty))
+	p.nFlushLine.Add(uint64(flushed))
+	p.nFlushWB.Add(uint64(dirty))
 	return flushed, dirty
 }
 

@@ -148,10 +148,10 @@ func TestASIDTagsCreateSynonyms(t *testing.T) {
 	v := NewVirtual(smallCfg(true), ctrs, "dc")
 	v.Fill(1, 0x1000, 10, false)
 	v.Fill(2, 0x1000, 10, true) // same frame, space 2, dirty
-	if n := v.SynonymLines(); n != 2 {
+	if n := v.SynonymLines(addr.BaseGeometry()); n != 2 {
 		t.Fatalf("SynonymLines = %d, want 2", n)
 	}
-	if n := v.IncoherentLines(); n != 1 {
+	if n := v.IncoherentLines(addr.BaseGeometry()); n != 1 {
 		t.Fatalf("IncoherentLines = %d, want 1", n)
 	}
 }
@@ -164,10 +164,10 @@ func TestSingleSpaceNoSynonyms(t *testing.T) {
 	v.Fill(0, 0x1000, 10, true)
 	v.Fill(0, 0x2000, 20, false)
 	v.Fill(0, 0x1020, 10, false) // second line of the shared page
-	if n := v.SynonymLines(); n != 0 {
+	if n := v.SynonymLines(addr.BaseGeometry()); n != 0 {
 		t.Fatalf("SynonymLines = %d, want 0", n)
 	}
-	if n := v.IncoherentLines(); n != 0 {
+	if n := v.IncoherentLines(addr.BaseGeometry()); n != 0 {
 		t.Fatalf("IncoherentLines = %d, want 0", n)
 	}
 }
@@ -220,5 +220,55 @@ func TestLinesPerPage(t *testing.T) {
 	}
 	if v.Capacity() != 32 {
 		t.Fatalf("Capacity = %d", v.Capacity())
+	}
+}
+
+func TestValidVIPTRoundsIndexBitsUp(t *testing.T) {
+	geo := addr.BaseGeometry() // 4 KB pages: 12 offset bits
+	pow2 := Config{LineShift: 5, Assoc: assoc.Config{Sets: 128, Ways: 16, Policy: assoc.LRU}}
+	if !ValidVIPT(pow2, geo) {
+		t.Fatal("5 line bits + 7 index bits = 12 must fit a 4 KB page offset")
+	}
+	// A non-power-of-two set count needs ceil(log2(Sets)) index bits: 200
+	// sets need 8 bits, so 5+8 = 13 spills into translated bits. Floor
+	// rounding (7 bits) wrongly validated this geometry.
+	nonPow2 := Config{LineShift: 5, Assoc: assoc.Config{Sets: 200, Ways: 16, Policy: assoc.LRU}}
+	if ValidVIPT(nonPow2, geo) {
+		t.Fatal("200 sets need 8 index bits; 5+8 > 12 must be rejected")
+	}
+	if !ValidVIPT(nonPow2, addr.NewGeometry(13)) {
+		t.Fatal("200 sets fit an 8 KB page offset (5+8 <= 13)")
+	}
+	direct := Config{LineShift: 5, Assoc: assoc.Config{Sets: 1, Ways: 16, Policy: assoc.LRU}}
+	if !ValidVIPT(direct, geo) {
+		t.Fatal("a single-set cache needs no index bits")
+	}
+}
+
+func TestSynonymLinesSuperPageGeometry(t *testing.T) {
+	// Two lines at different offsets inside one 8 KB super-page share a
+	// frame but are NOT synonyms: with base-page (4 KB) arithmetic their
+	// line-in-page offsets alias mod 128 and were miscounted as such.
+	geo := addr.NewGeometry(13)
+	v := NewVirtual(smallCfg(true), &stats.Counters{}, "dc")
+	v.Fill(1, 0x0000, 10, false)
+	v.Fill(1, 0x1000, 10, false) // same super-page frame, 4 KB deeper
+	if n := v.SynonymLines(geo); n != 0 {
+		t.Fatalf("SynonymLines = %d, want 0 (distinct offsets of one super-page)", n)
+	}
+	if n := v.IncoherentLines(geo); n != 0 {
+		t.Fatalf("IncoherentLines = %d, want 0", n)
+	}
+
+	// A real synonym — the same super-page line resident under two address
+	// spaces — is still counted, dirty copies still flag incoherence.
+	v2 := NewVirtual(smallCfg(true), &stats.Counters{}, "dc")
+	v2.Fill(1, 0x1000, 10, false)
+	v2.Fill(2, 0x1000, 10, true)
+	if n := v2.SynonymLines(geo); n != 2 {
+		t.Fatalf("SynonymLines = %d, want 2", n)
+	}
+	if n := v2.IncoherentLines(geo); n != 1 {
+		t.Fatalf("IncoherentLines = %d, want 1", n)
 	}
 }

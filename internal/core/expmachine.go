@@ -308,11 +308,12 @@ func E4VirtualCache(p *Probe) ([]*stats.Table, error) {
 	conv := machine.NewConventional(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 	vipt := machine.NewConventional(machine.DefaultVIPTConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 	flush := machine.NewFlush(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+	geo := addr.BaseGeometry()
 	rows := []row{
-		{"single address space (PLB, no flush, no ASID)", sasos, sasos.Cache().SynonymLines},
-		{"multi-AS, ASID-tagged virtual cache", conv, conv.Cache().SynonymLines},
+		{"single address space (PLB, no flush, no ASID)", sasos, func() int { return sasos.Cache().SynonymLines(geo) }},
+		{"multi-AS, ASID-tagged virtual cache", conv, func() int { return conv.Cache().SynonymLines(geo) }},
 		{"multi-AS, VIPT (16-way: index must fit page offset)", vipt, func() int { return 0 }},
-		{"multi-AS, flush on every switch (i860)", flush, flush.Cache().SynonymLines},
+		{"multi-AS, flush on every switch (i860)", flush, func() int { return flush.Cache().SynonymLines(geo) }},
 	}
 	for _, r := range rows {
 		res, err := runTrace(p, r.m, recs)

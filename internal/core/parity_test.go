@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCounterParityWithSeed asserts that the handle-based counter
+// implementation is observationally identical to the seed's name-keyed
+// maps: the rendered tables of the trace-driven experiments and the
+// sorted counter snapshots of a representative experiment set must be
+// byte-identical to testdata/counter_parity.golden, which was captured
+// with the pre-handle implementation. This protects every consumer of
+// the counter names — benchfmt schema v1, table rendering, and the
+// benchreport baseline gate — across the registry refactor.
+//
+// The golden covers only trace-driven tables (E4, E5) because the
+// scan-cost bugfix in the same change intentionally moves cycle counts
+// of kernel-driven experiments; event counters are unaffected, so the
+// counter sections cover E1 and E2 as well.
+func TestCounterParityWithSeed(t *testing.T) {
+	var b strings.Builder
+	for _, id := range []string{"E4", "E5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Probe{}
+		tables, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(&b, "== %s tables ==\n", id)
+		for _, tb := range tables {
+			tb.Render(&b)
+			b.WriteString("\n")
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E4", "E5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Probe{}
+		if _, err := e.Run(p); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		snap := p.CounterSnapshot()
+		names := make([]string, 0, len(snap))
+		for k := range snap {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "== %s counters ==\n", id)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%-40s %12d\n", n, snap[n])
+		}
+	}
+
+	want, err := os.ReadFile("testdata/counter_parity.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output diverges from seed golden at line %d:\n got: %q\nwant: %q", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("output length differs from seed golden: got %d lines, want %d", len(gotLines), len(wantLines))
+}

@@ -48,8 +48,8 @@ func (p *Probe) ObserveKernel(k *kernel.Kernel) {
 		return
 	}
 	p.cycles += k.TotalCycles()
-	p.counters.MergeSnapshot(k.Machine().Counters().Snapshot())
-	p.counters.MergeSnapshot(k.Counters().Snapshot())
+	p.counters.Merge(k.Machine().Counters())
+	p.counters.Merge(k.Counters())
 }
 
 // ObserveTrace records a trace replay's cycles and machine counters.

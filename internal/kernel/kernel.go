@@ -285,6 +285,14 @@ type kernel struct {
 
 	ctrs   stats.Counters
 	cycles stats.Cycles
+
+	// Pre-resolved handles for the fault/paging path (touch.go), the only
+	// kernel counters bumped per simulated reference rather than per
+	// management operation.
+	hPageFaults, hZeroFills, hAutoEvictions stats.Handle
+	hProtFaults, hHandlerUpcalls            stats.Handle
+	hPageouts, hPageins, hUnmaps, hRPCCalls stats.Handle
+	hDupWalks                               stats.Handle
 }
 
 // page is the kernel's per-page record, created lazily.
@@ -349,6 +357,16 @@ func New(cfg Config) *Kernel {
 	if k.nextVA == 0 {
 		k.nextVA = addr.VA(1) << 32
 	}
+	k.hPageFaults = k.ctrs.Handle("kernel.page_faults")
+	k.hZeroFills = k.ctrs.Handle("kernel.zero_fills")
+	k.hAutoEvictions = k.ctrs.Handle("kernel.auto_evictions")
+	k.hProtFaults = k.ctrs.Handle("kernel.prot_faults")
+	k.hHandlerUpcalls = k.ctrs.Handle("kernel.handler_upcalls")
+	k.hPageouts = k.ctrs.Handle("kernel.pageouts")
+	k.hPageins = k.ctrs.Handle("kernel.pageins")
+	k.hUnmaps = k.ctrs.Handle("kernel.unmaps")
+	k.hRPCCalls = k.ctrs.Handle("kernel.rpc_calls")
+	k.hDupWalks = k.ctrs.Handle("conv.duplicated_walks")
 	switch cfg.Model {
 	case ModelPageGroup:
 		k.pgm = machine.NewPG(cfg.PG, k)
@@ -712,7 +730,7 @@ func (k *Kernel) Walk(as addr.ASID, vpn addr.VPN) (ptable.LinearPTE, bool) {
 	if !ok || !cacheable {
 		return ptable.LinearPTE{}, false
 	}
-	k.ctrs.Inc("conv.duplicated_walks")
+	k.hDupWalks.Inc()
 	return ptable.LinearPTE{PFN: pfn, Rights: r, Valid: true}, true
 }
 

@@ -70,12 +70,12 @@ func (k *Kernel) handlePageFault(va addr.VA) error {
 	if p == nil {
 		return fmt.Errorf("%w: page fault at %#x", ErrNoAuthority, uint64(va))
 	}
-	k.ctrs.Inc("kernel.page_faults")
+	k.hPageFaults.Inc()
 	if p.onDisk {
 		return k.PageIn(vpn)
 	}
 	// Demand-zero: first touch of a fresh segment page.
-	k.ctrs.Inc("kernel.zero_fills")
+	k.hZeroFills.Inc()
 	k.cycles.Add(k.costs().MemCopyPage)
 	return k.mapFresh(vpn)
 }
@@ -111,7 +111,7 @@ func (k *Kernel) evictOne(except addr.VPN) error {
 		if victim == except || !k.Mapped(victim) {
 			continue
 		}
-		k.ctrs.Inc("kernel.auto_evictions")
+		k.hAutoEvictions.Inc()
 		return k.PageOut(victim)
 	}
 	return fmt.Errorf("kernel: nothing evictable")
@@ -119,7 +119,7 @@ func (k *Kernel) evictOne(except addr.VPN) error {
 
 // handleProtFault dispatches a protection fault to the segment's handler.
 func (k *Kernel) handleProtFault(d *Domain, va addr.VA, kind addr.AccessKind) error {
-	k.ctrs.Inc("kernel.prot_faults")
+	k.hProtFaults.Inc()
 	s := k.FindSegment(va)
 	if s == nil {
 		return fmt.Errorf("%w: at %#x", ErrNoAuthority, uint64(va))
@@ -128,7 +128,7 @@ func (k *Kernel) handleProtFault(d *Domain, va addr.VA, kind addr.AccessKind) er
 		return fmt.Errorf("%w: domain %d, %v at %#x (segment %q)",
 			ErrProtection, d.ID, kind, uint64(va), s.Name)
 	}
-	k.ctrs.Inc("kernel.handler_upcalls")
+	k.hHandlerUpcalls.Inc()
 	// Delivering the fault to a user-level handler costs a trap (the
 	// machine already charged the hardware fault itself).
 	k.cycles.Add(k.costs().Trap)
@@ -327,7 +327,7 @@ func (k *Kernel) PageOut(vpn addr.VPN) error {
 	}
 	k.memory.Free(pte.PFN)
 	p.onDisk = true
-	k.ctrs.Inc("kernel.pageouts")
+	k.hPageouts.Inc()
 	return nil
 }
 
@@ -348,7 +348,7 @@ func (k *Kernel) PageIn(vpn addr.VPN) error {
 	pte, _ := k.trans.Lookup(vpn)
 	copy(k.memory.Data(pte.PFN), data)
 	p.onDisk = false
-	k.ctrs.Inc("kernel.pageins")
+	k.hPageins.Inc()
 	return nil
 }
 
@@ -364,7 +364,7 @@ func (k *Kernel) Unmap(vpn addr.VPN) error {
 		return err
 	}
 	k.memory.Free(pte.PFN)
-	k.ctrs.Inc("kernel.unmaps")
+	k.hUnmaps.Inc()
 	return nil
 }
 
@@ -391,7 +391,7 @@ func (k *Kernel) ClearDirty(vpn addr.VPN) bool { return k.trans.ClearDirty(vpn) 
 // whose cost Section 4.1.4 compares across models.
 func (k *Kernel) Call(client, server *Domain, work func() error) error {
 	k.Switch(server)
-	k.ctrs.Inc("kernel.rpc_calls")
+	k.hRPCCalls.Inc()
 	var err error
 	if work != nil {
 		err = work()

@@ -72,6 +72,10 @@ type ConventionalMachine struct {
 
 	ctrs   stats.Counters
 	cycles stats.Cycles
+
+	// Pre-resolved handles for the counters bumped on the reference path.
+	hAccesses, hStores, hSwitches, hSwitchCycles stats.Handle
+	hTrapTLB, hFaultProt, hFaultUnmapped         stats.Handle
 }
 
 // NewConventional builds a conventional machine over per-space tables.
@@ -88,6 +92,13 @@ func NewConventional(cfg ConvConfig, os MultiOS) *ConventionalMachine {
 	} else {
 		m.cache = cache.NewVirtual(cfg.Cache, &m.ctrs, "cache")
 	}
+	m.hAccesses = m.ctrs.Handle(CtrAccesses)
+	m.hStores = m.ctrs.Handle(CtrStores)
+	m.hSwitches = m.ctrs.Handle(CtrSwitches)
+	m.hSwitchCycles = m.ctrs.Handle(CtrSwitchCycles)
+	m.hTrapTLB = m.ctrs.Handle(CtrTrapTLBRefill)
+	m.hFaultProt = m.ctrs.Handle(CtrFaultProt)
+	m.hFaultUnmapped = m.ctrs.Handle(CtrFaultUnmapped)
 	return m
 }
 
@@ -137,8 +148,8 @@ func (m *ConventionalMachine) asid() addr.ASID { return addr.ASID(m.domain) }
 // duplicated TLB entries and cache synonyms.
 func (m *ConventionalMachine) SwitchDomain(d addr.DomainID) {
 	m.domain = d
-	m.ctrs.Inc(CtrSwitches)
-	m.ctrs.Add(CtrSwitchCycles, m.cfg.Costs.RegisterWrite)
+	m.hSwitches.Inc()
+	m.hSwitchCycles.Add(m.cfg.Costs.RegisterWrite)
 	m.cycles.Add(m.cfg.Costs.RegisterWrite)
 }
 
@@ -146,20 +157,20 @@ func (m *ConventionalMachine) SwitchDomain(d addr.DomainID) {
 // probed in parallel with the (virtually indexed, ASID-tagged) cache.
 func (m *ConventionalMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 	c := &m.cfg.Costs
-	m.ctrs.Inc(CtrAccesses)
+	m.hAccesses.Inc()
 	if kind == addr.Store {
-		m.ctrs.Inc(CtrStores)
+		m.hStores.Inc()
 	}
 	m.cycles.Add(c.CacheHit)
 
 	vpn := m.cfg.Geometry.PageNumber(va)
 	entry, hit := m.tlb.Lookup(m.asid(), vpn)
 	if !hit {
-		m.ctrs.Inc(CtrTrapTLBRefill)
+		m.hTrapTLB.Inc()
 		m.cycles.Add(c.Trap + c.PTWalk)
 		pte, ok := m.os.Walk(m.asid(), vpn)
 		if !ok {
-			m.ctrs.Inc(CtrFaultUnmapped)
+			m.hFaultUnmapped.Inc()
 			return cpu.Outcome{Fault: cpu.FaultPageUnmapped}
 		}
 		entry = tlb.ASIDEntry{PFN: pte.PFN, Rights: pte.Rights}
@@ -167,7 +178,7 @@ func (m *ConventionalMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outco
 		m.cycles.Add(c.Install)
 	}
 	if !entry.Rights.Allows(kind) {
-		m.ctrs.Inc(CtrFaultProt)
+		m.hFaultProt.Inc()
 		m.cycles.Add(c.Trap)
 		return cpu.Outcome{Fault: cpu.FaultProtection}
 	}
@@ -199,9 +210,10 @@ func (m *ConventionalMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outco
 // mapping change to a shared page costs on this architecture (the scan of
 // Section 3.1).
 func (m *ConventionalMachine) InvalidatePage(vpn addr.VPN) {
-	inspected := m.tlb.Len()
 	m.tlb.PurgePage(vpn)
-	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+	// An entry-by-entry hardware scan inspects every TLB slot, valid or
+	// not, so the charge covers the full capacity.
+	m.cycles.Add(uint64(m.tlb.Capacity()) * m.cfg.Costs.PurgeEntry)
 }
 
 // SetRights updates the resident TLB entry for (as, vpn); absent entries
@@ -227,7 +239,6 @@ func (m *ConventionalMachine) InvalidateEntry(as addr.ASID, vpn addr.VPN) {
 // 3.1), and the page's cache lines flushed.
 func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) {
 	c := &m.cfg.Costs
-	inspected := m.tlb.Len()
 	// The flush needs the physical frame before the mapping disappears.
 	var pfn addr.PFN
 	havePFN := false
@@ -237,7 +248,7 @@ func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) {
 		}
 	}
 	m.tlb.PurgePage(vpn)
-	m.cycles.Add(uint64(inspected) * c.PurgeEntry)
+	m.cycles.Add(uint64(m.tlb.Capacity()) * c.PurgeEntry)
 	var dirty int
 	if m.vipt != nil {
 		if havePFN {
@@ -305,8 +316,8 @@ func (m *FlushMachine) SwitchDomain(d addr.DomainID) {
 		uint64(flushed)*c.CacheLineFlush +
 		uint64(dirty)*c.Writeback
 	m.inner.domain = d
-	m.inner.ctrs.Inc(CtrSwitches)
-	m.inner.ctrs.Add(CtrSwitchCycles, cost)
+	m.inner.hSwitches.Inc()
+	m.inner.hSwitchCycles.Add(cost)
 	m.inner.cycles.Add(cost)
 }
 

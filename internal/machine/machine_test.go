@@ -527,7 +527,7 @@ func TestConventionalDuplicatesSharedEntries(t *testing.T) {
 	// The shared frame is resident under multiple cache tags: synonyms.
 	// (All three virtual lines index the same 2-way set, so at most two
 	// coexist — the third synonym evicted one, wasting the cache.)
-	if n := m.Cache().SynonymLines(); n != 2 {
+	if n := m.Cache().SynonymLines(m.Geometry()); n != 2 {
 		t.Fatalf("SynonymLines = %d, want 2", n)
 	}
 }
@@ -677,4 +677,48 @@ func TestVIPTUnmapFlushes(t *testing.T) {
 	if m.VIPTCache().Len() != 0 {
 		t.Fatal("unmap left VIPT residue")
 	}
+}
+
+func TestScanOpsChargeFullCapacity(t *testing.T) {
+	// An entry-by-entry hardware scan inspects every slot, valid or not
+	// (§4.1.1 "inspect each entry"): the cycle charge for range updates,
+	// detaches and page purges must cover the structure's capacity, not
+	// just its resident entries.
+	t.Run("PLBMachine", func(t *testing.T) {
+		os := newFakeOS()
+		os.trans[1] = 7
+		os.grant(1, 1, addr.RW)
+		m := newPLBMachine(os)
+		m.SwitchDomain(1)
+		m.Access(va(1), addr.Load) // one valid entry out of 128
+		scan := uint64(m.PLB().Capacity()) * m.Costs().PurgeEntry
+		before := m.Cycles()
+		m.UpdateRange(1, va(0), 4*page, addr.Read)
+		if got := m.Cycles() - before; got != scan {
+			t.Fatalf("UpdateRange charged %d cycles, want capacity scan %d", got, scan)
+		}
+		before = m.Cycles()
+		m.DetachRange(1, va(0), 4*page)
+		if got := m.Cycles() - before; got != scan {
+			t.Fatalf("DetachRange charged %d cycles, want capacity scan %d", got, scan)
+		}
+		before = m.Cycles()
+		m.PurgePage(va(1))
+		if got := m.Cycles() - before; got != scan {
+			t.Fatalf("PurgePage charged %d cycles, want capacity scan %d", got, scan)
+		}
+	})
+	t.Run("ConventionalMachine", func(t *testing.T) {
+		os := newFakeMultiOS()
+		os.table(1).Map(1, 7, addr.Read)
+		m := NewConventional(DefaultConvConfig(), os)
+		m.SwitchDomain(1)
+		m.Access(va(1), addr.Load)
+		scan := uint64(m.TLB().Capacity()) * m.Costs().PurgeEntry
+		before := m.Cycles()
+		m.InvalidatePage(1)
+		if got := m.Cycles() - before; got != scan {
+			t.Fatalf("InvalidatePage charged %d cycles, want capacity scan %d", got, scan)
+		}
+	})
 }

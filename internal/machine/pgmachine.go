@@ -69,6 +69,11 @@ type PGMachine struct {
 
 	ctrs   stats.Counters
 	cycles stats.Cycles
+
+	// Pre-resolved handles for the counters bumped on the reference path.
+	hAccesses, hStores, hSwitches, hSwitchCycles  stats.Handle
+	hTrapTLB, hTrapPG, hFaultProt, hFaultUnmapped stats.Handle
+	hFaultAddressing                              stats.Handle
 }
 
 // NewPG builds a page-group machine over the given OS.
@@ -84,6 +89,15 @@ func NewPG(cfg PGConfig, os OS) *PGMachine {
 			&m.ctrs, "pgc")
 	}
 	m.cache = cache.NewVirtual(cfg.Cache, &m.ctrs, "cache")
+	m.hAccesses = m.ctrs.Handle(CtrAccesses)
+	m.hStores = m.ctrs.Handle(CtrStores)
+	m.hSwitches = m.ctrs.Handle(CtrSwitches)
+	m.hSwitchCycles = m.ctrs.Handle(CtrSwitchCycles)
+	m.hTrapTLB = m.ctrs.Handle(CtrTrapTLBRefill)
+	m.hTrapPG = m.ctrs.Handle(CtrTrapPGRefill)
+	m.hFaultProt = m.ctrs.Handle(CtrFaultProt)
+	m.hFaultUnmapped = m.ctrs.Handle(CtrFaultUnmapped)
+	m.hFaultAddressing = m.ctrs.Handle(CtrFaultAddressing)
 	return m
 }
 
@@ -120,7 +134,7 @@ func (m *PGMachine) Geometry() addr.Geometry { return m.cfg.Geometry }
 func (m *PGMachine) SwitchDomain(d addr.DomainID) {
 	c := &m.cfg.Costs
 	m.domain = d
-	m.ctrs.Inc(CtrSwitches)
+	m.hSwitches.Inc()
 	var cost uint64 = c.RegisterWrite
 	purged := m.checker.PurgeAll()
 	cost += uint64(purged) * c.PurgeEntry
@@ -133,7 +147,7 @@ func (m *PGMachine) SwitchDomain(d addr.DomainID) {
 			cost += c.Install
 		}
 	}
-	m.ctrs.Add(CtrSwitchCycles, cost)
+	m.hSwitchCycles.Add(cost)
 	m.cycles.Add(cost)
 }
 
@@ -143,9 +157,9 @@ func (m *PGMachine) SwitchDomain(d addr.DomainID) {
 // Section 4.2, charged as extra latency on every access.
 func (m *PGMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 	c := &m.cfg.Costs
-	m.ctrs.Inc(CtrAccesses)
+	m.hAccesses.Inc()
 	if kind == addr.Store {
-		m.ctrs.Inc(CtrStores)
+		m.hStores.Inc()
 	}
 	// Cache and TLB probe in parallel; the page-group check serializes
 	// after the TLB and adds its latency to every reference.
@@ -154,16 +168,16 @@ func (m *PGMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 	vpn := m.cfg.Geometry.PageNumber(va)
 	entry, hit := m.tlb.Lookup(vpn)
 	if !hit {
-		m.ctrs.Inc(CtrTrapTLBRefill)
+		m.hTrapTLB.Inc()
 		m.cycles.Add(c.Trap + c.PTWalk)
 		pfn, ok := m.os.Translate(vpn)
 		if !ok {
-			m.ctrs.Inc(CtrFaultUnmapped)
+			m.hFaultUnmapped.Inc()
 			return cpu.Outcome{Fault: cpu.FaultPageUnmapped}
 		}
 		aid, rights, ok := m.os.PageInfo(vpn)
 		if !ok {
-			m.ctrs.Inc(CtrFaultAddressing)
+			m.hFaultAddressing.Inc()
 			return cpu.Outcome{Fault: cpu.FaultNoAuthority}
 		}
 		entry = tlb.PGEntry{PFN: pfn, AID: aid, Rights: rights}
@@ -179,11 +193,11 @@ func (m *PGMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 		if !ok {
 			// Trap: the kernel decides whether the domain may access the
 			// group at all.
-			m.ctrs.Inc(CtrTrapPGRefill)
+			m.hTrapPG.Inc()
 			m.cycles.Add(c.Trap)
 			allowed, wd := m.os.DomainGroup(m.domain, entry.AID)
 			if !allowed {
-				m.ctrs.Inc(CtrFaultProt)
+				m.hFaultProt.Inc()
 				return cpu.Outcome{Fault: cpu.FaultProtection}
 			}
 			m.checker.Load(entry.AID, wd)
@@ -195,7 +209,7 @@ func (m *PGMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 		}
 	}
 	if !rights.Allows(kind) {
-		m.ctrs.Inc(CtrFaultProt)
+		m.hFaultProt.Inc()
 		m.cycles.Add(c.Trap)
 		return cpu.Outcome{Fault: cpu.FaultProtection}
 	}

@@ -49,6 +49,13 @@ type PLBMachine struct {
 
 	ctrs   stats.Counters
 	cycles stats.Cycles
+
+	// Pre-resolved handles for the shared counter names bumped on the
+	// reference path (resolved once in NewPLB, a single array add per
+	// event thereafter).
+	hAccesses, hStores, hSwitches, hSwitchCycles   stats.Handle
+	hTrapPLB, hTrapTLB, hFaultProt, hFaultUnmapped stats.Handle
+	hFaultAddressing                               stats.Handle
 }
 
 // NewPLB builds a PLB machine over the given OS.
@@ -57,6 +64,15 @@ func NewPLB(cfg PLBConfig, os OS) *PLBMachine {
 	m.plb = plb.New(cfg.PLB, &m.ctrs, "plb")
 	m.tlb = tlb.NewTrans(cfg.TLB, &m.ctrs, "tlb")
 	m.cache = cache.NewVirtual(cfg.Cache, &m.ctrs, "cache")
+	m.hAccesses = m.ctrs.Handle(CtrAccesses)
+	m.hStores = m.ctrs.Handle(CtrStores)
+	m.hSwitches = m.ctrs.Handle(CtrSwitches)
+	m.hSwitchCycles = m.ctrs.Handle(CtrSwitchCycles)
+	m.hTrapPLB = m.ctrs.Handle(CtrTrapPLBRefill)
+	m.hTrapTLB = m.ctrs.Handle(CtrTrapTLBRefill)
+	m.hFaultProt = m.ctrs.Handle(CtrFaultProt)
+	m.hFaultUnmapped = m.ctrs.Handle(CtrFaultUnmapped)
+	m.hFaultAddressing = m.ctrs.Handle(CtrFaultAddressing)
 	return m
 }
 
@@ -90,8 +106,8 @@ func (m *PLBMachine) Cache() *cache.VirtualCache { return m.cache }
 // PLB, TLB or cache state is purged (Section 4.1.4).
 func (m *PLBMachine) SwitchDomain(d addr.DomainID) {
 	m.domain = d
-	m.ctrs.Inc(CtrSwitches)
-	m.ctrs.Add(CtrSwitchCycles, m.cfg.Costs.RegisterWrite)
+	m.hSwitches.Inc()
+	m.hSwitchCycles.Add(m.cfg.Costs.RegisterWrite)
 	m.cycles.Add(m.cfg.Costs.RegisterWrite)
 }
 
@@ -101,20 +117,20 @@ func (m *PLBMachine) SwitchDomain(d addr.DomainID) {
 // writebacks, through the off-critical-path TLB.
 func (m *PLBMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 	c := &m.cfg.Costs
-	m.ctrs.Inc(CtrAccesses)
+	m.hAccesses.Inc()
 	if kind == addr.Store {
-		m.ctrs.Inc(CtrStores)
+		m.hStores.Inc()
 	}
 	m.cycles.Add(c.CacheHit) // cache + PLB probed in parallel
 
 	// Protection: PLB lookup, refilled by the kernel on a miss.
 	rights, hit := m.plb.Lookup(m.domain, va)
 	if !hit {
-		m.ctrs.Inc(CtrTrapPLBRefill)
+		m.hTrapPLB.Inc()
 		m.cycles.Add(c.Trap)
 		resolved, cacheable, ok := m.os.ResolveRights(m.domain, m.cfg.Geometry.PageNumber(va))
 		if !ok {
-			m.ctrs.Inc(CtrFaultAddressing)
+			m.hFaultAddressing.Inc()
 			return cpu.Outcome{Fault: cpu.FaultNoAuthority}
 		}
 		if cacheable {
@@ -134,7 +150,7 @@ func (m *PLBMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 		rights = resolved
 	}
 	if !rights.Allows(kind) {
-		m.ctrs.Inc(CtrFaultProt)
+		m.hFaultProt.Inc()
 		m.cycles.Add(c.Trap)
 		return cpu.Outcome{Fault: cpu.FaultProtection}
 	}
@@ -145,7 +161,7 @@ func (m *PLBMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 	}
 	pfn, ok := m.translate(m.cfg.Geometry.PageNumber(va))
 	if !ok {
-		m.ctrs.Inc(CtrFaultUnmapped)
+		m.hFaultUnmapped.Inc()
 		return cpu.Outcome{Fault: cpu.FaultPageUnmapped}
 	}
 	m.cycles.Add(c.CacheFill)
@@ -164,7 +180,7 @@ func (m *PLBMachine) translate(vpn addr.VPN) (addr.PFN, bool) {
 	if e, ok := m.tlb.Lookup(vpn); ok {
 		return e.PFN, true
 	}
-	m.ctrs.Inc(CtrTrapTLBRefill)
+	m.hTrapTLB.Inc()
 	m.cycles.Add(c.Trap + c.PTWalk)
 	pfn, ok := m.os.Translate(vpn)
 	if !ok {
@@ -204,11 +220,12 @@ func (m *PLBMachine) InvalidateRights(d addr.DomainID, va addr.VA) {
 
 // UpdateRange rewrites all of d's resident PLB entries overlapping the
 // range to the given rights — the segment-wide per-domain rights change of
-// Table 1 (GC flip, checkpoint restrict). The whole PLB is scanned.
+// Table 1 (GC flip, checkpoint restrict). The whole PLB is scanned: an
+// entry-by-entry hardware scan inspects every slot, valid or not
+// (§4.1.1 "inspect each entry"), so the charge covers the full capacity.
 func (m *PLBMachine) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.Rights) {
-	inspected := m.plb.Len()
 	m.plb.UpdateRange(d, start, length, r)
-	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
 }
 
 // PurgeAllPLB flash-clears the whole PLB in one operation — the cheap
@@ -220,19 +237,19 @@ func (m *PLBMachine) PurgeAllPLB() {
 }
 
 // DetachRange purges all of d's PLB entries overlapping the range: the
-// segment-detach scan of Section 4.1.1. The whole PLB is inspected.
+// segment-detach scan of Section 4.1.1. Every PLB slot is inspected, so
+// the scan costs capacity x per-entry purge regardless of occupancy.
 func (m *PLBMachine) DetachRange(d addr.DomainID, start addr.VA, length uint64) {
-	inspected := m.plb.Len()
 	m.plb.PurgeRange(d, start, length)
-	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
 }
 
 // PurgePage removes every domain's PLB entries for the page holding va
-// (used when rights change for all domains at once).
+// (used when rights change for all domains at once). Like the other scan
+// operations this inspects every slot of the PLB.
 func (m *PLBMachine) PurgePage(va addr.VA) {
-	inspected := m.plb.Len()
 	m.plb.PurgePage(va)
-	m.cycles.Add(uint64(inspected) * m.cfg.Costs.PurgeEntry)
+	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
 }
 
 // UnmapPage destroys the translation for vpn: the TLB entry is

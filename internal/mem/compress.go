@@ -19,6 +19,14 @@ type CompressedStore struct {
 	expansions    uint64
 	cyclesPerByte uint64
 	cycles        uint64
+
+	// Reused flate state: a flate.Writer is ~600 KB of window and huffman
+	// tables, so allocating one per page-out dominated whole-suite
+	// allocation. Like the maps above, these make the store single-user;
+	// each kernel owns its store, matching the simulator's threading model.
+	w    *flate.Writer
+	r    io.ReadCloser
+	wbuf bytes.Buffer
 }
 
 // NewCompressedStore creates a store charging cyclesPerByte of CPU cost
@@ -29,24 +37,29 @@ func NewCompressedStore(cyclesPerByte uint64) *CompressedStore {
 
 // Put compresses data and stores it under key.
 func (s *CompressedStore) Put(key uint64, data []byte) error {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
+	s.wbuf.Reset()
+	if s.w == nil {
+		w, err := flate.NewWriter(&s.wbuf, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("mem: compress: %w", err)
+		}
+		s.w = w
+	} else {
+		s.w.Reset(&s.wbuf)
+	}
+	if _, err := s.w.Write(data); err != nil {
 		return fmt.Errorf("mem: compress: %w", err)
 	}
-	if _, err := w.Write(data); err != nil {
-		return fmt.Errorf("mem: compress: %w", err)
-	}
-	if err := w.Close(); err != nil {
+	if err := s.w.Close(); err != nil {
 		return fmt.Errorf("mem: compress: %w", err)
 	}
 	if prev, ok := s.pages[key]; ok {
 		s.storedBytes -= uint64(len(prev))
 		s.rawBytes -= uint64(len(data))
 	}
-	s.pages[key] = append([]byte(nil), buf.Bytes()...)
+	s.pages[key] = append([]byte(nil), s.wbuf.Bytes()...)
 	s.rawBytes += uint64(len(data))
-	s.storedBytes += uint64(buf.Len())
+	s.storedBytes += uint64(s.wbuf.Len())
 	s.compressions++
 	s.cycles += uint64(len(data)) * s.cyclesPerByte
 	return nil
@@ -59,12 +72,16 @@ func (s *CompressedStore) Get(key uint64) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("mem: compressed page %#x not present", key)
 	}
-	r := flate.NewReader(bytes.NewReader(c))
-	data, err := io.ReadAll(r)
+	if s.r == nil {
+		s.r = flate.NewReader(bytes.NewReader(c))
+	} else if err := s.r.(flate.Resetter).Reset(bytes.NewReader(c), nil); err != nil {
+		return nil, fmt.Errorf("mem: decompress: %w", err)
+	}
+	data, err := io.ReadAll(s.r)
 	if err != nil {
 		return nil, fmt.Errorf("mem: decompress: %w", err)
 	}
-	if err := r.Close(); err != nil {
+	if err := s.r.Close(); err != nil {
 		return nil, fmt.Errorf("mem: decompress: %w", err)
 	}
 	delete(s.pages, key)

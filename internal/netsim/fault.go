@@ -138,7 +138,7 @@ func (n *Network) CrashNode(node int) {
 	n.check(node)
 	n.ensureFaults()
 	n.faults.forcedDown[node] = true
-	n.ctrs.Inc("net.crashes")
+	n.hCrashes.Inc()
 }
 
 // RecoverNode brings an application-crashed node back up.
@@ -146,7 +146,7 @@ func (n *Network) RecoverNode(node int) {
 	n.check(node)
 	n.ensureFaults()
 	n.faults.forcedDown[node] = false
-	n.ctrs.Inc("net.recoveries")
+	n.hRecoveries.Inc()
 }
 
 // ensureFaults lazily creates fault state for networks configured
@@ -213,16 +213,16 @@ func (n *Network) SendUnreliable(from, to, size int) Outcome {
 	receiverUp := n.NodeUp(to)
 	switch {
 	case !receiverUp:
-		n.ctrs.Inc("net.down_drops")
+		n.hDownDrops.Inc()
 	case dropped:
-		n.ctrs.Inc("net.drops")
+		n.hDrops.Inc()
 	default:
 		out.Delivered = true
 		n.perNode[to].received++
 		if duplicated {
 			out.Duplicated = true
 			n.perNode[to].received++
-			n.ctrs.Inc("net.dups")
+			n.hDups.Inc()
 			// The duplicate copy occupies the wire too.
 			n.msgs++
 			n.bytes += uint64(size)
@@ -230,14 +230,14 @@ func (n *Network) SendUnreliable(from, to, size int) Outcome {
 		}
 		if delayed {
 			lat += delay
-			n.ctrs.Inc("net.delays")
+			n.hDelays.Inc()
 		}
 		if reordered {
 			out.Reordered = true
 			// Held back one message slot: arrives after traffic sent
 			// later, charged as one extra message latency.
 			lat += n.cfg.MsgLatency
-			n.ctrs.Inc("net.reorders")
+			n.hReorders.Inc()
 		}
 	}
 	out.Latency = lat

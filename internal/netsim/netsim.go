@@ -51,6 +51,13 @@ type Network struct {
 
 	faults *faultState
 	ctrs   stats.Counters
+
+	// Pre-resolved handles for the per-message fault and reliability
+	// counters (fault.go, reliable.go), bumped on every send.
+	hCrashes, hRecoveries, hDownDrops, hDrops stats.Handle
+	hDups, hDelays, hReorders                 stats.Handle
+	hRetransmits, hDupSuppressed, hAcks       stats.Handle
+	hTimeouts, hFailures                      stats.Handle
 }
 
 type nodeStats struct {
@@ -67,6 +74,18 @@ func New(n int, cfg Config) *Network {
 	if cfg.Faults.Enabled() {
 		net.faults = newFaultState(cfg.Faults, n)
 	}
+	net.hCrashes = net.ctrs.Handle("net.crashes")
+	net.hRecoveries = net.ctrs.Handle("net.recoveries")
+	net.hDownDrops = net.ctrs.Handle("net.down_drops")
+	net.hDrops = net.ctrs.Handle("net.drops")
+	net.hDups = net.ctrs.Handle("net.dups")
+	net.hDelays = net.ctrs.Handle("net.delays")
+	net.hReorders = net.ctrs.Handle("net.reorders")
+	net.hRetransmits = net.ctrs.Handle("reliable.retransmits")
+	net.hDupSuppressed = net.ctrs.Handle("reliable.dup_suppressed")
+	net.hAcks = net.ctrs.Handle("reliable.acks")
+	net.hTimeouts = net.ctrs.Handle("reliable.timeouts")
+	net.hFailures = net.ctrs.Handle("reliable.failures")
 	return net
 }
 

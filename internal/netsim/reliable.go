@@ -156,7 +156,7 @@ func (r *Reliable) Send(from, to, size int, deliver func()) (uint64, error) {
 	timeout := r.cfg.TimeoutCycles
 	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			r.net.ctrs.Inc("reliable.retransmits")
+			r.net.hRetransmits.Inc()
 		}
 		out := r.net.SendUnreliable(from, to, size)
 		total += out.Latency
@@ -169,23 +169,23 @@ func (r *Reliable) Send(from, to, size int, deliver func()) (uint64, error) {
 					deliver()
 				}
 			} else {
-				r.net.ctrs.Inc("reliable.dup_suppressed")
+				r.net.hDupSuppressed.Inc()
 			}
 			if out.Duplicated {
 				// The wire's second copy hits the suppression cache too.
-				r.net.ctrs.Inc("reliable.dup_suppressed")
+				r.net.hDupSuppressed.Inc()
 			}
 			ack := r.net.SendUnreliable(to, from, r.cfg.AckSize)
 			total += ack.Latency
 			r.ackCycles += ack.Latency
-			r.net.ctrs.Inc("reliable.acks")
+			r.net.hAcks.Inc()
 			if ack.Delivered {
 				return total, nil
 			}
 		}
 		// Lost message or lost ack: the sender waits out the timeout and
 		// retransmits with doubled backoff.
-		r.net.ctrs.Inc("reliable.timeouts")
+		r.net.hTimeouts.Inc()
 		r.net.cycles += timeout
 		r.timeoutCycles += timeout
 		total += timeout
@@ -193,7 +193,7 @@ func (r *Reliable) Send(from, to, size int, deliver func()) (uint64, error) {
 			timeout = r.cfg.BackoffLimit
 		}
 	}
-	r.net.ctrs.Inc("reliable.failures")
+	r.net.hFailures.Inc()
 	return total, fmt.Errorf("%w: %d->%d (%d attempts)", ErrDeliveryFailed, from, to, r.cfg.MaxRetries+1)
 }
 

@@ -50,9 +50,8 @@ type PIDRegisters struct {
 	regs []pidReg
 	next int // round-robin pointer
 
-	ctrs               *stats.Counters
-	nHit, nMiss, nLoad string
-	nPurged            string
+	nHit, nMiss, nLoad stats.Handle
+	nPurged            stats.Handle
 }
 
 type pidReg struct {
@@ -67,27 +66,27 @@ func NewPIDRegisters(n int, ctrs *stats.Counters, prefix string) *PIDRegisters {
 	if n < 1 {
 		panic("pgroup: need at least one PID register")
 	}
-	p := &PIDRegisters{regs: make([]pidReg, n), ctrs: ctrs}
-	p.nHit = prefix + ".hit"
-	p.nMiss = prefix + ".miss"
-	p.nLoad = prefix + ".load"
-	p.nPurged = prefix + ".purged"
+	p := &PIDRegisters{regs: make([]pidReg, n)}
+	p.nHit = ctrs.Handle(prefix + ".hit")
+	p.nMiss = ctrs.Handle(prefix + ".miss")
+	p.nLoad = ctrs.Handle(prefix + ".load")
+	p.nPurged = ctrs.Handle(prefix + ".purged")
 	return p
 }
 
 // Check implements Checker.
 func (p *PIDRegisters) Check(g addr.GroupID) (bool, bool) {
 	if g == addr.GlobalGroup {
-		p.ctrs.Inc(p.nHit)
+		p.nHit.Inc()
 		return true, false
 	}
 	for _, r := range p.regs {
 		if r.valid && r.group == g {
-			p.ctrs.Inc(p.nHit)
+			p.nHit.Inc()
 			return true, r.writeDisable
 		}
 	}
-	p.ctrs.Inc(p.nMiss)
+	p.nMiss.Inc()
 	return false, false
 }
 
@@ -98,20 +97,20 @@ func (p *PIDRegisters) Load(g addr.GroupID, writeDisabled bool) {
 	for i, r := range p.regs {
 		if r.valid && r.group == g {
 			p.regs[i].writeDisable = writeDisabled
-			p.ctrs.Inc(p.nLoad)
+			p.nLoad.Inc()
 			return
 		}
 	}
 	for i, r := range p.regs {
 		if !r.valid {
 			p.regs[i] = pidReg{group: g, writeDisable: writeDisabled, valid: true}
-			p.ctrs.Inc(p.nLoad)
+			p.nLoad.Inc()
 			return
 		}
 	}
 	p.regs[p.next] = pidReg{group: g, writeDisable: writeDisabled, valid: true}
 	p.next = (p.next + 1) % len(p.regs)
-	p.ctrs.Inc(p.nLoad)
+	p.nLoad.Inc()
 }
 
 // Remove implements Checker.
@@ -135,7 +134,7 @@ func (p *PIDRegisters) PurgeAll() int {
 		}
 	}
 	p.next = 0
-	p.ctrs.Add(p.nPurged, uint64(n))
+	p.nPurged.Add(uint64(n))
 	return n
 }
 
@@ -158,42 +157,41 @@ func (p *PIDRegisters) Capacity() int { return len(p.regs) }
 type GroupCache struct {
 	c *assoc.Cache[addr.GroupID, bool] // value: write-disable bit
 
-	ctrs               *stats.Counters
-	nHit, nMiss, nLoad string
-	nPurged            string
+	nHit, nMiss, nLoad stats.Handle
+	nPurged            stats.Handle
 }
 
 // NewGroupCache creates a group cache with the given geometry, counting
 // under prefix.
 func NewGroupCache(cfg assoc.Config, ctrs *stats.Counters, prefix string) *GroupCache {
-	g := &GroupCache{ctrs: ctrs}
+	g := &GroupCache{}
 	g.c = assoc.New[addr.GroupID, bool](cfg, func(k addr.GroupID) uint64 { return uint64(k) })
-	g.nHit = prefix + ".hit"
-	g.nMiss = prefix + ".miss"
-	g.nLoad = prefix + ".load"
-	g.nPurged = prefix + ".purged"
+	g.nHit = ctrs.Handle(prefix + ".hit")
+	g.nMiss = ctrs.Handle(prefix + ".miss")
+	g.nLoad = ctrs.Handle(prefix + ".load")
+	g.nPurged = ctrs.Handle(prefix + ".purged")
 	return g
 }
 
 // Check implements Checker.
 func (g *GroupCache) Check(gid addr.GroupID) (bool, bool) {
 	if gid == addr.GlobalGroup {
-		g.ctrs.Inc(g.nHit)
+		g.nHit.Inc()
 		return true, false
 	}
 	wd, ok := g.c.Lookup(gid)
 	if ok {
-		g.ctrs.Inc(g.nHit)
+		g.nHit.Inc()
 		return true, wd
 	}
-	g.ctrs.Inc(g.nMiss)
+	g.nMiss.Inc()
 	return false, false
 }
 
 // Load implements Checker.
 func (g *GroupCache) Load(gid addr.GroupID, writeDisabled bool) {
 	g.c.Insert(gid, writeDisabled)
-	g.ctrs.Inc(g.nLoad)
+	g.nLoad.Inc()
 }
 
 // Remove implements Checker.
@@ -202,7 +200,7 @@ func (g *GroupCache) Remove(gid addr.GroupID) bool { return g.c.Invalidate(gid) 
 // PurgeAll implements Checker.
 func (g *GroupCache) PurgeAll() int {
 	n := g.c.PurgeAll()
-	g.ctrs.Add(g.nPurged, uint64(n))
+	g.nPurged.Add(uint64(n))
 	return n
 }
 

@@ -58,13 +58,20 @@ type PLB struct {
 	cfg    Config
 	c      *assoc.Cache[Key, addr.Rights]
 	shifts []uint
+	// shifts8 mirrors shifts pre-narrowed to the Key width, so the
+	// per-access probe loop builds keys without conversions; shift0 is
+	// the sole size class of a single-size PLB (the common case), letting
+	// Lookup skip the loop entirely.
+	shifts8 []uint8
+	shift0  uint8
 
-	ctrs                                                        *stats.Counters
-	nHit, nMiss, nInstall, nUpdate, nInval, nPurged, nInspected string
+	nHit, nMiss, nInstall, nUpdate, nInval, nPurged, nInspected stats.Handle
 }
 
 // New creates a PLB, recording events in ctrs under the given name prefix
-// (e.g. "plb"). It panics on an invalid configuration.
+// (e.g. "plb"). It panics on an invalid configuration. Counter names are
+// resolved to handles here, once, so the per-access paths never hash a
+// counter name.
 func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
 	if len(cfg.Shifts) == 0 {
 		panic("plb: config must list at least one protection page shift")
@@ -79,18 +86,22 @@ func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
 	p := &PLB{
 		cfg:    cfg,
 		shifts: shifts,
-		ctrs:   ctrs,
 	}
+	p.shifts8 = make([]uint8, len(shifts))
+	for i, s := range shifts {
+		p.shifts8[i] = uint8(s)
+	}
+	p.shift0 = p.shifts8[0]
 	p.c = assoc.New[Key, addr.Rights](cfg.Assoc, func(k Key) uint64 {
 		return k.Page ^ uint64(k.Domain)<<13 ^ uint64(k.Shift)<<29
 	})
-	p.nHit = prefix + ".hit"
-	p.nMiss = prefix + ".miss"
-	p.nInstall = prefix + ".install"
-	p.nUpdate = prefix + ".update"
-	p.nInval = prefix + ".invalidate"
-	p.nPurged = prefix + ".purged"
-	p.nInspected = prefix + ".inspected"
+	p.nHit = ctrs.Handle(prefix + ".hit")
+	p.nMiss = ctrs.Handle(prefix + ".miss")
+	p.nInstall = ctrs.Handle(prefix + ".install")
+	p.nUpdate = ctrs.Handle(prefix + ".update")
+	p.nInval = ctrs.Handle(prefix + ".invalidate")
+	p.nPurged = ctrs.Handle(prefix + ".purged")
+	p.nInspected = ctrs.Handle(prefix + ".inspected")
 	return p
 }
 
@@ -108,14 +119,23 @@ func (p *PLB) Len() int { return p.c.Len() }
 // take precedence over larger ones, so a sub-page override shadows a
 // segment-wide super-page entry.
 func (p *PLB) Lookup(d addr.DomainID, va addr.VA) (addr.Rights, bool) {
-	for _, shift := range p.shifts {
-		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+	if len(p.shifts8) == 1 {
+		// Single size class: one probe, no loop.
+		if r, ok := p.c.Lookup(Key{Domain: d, Page: uint64(va) >> p.shift0, Shift: p.shift0}); ok {
+			p.nHit.Inc()
+			return r, true
+		}
+		p.nMiss.Inc()
+		return addr.None, false
+	}
+	for _, shift := range p.shifts8 {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: shift}
 		if r, ok := p.c.Lookup(k); ok {
-			p.ctrs.Inc(p.nHit)
+			p.nHit.Inc()
 			return r, true
 		}
 	}
-	p.ctrs.Inc(p.nMiss)
+	p.nMiss.Inc()
 	return addr.None, false
 }
 
@@ -125,7 +145,7 @@ func (p *PLB) Insert(d addr.DomainID, va addr.VA, shift uint, r addr.Rights) {
 	p.mustShift(shift)
 	k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
 	p.c.Insert(k, r)
-	p.ctrs.Inc(p.nInstall)
+	p.nInstall.Inc()
 }
 
 func (p *PLB) mustShift(shift uint) {
@@ -142,10 +162,10 @@ func (p *PLB) mustShift(shift uint) {
 // was found. This is the single-entry update that makes per-domain rights
 // changes cheap in the domain-page model (Section 4.1.2).
 func (p *PLB) Update(d addr.DomainID, va addr.VA, r addr.Rights) bool {
-	for _, shift := range p.shifts {
-		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+	for _, shift := range p.shifts8 {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: shift}
 		if p.c.Update(k, r) {
-			p.ctrs.Inc(p.nUpdate)
+			p.nUpdate.Inc()
 			return true
 		}
 	}
@@ -156,14 +176,14 @@ func (p *PLB) Update(d addr.DomainID, va addr.VA, r addr.Rights) bool {
 // present.
 func (p *PLB) Invalidate(d addr.DomainID, va addr.VA) bool {
 	found := false
-	for _, shift := range p.shifts {
-		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
+	for _, shift := range p.shifts8 {
+		k := Key{Domain: d, Page: uint64(va) >> shift, Shift: shift}
 		if p.c.Invalidate(k) {
 			found = true
 		}
 	}
 	if found {
-		p.ctrs.Inc(p.nInval)
+		p.nInval.Inc()
 	}
 	return found
 }
@@ -184,8 +204,8 @@ func (p *PLB) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.
 		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
 		return entry.Overlaps(rng)
 	}, func(Key, addr.Rights) addr.Rights { return r })
-	p.ctrs.Add(p.nUpdate, uint64(updated))
-	p.ctrs.Add(p.nInspected, uint64(inspected))
+	p.nUpdate.Add(uint64(updated))
+	p.nInspected.Add(uint64(inspected))
 	return updated
 }
 
@@ -203,8 +223,8 @@ func (p *PLB) PurgeRange(d addr.DomainID, start addr.VA, length uint64) int {
 		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
 		return entry.Overlaps(r)
 	})
-	p.ctrs.Add(p.nPurged, uint64(removed))
-	p.ctrs.Add(p.nInspected, uint64(inspected))
+	p.nPurged.Add(uint64(removed))
+	p.nInspected.Add(uint64(inspected))
 	return removed
 }
 
@@ -217,16 +237,16 @@ func (p *PLB) PurgeRangeAll(start addr.VA, length uint64) int {
 		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
 		return entry.Overlaps(r)
 	})
-	p.ctrs.Add(p.nPurged, uint64(removed))
-	p.ctrs.Add(p.nInspected, uint64(inspected))
+	p.nPurged.Add(uint64(removed))
+	p.nInspected.Add(uint64(inspected))
 	return removed
 }
 
 // PurgeDomain removes all entries belonging to domain d.
 func (p *PLB) PurgeDomain(d addr.DomainID) int {
 	removed, inspected := p.c.PurgeIf(func(k Key, _ addr.Rights) bool { return k.Domain == d })
-	p.ctrs.Add(p.nPurged, uint64(removed))
-	p.ctrs.Add(p.nInspected, uint64(inspected))
+	p.nPurged.Add(uint64(removed))
+	p.nInspected.Add(uint64(inspected))
 	return removed
 }
 
@@ -238,15 +258,15 @@ func (p *PLB) PurgePage(va addr.VA) int {
 		entry := addr.Range{Start: addr.VA(k.Page << k.Shift), Length: size}
 		return entry.Contains(va)
 	})
-	p.ctrs.Add(p.nPurged, uint64(removed))
-	p.ctrs.Add(p.nInspected, uint64(inspected))
+	p.nPurged.Add(uint64(removed))
+	p.nInspected.Add(uint64(inspected))
 	return removed
 }
 
 // PurgeAll empties the PLB, returning how many entries were dropped.
 func (p *PLB) PurgeAll() int {
 	n := p.c.PurgeAll()
-	p.ctrs.Add(p.nPurged, uint64(n))
+	p.nPurged.Add(uint64(n))
 	return n
 }
 

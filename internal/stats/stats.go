@@ -7,6 +7,12 @@
 // the kernel increment counters here; experiments read them back to
 // tabulate the per-operation costs that the paper's Table 1 describes
 // qualitatively.
+//
+// Counters interns each name once into a dense slot registry. Hot paths
+// resolve a Handle at construction time and increment through it — a
+// single array add per event, no hashing — while the name-based API
+// (Add, Get, Snapshot, Diff, Merge, String) keeps working on top of the
+// same registry for experiment code and aggregation points.
 package stats
 
 import (
@@ -19,32 +25,102 @@ import (
 // Counters is a set of named monotonic event counters. The zero value is
 // ready to use. Counters is not safe for concurrent use; the simulator is
 // single-threaded by design (cycle-accurate interleaving is explicit).
+//
+// A counter becomes visible (to Names, Snapshot, String, ...) the first
+// time it is incremented — including an Add of zero, which materializes
+// the name at value 0. Registering a Handle alone does not make a counter
+// visible, so structures may pre-resolve every counter they might ever
+// bump without polluting output with events that never fired.
 type Counters struct {
-	m map[string]uint64
+	idx     map[string]int // name → slot
+	names   []string       // slot → name, registration order
+	vals    []uint64       // slot → value
+	touched []bool         // slot was explicitly Added (even with zero)
 }
+
+// Handle is a pre-resolved counter slot: incrementing through a Handle is
+// a single array add, with the name→slot hash paid once at resolution.
+// Obtain handles with Counters.Handle at construction time. Handles stay
+// valid across Reset. The zero Handle is not usable.
+type Handle struct {
+	c    *Counters
+	slot int32
+}
+
+// slot interns name, returning its dense index.
+func (c *Counters) slot(name string) int {
+	if i, ok := c.idx[name]; ok {
+		return i
+	}
+	if c.idx == nil {
+		c.idx = make(map[string]int)
+	}
+	i := len(c.vals)
+	c.idx[name] = i
+	c.names = append(c.names, name)
+	c.vals = append(c.vals, 0)
+	c.touched = append(c.touched, false)
+	return i
+}
+
+// Handle interns name and returns its pre-resolved handle.
+func (c *Counters) Handle(name string) Handle {
+	return Handle{c: c, slot: int32(c.slot(name))}
+}
+
+// Inc increments the counter by one.
+func (h Handle) Inc() { h.c.vals[h.slot]++ }
+
+// Add increments the counter by n. Like the name-based Add, a zero n
+// still materializes the counter in snapshots and rendered output.
+func (h Handle) Add(n uint64) {
+	h.c.vals[h.slot] += n
+	h.c.touched[h.slot] = true
+}
+
+// Get returns the counter's current value.
+func (h Handle) Get() uint64 { return h.c.vals[h.slot] }
+
+// Name returns the counter's name.
+func (h Handle) Name() string { return h.c.names[h.slot] }
+
+// present reports whether slot i has been incremented (or zero-Added).
+func (c *Counters) present(i int) bool { return c.vals[i] != 0 || c.touched[i] }
 
 // Add increments the named counter by n.
 func (c *Counters) Add(name string, n uint64) {
-	if c.m == nil {
-		c.m = make(map[string]uint64)
-	}
-	c.m[name] += n
+	i := c.slot(name)
+	c.vals[i] += n
+	c.touched[i] = true
 }
 
 // Inc increments the named counter by one.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
+func (c *Counters) Inc(name string) { c.vals[c.slot(name)]++ }
 
 // Get returns the value of the named counter (zero if never incremented).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	if i, ok := c.idx[name]; ok {
+		return c.vals[i]
+	}
+	return 0
+}
 
-// Reset clears all counters.
-func (c *Counters) Reset() { c.m = nil }
+// Reset zeroes all counters. The registry survives, so handles resolved
+// before a Reset remain valid afterwards.
+func (c *Counters) Reset() {
+	for i := range c.vals {
+		c.vals[i] = 0
+		c.touched[i] = false
+	}
+}
 
-// Names returns all counter names in sorted order.
+// Names returns all incremented counter names in sorted order.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
+	names := make([]string, 0, len(c.names))
+	for i, n := range c.names {
+		if c.present(i) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -52,9 +128,11 @@ func (c *Counters) Names() []string {
 
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
+	out := make(map[string]uint64, len(c.names))
+	for i, n := range c.names {
+		if c.present(i) {
+			out[n] = c.vals[i]
+		}
 	}
 	return out
 }
@@ -64,18 +142,24 @@ func (c *Counters) Snapshot() map[string]uint64 {
 // zero there.
 func (c *Counters) Diff(before map[string]uint64) *Counters {
 	out := &Counters{}
-	for k, v := range c.m {
-		if d := v - before[k]; d != 0 {
-			out.Add(k, d)
+	for i, n := range c.names {
+		if !c.present(i) {
+			continue
+		}
+		if d := c.vals[i] - before[n]; d != 0 {
+			out.Add(n, d)
 		}
 	}
 	return out
 }
 
-// Merge adds all of other's counters into c.
+// Merge adds all of other's counters into c, iterating other's dense
+// slots directly (no intermediate map).
 func (c *Counters) Merge(other *Counters) {
-	for k, v := range other.m {
-		c.Add(k, v)
+	for i, n := range other.names {
+		if other.present(i) {
+			c.Add(n, other.vals[i])
+		}
 	}
 }
 
@@ -90,7 +174,7 @@ func (c *Counters) MergeSnapshot(snap map[string]uint64) {
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, name := range c.Names() {
-		fmt.Fprintf(&b, "%-40s %12d\n", name, c.m[name])
+		fmt.Fprintf(&b, "%-40s %12d\n", name, c.Get(name))
 	}
 	return b.String()
 }
@@ -116,6 +200,14 @@ func (l *LockedCounters) Add(name string, n uint64) {
 
 // Inc increments the named counter by one.
 func (l *LockedCounters) Inc(name string) { l.Add(name, 1) }
+
+// Merge adds all of other's counters into the shared set, slot by slot
+// under the lock. other must not be mutated concurrently.
+func (l *LockedCounters) Merge(other *Counters) {
+	l.mu.Lock()
+	l.c.Merge(other)
+	l.mu.Unlock()
+}
 
 // MergeSnapshot adds a counter snapshot into the shared set.
 func (l *LockedCounters) MergeSnapshot(snap map[string]uint64) {

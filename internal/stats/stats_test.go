@@ -206,3 +206,114 @@ func TestLockedCountersConcurrent(t *testing.T) {
 		t.Errorf("worker total = %d", snap["worker"])
 	}
 }
+
+func TestHandleIncAdd(t *testing.T) {
+	c := &Counters{}
+	h := c.Handle("x.hits")
+	h.Inc()
+	h.Add(4)
+	if got := c.Get("x.hits"); got != 5 {
+		t.Fatalf("Get after handle Inc/Add = %d, want 5", got)
+	}
+	if got := h.Get(); got != 5 {
+		t.Fatalf("Handle.Get = %d, want 5", got)
+	}
+	if h.Name() != "x.hits" {
+		t.Fatalf("Handle.Name = %q, want x.hits", h.Name())
+	}
+	// The name-based API shares the slot.
+	c.Add("x.hits", 1)
+	if got := h.Get(); got != 6 {
+		t.Fatalf("Handle.Get after name-based Add = %d, want 6", got)
+	}
+	// Resolving the same name again returns the same slot.
+	h2 := c.Handle("x.hits")
+	h2.Inc()
+	if got := h.Get(); got != 7 {
+		t.Fatalf("handles for one name diverged: %d, want 7", got)
+	}
+}
+
+func TestHandleRegistrationInvisibleUntilTouched(t *testing.T) {
+	// Structures pre-resolve every counter they might bump; names must not
+	// leak into output until an event actually fires (seed parity).
+	c := &Counters{}
+	h := c.Handle("never.fired")
+	if names := c.Names(); len(names) != 0 {
+		t.Fatalf("Names after Handle = %v, want empty", names)
+	}
+	if snap := c.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot after Handle = %v, want empty", snap)
+	}
+	if c.String() != "" {
+		t.Fatalf("String after Handle = %q, want empty", c.String())
+	}
+	// An Add of zero materializes the counter, like the seed's map write.
+	h.Add(0)
+	if snap := c.Snapshot(); len(snap) != 1 || snap["never.fired"] != 0 {
+		t.Fatalf("Snapshot after Add(0) = %v, want {never.fired:0}", snap)
+	}
+}
+
+func TestHandleSurvivesReset(t *testing.T) {
+	c := &Counters{}
+	h := c.Handle("a")
+	h.Add(3)
+	c.Reset()
+	if got := c.Get("a"); got != 0 {
+		t.Fatalf("Get after Reset = %d, want 0", got)
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Fatalf("Names after Reset = %v, want empty (zero-Add cleared)", names)
+	}
+	h.Inc()
+	if got := c.Get("a"); got != 1 {
+		t.Fatalf("handle after Reset: Get = %d, want 1", got)
+	}
+}
+
+func TestCountersMergeBySlot(t *testing.T) {
+	a, b := &Counters{}, &Counters{}
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	b.Handle("hidden") // registered but never fired: must not merge
+	a.Merge(b)
+	if got := a.Get("x"); got != 3 {
+		t.Fatalf("x = %d, want 3", got)
+	}
+	if got := a.Get("y"); got != 3 {
+		t.Fatalf("y = %d, want 3", got)
+	}
+	if got := a.Names(); len(got) != 2 {
+		t.Fatalf("Names = %v, want [x y]", got)
+	}
+}
+
+func TestLockedCountersMerge(t *testing.T) {
+	var l LockedCounters
+	c := &Counters{}
+	c.Add("x", 2)
+	l.Merge(c)
+	l.Merge(c)
+	if got := l.Get("x"); got != 4 {
+		t.Fatalf("x = %d, want 4", got)
+	}
+}
+
+func BenchmarkHandleInc(b *testing.B) {
+	c := &Counters{}
+	h := c.Handle("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Inc()
+	}
+}
+
+func BenchmarkNameInc(b *testing.B) {
+	c := &Counters{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc("bench.counter")
+	}
+}

@@ -33,18 +33,19 @@ type TransEntry struct {
 type TransTLB struct {
 	c *assoc.Cache[addr.VPN, TransEntry]
 
-	ctrs                                *stats.Counters
-	nHit, nMiss, nInstall, nInvalidated string
+	nHit, nMiss, nInstall, nInvalidated stats.Handle
 }
 
-// NewTrans creates a translation-only TLB counting under prefix.
+// NewTrans creates a translation-only TLB counting under prefix. Counter
+// names resolve to handles once here, keeping the per-access path free of
+// name hashing.
 func NewTrans(cfg assoc.Config, ctrs *stats.Counters, prefix string) *TransTLB {
-	t := &TransTLB{ctrs: ctrs}
+	t := &TransTLB{}
 	t.c = assoc.New[addr.VPN, TransEntry](cfg, func(v addr.VPN) uint64 { return uint64(v) })
-	t.nHit = prefix + ".hit"
-	t.nMiss = prefix + ".miss"
-	t.nInstall = prefix + ".install"
-	t.nInvalidated = prefix + ".invalidated"
+	t.nHit = ctrs.Handle(prefix + ".hit")
+	t.nMiss = ctrs.Handle(prefix + ".miss")
+	t.nInstall = ctrs.Handle(prefix + ".install")
+	t.nInvalidated = ctrs.Handle(prefix + ".invalidated")
 	return t
 }
 
@@ -52,9 +53,9 @@ func NewTrans(cfg assoc.Config, ctrs *stats.Counters, prefix string) *TransTLB {
 func (t *TransTLB) Lookup(vpn addr.VPN) (TransEntry, bool) {
 	e, ok := t.c.Lookup(vpn)
 	if ok {
-		t.ctrs.Inc(t.nHit)
+		t.nHit.Inc()
 	} else {
-		t.ctrs.Inc(t.nMiss)
+		t.nMiss.Inc()
 	}
 	return e, ok
 }
@@ -62,7 +63,7 @@ func (t *TransTLB) Lookup(vpn addr.VPN) (TransEntry, bool) {
 // Insert installs a translation.
 func (t *TransTLB) Insert(vpn addr.VPN, e TransEntry) {
 	t.c.Insert(vpn, e)
-	t.ctrs.Inc(t.nInstall)
+	t.nInstall.Inc()
 }
 
 // Invalidate removes the entry for vpn; required only when a
@@ -70,7 +71,7 @@ func (t *TransTLB) Insert(vpn addr.VPN, e TransEntry) {
 func (t *TransTLB) Invalidate(vpn addr.VPN) bool {
 	ok := t.c.Invalidate(vpn)
 	if ok {
-		t.ctrs.Inc(t.nInvalidated)
+		t.nInvalidated.Inc()
 	}
 	return ok
 }
@@ -101,22 +102,21 @@ type ASIDEntry struct {
 type ASIDTLB struct {
 	c *assoc.Cache[ASIDKey, ASIDEntry]
 
-	ctrs                           *stats.Counters
-	nHit, nMiss, nInstall, nPurged string
-	nInspected                     string
+	nHit, nMiss, nInstall, nPurged stats.Handle
+	nInspected                     stats.Handle
 }
 
 // NewASID creates an ASID-tagged TLB counting under prefix.
 func NewASID(cfg assoc.Config, ctrs *stats.Counters, prefix string) *ASIDTLB {
-	t := &ASIDTLB{ctrs: ctrs}
+	t := &ASIDTLB{}
 	t.c = assoc.New[ASIDKey, ASIDEntry](cfg, func(k ASIDKey) uint64 {
 		return uint64(k.VPN) ^ uint64(k.AS)<<17
 	})
-	t.nHit = prefix + ".hit"
-	t.nMiss = prefix + ".miss"
-	t.nInstall = prefix + ".install"
-	t.nPurged = prefix + ".purged"
-	t.nInspected = prefix + ".inspected"
+	t.nHit = ctrs.Handle(prefix + ".hit")
+	t.nMiss = ctrs.Handle(prefix + ".miss")
+	t.nInstall = ctrs.Handle(prefix + ".install")
+	t.nPurged = ctrs.Handle(prefix + ".purged")
+	t.nInspected = ctrs.Handle(prefix + ".inspected")
 	return t
 }
 
@@ -124,9 +124,9 @@ func NewASID(cfg assoc.Config, ctrs *stats.Counters, prefix string) *ASIDTLB {
 func (t *ASIDTLB) Lookup(as addr.ASID, vpn addr.VPN) (ASIDEntry, bool) {
 	e, ok := t.c.Lookup(ASIDKey{AS: as, VPN: vpn})
 	if ok {
-		t.ctrs.Inc(t.nHit)
+		t.nHit.Inc()
 	} else {
-		t.ctrs.Inc(t.nMiss)
+		t.nMiss.Inc()
 	}
 	return e, ok
 }
@@ -134,7 +134,7 @@ func (t *ASIDTLB) Lookup(as addr.ASID, vpn addr.VPN) (ASIDEntry, bool) {
 // Insert installs an entry for (as, vpn).
 func (t *ASIDTLB) Insert(as addr.ASID, vpn addr.VPN, e ASIDEntry) {
 	t.c.Insert(ASIDKey{AS: as, VPN: vpn}, e)
-	t.ctrs.Inc(t.nInstall)
+	t.nInstall.Inc()
 }
 
 // Invalidate removes the entry for (as, vpn).
@@ -147,16 +147,16 @@ func (t *ASIDTLB) Invalidate(as addr.ASID, vpn addr.VPN) bool {
 // duplicate; the inspection cost is the scan the paper warns about.
 func (t *ASIDTLB) PurgePage(vpn addr.VPN) int {
 	removed, inspected := t.c.PurgeIf(func(k ASIDKey, _ ASIDEntry) bool { return k.VPN == vpn })
-	t.ctrs.Add(t.nPurged, uint64(removed))
-	t.ctrs.Add(t.nInspected, uint64(inspected))
+	t.nPurged.Add(uint64(removed))
+	t.nInspected.Add(uint64(inspected))
 	return removed
 }
 
 // PurgeAS removes all entries of one address space.
 func (t *ASIDTLB) PurgeAS(as addr.ASID) int {
 	removed, inspected := t.c.PurgeIf(func(k ASIDKey, _ ASIDEntry) bool { return k.AS == as })
-	t.ctrs.Add(t.nPurged, uint64(removed))
-	t.ctrs.Add(t.nInspected, uint64(inspected))
+	t.nPurged.Add(uint64(removed))
+	t.nInspected.Add(uint64(inspected))
 	return removed
 }
 
@@ -164,7 +164,7 @@ func (t *ASIDTLB) PurgeAS(as addr.ASID) int {
 // every context switch).
 func (t *ASIDTLB) PurgeAll() int {
 	n := t.c.PurgeAll()
-	t.ctrs.Add(t.nPurged, uint64(n))
+	t.nPurged.Add(uint64(n))
 	return n
 }
 
@@ -200,19 +200,18 @@ type PGEntry struct {
 type PGTLB struct {
 	c *assoc.Cache[addr.VPN, PGEntry]
 
-	ctrs                                         *stats.Counters
-	nHit, nMiss, nInstall, nUpdate, nInvalidated string
+	nHit, nMiss, nInstall, nUpdate, nInvalidated stats.Handle
 }
 
 // NewPG creates a page-group TLB counting under prefix.
 func NewPG(cfg assoc.Config, ctrs *stats.Counters, prefix string) *PGTLB {
-	t := &PGTLB{ctrs: ctrs}
+	t := &PGTLB{}
 	t.c = assoc.New[addr.VPN, PGEntry](cfg, func(v addr.VPN) uint64 { return uint64(v) })
-	t.nHit = prefix + ".hit"
-	t.nMiss = prefix + ".miss"
-	t.nInstall = prefix + ".install"
-	t.nUpdate = prefix + ".update"
-	t.nInvalidated = prefix + ".invalidated"
+	t.nHit = ctrs.Handle(prefix + ".hit")
+	t.nMiss = ctrs.Handle(prefix + ".miss")
+	t.nInstall = ctrs.Handle(prefix + ".install")
+	t.nUpdate = ctrs.Handle(prefix + ".update")
+	t.nInvalidated = ctrs.Handle(prefix + ".invalidated")
 	return t
 }
 
@@ -220,9 +219,9 @@ func NewPG(cfg assoc.Config, ctrs *stats.Counters, prefix string) *PGTLB {
 func (t *PGTLB) Lookup(vpn addr.VPN) (PGEntry, bool) {
 	e, ok := t.c.Lookup(vpn)
 	if ok {
-		t.ctrs.Inc(t.nHit)
+		t.nHit.Inc()
 	} else {
-		t.ctrs.Inc(t.nMiss)
+		t.nMiss.Inc()
 	}
 	return e, ok
 }
@@ -230,7 +229,7 @@ func (t *PGTLB) Lookup(vpn addr.VPN) (PGEntry, bool) {
 // Insert installs an entry for vpn.
 func (t *PGTLB) Insert(vpn addr.VPN, e PGEntry) {
 	t.c.Insert(vpn, e)
-	t.ctrs.Inc(t.nInstall)
+	t.nInstall.Inc()
 }
 
 // Update rewrites the resident entry for vpn (changing its rights or
@@ -240,7 +239,7 @@ func (t *PGTLB) Insert(vpn addr.VPN, e PGEntry) {
 func (t *PGTLB) Update(vpn addr.VPN, e PGEntry) bool {
 	ok := t.c.Update(vpn, e)
 	if ok {
-		t.ctrs.Inc(t.nUpdate)
+		t.nUpdate.Inc()
 	}
 	return ok
 }
@@ -249,7 +248,7 @@ func (t *PGTLB) Update(vpn addr.VPN, e PGEntry) bool {
 func (t *PGTLB) Invalidate(vpn addr.VPN) bool {
 	ok := t.c.Invalidate(vpn)
 	if ok {
-		t.ctrs.Inc(t.nInvalidated)
+		t.nInvalidated.Inc()
 	}
 	return ok
 }
