@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-hot tables bench-report baseline
+.PHONY: all build test race check fmt vet lint bench bench-hot tables bench-report baseline chaos chaos-short
 
 all: check
 
@@ -60,3 +60,14 @@ bench-report:
 # deliberate cost-model or experiment change moves simulated cycles.
 baseline:
 	$(GO) run ./cmd/benchreport -parallel 4 -o BENCH_baseline.json
+
+# chaos runs the deterministic fault campaign: every experiment under
+# every fault scenario, with the shadow protection oracle verifying
+# each kernel after hardware recovery. Same seed, byte-identical report.
+chaos:
+	$(GO) run ./cmd/chaos -seed 1
+
+# chaos-short is the CI-sized campaign (subset of experiments, every
+# scenario).
+chaos-short:
+	$(GO) run ./cmd/chaos -seed 1 -short

@@ -109,13 +109,8 @@ func TestConventionalPaging(t *testing.T) {
 	}
 }
 
-// The authority fuzz must hold on the conventional model too.
-func TestHardwareMatchesAuthorityConventional(t *testing.T) {
-	for seed := int64(40); seed < 46; seed++ {
-		runAuthorityFuzzWith(t, seed, func() *Kernel { return New(DefaultConfig(ModelConventional)) },
-			SegmentOptions{})
-	}
-}
+// The conventional-model authority fuzz lives in invariant_test.go
+// (package kernel_test), driven by the oracle package.
 
 func TestConventionalFaultHandler(t *testing.T) {
 	k := New(DefaultConfig(ModelConventional))
@@ -176,12 +171,5 @@ func TestInvertedTranslationTable(t *testing.T) {
 	}
 }
 
-func TestInvertedTableAuthorityFuzz(t *testing.T) {
-	for seed := int64(60); seed < 63; seed++ {
-		runAuthorityFuzzWith(t, seed, func() *Kernel {
-			cfg := DefaultConfig(ModelDomainPage)
-			cfg.TransTable = TransInverted
-			return New(cfg)
-		}, SegmentOptions{})
-	}
-}
+// The inverted-table authority fuzz lives in invariant_test.go
+// (package kernel_test), driven by the oracle package.

@@ -1,0 +1,139 @@
+// Tests for the structured fault errors (FaultError) and the
+// idempotence contract spurious-trap injection imposes on fault
+// handlers. External package: the idempotence property closes with an
+// oracle verification, and oracle imports kernel.
+package kernel_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+)
+
+// TestFaultLoopErrorContext forces a fault loop (a handler that claims
+// success without granting anything) and checks the error both
+// classifies via errors.Is and carries the faulting domain, address and
+// access kind via errors.As.
+func TestFaultLoopErrorContext(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(1, kernel.SegmentOptions{
+		Handler: func(f kernel.Fault) error { return nil }, // "handled", grants nothing
+	})
+	k.Attach(d, s, addr.None)
+	err := k.Touch(d, s.Base(), addr.Store)
+	if !errors.Is(err, kernel.ErrFaultLoop) {
+		t.Fatalf("err = %v, want ErrFaultLoop", err)
+	}
+	var fe *kernel.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err %v carries no FaultError context", err)
+	}
+	if fe.Domain != d.ID || fe.VA != s.Base() || fe.Kind != addr.Store {
+		t.Fatalf("FaultError context = (domain %d, %v at %#x), want (domain %d, %v at %#x)",
+			fe.Domain, fe.Kind, uint64(fe.VA), d.ID, addr.Store, uint64(s.Base()))
+	}
+}
+
+// TestInjectedFailureErrorContext checks that an injected paging
+// failure surfaces with both the injected cause and the faulting-access
+// context in the chain.
+func TestInjectedFailureErrorContext(t *testing.T) {
+	errBoom := errors.New("backing store on fire")
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(1, kernel.SegmentOptions{})
+	k.Attach(d, s, addr.RW)
+	if err := k.Touch(d, s.Base(), addr.Store); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PageOut(s.PageVPN(0)); err != nil {
+		t.Fatal(err)
+	}
+	k.SetFaultInjector(&kernel.FaultInjector{
+		PageIn: func(addr.VPN) error { return errBoom },
+	})
+	err := k.Touch(d, s.Base(), addr.Load)
+	k.SetFaultInjector(nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, does not wrap the injected cause", err)
+	}
+	var fe *kernel.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err %v carries no FaultError context", err)
+	}
+	if fe.Domain != d.ID || fe.VA != s.Base() {
+		t.Fatalf("FaultError context = (domain %d at %#x), want (domain %d at %#x)",
+			fe.Domain, uint64(fe.VA), d.ID, uint64(s.Base()))
+	}
+	if got := k.Counters().Get("kernel.injected_pagein_failures"); got != 1 {
+		t.Fatalf("injected_pagein_failures = %d, want 1", got)
+	}
+	// The failed page-in must not leak a half-mapped page: the retry
+	// with a healthy backing store succeeds.
+	if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+		t.Fatalf("page unrecoverable after injected page-in failure: %v", err)
+	}
+}
+
+// TestSpuriousTrapHandlerIdempotence is the property spurious-trap
+// injection relies on: a handler that (re-)grants the same rights is
+// safe to invoke any number of times at any access, so every access
+// still succeeds under randomly injected spurious protection traps,
+// every injected trap is matched by a handler upcall, and the oracle
+// stays clean.
+func TestSpuriousTrapHandlerIdempotence(t *testing.T) {
+	models := []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup, kernel.ModelConventional}
+	prop := func(seed int64, rateSel uint8) bool {
+		rate := int(rateSel%4) + 2 // fire every 2nd..5th consult
+		for _, model := range models {
+			k := kernel.New(kernel.DefaultConfig(model))
+			d := k.CreateDomain()
+			s := k.CreateSegment(4, kernel.SegmentOptions{
+				Handler: func(f kernel.Fault) error {
+					return f.K.SetPageRights(f.Domain, f.VA, addr.RW)
+				},
+			})
+			k.Attach(d, s, addr.RW)
+			consults := 0
+			k.SetFaultInjector(&kernel.FaultInjector{
+				SpuriousTrap: func(addr.DomainID, addr.VA, addr.AccessKind) bool {
+					consults++
+					return consults%rate == 0
+				},
+			})
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				va := s.PageVA(uint64(rng.Intn(4)))
+				kind := addr.Load
+				if rng.Intn(2) == 0 {
+					kind = addr.Store
+				}
+				if err := k.Touch(d, va, kind); err != nil {
+					t.Logf("model %v seed %d rate %d: access %d failed: %v", model, seed, rate, i, err)
+					return false
+				}
+			}
+			k.SetFaultInjector(nil)
+			injected := k.Counters().Get("kernel.injected_spurious_traps")
+			upcalls := k.Counters().Get("kernel.handler_upcalls")
+			if injected == 0 || upcalls < injected {
+				t.Logf("model %v seed %d rate %d: injected %d, upcalls %d", model, seed, rate, injected, upcalls)
+				return false
+			}
+			if err := oracle.Verify(k); err != nil {
+				t.Logf("model %v seed %d rate %d: %v", model, seed, rate, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

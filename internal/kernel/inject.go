@@ -25,6 +25,16 @@ type FaultInjector struct {
 	// and delivered to the segment's handler like any real fault, so
 	// handlers must be idempotent to survive it.
 	SpuriousTrap func(d addr.DomainID, va addr.VA, kind addr.AccessKind) bool
+	// PageOut is consulted before a page-out writes to the backing
+	// store; a non-nil error fails the page-out with it (simulating a
+	// backing-store write error) before any kernel state changes, so the
+	// page stays resident and consistent.
+	PageOut func(vpn addr.VPN) error
+	// PageIn is consulted before a page-in reads from the backing
+	// store; a non-nil error fails the page-in with it (simulating a
+	// backing-store read error) before a frame is allocated, so the page
+	// stays on disk and consistent.
+	PageIn func(vpn addr.VPN) error
 }
 
 // SetFaultInjector installs (or, with nil, removes) the kernel's fault
@@ -39,7 +49,7 @@ func (k *Kernel) injectFrameAlloc(vpn addr.VPN) error {
 		return nil
 	}
 	if err := inj.FrameAlloc(vpn); err != nil {
-		k.ctrs.Inc("kernel.injected_frame_failures")
+		k.hInjFrameFails.Inc()
 		return err
 	}
 	return nil
@@ -53,7 +63,7 @@ func (k *Kernel) injectHandlerError(f Fault) error {
 		return nil
 	}
 	if err := inj.HandlerError(f); err != nil {
-		k.ctrs.Inc("kernel.injected_handler_errors")
+		k.hInjHandlerErrs.Inc()
 		return err
 	}
 	return nil
@@ -67,8 +77,34 @@ func (k *Kernel) injectSpuriousTrap(d *Domain, va addr.VA, kind addr.AccessKind)
 		return false
 	}
 	if inj.SpuriousTrap(d.ID, va, kind) {
-		k.ctrs.Inc("kernel.injected_spurious_traps")
+		k.hInjSpurious.Inc()
 		return true
 	}
 	return false
+}
+
+// injectPageOut runs the PageOut hook, counting fired injections.
+func (k *Kernel) injectPageOut(vpn addr.VPN) error {
+	inj := k.cfg.FaultInjector
+	if inj == nil || inj.PageOut == nil {
+		return nil
+	}
+	if err := inj.PageOut(vpn); err != nil {
+		k.hInjPageoutFails.Inc()
+		return err
+	}
+	return nil
+}
+
+// injectPageIn runs the PageIn hook, counting fired injections.
+func (k *Kernel) injectPageIn(vpn addr.VPN) error {
+	inj := k.cfg.FaultInjector
+	if inj == nil || inj.PageIn == nil {
+		return nil
+	}
+	if err := inj.PageIn(vpn); err != nil {
+		k.hInjPageinFails.Inc()
+		return err
+	}
+	return nil
 }

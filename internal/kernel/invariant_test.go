@@ -1,271 +1,118 @@
-package kernel
+// The soundness invariants of the simulator — hardware state always
+// agreeing with kernel authority — are owned by internal/oracle, which
+// rebuilds authority from the kernel's primitive records and checks
+// every resident hardware entry mid-run. The tests here are thin
+// wrappers binding the oracle's engine to each kernel configuration;
+// they live in an external test package because oracle imports kernel.
+package kernel_test
 
 import (
-	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/addr"
-	"repro/internal/plb"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
 )
+
+func defaultKernel(model kernel.Model) func() *kernel.Kernel {
+	return func() *kernel.Kernel { return kernel.New(kernel.DefaultConfig(model)) }
+}
 
 // TestHardwareMatchesAuthority is the central soundness property of the
 // whole simulator: after ANY sequence of protection operations, on BOTH
-// models, the outcome of every access (allowed or denied) must equal what
-// the kernel's authoritative tables say — regardless of what is or is not
-// resident in the PLB, TLB, page-group cache or data cache, and
-// regardless of switch history.
+// single-address-space models, the outcome of every access (allowed or
+// denied) must equal what the kernel's authoritative tables say —
+// regardless of what is or is not resident in the PLB, TLB, page-group
+// cache or data cache, and regardless of switch history.
 //
 // A violation in the "allowed but should be denied" direction is a
-// security hole (stale hardware state granting revoked rights); the other
-// direction is a lost-rights bug.
+// security hole (stale hardware state granting revoked rights); the
+// other direction is a lost-rights bug.
 func TestHardwareMatchesAuthority(t *testing.T) {
-	for _, model := range []Model{ModelDomainPage, ModelPageGroup} {
+	for _, model := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
 		t.Run(model.String(), func(t *testing.T) {
 			for seed := int64(0); seed < 8; seed++ {
-				runAuthorityFuzz(t, model, seed)
+				oracle.AuthorityFuzz(t, seed, defaultKernel(model), oracle.FuzzOptions{})
 			}
 		})
 	}
 }
 
-func runAuthorityFuzz(t *testing.T, model Model, seed int64) {
-	t.Helper()
-	runAuthorityFuzzWith(t, seed, func() *Kernel { return New(DefaultConfig(model)) }, SegmentOptions{})
+// The authority fuzz must hold on the conventional model too.
+func TestHardwareMatchesAuthorityConventional(t *testing.T) {
+	for seed := int64(40); seed < 46; seed++ {
+		oracle.AuthorityFuzz(t, seed, defaultKernel(kernel.ModelConventional), oracle.FuzzOptions{})
+	}
 }
 
-// runAuthorityFuzzWith runs the authority fuzz against a kernel built by
-// mk, creating segments with the given options (e.g. super-page
-// protection shifts).
-func runAuthorityFuzzWith(t *testing.T, seed int64, mk func() *Kernel, segOpts SegmentOptions) {
+// The authority fuzz must hold with super-page segments in the mix.
+func TestHardwareMatchesAuthoritySuperPage(t *testing.T) {
+	mk := func() *kernel.Kernel {
+		cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+		cfg.PLB.PLB.Shifts = []uint{addr.BasePageShift, 16}
+		return kernel.New(cfg)
+	}
+	for seed := int64(20); seed < 24; seed++ {
+		oracle.AuthorityFuzz(t, seed, mk, oracle.FuzzOptions{
+			SegOpts: kernel.SegmentOptions{ProtShift: 16},
+		})
+	}
+}
+
+// The authority fuzz must hold over the inverted page table.
+func TestInvertedTableAuthorityFuzz(t *testing.T) {
+	mk := func() *kernel.Kernel {
+		cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+		cfg.TransTable = kernel.TransInverted
+		return kernel.New(cfg)
+	}
+	for seed := int64(60); seed < 63; seed++ {
+		oracle.AuthorityFuzz(t, seed, mk, oracle.FuzzOptions{})
+	}
+}
+
+// TestPLBSubsetOfAuthority churns per-page rights and checks the
+// domain-page hardware invariant directly through the oracle: every
+// resident PLB entry's rights equal what the kernel would currently
+// resolve for that (domain, page).
+func TestPLBSubsetOfAuthority(t *testing.T) {
+	runChurn(t, kernel.ModelDomainPage, 99, 500)
+}
+
+// TestPGTLBMatchesKernelPages is the page-group counterpart: every
+// resident page-group TLB entry's AID and rights field match the
+// kernel's page records after arbitrary protection churn.
+func TestPGTLBMatchesKernelPages(t *testing.T) {
+	runChurn(t, kernel.ModelPageGroup, 7, 400)
+}
+
+// runChurn drives random per-page rights changes and accesses, checking
+// the full oracle after every operation.
+func runChurn(t *testing.T, model kernel.Model, seed int64, ops int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	k := mk()
-
-	const (
-		nDomains  = 4
-		nSegments = 3
-		segPages  = 6
-	)
-	domains := make([]*Domain, nDomains)
-	for i := range domains {
-		domains[i] = k.CreateDomain()
-	}
-	segments := make([]*Segment, nSegments)
-	for i := range segments {
-		segments[i] = k.CreateSegment(segPages, segOpts)
-	}
-	rightsChoices := []addr.Rights{addr.None, addr.Read, addr.RW}
-
-	// authority mirrors what the kernel tables should say. Keyed by
-	// (domain index, segment index, page index); nil pointer = no
-	// override (attachment rights apply).
-	type key struct{ d, s, p int }
-	attach := map[[2]int]addr.Rights{} // (d,s) -> rights; absent = detached
-	override := map[key]addr.Rights{}
-
-	expected := func(d, s, p int) (addr.Rights, bool) {
-		if r, ok := override[key{d, s, p}]; ok {
-			return r, true
-		}
-		r, ok := attach[[2]int{d, s}]
-		return r, ok
-	}
-
-	ops := 400
-	for i := 0; i < ops; i++ {
-		d := rng.Intn(nDomains)
-		s := rng.Intn(nSegments)
-		p := rng.Intn(segPages)
-		dom, seg := domains[d], segments[s]
-		va := seg.PageVA(uint64(p))
-
-		switch rng.Intn(10) {
-		case 0, 1: // attach / re-attach with random rights
-			r := rightsChoices[rng.Intn(len(rightsChoices))]
-			if _, attached := attach[[2]int{d, s}]; attached {
-				// Re-attach == segment-wide rights change.
-				if err := k.SetSegmentRights(dom, seg, r); err != nil {
-					t.Fatalf("seed %d op %d: SetSegmentRights: %v", seed, i, err)
-				}
-				// Segment-wide change clears the domain's overrides.
-				for pp := 0; pp < segPages; pp++ {
-					delete(override, key{d, s, pp})
-				}
-			} else {
-				k.Attach(dom, seg, r)
-			}
-			attach[[2]int{d, s}] = r
-		case 2: // detach
-			if _, attached := attach[[2]int{d, s}]; attached {
-				if err := k.Detach(dom, seg); err != nil {
-					t.Fatalf("seed %d op %d: Detach: %v", seed, i, err)
-				}
-				delete(attach, [2]int{d, s})
-				for pp := 0; pp < segPages; pp++ {
-					delete(override, key{d, s, pp})
-				}
-			}
-		case 3, 4: // per-page rights override
-			if _, attached := attach[[2]int{d, s}]; !attached {
-				break
-			}
-			r := rightsChoices[rng.Intn(len(rightsChoices))]
-			if err := k.SetPageRights(dom, va, r); err != nil {
-				if errors.Is(err, ErrUnrepresentable) {
-					// The page-group model cannot express some vectors;
-					// the kernel must refuse rather than misenforce.
-					break
-				}
-				t.Fatalf("seed %d op %d: SetPageRights: %v", seed, i, err)
-			}
-			override[key{d, s, p}] = r
-		case 5: // clear override
-			if _, attached := attach[[2]int{d, s}]; !attached {
-				break
-			}
-			if err := k.ClearPageRights(dom, va); err != nil {
-				if errors.Is(err, ErrUnrepresentable) {
-					break
-				}
-				t.Fatalf("seed %d op %d: ClearPageRights: %v", seed, i, err)
-			}
-			delete(override, key{d, s, p})
-		case 6: // switch domains (stresses residual state)
-			k.Switch(domains[rng.Intn(nDomains)])
-		default: // access
-			kind := addr.Load
-			if rng.Intn(2) == 0 {
-				kind = addr.Store
-			}
-			err := k.Touch(dom, va, kind)
-			want, attached := expected(d, s, p)
-			if !attached {
-				want = addr.None
-			}
-			if want.Allows(kind) {
-				if err != nil {
-					t.Fatalf("seed %d op %d: %v by d%d at seg%d page%d denied (authority %v): %v",
-						seed, i, kind, d, s, p, want, err)
-				}
-			} else {
-				if err == nil {
-					t.Fatalf("seed %d op %d: %v by d%d at seg%d page%d ALLOWED despite authority %v (stale hardware rights)",
-						seed, i, kind, d, s, p, want)
-				}
-				if !errors.Is(err, ErrProtection) {
-					t.Fatalf("seed %d op %d: wrong denial: %v", seed, i, err)
-				}
-			}
-		}
-	}
-
-	// Final sweep: check every (domain, page) both ways.
-	for d, dom := range domains {
-		for s, seg := range segments {
-			for p := 0; p < segPages; p++ {
-				va := seg.PageVA(uint64(p))
-				want, attached := expected(d, s, p)
-				if !attached {
-					want = addr.None
-				}
-				for _, kind := range []addr.AccessKind{addr.Load, addr.Store} {
-					err := k.Touch(dom, va, kind)
-					if want.Allows(kind) && err != nil {
-						t.Fatalf("seed %d sweep: %v by d%d seg%d page%d denied (authority %v): %v",
-							seed, kind, d, s, p, want, err)
-					}
-					if !want.Allows(kind) && err == nil {
-						t.Fatalf("seed %d sweep: %v by d%d seg%d page%d allowed despite authority %v",
-							seed, kind, d, s, p, want)
-					}
-				}
-			}
-		}
-	}
-}
-
-// TestPLBSubsetOfAuthority checks the domain-page hardware invariant
-// directly: every resident PLB entry's rights equal what the kernel
-// would currently resolve for that (domain, page).
-func TestPLBSubsetOfAuthority(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
-	k := New(DefaultConfig(ModelDomainPage))
-	doms := []*Domain{k.CreateDomain(), k.CreateDomain(), k.CreateDomain()}
-	seg := k.CreateSegment(8, SegmentOptions{})
+	k := kernel.New(kernel.DefaultConfig(model))
+	doms := []*kernel.Domain{k.CreateDomain(), k.CreateDomain(), k.CreateDomain()}
+	seg := k.CreateSegment(8, kernel.SegmentOptions{})
 	for _, d := range doms {
 		k.Attach(d, seg, addr.RW)
 	}
-	for i := 0; i < 500; i++ {
+	rightsChoices := []addr.Rights{addr.None, addr.Read, addr.RW}
+	for i := 0; i < ops; i++ {
 		d := doms[rng.Intn(len(doms))]
 		va := seg.PageVA(uint64(rng.Intn(8)))
 		switch rng.Intn(4) {
 		case 0:
-			k.SetPageRights(d, va, []addr.Rights{addr.None, addr.Read, addr.RW}[rng.Intn(3)])
+			k.SetPageRights(d, va, rightsChoices[rng.Intn(3)])
 		case 1:
 			k.ClearPageRights(d, va)
 		default:
 			k.Touch(d, va, addr.Load)
 			k.Touch(d, va, addr.Store)
 		}
-		// Invariant: every resident PLB entry matches authority.
-		bad := false
-		k.PLBMachine().PLB().ForEach(func(key plb.Key, r addr.Rights) bool {
-			want, _, ok := k.ResolveRights(key.Domain, addr.VPN(key.Page))
-			if !ok || want != r {
-				bad = true
-				t.Errorf("op %d: PLB entry (d%d, page %#x) holds %v, authority %v (ok=%v)",
-					i, key.Domain, key.Page, r, want, ok)
-			}
-			return true
-		})
-		if bad {
-			t.FailNow()
-		}
-	}
-}
-
-// TestPGTLBMatchesKernelPages checks the page-group hardware invariant:
-// every resident page-group TLB entry's AID and rights field match the
-// kernel's page records after arbitrary protection churn.
-func TestPGTLBMatchesKernelPages(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	k := New(DefaultConfig(ModelPageGroup))
-	doms := []*Domain{k.CreateDomain(), k.CreateDomain(), k.CreateDomain()}
-	seg := k.CreateSegment(8, SegmentOptions{})
-	for _, d := range doms {
-		k.Attach(d, seg, addr.RW)
-	}
-	rightsChoices := []addr.Rights{addr.None, addr.Read, addr.RW}
-	for i := 0; i < 400; i++ {
-		d := doms[rng.Intn(len(doms))]
-		va := seg.PageVA(uint64(rng.Intn(8)))
-		switch rng.Intn(5) {
-		case 0:
-			if err := k.SetPageRights(d, va, rightsChoices[rng.Intn(3)]); err != nil &&
-				!errors.Is(err, ErrUnrepresentable) {
-				t.Fatal(err)
-			}
-		case 1:
-			if err := k.ClearPageRights(d, va); err != nil && !errors.Is(err, ErrUnrepresentable) {
-				t.Fatal(err)
-			}
-		default:
-			k.Touch(d, va, addr.Load)
-			k.Touch(d, va, addr.Store)
-		}
-		// Invariant: resident TLB entries mirror kernel page state.
-		for p := uint64(0); p < 8; p++ {
-			vpn := seg.PageVPN(p)
-			entry, resident := k.PGMachine().TLB().Lookup(vpn)
-			if !resident {
-				continue
-			}
-			aid, rights, ok := k.PageInfo(vpn)
-			if !ok || entry.AID != aid || entry.Rights != rights {
-				t.Fatalf("op %d page %d: TLB holds (aid=%d,%v), kernel says (aid=%d,%v,ok=%v)",
-					i, p, entry.AID, entry.Rights, aid, rights, ok)
-			}
+		if vs := oracle.Violations(k); len(vs) > 0 {
+			t.Fatalf("op %d: %s (and %d more)", i, vs[0], len(vs)-1)
 		}
 	}
 }

@@ -174,6 +174,15 @@ func (s *Segment) PageVPN(i uint64) addr.VPN { return s.kern.geo.PageNumber(s.Pa
 // zero under domain-page).
 func (s *Segment) Group() addr.GroupID { return s.group }
 
+// HasHandler reports whether the segment has a user-level fault handler
+// installed. Handlers may grant rights during fault delivery, so
+// differential verdict checks (internal/oracle) skip handled segments.
+func (s *Segment) HasHandler() bool { return s.handler != nil }
+
+// ProtShift returns the segment's super-page protection shift (zero when
+// the segment uses base-page protection entries).
+func (s *Segment) ProtShift() uint { return s.protShift }
+
 // AttachedDomains returns the IDs of all domains attached to the segment,
 // sorted.
 func (s *Segment) AttachedDomains() []addr.DomainID {
@@ -207,6 +216,14 @@ type Domain struct {
 func (d *Domain) Attached(s *Segment) (addr.Rights, bool) {
 	r, ok := d.attached[s.ID]
 	return r, ok
+}
+
+// PageOverride reports the domain's per-page rights override for vpn, if
+// one is set. Overrides take precedence over attachment rights; the
+// protection oracle (internal/oracle) rebuilds authority from these
+// records independently of ResolveRights.
+func (d *Domain) PageOverride(vpn addr.VPN) (addr.Rights, bool) {
+	return d.overrides.Get(vpn)
 }
 
 // Fault describes a protection fault delivered to a segment's user-level
@@ -293,6 +310,11 @@ type kernel struct {
 	hProtFaults, hHandlerUpcalls            stats.Handle
 	hPageouts, hPageins, hUnmaps, hRPCCalls stats.Handle
 	hDupWalks                               stats.Handle
+	// Injection hooks fire on the same per-reference paths, so their
+	// counters are handles too (inject.go).
+	hInjFrameFails, hInjHandlerErrs, hInjSpurious stats.Handle
+	hInjPageinFails, hInjPageoutFails             stats.Handle
+	hHWRecoveries                                 stats.Handle
 }
 
 // page is the kernel's per-page record, created lazily.
@@ -367,6 +389,12 @@ func New(cfg Config) *Kernel {
 	k.hUnmaps = k.ctrs.Handle("kernel.unmaps")
 	k.hRPCCalls = k.ctrs.Handle("kernel.rpc_calls")
 	k.hDupWalks = k.ctrs.Handle("conv.duplicated_walks")
+	k.hInjFrameFails = k.ctrs.Handle("kernel.injected_frame_failures")
+	k.hInjHandlerErrs = k.ctrs.Handle("kernel.injected_handler_errors")
+	k.hInjSpurious = k.ctrs.Handle("kernel.injected_spurious_traps")
+	k.hInjPageinFails = k.ctrs.Handle("kernel.injected_pagein_failures")
+	k.hInjPageoutFails = k.ctrs.Handle("kernel.injected_pageout_failures")
+	k.hHWRecoveries = k.ctrs.Handle("kernel.hw_recoveries")
 	switch cfg.Model {
 	case ModelPageGroup:
 		k.pgm = machine.NewPG(cfg.PG, k)
@@ -381,8 +409,24 @@ func New(cfg Config) *Kernel {
 		k.mach = k.plbm
 		k.engine = &dpEngine{k: k}
 	}
+	if newHook != nil {
+		newHook(k)
+	}
 	return k
 }
+
+// newHook, when set, observes every kernel New returns. It exists for
+// the chaos campaign runner, which must reach kernels that experiments
+// construct internally (to arm fault injectors and to verify them
+// against the protection oracle afterwards). Production code never sets
+// it.
+var newHook func(*Kernel)
+
+// SetNewHook installs (or, with nil, removes) the package-level kernel
+// construction hook. The hook must be set and cleared from the same
+// goroutine that constructs kernels; it is a test/chaos facility, not a
+// concurrency-safe registration point.
+func SetNewHook(fn func(*Kernel)) { newHook = fn }
 
 func cfgCost(cfg Config) cpu.CostModel {
 	switch cfg.Model {
@@ -543,6 +587,50 @@ func (k *Kernel) CreateSegment(npages uint64, opts SegmentOptions) *Segment {
 
 // SetHandler installs (or replaces) the segment's fault handler.
 func (k *Kernel) SetHandler(s *Segment, h FaultHandler) { s.handler = h }
+
+// Domains returns every live protection domain, sorted by ID.
+func (k *Kernel) Domains() []*Domain {
+	out := make([]*Domain, 0, len(k.domains))
+	for _, d := range k.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Segments returns every live segment in address order.
+func (k *Kernel) Segments() []*Segment {
+	return append([]*Segment(nil), k.segOrder...)
+}
+
+// ExecutorRights returns the rights domain d derives from execution-keyed
+// grants at vpn (exec.go), for external authority reconstruction.
+func (k *Kernel) ExecutorRights(d *Domain, vpn addr.VPN) (addr.Rights, bool) {
+	return k.execRights(d, vpn)
+}
+
+// RecoverHardware flash-clears every cached protection and translation
+// structure of the machine — the kernel's recovery action when cached
+// hardware state is suspected of diverging from authority (e.g. after a
+// detected corruption): all entries fault back in from the authoritative
+// tables. Returns the number of entries dropped.
+func (k *Kernel) RecoverHardware() int {
+	n := 0
+	switch {
+	case k.plbm != nil:
+		n += k.plbm.PLB().Len()
+		k.plbm.PurgeAllPLB()
+		n += k.plbm.TLB().PurgeAll()
+	case k.pgm != nil:
+		n += k.pgm.TLB().PurgeAll()
+		n += k.pgm.Checker().PurgeAll()
+	case k.convm != nil:
+		n += k.convm.TLB().PurgeAll()
+	}
+	k.hHWRecoveries.Inc()
+	k.cycles.Add(k.costs().Trap)
+	return n
+}
 
 // FindSegment returns the segment containing va, or nil.
 func (k *Kernel) FindSegment(va addr.VA) *Segment {

@@ -152,10 +152,5 @@ func TestProtShiftIgnoredOnPageGroup(t *testing.T) {
 	}
 }
 
-// The authority fuzz must hold with super-page segments in the mix.
-func TestHardwareMatchesAuthoritySuperPage(t *testing.T) {
-	for seed := int64(20); seed < 24; seed++ {
-		runAuthorityFuzzWith(t, seed, func() *Kernel { return New(superPageConfig()) },
-			SegmentOptions{ProtShift: 16})
-	}
-}
+// The super-page authority fuzz lives in invariant_test.go (package
+// kernel_test), driven by the oracle package.

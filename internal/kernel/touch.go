@@ -48,17 +48,17 @@ func (k *Kernel) Touch(d *Domain, va addr.VA, kind addr.AccessKind) error {
 				break
 			}
 			if err := k.handlePageFault(va); err != nil {
-				return err
+				return faultErr(d, va, kind, nil, err)
 			}
 		case cpu.FaultProtection:
 			if err := k.handleProtFault(d, va, kind); err != nil {
 				return err
 			}
 		case cpu.FaultNoAuthority:
-			return fmt.Errorf("%w: domain %d at %#x", ErrNoAuthority, d.ID, uint64(va))
+			return faultErr(d, va, kind, ErrNoAuthority, nil)
 		}
 	}
-	return fmt.Errorf("%w: domain %d at %#x (%v)", ErrFaultLoop, d.ID, uint64(va), kind)
+	return faultErr(d, va, kind, ErrFaultLoop, nil)
 }
 
 // handlePageFault resolves a missing translation: pages that were paged
@@ -96,7 +96,9 @@ func (k *Kernel) mapFresh(vpn addr.VPN) error {
 		return fmt.Errorf("kernel: page fault at %#x: %w", uint64(k.geo.Base(vpn)), err)
 	}
 	if err := k.trans.Map(vpn, pfn); err != nil {
-		k.memory.Free(pfn)
+		if ferr := k.memory.Free(pfn); ferr != nil {
+			return ferr
+		}
 		return err
 	}
 	k.residentFIFO = append(k.residentFIFO, vpn)
@@ -122,11 +124,11 @@ func (k *Kernel) handleProtFault(d *Domain, va addr.VA, kind addr.AccessKind) er
 	k.hProtFaults.Inc()
 	s := k.FindSegment(va)
 	if s == nil {
-		return fmt.Errorf("%w: at %#x", ErrNoAuthority, uint64(va))
+		return faultErr(d, va, kind, ErrNoAuthority, nil)
 	}
 	if s.handler == nil {
-		return fmt.Errorf("%w: domain %d, %v at %#x (segment %q)",
-			ErrProtection, d.ID, kind, uint64(va), s.Name)
+		return faultErr(d, va, kind, ErrProtection,
+			fmt.Errorf("segment %q has no handler", s.Name))
 	}
 	k.hHandlerUpcalls.Inc()
 	// Delivering the fault to a user-level handler costs a trap (the
@@ -134,10 +136,10 @@ func (k *Kernel) handleProtFault(d *Domain, va addr.VA, kind addr.AccessKind) er
 	k.cycles.Add(k.costs().Trap)
 	f := Fault{K: k, Domain: d, VA: va, Kind: kind, Segment: s}
 	if err := k.injectHandlerError(f); err != nil {
-		return fmt.Errorf("%w: domain %d at %#x: %w", ErrProtection, d.ID, uint64(va), err)
+		return faultErr(d, va, kind, ErrProtection, err)
 	}
 	if err := s.handler(f); err != nil {
-		return fmt.Errorf("%w: domain %d at %#x: %w", ErrProtection, d.ID, uint64(va), err)
+		return faultErr(d, va, kind, ErrProtection, err)
 	}
 	return nil
 }
@@ -318,14 +320,21 @@ func (k *Kernel) PageOut(vpn addr.VPN) error {
 	if !ok {
 		return fmt.Errorf("kernel: page-out of unmapped page %#x", uint64(vpn))
 	}
+	// Injected backing-store failures fire before any state changes: a
+	// failed page-out leaves the page resident and consistent.
+	if err := k.injectPageOut(vpn); err != nil {
+		return fmt.Errorf("kernel: page-out of %#x: %w", uint64(vpn), err)
+	}
 	if err := k.activePager().Out(vpn, k.memory.Data(pte.PFN)); err != nil {
-		return err
+		return fmt.Errorf("kernel: page-out of %#x: %w", uint64(vpn), err)
 	}
 	k.engine.onUnmap(vpn)
 	if _, err := k.trans.Unmap(vpn); err != nil {
 		return err
 	}
-	k.memory.Free(pte.PFN)
+	if err := k.memory.Free(pte.PFN); err != nil {
+		return err
+	}
 	p.onDisk = true
 	k.hPageouts.Inc()
 	return nil
@@ -338,12 +347,26 @@ func (k *Kernel) PageIn(vpn addr.VPN) error {
 	if p == nil || !p.onDisk {
 		return fmt.Errorf("kernel: page-in of %#x: not on disk", uint64(vpn))
 	}
+	// Injected backing-store failures fire before the frame is allocated,
+	// so the page stays on disk and a later retry can succeed.
+	if err := k.injectPageIn(vpn); err != nil {
+		return fmt.Errorf("kernel: page-in of %#x: %w", uint64(vpn), err)
+	}
 	if err := k.mapFresh(vpn); err != nil {
 		return err
 	}
 	data, err := k.activePager().In(vpn)
 	if err != nil {
-		return err
+		// Unwind the fresh mapping: leaving a zeroed frame mapped while
+		// the real contents sit on disk would be silent corruption. The
+		// page stays on disk; a retry after the store recovers can page
+		// it back in.
+		if pte, uerr := k.trans.Unmap(vpn); uerr == nil {
+			if ferr := k.memory.Free(pte.PFN); ferr != nil {
+				return ferr
+			}
+		}
+		return fmt.Errorf("kernel: page-in of %#x: %w", uint64(vpn), err)
 	}
 	pte, _ := k.trans.Lookup(vpn)
 	copy(k.memory.Data(pte.PFN), data)
@@ -363,7 +386,9 @@ func (k *Kernel) Unmap(vpn addr.VPN) error {
 	if _, err := k.trans.Unmap(vpn); err != nil {
 		return err
 	}
-	k.memory.Free(pte.PFN)
+	if err := k.memory.Free(pte.PFN); err != nil {
+		return err
+	}
 	k.hUnmaps.Inc()
 	return nil
 }

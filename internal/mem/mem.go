@@ -18,6 +18,18 @@ import (
 // ErrOutOfFrames is returned when the physical frame pool is exhausted.
 var ErrOutOfFrames = errors.New("mem: out of physical frames")
 
+// ErrBadFrame is returned for operations naming a frame outside the pool.
+// Reachable from simulated failures (a corrupted translation entry can
+// carry a stale or flipped frame number), so it is a typed error rather
+// than a panic — see the panic-vs-error policy in DESIGN.md §8.
+var ErrBadFrame = errors.New("mem: frame number out of range")
+
+// ErrDoubleFree is returned when a frame not currently allocated is
+// freed. Reachable from simulated failures (a buggy pager or a paging
+// path interrupted by an injected fault can attempt to release a frame
+// twice), so it is a typed error rather than a panic.
+var ErrDoubleFree = errors.New("mem: double free of frame")
+
 // Memory is a pool of physical page frames with byte-addressable contents.
 // Construct with NewMemory. Memory is not safe for concurrent use.
 type Memory struct {
@@ -76,16 +88,22 @@ func (m *Memory) Alloc() (addr.PFN, error) {
 	return pfn, nil
 }
 
-// Free returns a frame to the pool. Freeing an unallocated frame is a
-// simulator bug and panics.
-func (m *Memory) Free(pfn addr.PFN) {
-	f := m.frame(pfn)
+// Free returns a frame to the pool. Freeing an out-of-range or
+// unallocated frame returns a typed error (ErrBadFrame, ErrDoubleFree):
+// both are reachable when simulated failures corrupt the paths that
+// track frame ownership, and the chaos runner asserts on them.
+func (m *Memory) Free(pfn addr.PFN) error {
+	if int(pfn) >= len(m.frames) {
+		return fmt.Errorf("%w: %d (%d frames)", ErrBadFrame, pfn, len(m.frames))
+	}
+	f := &m.frames[pfn]
 	if !f.inUse {
-		panic(fmt.Sprintf("mem: double free of frame %d", pfn))
+		return fmt.Errorf("%w: %d", ErrDoubleFree, pfn)
 	}
 	f.inUse = false
 	m.free = append(m.free, pfn)
 	m.frees++
+	return nil
 }
 
 func (m *Memory) frame(pfn addr.PFN) *frame {
@@ -98,6 +116,14 @@ func (m *Memory) frame(pfn addr.PFN) *frame {
 // Data returns the contents of an allocated frame, materializing storage
 // on first touch. The returned slice aliases the frame; writes through it
 // are writes to physical memory.
+//
+// Data panics on an out-of-range or unallocated frame: callers reach it
+// only through translations the kernel itself installed, so a bad frame
+// number here is a simulator invariant violation no simulated failure
+// can produce (the corruption hooks mutate hardware-cache entries, which
+// are re-checked against the kernel's tables before bytes move). This is
+// the programmer-error side of the panic-vs-error split; see Free for
+// the reachable side.
 func (m *Memory) Data(pfn addr.PFN) []byte {
 	f := m.frame(pfn)
 	if !f.inUse {

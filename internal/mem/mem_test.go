@@ -2,6 +2,7 @@ package mem
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -28,7 +29,9 @@ func TestAllocFreeCycle(t *testing.T) {
 		t.Fatal("in-use accounting wrong")
 	}
 	for _, p := range pfns {
-		m.Free(p)
+		if err := m.Free(p); err != nil {
+			t.Fatalf("Free %d: %v", p, err)
+		}
 	}
 	if m.FramesInUse() != 0 {
 		t.Fatal("free accounting wrong")
@@ -63,7 +66,9 @@ func TestFrameDataZeroedOnRealloc(t *testing.T) {
 	if m.ReadWord(pfn, 8) != 0xdeadbeefcafe {
 		t.Fatal("word write lost")
 	}
-	m.Free(pfn)
+	if err := m.Free(pfn); err != nil {
+		t.Fatal(err)
+	}
 	pfn2, _ := m.Alloc()
 	if pfn2 != pfn {
 		t.Fatalf("expected frame reuse, got %d", pfn2)
@@ -73,16 +78,18 @@ func TestFrameDataZeroedOnRealloc(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeTypedError(t *testing.T) {
 	m := NewMemory(addr.BaseGeometry(), 1)
 	pfn, _ := m.Alloc()
-	m.Free(pfn)
-	defer func() {
-		if recover() == nil {
-			t.Error("double free did not panic")
-		}
-	}()
-	m.Free(pfn)
+	if err := m.Free(pfn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(pfn); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free: got %v, want ErrDoubleFree", err)
+	}
+	if err := m.Free(99); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("out-of-range free: got %v, want ErrBadFrame", err)
+	}
 }
 
 func TestAccessUnallocatedPanics(t *testing.T) {

@@ -42,7 +42,20 @@ type Checker interface {
 	Len() int
 	// Capacity returns the maximum number of resident groups.
 	Capacity() int
+	// ForEach visits all resident groups until fn returns false.
+	ForEach(fn func(g addr.GroupID, writeDisabled bool) bool)
+	// SetCorruptor installs (or, with nil, removes) a chaos-testing hook
+	// consulted on every Load; returning a replacement (group,
+	// write-disable) with true corrupts the loaded entry in place —
+	// modeling a stale PID register or a flipped AID bit, which grants
+	// the current domain access to the wrong page-group. Corrupted loads
+	// are counted under prefix+".corrupted".
+	SetCorruptor(fn Corruptor)
 }
+
+// Corruptor is the chaos-testing hook shared by the Checker
+// implementations; see Checker.SetCorruptor.
+type Corruptor func(g addr.GroupID, writeDisabled bool) (addr.GroupID, bool, bool)
 
 // PIDRegisters is the PA-RISC register-file implementation: a fixed set
 // of page-group registers with round-robin replacement by the OS.
@@ -52,6 +65,9 @@ type PIDRegisters struct {
 
 	nHit, nMiss, nLoad stats.Handle
 	nPurged            stats.Handle
+	nCorrupted         stats.Handle
+
+	corrupt Corruptor
 }
 
 type pidReg struct {
@@ -71,8 +87,12 @@ func NewPIDRegisters(n int, ctrs *stats.Counters, prefix string) *PIDRegisters {
 	p.nMiss = ctrs.Handle(prefix + ".miss")
 	p.nLoad = ctrs.Handle(prefix + ".load")
 	p.nPurged = ctrs.Handle(prefix + ".purged")
+	p.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return p
 }
+
+// SetCorruptor implements Checker.
+func (p *PIDRegisters) SetCorruptor(fn Corruptor) { p.corrupt = fn }
 
 // Check implements Checker.
 func (p *PIDRegisters) Check(g addr.GroupID) (bool, bool) {
@@ -93,6 +113,12 @@ func (p *PIDRegisters) Check(g addr.GroupID) (bool, bool) {
 // Load implements Checker: round-robin replacement, since the hardware
 // offers the OS no usage information (Section 3.2.2).
 func (p *PIDRegisters) Load(g addr.GroupID, writeDisabled bool) {
+	if p.corrupt != nil {
+		if g2, wd2, ok := p.corrupt(g, writeDisabled); ok {
+			g, writeDisabled = g2, wd2
+			p.nCorrupted.Inc()
+		}
+	}
 	// Reuse an existing slot for the same group, or an invalid slot.
 	for i, r := range p.regs {
 		if r.valid && r.group == g {
@@ -152,6 +178,15 @@ func (p *PIDRegisters) Len() int {
 // Capacity implements Checker.
 func (p *PIDRegisters) Capacity() int { return len(p.regs) }
 
+// ForEach implements Checker.
+func (p *PIDRegisters) ForEach(fn func(addr.GroupID, bool) bool) {
+	for _, r := range p.regs {
+		if r.valid && !fn(r.group, r.writeDisable) {
+			return
+		}
+	}
+}
+
 // GroupCache is the Wilkes-Sears variant: an associative cache of
 // permitted page-groups with LRU replacement.
 type GroupCache struct {
@@ -159,6 +194,9 @@ type GroupCache struct {
 
 	nHit, nMiss, nLoad stats.Handle
 	nPurged            stats.Handle
+	nCorrupted         stats.Handle
+
+	corrupt Corruptor
 }
 
 // NewGroupCache creates a group cache with the given geometry, counting
@@ -170,8 +208,12 @@ func NewGroupCache(cfg assoc.Config, ctrs *stats.Counters, prefix string) *Group
 	g.nMiss = ctrs.Handle(prefix + ".miss")
 	g.nLoad = ctrs.Handle(prefix + ".load")
 	g.nPurged = ctrs.Handle(prefix + ".purged")
+	g.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return g
 }
+
+// SetCorruptor implements Checker.
+func (g *GroupCache) SetCorruptor(fn Corruptor) { g.corrupt = fn }
 
 // Check implements Checker.
 func (g *GroupCache) Check(gid addr.GroupID) (bool, bool) {
@@ -190,6 +232,12 @@ func (g *GroupCache) Check(gid addr.GroupID) (bool, bool) {
 
 // Load implements Checker.
 func (g *GroupCache) Load(gid addr.GroupID, writeDisabled bool) {
+	if g.corrupt != nil {
+		if gid2, wd2, ok := g.corrupt(gid, writeDisabled); ok {
+			gid, writeDisabled = gid2, wd2
+			g.nCorrupted.Inc()
+		}
+	}
 	g.c.Insert(gid, writeDisabled)
 	g.nLoad.Inc()
 }
@@ -209,3 +257,6 @@ func (g *GroupCache) Len() int { return g.c.Len() }
 
 // Capacity implements Checker.
 func (g *GroupCache) Capacity() int { return g.c.Capacity() }
+
+// ForEach implements Checker.
+func (g *GroupCache) ForEach(fn func(addr.GroupID, bool) bool) { g.c.ForEach(fn) }

@@ -66,7 +66,18 @@ type PLB struct {
 	shift0  uint8
 
 	nHit, nMiss, nInstall, nUpdate, nInval, nPurged, nInspected stats.Handle
+	nCorrupted                                                  stats.Handle
+
+	corrupt Corruptor
 }
+
+// Corruptor is a chaos-testing hook consulted on every Insert. It sees
+// the entry being installed and whether the install evicted a victim,
+// and may return replacement rights with true to corrupt the entry in
+// place (modeling a bit flip or stale rights latched by glitching
+// hardware). Corrupted installs are counted under prefix+".corrupted".
+// Production configurations leave it nil; it costs one nil check.
+type Corruptor func(k Key, r addr.Rights, evicted bool) (addr.Rights, bool)
 
 // New creates a PLB, recording events in ctrs under the given name prefix
 // (e.g. "plb"). It panics on an invalid configuration. Counter names are
@@ -102,8 +113,12 @@ func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
 	p.nInval = ctrs.Handle(prefix + ".invalidate")
 	p.nPurged = ctrs.Handle(prefix + ".purged")
 	p.nInspected = ctrs.Handle(prefix + ".inspected")
+	p.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return p
 }
+
+// SetCorruptor installs (or, with nil, removes) the corruption hook.
+func (p *PLB) SetCorruptor(fn Corruptor) { p.corrupt = fn }
 
 // Shifts returns the supported protection page shifts, ascending.
 func (p *PLB) Shifts() []uint { return append([]uint(nil), p.shifts...) }
@@ -144,8 +159,14 @@ func (p *PLB) Lookup(d addr.DomainID, va addr.VA) (addr.Rights, bool) {
 func (p *PLB) Insert(d addr.DomainID, va addr.VA, shift uint, r addr.Rights) {
 	p.mustShift(shift)
 	k := Key{Domain: d, Page: uint64(va) >> shift, Shift: uint8(shift)}
-	p.c.Insert(k, r)
+	_, _, evicted := p.c.Insert(k, r)
 	p.nInstall.Inc()
+	if p.corrupt != nil {
+		if bad, ok := p.corrupt(k, r, evicted); ok {
+			p.c.Update(k, bad)
+			p.nCorrupted.Inc()
+		}
+	}
 }
 
 func (p *PLB) mustShift(shift uint) {

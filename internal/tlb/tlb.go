@@ -34,6 +34,9 @@ type TransTLB struct {
 	c *assoc.Cache[addr.VPN, TransEntry]
 
 	nHit, nMiss, nInstall, nInvalidated stats.Handle
+	nCorrupted                          stats.Handle
+
+	corrupt func(vpn addr.VPN, e TransEntry, evicted bool) (TransEntry, bool)
 }
 
 // NewTrans creates a translation-only TLB counting under prefix. Counter
@@ -46,7 +49,16 @@ func NewTrans(cfg assoc.Config, ctrs *stats.Counters, prefix string) *TransTLB {
 	t.nMiss = ctrs.Handle(prefix + ".miss")
 	t.nInstall = ctrs.Handle(prefix + ".install")
 	t.nInvalidated = ctrs.Handle(prefix + ".invalidated")
+	t.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return t
+}
+
+// SetCorruptor installs (or, with nil, removes) a chaos-testing hook
+// consulted on every Insert; returning a replacement entry with true
+// corrupts the installed translation in place (a stale or flipped PFN).
+// Corrupted installs are counted under prefix+".corrupted".
+func (t *TransTLB) SetCorruptor(fn func(vpn addr.VPN, e TransEntry, evicted bool) (TransEntry, bool)) {
+	t.corrupt = fn
 }
 
 // Lookup probes for vpn.
@@ -62,8 +74,14 @@ func (t *TransTLB) Lookup(vpn addr.VPN) (TransEntry, bool) {
 
 // Insert installs a translation.
 func (t *TransTLB) Insert(vpn addr.VPN, e TransEntry) {
-	t.c.Insert(vpn, e)
+	_, _, evicted := t.c.Insert(vpn, e)
 	t.nInstall.Inc()
+	if t.corrupt != nil {
+		if bad, ok := t.corrupt(vpn, e, evicted); ok {
+			t.c.Update(vpn, bad)
+			t.nCorrupted.Inc()
+		}
+	}
 }
 
 // Invalidate removes the entry for vpn; required only when a
@@ -86,6 +104,9 @@ func (t *TransTLB) Len() int { return t.c.Len() }
 // Capacity returns the entry capacity.
 func (t *TransTLB) Capacity() int { return t.c.Capacity() }
 
+// ForEach visits all resident entries until fn returns false.
+func (t *TransTLB) ForEach(fn func(addr.VPN, TransEntry) bool) { t.c.ForEach(fn) }
+
 // ASIDKey tags a combined-TLB entry with its address space.
 type ASIDKey struct {
 	AS  addr.ASID
@@ -104,6 +125,9 @@ type ASIDTLB struct {
 
 	nHit, nMiss, nInstall, nPurged stats.Handle
 	nInspected                     stats.Handle
+	nCorrupted                     stats.Handle
+
+	corrupt func(k ASIDKey, e ASIDEntry, evicted bool) (ASIDEntry, bool)
 }
 
 // NewASID creates an ASID-tagged TLB counting under prefix.
@@ -117,7 +141,16 @@ func NewASID(cfg assoc.Config, ctrs *stats.Counters, prefix string) *ASIDTLB {
 	t.nInstall = ctrs.Handle(prefix + ".install")
 	t.nPurged = ctrs.Handle(prefix + ".purged")
 	t.nInspected = ctrs.Handle(prefix + ".inspected")
+	t.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return t
+}
+
+// SetCorruptor installs (or, with nil, removes) a chaos-testing hook
+// consulted on every Insert; returning a replacement entry with true
+// corrupts the installed entry in place (stale or flipped rights/PFN).
+// Corrupted installs are counted under prefix+".corrupted".
+func (t *ASIDTLB) SetCorruptor(fn func(k ASIDKey, e ASIDEntry, evicted bool) (ASIDEntry, bool)) {
+	t.corrupt = fn
 }
 
 // Lookup probes for (as, vpn).
@@ -133,8 +166,15 @@ func (t *ASIDTLB) Lookup(as addr.ASID, vpn addr.VPN) (ASIDEntry, bool) {
 
 // Insert installs an entry for (as, vpn).
 func (t *ASIDTLB) Insert(as addr.ASID, vpn addr.VPN, e ASIDEntry) {
-	t.c.Insert(ASIDKey{AS: as, VPN: vpn}, e)
+	k := ASIDKey{AS: as, VPN: vpn}
+	_, _, evicted := t.c.Insert(k, e)
 	t.nInstall.Inc()
+	if t.corrupt != nil {
+		if bad, ok := t.corrupt(k, e, evicted); ok {
+			t.c.Update(k, bad)
+			t.nCorrupted.Inc()
+		}
+	}
 }
 
 // Invalidate removes the entry for (as, vpn).
@@ -174,6 +214,9 @@ func (t *ASIDTLB) Len() int { return t.c.Len() }
 // Capacity returns the entry capacity.
 func (t *ASIDTLB) Capacity() int { return t.c.Capacity() }
 
+// ForEach visits all resident entries until fn returns false.
+func (t *ASIDTLB) ForEach(fn func(ASIDKey, ASIDEntry) bool) { t.c.ForEach(fn) }
+
 // ResidentFor counts resident entries for vpn across all address spaces —
 // the duplication measure of experiment E5.
 func (t *ASIDTLB) ResidentFor(vpn addr.VPN) int {
@@ -201,6 +244,9 @@ type PGTLB struct {
 	c *assoc.Cache[addr.VPN, PGEntry]
 
 	nHit, nMiss, nInstall, nUpdate, nInvalidated stats.Handle
+	nCorrupted                                   stats.Handle
+
+	corrupt func(vpn addr.VPN, e PGEntry, evicted bool) (PGEntry, bool)
 }
 
 // NewPG creates a page-group TLB counting under prefix.
@@ -212,7 +258,16 @@ func NewPG(cfg assoc.Config, ctrs *stats.Counters, prefix string) *PGTLB {
 	t.nInstall = ctrs.Handle(prefix + ".install")
 	t.nUpdate = ctrs.Handle(prefix + ".update")
 	t.nInvalidated = ctrs.Handle(prefix + ".invalidated")
+	t.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return t
+}
+
+// SetCorruptor installs (or, with nil, removes) a chaos-testing hook
+// consulted on every Insert; returning a replacement entry with true
+// corrupts the installed entry in place (stale AID, flipped rights, bad
+// PFN). Corrupted installs are counted under prefix+".corrupted".
+func (t *PGTLB) SetCorruptor(fn func(vpn addr.VPN, e PGEntry, evicted bool) (PGEntry, bool)) {
+	t.corrupt = fn
 }
 
 // Lookup probes for vpn.
@@ -228,8 +283,14 @@ func (t *PGTLB) Lookup(vpn addr.VPN) (PGEntry, bool) {
 
 // Insert installs an entry for vpn.
 func (t *PGTLB) Insert(vpn addr.VPN, e PGEntry) {
-	t.c.Insert(vpn, e)
+	_, _, evicted := t.c.Insert(vpn, e)
 	t.nInstall.Inc()
+	if t.corrupt != nil {
+		if bad, ok := t.corrupt(vpn, e, evicted); ok {
+			t.c.Update(vpn, bad)
+			t.nCorrupted.Inc()
+		}
+	}
 }
 
 // Update rewrites the resident entry for vpn (changing its rights or
@@ -261,6 +322,9 @@ func (t *PGTLB) Len() int { return t.c.Len() }
 
 // Capacity returns the entry capacity.
 func (t *PGTLB) Capacity() int { return t.c.Capacity() }
+
+// ForEach visits all resident entries until fn returns false.
+func (t *PGTLB) ForEach(fn func(addr.VPN, PGEntry) bool) { t.c.ForEach(fn) }
 
 // EntryBits returns the architectural width in bits of a combined
 // (translation + protection) TLB entry for the equal-silicon comparison

@@ -25,6 +25,7 @@ package dsm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -35,6 +36,13 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload/checkpoint"
 )
+
+// ErrOwnerChainDiverged is returned when a probable-owner chain fails to
+// reach the true owner within 2·nodes hops. Chains can legitimately go
+// stale under the simulated crash/recovery and message-loss faults this
+// workload injects, so divergence is a typed error the chaos harness can
+// assert on rather than a panic.
+var ErrOwnerChainDiverged = errors.New("dsm: probable-owner chain did not converge")
 
 // ManagerKind selects the ownership-location protocol (Li's thesis
 // compares both).
@@ -279,7 +287,8 @@ func (sys *system) locateOwner(i int, vpn addr.VPN, m *pageMeta) (int, error) {
 	hopCount := uint64(0)
 	for hops := 0; cur != m.owner; hops++ {
 		if hops > len(sys.nodes)*2 {
-			panic("dsm: probable-owner chain did not converge")
+			return 0, fmt.Errorf("%w: node %d locating %#x after %d hops",
+				ErrOwnerChainDiverged, i, uint64(vpn), hops)
 		}
 		next := sys.probOwner[cur][vpn]
 		if next != cur && !sys.nodeUp(next) {
