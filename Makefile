@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-hot tables bench-report baseline chaos chaos-short
+.PHONY: all build test race check fmt vet lint bench bench-hot bench-smp tables bench-report baseline chaos chaos-short
 
 all: check
 
@@ -47,6 +47,13 @@ bench:
 # (guarded by TestAccessPathZeroAllocs and the CI alloc gate).
 bench-hot:
 	$(GO) test -bench Access -benchmem -run '^$$' .
+
+# bench-smp runs only the multiprocessor shootdown experiment (E14):
+# cross-CPU invalidation traffic and cycles for all four organizations
+# at 1/2/4/8 CPUs. The full sweep (bench-report) includes it too; this
+# is the quick view while working on the smp layer.
+bench-smp:
+	$(GO) run ./cmd/tablegen -e E14 -v
 
 tables:
 	$(GO) run ./cmd/tablegen -parallel 4

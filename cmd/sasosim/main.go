@@ -5,6 +5,7 @@
 //
 //	sasosim -workload gc -model domain-page
 //	sasosim -workload txn -model page-group
+//	sasosim -workload shootdown -model conventional -cpus 4
 //	sasosim -workload dsm -drop 10 -crash-node 2 -crash-at 200
 //	sasosim -trace refs.trc -machine flush
 package main
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/addr"
+	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/netsim"
@@ -29,8 +31,9 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc")
-	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional")
+	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown")
+	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional|flush")
+	cpus := flag.Int("cpus", 1, "number of CPUs; > 1 runs domains spread across CPUs and charges shootdown IPIs (smp.* counters)")
 	incremental := flag.Bool("incremental", false, "checkpoint workload: incremental instead of full")
 	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
 	machName := flag.String("machine", "plb", "machine for trace replay: plb|page-group|conventional|flush")
@@ -55,7 +58,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *incremental, d); err != nil {
+	if err := runWorkload(*workload, *model, *cpus, *incremental, d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -77,17 +80,24 @@ func parseModel(s string) (kernel.Model, error) {
 		return kernel.ModelPageGroup, nil
 	case "conventional":
 		return kernel.ModelConventional, nil
+	case "flush":
+		return kernel.ModelFlush, nil
 	default:
 		return 0, fmt.Errorf("sasosim: unknown model %q", s)
 	}
 }
 
-func runWorkload(name, modelName string, incremental bool, d dsmOpts) error {
+func runWorkload(name, modelName string, cpus int, incremental bool, d dsmOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
 	}
-	k := kernel.New(kernel.DefaultConfig(m))
+	if cpus < 1 {
+		return fmt.Errorf("sasosim: -cpus %d, want >= 1", cpus)
+	}
+	cfg := kernel.DefaultConfig(m)
+	cfg.CPUs = cpus
+	k := kernel.New(cfg)
 	var rep any
 	var dsmRep *dsm.Report
 	switch name {
@@ -132,6 +142,13 @@ func runWorkload(name, modelName string, incremental bool, d dsmOpts) error {
 		} else {
 			rep, err = checkpoint.Run(k, checkpoint.DefaultConfig())
 		}
+	case "shootdown":
+		// The E14 sharing workload: domains pinned round-robin across
+		// -cpus CPUs narrow rights, page out shared pages, and churn
+		// attachments, so every change shoots down remote entries.
+		var ops uint64
+		k, ops, err = core.ShootdownWorkload(m, cpus)
+		rep = fmt.Sprintf("shootdown-producing protection ops: %d", ops)
 	case "compress":
 		rep, err = compress.Run(k, compress.DefaultConfig())
 	case "rpc":
@@ -142,9 +159,9 @@ func runWorkload(name, modelName string, incremental bool, d dsmOpts) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload %s on %s\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
-		name, m, rep, k.Machine().Counters(), k.Counters())
-	fmt.Printf("machine cycles: %d\nkernel cycles:  %d\n", k.Machine().Cycles(), k.Cycles())
+	fmt.Printf("workload %s on %s (%d CPUs)\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
+		name, m, k.NumCPUs(), rep, k.Machine().Counters(), k.Counters())
+	fmt.Printf("machine cycles: %d (all CPUs: %d)\nkernel cycles:  %d\n", k.Machine().Cycles(), k.TotalCycles(), k.Cycles())
 	if dsmRep != nil {
 		fmt.Printf("\nreliability: retransmits=%d timeouts=%d acks=%d dup_suppressed=%d drops=%d dups=%d reorders=%d down_drops=%d\n",
 			dsmRep.Retransmits, dsmRep.Timeouts, dsmRep.Acks, dsmRep.DupSuppressed,

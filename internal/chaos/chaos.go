@@ -40,10 +40,11 @@ type Config struct {
 }
 
 // shortIDs is the CI subset: the experiments that construct kernels of
-// all three models and exercise every scenario's hook point (switch/RPC:
-// E6, paging: E9, mixed workloads: E10, conventional: E11). E2-E5/E7
-// drive hardware structures directly and give injection nothing to arm.
-var shortIDs = map[string]bool{"E6": true, "E9": true, "E10": true, "E11": true}
+// all four models and exercise every scenario's hook point (switch/RPC:
+// E6, paging: E9, mixed workloads: E10, conventional: E11,
+// multiprocessor shootdown: E14). E2-E5/E7 drive hardware structures
+// directly and give injection nothing to arm.
+var shortIDs = map[string]bool{"E6": true, "E9": true, "E10": true, "E11": true, "E14": true}
 
 // RunResult is the outcome of one (experiment, scenario) cell, or of
 // one direct scenario (Experiment "-").
@@ -278,19 +279,23 @@ func runOne(exp core.Experiment, sc Scenario, seed int64, keep int) RunResult {
 	return rr
 }
 
-// disarm removes every chaos hook the campaign may have installed.
+// disarm removes every chaos hook the campaign may have installed — on
+// every CPU's private structures, and the IPI fault hook.
 func disarm(k *kernel.Kernel) {
 	k.SetFaultInjector(nil)
-	if m := k.PLBMachine(); m != nil {
-		m.PLB().SetCorruptor(nil)
-		m.TLB().SetCorruptor(nil)
-	}
-	if m := k.PGMachine(); m != nil {
-		m.TLB().SetCorruptor(nil)
-		m.Checker().SetCorruptor(nil)
-	}
-	if m := k.ConvMachine(); m != nil {
-		m.TLB().SetCorruptor(nil)
+	k.SetIPIFault(nil)
+	for i := 0; i < k.NumCPUs(); i++ {
+		if m := k.PLBMachineAt(i); m != nil {
+			m.PLB().SetCorruptor(nil)
+			m.TLB().SetCorruptor(nil)
+		}
+		if m := k.PGMachineAt(i); m != nil {
+			m.TLB().SetCorruptor(nil)
+			m.Checker().SetCorruptor(nil)
+		}
+		if m := k.ConvMachineAt(i); m != nil {
+			m.TLB().SetCorruptor(nil)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/plb"
+	"repro/internal/smp"
 	"repro/internal/tlb"
 	"repro/internal/workload/dsm"
 )
@@ -58,10 +59,16 @@ func kernelFired(names ...string) func(*kernel.Kernel) uint64 {
 	}
 }
 
-// machineFired reads one machine counter.
+// machineFired sums one machine counter over every CPU's private
+// structures: on a multiprocessor the corruptor may fire on any CPU's
+// instance, not just the current one's.
 func machineFired(name string) func(*kernel.Kernel) uint64 {
 	return func(k *kernel.Kernel) uint64 {
-		return k.Machine().Counters().Get(name)
+		var n uint64
+		for i := 0; i < k.NumCPUs(); i++ {
+			n += k.MachineAt(i).Counters().Get(name)
+		}
+		return n
 	}
 }
 
@@ -141,16 +148,18 @@ func Default() []Scenario {
 			Description: "PLB installs latch flipped (upgraded) rights",
 			Corrupts:    true,
 			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
-				m := k.PLBMachine()
-				if m == nil {
-					return
-				}
-				m.PLB().SetCorruptor(func(_ plb.Key, r addr.Rights, _ bool) (addr.Rights, bool) {
-					if bad := r | addr.RW; bad != r && rng.Intn(8) == 0 {
-						return bad, true
+				for i := 0; i < k.NumCPUs(); i++ {
+					m := k.PLBMachineAt(i)
+					if m == nil {
+						return
 					}
-					return r, false
-				})
+					m.PLB().SetCorruptor(func(_ plb.Key, r addr.Rights, _ bool) (addr.Rights, bool) {
+						if bad := r | addr.RW; bad != r && rng.Intn(8) == 0 {
+							return bad, true
+						}
+						return r, false
+					})
+				}
 			},
 			Fired: machineFired("plb.corrupted"),
 		},
@@ -159,17 +168,19 @@ func Default() []Scenario {
 			Description: "translation TLB installs a stale (off-by-one) frame",
 			Corrupts:    true,
 			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
-				m := k.PLBMachine()
-				if m == nil {
-					return
-				}
-				m.TLB().SetCorruptor(func(_ addr.VPN, e tlb.TransEntry, _ bool) (tlb.TransEntry, bool) {
-					if rng.Intn(8) == 0 {
-						e.PFN++
-						return e, true
+				for i := 0; i < k.NumCPUs(); i++ {
+					m := k.PLBMachineAt(i)
+					if m == nil {
+						return
 					}
-					return e, false
-				})
+					m.TLB().SetCorruptor(func(_ addr.VPN, e tlb.TransEntry, _ bool) (tlb.TransEntry, bool) {
+						if rng.Intn(8) == 0 {
+							e.PFN++
+							return e, true
+						}
+						return e, false
+					})
+				}
 			},
 			Fired: machineFired("tlb.corrupted"),
 		},
@@ -178,17 +189,19 @@ func Default() []Scenario {
 			Description: "page-group TLB installs upgraded rights bits",
 			Corrupts:    true,
 			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
-				m := k.PGMachine()
-				if m == nil {
-					return
-				}
-				m.TLB().SetCorruptor(func(_ addr.VPN, e tlb.PGEntry, _ bool) (tlb.PGEntry, bool) {
-					if bad := e.Rights | addr.RW; bad != e.Rights && rng.Intn(8) == 0 {
-						e.Rights = bad
-						return e, true
+				for i := 0; i < k.NumCPUs(); i++ {
+					m := k.PGMachineAt(i)
+					if m == nil {
+						return
 					}
-					return e, false
-				})
+					m.TLB().SetCorruptor(func(_ addr.VPN, e tlb.PGEntry, _ bool) (tlb.PGEntry, bool) {
+						if bad := e.Rights | addr.RW; bad != e.Rights && rng.Intn(8) == 0 {
+							e.Rights = bad
+							return e, true
+						}
+						return e, false
+					})
+				}
 			},
 			Fired: machineFired("pgtlb.corrupted"),
 		},
@@ -197,16 +210,18 @@ func Default() []Scenario {
 			Description: "group-check registers load a wrong group identifier",
 			Corrupts:    true,
 			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
-				m := k.PGMachine()
-				if m == nil {
-					return
-				}
-				m.Checker().SetCorruptor(func(g addr.GroupID, wd bool) (addr.GroupID, bool, bool) {
-					if g != addr.GlobalGroup && rng.Intn(4) == 0 {
-						return g + 1000, wd, true
+				for i := 0; i < k.NumCPUs(); i++ {
+					m := k.PGMachineAt(i)
+					if m == nil {
+						return
 					}
-					return g, wd, false
-				})
+					m.Checker().SetCorruptor(func(g addr.GroupID, wd bool) (addr.GroupID, bool, bool) {
+						if g != addr.GlobalGroup && rng.Intn(4) == 0 {
+							return g + 1000, wd, true
+						}
+						return g, wd, false
+					})
+				}
 			},
 			Fired: machineFired("pgc.corrupted"),
 		},
@@ -215,19 +230,37 @@ func Default() []Scenario {
 			Description: "ASID-tagged TLB installs upgraded rights bits",
 			Corrupts:    true,
 			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
-				m := k.ConvMachine()
-				if m == nil {
-					return
-				}
-				m.TLB().SetCorruptor(func(_ tlb.ASIDKey, e tlb.ASIDEntry, _ bool) (tlb.ASIDEntry, bool) {
-					if bad := e.Rights | addr.RW; bad != e.Rights && rng.Intn(8) == 0 {
-						e.Rights = bad
-						return e, true
+				for i := 0; i < k.NumCPUs(); i++ {
+					m := k.ConvMachineAt(i)
+					if m == nil {
+						return
 					}
-					return e, false
-				})
+					m.TLB().SetCorruptor(func(_ tlb.ASIDKey, e tlb.ASIDEntry, _ bool) (tlb.ASIDEntry, bool) {
+						if bad := e.Rights | addr.RW; bad != e.Rights && rng.Intn(8) == 0 {
+							e.Rights = bad
+							return e, true
+						}
+						return e, false
+					})
+				}
 			},
 			Fired: machineFired("tlb.corrupted"),
+		},
+		{
+			Name:        "ipi-drop",
+			Description: "shootdown IPIs dropped intermittently, leaving stale remote entries",
+			Corrupts:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				// Only multiprocessor kernels (E14's) send IPIs; on a
+				// uniprocessor the hook is armed but can never fire.
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(4) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+			Fired: kernelFired("smp.ipi_dropped"),
 		},
 		{
 			Name:        "net-lossy",

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// SMPModels lists the four organizations E14 compares, in table order.
+var SMPModels = []kernel.Model{
+	kernel.ModelDomainPage,
+	kernel.ModelPageGroup,
+	kernel.ModelConventional,
+	kernel.ModelFlush,
+}
+
+// SMPCPUCounts is the CPU sweep of E14.
+var SMPCPUCounts = []int{1, 2, 4, 8}
+
+// E14Shootdown measures cross-CPU invalidation traffic on a
+// multiprocessor (Section 4.1.1's "inspect each entry" cost multiplied
+// across CPUs, and Section 4.1.4's per-CPU private structures): a
+// sharing-heavy workload of rights narrowings, page-outs of shared
+// pages, and attach/detach churn runs on 1-8 CPUs under each
+// organization, and the shootdown subsystem's counters report how many
+// IPIs, remote requests, and remote maintenance cycles each protection
+// change costs.
+//
+// The paper's prediction: the PLB's remote work per change is one
+// request per CPU that may cache the changed authority (entries are
+// keyed by domain and page), while the conventional organizations must
+// repeat their per-address-space maintenance on every CPU — per-page
+// entry hunts on detach and full TLB-capacity scans on unmap — so their
+// cross-CPU invalidation cycles grow strictly faster once a second CPU
+// exists.
+func E14Shootdown(p *Probe) ([]*stats.Table, error) {
+	t := stats.NewTable("E14 Multiprocessor shootdown traffic (8 domains, 16 shared pages, 6 rounds)",
+		"model", "cpus", "ipis", "requests", "coalesced", "remote inval", "cross-cpu cycles", "total cycles")
+
+	type res struct {
+		cross, requests uint64
+	}
+	results := map[kernel.Model]map[int]res{}
+
+	for _, m := range SMPModels {
+		results[m] = map[int]res{}
+		for _, ncpu := range SMPCPUCounts {
+			k, ops, err := ShootdownWorkload(m, ncpu)
+			if err != nil {
+				return nil, err
+			}
+			kc := k.Counters()
+			cross := kc.Get("smp.ipi_cycles") + kc.Get("smp.remote_cycles")
+			requests := kc.Get("smp.requests")
+			results[m][ncpu] = res{cross: cross, requests: requests}
+
+			if ncpu == 1 && kc.Get("smp.ipis") != 0 {
+				return nil, fmt.Errorf("core: E14: %v uniprocessor sent %d IPIs", m, kc.Get("smp.ipis"))
+			}
+			// The PLB's remote traffic is bounded: at most one request
+			// per protection change per remote CPU (one entry or one
+			// range covers the change; no per-page or per-space
+			// repetition).
+			if m == kernel.ModelDomainPage {
+				bound := ops * uint64(ncpu-1)
+				if requests > bound {
+					return nil, fmt.Errorf("core: E14: plb shootdown requests %d exceed ops x remote CPUs bound %d", requests, bound)
+				}
+			}
+			p.ObserveKernel(k)
+			t.AddRow(m.String(), ncpu,
+				kc.Get("smp.ipis"), requests, kc.Get("smp.coalesced"),
+				kc.Get("smp.remote_invalidations"), cross, k.TotalCycles())
+		}
+	}
+
+	// The headline claim: at every multiprocessor size the conventional
+	// organizations pay strictly more cross-CPU invalidation cycles than
+	// the PLB for the same protection changes.
+	for _, ncpu := range SMPCPUCounts[1:] {
+		plb := results[kernel.ModelDomainPage][ncpu].cross
+		for _, m := range []kernel.Model{kernel.ModelConventional, kernel.ModelFlush} {
+			if c := results[m][ncpu].cross; c <= plb {
+				return nil, fmt.Errorf("core: E14: %v cross-CPU cycles %d not greater than plb's %d at %d CPUs",
+					m, c, plb, ncpu)
+			}
+		}
+	}
+
+	t.AddNote("cross-cpu cycles = IPI delivery + remote maintenance charged by the shootdown subsystem")
+	t.AddNote("plb remote work is one request per change per holding CPU; conventional/flush repeat per-space")
+	t.AddNote("scans on every CPU (detach entry hunts, full TLB scans on unmap), so their curves grow faster")
+	return []*stats.Table{t}, nil
+}
+
+// ShootdownWorkload drives the E14 scenario on a fresh ncpu-CPU system
+// of model m and returns the kernel plus the number of
+// shootdown-producing protection operations performed (for the PLB
+// traffic bound). Exported so cmd/sasosim can run the same sharing
+// workload standalone (-workload shootdown -cpus N).
+func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error) {
+	cfg := kernel.DefaultConfig(m)
+	cfg.CPUs = ncpu
+	k := kernel.New(cfg)
+
+	const (
+		ndom   = 8
+		pages  = 16
+		rounds = 6
+	)
+	doms := make([]*kernel.Domain, ndom)
+	for i := range doms {
+		doms[i] = k.CreateDomain()
+	}
+	seg := k.CreateSegment(pages, kernel.SegmentOptions{Name: "shared"})
+	for _, d := range doms {
+		k.Attach(d, seg, addr.RW)
+	}
+	// cpuOf pins domain i to CPU i%ncpu for the whole run.
+	cpuOf := func(i int) int { return i % ncpu }
+
+	// Warm every CPU's structures: each domain touches the whole segment
+	// from its own CPU.
+	for i, d := range doms {
+		k.SetCPU(cpuOf(i))
+		for pg := uint64(0); pg < pages; pg++ {
+			if err := k.Store(d, seg.PageVA(pg), uint64(i)<<8|pg); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	var ops uint64 // shootdown-producing protection operations
+	for r := 0; r < rounds; r++ {
+		page := uint64(r) % pages
+		owner := r % ndom
+
+		// A rights narrowing and restoration on one shared page
+		// (Table 1 "Restrict Access"), with every other domain touching
+		// the page in between from its own CPU.
+		k.SetCPU(cpuOf(owner))
+		if err := k.SetPageRights(doms[owner], seg.PageVA(page), addr.Read); err != nil {
+			return nil, 0, err
+		}
+		ops++
+		for i, d := range doms {
+			k.SetCPU(cpuOf(i))
+			if _, err := k.Load(d, seg.PageVA(page)); err != nil {
+				return nil, 0, err
+			}
+		}
+		k.SetCPU(cpuOf(owner))
+		if err := k.ClearPageRights(doms[owner], seg.PageVA(page)); err != nil {
+			return nil, 0, err
+		}
+		ops++
+
+		// A page-out of a (different) shared page: the translation dies
+		// on every CPU that may hold it, and the re-touches page it
+		// back in.
+		victim := (page + 5) % pages
+		if err := k.PageOut(seg.PageVPN(victim)); err != nil {
+			return nil, 0, err
+		}
+		ops++
+		for i, d := range doms {
+			k.SetCPU(cpuOf(i))
+			if _, err := k.Load(d, seg.PageVA(victim)); err != nil {
+				return nil, 0, err
+			}
+		}
+
+		// A deferred page-out burst: the pager thrashes one page out,
+		// back in, and out again before interrupting anyone — the
+		// lazy-shootdown window in which the two identical unmap
+		// requests coalesce to one delivery per remote CPU.
+		thrash := (page + 11) % pages
+		k.SetCPU(cpuOf(owner))
+		k.DeferShootdowns()
+		if err := k.PageOut(seg.PageVPN(thrash)); err != nil {
+			return nil, 0, err
+		}
+		ops++
+		if _, err := k.Load(doms[owner], seg.PageVA(thrash)); err != nil {
+			return nil, 0, err
+		}
+		if err := k.PageOut(seg.PageVPN(thrash)); err != nil {
+			return nil, 0, err
+		}
+		ops++
+		k.FlushShootdowns()
+		for i, d := range doms {
+			k.SetCPU(cpuOf(i))
+			if _, err := k.Load(d, seg.PageVA(thrash)); err != nil {
+				return nil, 0, err
+			}
+		}
+
+		// Every second round one domain detaches and re-attaches the
+		// shared segment (Table 1 rows 1-2) and rebuilds part of its
+		// working set.
+		if r%2 == 1 {
+			i := (r + 3) % ndom
+			k.SetCPU(cpuOf(i))
+			if err := k.Detach(doms[i], seg); err != nil {
+				return nil, 0, err
+			}
+			ops++
+			k.Attach(doms[i], seg, addr.RW)
+			for pg := uint64(0); pg < 4; pg++ {
+				if _, err := k.Load(doms[i], seg.PageVA(pg)); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return k, ops, nil
+}

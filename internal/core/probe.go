@@ -41,14 +41,17 @@ func (p *Probe) ObserveCounters(snap map[string]uint64) {
 }
 
 // ObserveKernel records a finished kernel's total simulated cycles
-// (machine + kernel) and both counter sets. Call it once per kernel,
-// after the experiment's last operation on it.
+// (machine + kernel) and both counter sets — on a multiprocessor, every
+// CPU's machine counters are merged. Call it once per kernel, after the
+// experiment's last operation on it.
 func (p *Probe) ObserveKernel(k *kernel.Kernel) {
 	if p == nil || k == nil {
 		return
 	}
 	p.cycles += k.TotalCycles()
-	p.counters.Merge(k.Machine().Counters())
+	for i := 0; i < k.NumCPUs(); i++ {
+		p.counters.Merge(k.MachineAt(i).Counters())
+	}
 	p.counters.Merge(k.Counters())
 }
 

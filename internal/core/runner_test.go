@@ -77,6 +77,35 @@ func TestExperimentsConcurrentSameID(t *testing.T) {
 	}
 }
 
+// TestE14ConcurrentDeterministic pins the shootdown experiment — the
+// one that builds multiprocessor kernels — to the same guarantee: runs
+// racing on separate goroutines must render byte-identical tables, and
+// under -race any sharing between the per-CPU machine instances of
+// concurrent kernels fails loudly.
+func TestE14ConcurrentDeterministic(t *testing.T) {
+	e, err := ByID("E14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	outs := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w] = runOne(e).Section()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if outs[w] != outs[0] {
+			t.Errorf("concurrent E14 run %d rendered different output:\n--- run 0\n%s\n--- run %d\n%s",
+				w, outs[0], w, outs[w])
+		}
+	}
+}
+
 // TestRunExperimentsCollectsAllErrors: a failing experiment must not
 // stop the sweep; every failure is reported, in experiment order.
 func TestRunExperimentsCollectsAllErrors(t *testing.T) {

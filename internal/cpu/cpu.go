@@ -67,6 +67,13 @@ type CostModel struct {
 	// NetRoundTrip is the cost of a remote page fetch or invalidation
 	// round trip in the distributed VM workload.
 	NetRoundTrip uint64
+
+	// IPI is the cost of one inter-processor interrupt: interconnect
+	// delivery plus the remote trap entry/exit of the shootdown handler.
+	// Charged once per target CPU per flushed batch (requests to the
+	// same CPU coalesce into one interrupt), on top of the per-entry
+	// maintenance work the remote CPU performs.
+	IPI uint64
 }
 
 // DefaultCosts returns the baseline cost model used throughout
@@ -91,6 +98,7 @@ func DefaultCosts() CostModel {
 		DiskRead:       200000,
 		DiskWrite:      200000,
 		NetRoundTrip:   40000,
+		IPI:            150,
 	}
 }
 

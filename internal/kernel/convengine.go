@@ -1,6 +1,9 @@
 package kernel
 
-import "repro/internal/addr"
+import (
+	"repro/internal/addr"
+	"repro/internal/smp"
+)
 
 // convEngine drives the conventional (multiple address space) machine
 // running this single address space kernel — the Section 3.1 scenario.
@@ -26,6 +29,7 @@ func (e *convEngine) onAttach(d *Domain, s *Segment, r addr.Rights) {
 func (e *convEngine) onDetach(d *Domain, s *Segment) {
 	for i := uint64(0); i < s.NumPages(); i++ {
 		e.k.convm.InvalidateEntry(addr.ASID(d.ID), s.PageVPN(i))
+		e.k.shootDomain(d, smp.Request{Kind: smp.InvalRights, VPN: s.PageVPN(i)})
 	}
 	e.k.ctrs.Add("conv.pte_slots_freed", s.NumPages())
 }
@@ -33,6 +37,7 @@ func (e *convEngine) onDetach(d *Domain, s *Segment) {
 // setPageRights updates the one resident (ASID, page) entry.
 func (e *convEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
 	e.k.convm.SetRights(addr.ASID(d.ID), vpn, r)
+	e.k.shootDomain(d, smp.Request{Kind: smp.UpdateRights, VPN: vpn, Rights: r})
 	return nil
 }
 
@@ -41,16 +46,22 @@ func (e *convEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error
 func (e *convEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
 	for i := uint64(0); i < s.NumPages(); i++ {
 		e.k.convm.SetRights(addr.ASID(d.ID), s.PageVPN(i), r)
+		e.k.shootDomain(d, smp.Request{Kind: smp.UpdateRights, VPN: s.PageVPN(i), Rights: r})
 	}
 	e.k.ctrs.Add("conv.per_page_rights_ops", s.NumPages())
 	return nil
 }
 
-// onUnmap must purge every space's duplicate of the page.
-func (e *convEngine) onUnmap(vpn addr.VPN) { e.k.convm.UnmapPage(vpn) }
+// onUnmap must purge every space's duplicate of the page — on every CPU
+// that may hold one.
+func (e *convEngine) onUnmap(vpn addr.VPN) {
+	e.k.convm.UnmapPage(vpn)
+	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+}
 
 func (e *convEngine) onDestroySegment(s *Segment) {
 	for i := uint64(0); i < s.NumPages(); i++ {
 		e.k.convm.InvalidatePage(s.PageVPN(i))
+		e.k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: s.PageVPN(i)})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/addr"
+	"repro/internal/smp"
 )
 
 // engine is the per-model protection policy: it translates the kernel's
@@ -40,7 +41,9 @@ func (k *Kernel) SetPageRights(d *Domain, va addr.VA, r addr.Rights) error {
 	}
 	d.overrides.Set(vpn, r)
 	k.ctrs.Inc("kernel.set_page_rights")
-	return k.engine.setPageRights(d, vpn, r)
+	err := k.engine.setPageRights(d, vpn, r)
+	k.flushIPIs()
+	return err
 }
 
 // ClearPageRights removes domain d's per-page override, reverting the page
@@ -56,7 +59,9 @@ func (k *Kernel) ClearPageRights(d *Domain, va addr.VA) error {
 	}
 	r := d.attached[s.ID]
 	k.ctrs.Inc("kernel.clear_page_rights")
-	return k.engine.setPageRights(d, vpn, r)
+	err := k.engine.setPageRights(d, vpn, r)
+	k.flushIPIs()
+	return err
 }
 
 // SetSegmentRights changes domain d's rights over every page of segment s
@@ -70,7 +75,9 @@ func (k *Kernel) SetSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
 	s.attached[d.ID] = r
 	d.overrides.ClearRange(k.geo.PageNumber(s.Range.Start), s.NumPages())
 	k.ctrs.Inc("kernel.set_segment_rights")
-	return k.engine.setSegmentRights(d, s, r)
+	err := k.engine.setSegmentRights(d, s, r)
+	k.flushIPIs()
+	return err
 }
 
 // --- Domain-page engine (PLB machine) ---
@@ -93,9 +100,11 @@ func (e *dpEngine) onAttach(*Domain, *Segment, addr.Rights) {}
 func (e *dpEngine) onDetach(d *Domain, s *Segment) {
 	if e.k.cfg.PLBDetach == DetachPurgeAll {
 		e.k.plbm.PurgeAllPLB()
+		e.k.shootDomain(d, smp.Request{Kind: smp.PurgeAllProt})
 		return
 	}
 	e.k.plbm.DetachRange(d.ID, s.Range.Start, s.Range.Length)
+	e.k.shootDomain(d, smp.Request{Kind: smp.RangeDetach, Range: s.Range})
 }
 
 // setPageRights updates the resident PLB entry for (d, page), if any —
@@ -108,9 +117,14 @@ func (e *dpEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
 	if s := e.k.segmentOf(vpn); s != nil && s.protShift != 0 {
 		e.k.plbm.InvalidateRights(d.ID, va)
 		e.k.plbm.InstallRights(d.ID, va, e.k.geo.Shift(), r)
+		// The eager install makes this CPU a holder of d's entries;
+		// remote CPUs just invalidate and re-fault at the new rights.
+		e.k.markInstalled(d)
+		e.k.shootDomain(d, smp.Request{Kind: smp.InvalRights, VPN: vpn})
 		return nil
 	}
 	e.k.plbm.UpdateRights(d.ID, va, r)
+	e.k.shootDomain(d, smp.Request{Kind: smp.UpdateRights, VPN: vpn, Rights: r})
 	return nil
 }
 
@@ -118,10 +132,14 @@ func (e *dpEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
 // segment with a full PLB scan.
 func (e *dpEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
 	e.k.plbm.UpdateRange(d.ID, s.Range.Start, s.Range.Length, r)
+	e.k.shootDomain(d, smp.Request{Kind: smp.RangeRights, Range: s.Range, Rights: r})
 	return nil
 }
 
-func (e *dpEngine) onUnmap(vpn addr.VPN) { e.k.plbm.UnmapPage(vpn) }
+func (e *dpEngine) onUnmap(vpn addr.VPN) {
+	e.k.plbm.UnmapPage(vpn)
+	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+}
 
 // onDestroySegment purges any lingering PLB entries for the segment's
 // range (stale entries of long-detached domains cannot exist — detach
@@ -130,6 +148,7 @@ func (e *dpEngine) onDestroySegment(s *Segment) {
 	inspected := e.k.plbm.PLB().Len()
 	e.k.plbm.PLB().PurgeRangeAll(s.Range.Start, s.Range.Length)
 	_ = inspected
+	e.k.shootActive(smp.Request{Kind: smp.RangePurge, Range: s.Range})
 }
 
 // --- Page-group engine (PA-RISC machine) ---
@@ -180,6 +199,7 @@ func (e *pgEngine) grant(d *Domain, g addr.GroupID, wd bool) {
 	d.groups[g] = wd
 	e.k.ctrs.Inc("pg.grants")
 	e.k.pgm.AttachGroup(d.ID, g, wd)
+	e.k.shootExecuting(d, smp.Request{Kind: smp.GroupLoad, Group: g, WD: wd})
 }
 
 // revoke removes g from d's group set.
@@ -190,6 +210,7 @@ func (e *pgEngine) revoke(d *Domain, g addr.GroupID) {
 	delete(d.groups, g)
 	e.k.ctrs.Inc("pg.revokes")
 	e.k.pgm.DetachGroup(d.ID, g)
+	e.k.shootExecuting(d, smp.Request{Kind: smp.GroupRevoke, Group: g})
 }
 
 // recomputePrimary re-derives the segment's primary group state from its
@@ -234,6 +255,7 @@ func (e *pgEngine) recomputePrimary(s *Segment) {
 		if p.seg == s && p.group == s.group && p.groupRights != field {
 			p.groupRights = field
 			e.k.pgm.UpdatePage(vpn, p.group, field)
+			e.k.shootActive(smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: p.group, Rights: field})
 		}
 	}
 }
@@ -430,6 +452,7 @@ func (e *pgEngine) movePage(vpn addr.VPN, p *page, g addr.GroupID, rights addr.R
 	p.group = g
 	p.groupRights = rights
 	e.k.pgm.UpdatePage(vpn, g, rights)
+	e.k.shootActive(smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: g, Rights: rights})
 }
 
 func (e *pgEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
@@ -449,7 +472,10 @@ func (e *pgEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error 
 	return nil
 }
 
-func (e *pgEngine) onUnmap(vpn addr.VPN) { e.k.pgm.UnmapPage(vpn) }
+func (e *pgEngine) onUnmap(vpn addr.VPN) {
+	e.k.pgm.UnmapPage(vpn)
+	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+}
 
 // onDestroySegment drops the segment's derived-group bookkeeping; the
 // groups themselves are dead (no members, no pages).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/smp"
 )
 
 // Execution-keyed protection: the extension of the domain-page model
@@ -52,7 +53,9 @@ func (k *Kernel) GrantExecutor(target, code *Segment, r addr.Rights) error {
 	// domain-independent.)
 	for i := uint64(0); i < target.NumPages(); i++ {
 		k.plbm.PurgePage(target.PageVA(i))
+		k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: k.geo.PageNumber(target.PageVA(i))})
 	}
+	k.flushIPIs()
 	return nil
 }
 
@@ -76,7 +79,9 @@ func (k *Kernel) RevokeExecutor(target, code *Segment) error {
 		k.ctrs.Inc("kernel.exec_revokes")
 		for i := uint64(0); i < target.NumPages(); i++ {
 			k.plbm.PurgePage(target.PageVA(i))
+			k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: k.geo.PageNumber(target.PageVA(i))})
 		}
+		k.flushIPIs()
 	}
 	return nil
 }
@@ -103,8 +108,10 @@ func (k *Kernel) SetExecutionSite(d *Domain, va addr.VA) error {
 		if g.code == oldSeg || g.code == newSeg {
 			k.ctrs.Inc("kernel.exec_site_purges")
 			k.plbm.DetachRange(d.ID, g.target.Range.Start, g.target.Range.Length)
+			k.shootDomain(d, smp.Request{Kind: smp.RangeDetach, Range: g.target.Range})
 		}
 	}
+	k.flushIPIs()
 	return nil
 }
 

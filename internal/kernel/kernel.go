@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/ptable"
+	"repro/internal/smp"
 	"repro/internal/stats"
 )
 
@@ -40,6 +41,12 @@ const (
 	// shared pages, per-space protection updates, and whole-TLB scans on
 	// mapping changes.
 	ModelConventional
+	// ModelFlush runs the kernel on a conventional machine without
+	// address space identifiers (the i860 regime of Section 2.2): the
+	// TLB and virtual cache are flushed on every domain switch. It
+	// shares the conventional protection engine; only the machine's
+	// switch behaviour differs.
+	ModelFlush
 )
 
 // String returns the model name used in experiment tables.
@@ -51,6 +58,8 @@ func (m Model) String() string {
 		return "page-group"
 	case ModelConventional:
 		return "conventional"
+	case ModelFlush:
+		return "flush"
 	default:
 		return fmt.Sprintf("Model(%d)", uint8(m))
 	}
@@ -103,8 +112,16 @@ type Config struct {
 	PLB machine.PLBConfig
 	// PG configures the page-group machine (ModelPageGroup).
 	PG machine.PGConfig
-	// Conv configures the conventional machine (ModelConventional).
+	// Conv configures the conventional machine (ModelConventional and
+	// ModelFlush).
 	Conv machine.ConvConfig
+	// CPUs is the number of simulated processors. Each CPU owns private
+	// protection and translation structures (PLB, TLBs, page-group
+	// checker, cache) over the shared kernel state; protection changes
+	// reach remote CPUs through the shootdown subsystem (internal/smp).
+	// Zero or one means a uniprocessor with no shootdown traffic; the
+	// maximum is 64 (CPU residency is tracked in one word).
+	CPUs int
 	// VABase is the first virtual address handed out to segments.
 	VABase addr.VA
 	// MaxFaultRetries bounds the access-fault-retry loop; a reference
@@ -209,6 +226,11 @@ type Domain struct {
 	// execSite is the domain's current execution address, for
 	// execution-keyed protection (see exec.go).
 	execSite addr.VA
+	// cpus is the monotonic residency mask: bit i set means the domain
+	// has run (or had rights installed) on CPU i, so CPU i may cache the
+	// domain's protection entries. Shootdowns for domain-keyed state
+	// target exactly these CPUs.
+	cpus uint64
 }
 
 // Attached reports whether the domain is attached to segment s and with
@@ -328,8 +350,10 @@ type page struct {
 	onDisk bool
 }
 
-// Kernel is a single address space operating system instance bound to one
-// machine. Construct with New.
+// Kernel is a single address space operating system instance bound to
+// one machine per CPU. Construct with New. The mach/plbm/pgm/convm
+// fields always point at the current CPU's machine (see SetCPU); the
+// slices hold every CPU's instance.
 type Kernel struct {
 	kernel
 	mach       machine.Machine
@@ -339,6 +363,24 @@ type Kernel struct {
 	engine     engine
 	pager      Pager
 	execGrants []execGrant
+
+	// Per-CPU machine instances (index = CPU number). machs is always
+	// populated; the model-specific slices are populated for the active
+	// model only (convms also under ModelFlush, holding each flush
+	// machine's inner conventional machine).
+	machs  []machine.Machine
+	plbms  []*machine.PLBMachine
+	pgms   []*machine.PGMachine
+	convms []*machine.ConventionalMachine
+
+	// cur is the current CPU; activeCPUs is the monotonic mask of CPUs
+	// that ever ran a domain (targets for domain-agnostic broadcasts).
+	cur        int
+	activeCPUs uint64
+	// shoot is the shootdown subsystem; nil on a uniprocessor.
+	shoot *smp.Shootdown
+	// deferShoot suspends per-operation IPI flushing (lazy shootdown).
+	deferShoot bool
 }
 
 // New creates a kernel and its machine for the configured model.
@@ -349,12 +391,18 @@ func New(cfg Config) *Kernel {
 	if cfg.MaxFaultRetries <= 0 {
 		cfg.MaxFaultRetries = 8
 	}
+	if cfg.CPUs < 1 {
+		cfg.CPUs = 1
+	}
+	if cfg.CPUs > 64 {
+		cfg.CPUs = 64
+	}
 	k := &Kernel{}
 	var geo addr.Geometry
 	switch cfg.Model {
 	case ModelPageGroup:
 		geo = cfg.PG.Geometry
-	case ModelConventional:
+	case ModelConventional, ModelFlush:
 		geo = cfg.Conv.Geometry
 	default:
 		geo = cfg.PLB.Geometry
@@ -395,19 +443,37 @@ func New(cfg Config) *Kernel {
 	k.hInjPageinFails = k.ctrs.Handle("kernel.injected_pagein_failures")
 	k.hInjPageoutFails = k.ctrs.Handle("kernel.injected_pageout_failures")
 	k.hHWRecoveries = k.ctrs.Handle("kernel.hw_recoveries")
+	for i := 0; i < cfg.CPUs; i++ {
+		switch cfg.Model {
+		case ModelPageGroup:
+			m := machine.NewPG(cfg.PG, k)
+			k.pgms = append(k.pgms, m)
+			k.machs = append(k.machs, m)
+		case ModelConventional:
+			m := machine.NewConventional(cfg.Conv, k)
+			k.convms = append(k.convms, m)
+			k.machs = append(k.machs, m)
+		case ModelFlush:
+			m := machine.NewFlush(cfg.Conv, k)
+			k.convms = append(k.convms, m.Inner())
+			k.machs = append(k.machs, m)
+		default:
+			m := machine.NewPLB(cfg.PLB, k)
+			k.plbms = append(k.plbms, m)
+			k.machs = append(k.machs, m)
+		}
+	}
 	switch cfg.Model {
 	case ModelPageGroup:
-		k.pgm = machine.NewPG(cfg.PG, k)
-		k.mach = k.pgm
 		k.engine = &pgEngine{k: k}
-	case ModelConventional:
-		k.convm = machine.NewConventional(cfg.Conv, k)
-		k.mach = k.convm
+	case ModelConventional, ModelFlush:
 		k.engine = &convEngine{k: k}
 	default:
-		k.plbm = machine.NewPLB(cfg.PLB, k)
-		k.mach = k.plbm
 		k.engine = &dpEngine{k: k}
+	}
+	k.SetCPU(0)
+	if cfg.CPUs > 1 {
+		k.shoot = smp.New(cfg.CPUs, k, k.costs, &k.ctrs, &k.cycles)
 	}
 	if newHook != nil {
 		newHook(k)
@@ -432,7 +498,7 @@ func cfgCost(cfg Config) cpu.CostModel {
 	switch cfg.Model {
 	case ModelPageGroup:
 		return cfg.PG.Costs
-	case ModelConventional:
+	case ModelConventional, ModelFlush:
 		return cfg.Conv.Costs
 	default:
 		return cfg.PLB.Costs
@@ -460,18 +526,73 @@ func (k *Kernel) TranslationProbeStats() (lookups, probes uint64, ok bool) {
 // Model returns the kernel's protection model.
 func (k *Kernel) Model() Model { return k.cfg.Model }
 
-// Machine returns the underlying machine.
+// NumCPUs returns the number of simulated processors.
+func (k *Kernel) NumCPUs() int { return len(k.machs) }
+
+// CPU returns the current CPU index.
+func (k *Kernel) CPU() int { return k.cur }
+
+// SetCPU moves the kernel's execution to CPU i: subsequent switches,
+// accesses and protection operations run against that CPU's private
+// machine. Kernel tables are shared; only the hardware view changes.
+func (k *Kernel) SetCPU(i int) {
+	k.cur = i
+	k.mach = k.machs[i]
+	if k.plbms != nil {
+		k.plbm = k.plbms[i]
+	}
+	if k.pgms != nil {
+		k.pgm = k.pgms[i]
+	}
+	if k.convms != nil {
+		k.convm = k.convms[i]
+	}
+}
+
+// Machine returns the current CPU's machine.
 func (k *Kernel) Machine() machine.Machine { return k.mach }
 
-// PLBMachine returns the PLB machine, or nil under the page-group model.
+// MachineAt returns CPU i's machine.
+func (k *Kernel) MachineAt(i int) machine.Machine { return k.machs[i] }
+
+// PLBMachine returns the current CPU's PLB machine, or nil under other
+// models.
 func (k *Kernel) PLBMachine() *machine.PLBMachine { return k.plbm }
 
-// PGMachine returns the page-group machine, or nil under domain-page.
+// PLBMachineAt returns CPU i's PLB machine, or nil under other models.
+func (k *Kernel) PLBMachineAt(i int) *machine.PLBMachine {
+	if k.plbms == nil {
+		return nil
+	}
+	return k.plbms[i]
+}
+
+// PGMachine returns the current CPU's page-group machine, or nil under
+// other models.
 func (k *Kernel) PGMachine() *machine.PGMachine { return k.pgm }
 
-// ConvMachine returns the conventional machine, or nil under the single
-// address space models.
+// PGMachineAt returns CPU i's page-group machine, or nil under other
+// models.
+func (k *Kernel) PGMachineAt(i int) *machine.PGMachine {
+	if k.pgms == nil {
+		return nil
+	}
+	return k.pgms[i]
+}
+
+// ConvMachine returns the current CPU's conventional machine (also the
+// inner machine under ModelFlush), or nil under the single address
+// space models.
 func (k *Kernel) ConvMachine() *machine.ConventionalMachine { return k.convm }
+
+// ConvMachineAt returns CPU i's conventional machine, or nil under the
+// single address space models.
+func (k *Kernel) ConvMachineAt(i int) *machine.ConventionalMachine {
+	if k.convms == nil {
+		return nil
+	}
+	return k.convms[i]
+}
 
 // Geometry returns the translation page geometry.
 func (k *Kernel) Geometry() addr.Geometry { return k.geo }
@@ -490,8 +611,14 @@ func (k *Kernel) Counters() *stats.Counters { return &k.ctrs }
 // machine cycles are separate.
 func (k *Kernel) Cycles() uint64 { return k.cycles.Total() }
 
-// TotalCycles returns machine plus kernel cycles.
-func (k *Kernel) TotalCycles() uint64 { return k.cycles.Total() + k.mach.Cycles() }
+// TotalCycles returns kernel cycles plus every CPU's machine cycles.
+func (k *Kernel) TotalCycles() uint64 {
+	total := k.cycles.Total()
+	for _, m := range k.machs {
+		total += m.Cycles()
+	}
+	return total
+}
 
 // costs returns the active cost model.
 func (k *Kernel) costs() cpu.CostModel { return k.mach.Costs() }
@@ -610,23 +737,31 @@ func (k *Kernel) ExecutorRights(d *Domain, vpn addr.VPN) (addr.Rights, bool) {
 }
 
 // RecoverHardware flash-clears every cached protection and translation
-// structure of the machine — the kernel's recovery action when cached
+// structure on every CPU — the kernel's recovery action when cached
 // hardware state is suspected of diverging from authority (e.g. after a
 // detected corruption): all entries fault back in from the authoritative
-// tables. Returns the number of entries dropped.
+// tables. In-flight shootdown requests are discarded too (the state they
+// would have invalidated is gone). Returns the number of entries
+// dropped.
 func (k *Kernel) RecoverHardware() int {
 	n := 0
-	switch {
-	case k.plbm != nil:
-		n += k.plbm.PLB().Len()
-		k.plbm.PurgeAllPLB()
-		n += k.plbm.TLB().PurgeAll()
-	case k.pgm != nil:
-		n += k.pgm.TLB().PurgeAll()
-		n += k.pgm.Checker().PurgeAll()
-	case k.convm != nil:
-		n += k.convm.TLB().PurgeAll()
+	for i := range k.machs {
+		switch {
+		case k.plbms != nil:
+			n += k.plbms[i].PLB().Len()
+			k.plbms[i].PurgeAllPLB()
+			n += k.plbms[i].TLB().PurgeAll()
+		case k.pgms != nil:
+			n += k.pgms[i].TLB().PurgeAll()
+			n += k.pgms[i].Checker().PurgeAll()
+		case k.convms != nil:
+			n += k.convms[i].TLB().PurgeAll()
+		}
 	}
+	if k.shoot != nil {
+		k.shoot.Reset()
+	}
+	k.deferShoot = false
 	k.hHWRecoveries.Inc()
 	k.cycles.Add(k.costs().Trap)
 	return n
@@ -674,6 +809,7 @@ func (k *Kernel) Attach(d *Domain, s *Segment, r addr.Rights) {
 	s.attached[d.ID] = r
 	k.ctrs.Inc("kernel.attach")
 	k.engine.onAttach(d, s, r)
+	k.flushIPIs()
 }
 
 // Detach revokes domain d's attachment to s and clears any per-page
@@ -688,11 +824,14 @@ func (k *Kernel) Detach(d *Domain, s *Segment) error {
 	d.overrides.ClearRange(startVPN, s.NumPages())
 	k.ctrs.Inc("kernel.detach")
 	k.engine.onDetach(d, s)
+	k.flushIPIs()
 	return nil
 }
 
-// Switch schedules domain d on the machine.
+// Switch schedules domain d on the current CPU's machine.
 func (k *Kernel) Switch(d *Domain) {
+	d.cpus |= 1 << uint(k.cur)
+	k.activeCPUs |= 1 << uint(k.cur)
 	if k.mach.Domain() == d.ID {
 		return
 	}

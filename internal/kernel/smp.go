@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"repro/internal/addr"
+	"repro/internal/smp"
+)
+
+// Shootdown integration: the kernel is the smp.Handler — it maps
+// delivered requests onto the target CPU's machine — and the protection
+// engines are the producers. Targeting is as precise as the hardware
+// organization allows:
+//
+//   - Domain-keyed state (PLB entries, ASID-tagged TLB entries) lives
+//     only on CPUs the domain ran on (or had rights installed on), so
+//     requests go to the domain's residency mask.
+//   - Checker state (PID registers / group cache) is purged on every
+//     domain switch, so group loads/revocations only matter on CPUs
+//     currently executing the domain.
+//   - Translation and page-group TLB state is domain-agnostic, so
+//     unmaps and regroups broadcast to every CPU that ever ran anything.
+//
+// Every kernel-level protection operation enqueues its remote work and
+// then flushes once, so all requests raised by one operation share one
+// IPI per target CPU (batching), with identical requests coalesced.
+
+// shootDomain enqueues r for every remote CPU that may cache domain d's
+// protection entries.
+func (k *Kernel) shootDomain(d *Domain, r smp.Request) {
+	if k.shoot == nil {
+		return
+	}
+	r.Domain = d.ID
+	for i := range k.machs {
+		if i != k.cur && d.cpus&(1<<uint(i)) != 0 {
+			k.shoot.Enqueue(i, r)
+		}
+	}
+}
+
+// shootExecuting enqueues r for every remote CPU currently executing
+// domain d (checker state is rebuilt on switch, so only executing CPUs
+// hold it).
+func (k *Kernel) shootExecuting(d *Domain, r smp.Request) {
+	if k.shoot == nil {
+		return
+	}
+	r.Domain = d.ID
+	for i := range k.machs {
+		if i != k.cur && k.machs[i].Domain() == d.ID {
+			k.shoot.Enqueue(i, r)
+		}
+	}
+}
+
+// shootActive enqueues r for every remote CPU that ever ran a domain
+// (domain-agnostic translation/regroup state).
+func (k *Kernel) shootActive(r smp.Request) {
+	if k.shoot == nil {
+		return
+	}
+	for i := range k.machs {
+		if i != k.cur && k.activeCPUs&(1<<uint(i)) != 0 {
+			k.shoot.Enqueue(i, r)
+		}
+	}
+}
+
+// markInstalled records that domain d's rights were installed on the
+// current CPU outside a switch (eager installs), so future shootdowns
+// reach this CPU too.
+func (k *Kernel) markInstalled(d *Domain) { d.cpus |= 1 << uint(k.cur) }
+
+// flushIPIs delivers all pending shootdown batches: one IPI per target
+// CPU. Called at the end of every kernel operation that enqueued
+// remote maintenance; a no-op while shootdowns are deferred.
+func (k *Kernel) flushIPIs() {
+	if k.shoot != nil && !k.deferShoot {
+		k.shoot.Flush()
+	}
+}
+
+// DeferShootdowns suspends the per-operation IPI flush: subsequent
+// protection operations accumulate their remote invalidations in the
+// per-CPU queues, where identical same-page requests coalesce — the
+// lazy-shootdown optimization of Black et al. The caller owns the
+// consistency window: remote CPUs may act on stale entries until
+// FlushShootdowns runs, so defer only across operations whose pages no
+// remote CPU touches in between (e.g. a page-out burst by one pager).
+func (k *Kernel) DeferShootdowns() { k.deferShoot = true }
+
+// FlushShootdowns ends a DeferShootdowns window and delivers everything
+// queued, one IPI per target CPU.
+func (k *Kernel) FlushShootdowns() {
+	k.deferShoot = false
+	if k.shoot != nil {
+		k.shoot.Flush()
+	}
+}
+
+// SetIPIFault installs (or with nil removes) a chaos hook that drops or
+// delays individual IPI-delivered requests. No-op on a uniprocessor.
+func (k *Kernel) SetIPIFault(fn smp.FaultHook) {
+	if k.shoot != nil {
+		k.shoot.SetFault(fn)
+	}
+}
+
+// PendingShootdowns returns the number of requests queued (including
+// chaos-delayed ones) for CPU i; zero on a uniprocessor.
+func (k *Kernel) PendingShootdowns(i int) int {
+	if k.shoot == nil {
+		return 0
+	}
+	return k.shoot.Pending(i)
+}
+
+// ApplyShootdown implements smp.Handler: perform r on CPU cpu's
+// machine and report how many resident entries were touched.
+func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
+	switch {
+	case k.pgms != nil:
+		m := k.pgms[cpu]
+		switch r.Kind {
+		case smp.Unmap:
+			return m.UnmapPage(r.VPN)
+		case smp.GroupLoad:
+			return m.AttachGroup(r.Domain, r.Group, r.WD)
+		case smp.GroupRevoke:
+			return m.DetachGroup(r.Domain, r.Group)
+		case smp.GroupUpdate:
+			return m.UpdatePage(r.VPN, r.Group, r.Rights)
+		}
+	case k.convms != nil:
+		m := k.convms[cpu]
+		as := addr.ASID(r.Domain)
+		switch r.Kind {
+		case smp.InvalRights:
+			return m.InvalidateEntry(as, r.VPN)
+		case smp.UpdateRights:
+			return m.SetRights(as, r.VPN, r.Rights)
+		case smp.PurgePage:
+			return m.InvalidatePage(r.VPN)
+		case smp.Unmap:
+			return m.UnmapPage(r.VPN)
+		}
+	case k.plbms != nil:
+		m := k.plbms[cpu]
+		switch r.Kind {
+		case smp.InvalRights:
+			return m.InvalidateRights(r.Domain, k.geo.Base(r.VPN))
+		case smp.UpdateRights:
+			return m.UpdateRights(r.Domain, k.geo.Base(r.VPN), r.Rights)
+		case smp.RangeRights:
+			return m.UpdateRange(r.Domain, r.Range.Start, r.Range.Length, r.Rights)
+		case smp.RangeDetach:
+			return m.DetachRange(r.Domain, r.Range.Start, r.Range.Length)
+		case smp.RangePurge:
+			return m.PLB().PurgeRangeAll(r.Range.Start, r.Range.Length)
+		case smp.PurgeAllProt:
+			return m.PurgeAllPLB()
+		case smp.PurgePage:
+			return m.PurgePage(k.geo.Base(r.VPN))
+		case smp.Unmap:
+			return m.UnmapPage(r.VPN)
+		}
+	}
+	return 0
+}
+
+// CPUCycles implements smp.Handler.
+func (k *Kernel) CPUCycles(cpu int) uint64 { return k.machs[cpu].Cycles() }

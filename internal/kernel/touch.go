@@ -329,6 +329,7 @@ func (k *Kernel) PageOut(vpn addr.VPN) error {
 		return fmt.Errorf("kernel: page-out of %#x: %w", uint64(vpn), err)
 	}
 	k.engine.onUnmap(vpn)
+	k.flushIPIs()
 	if _, err := k.trans.Unmap(vpn); err != nil {
 		return err
 	}
@@ -383,6 +384,7 @@ func (k *Kernel) Unmap(vpn addr.VPN) error {
 		return fmt.Errorf("kernel: unmap of unmapped page %#x", uint64(vpn))
 	}
 	k.engine.onUnmap(vpn)
+	k.flushIPIs()
 	if _, err := k.trans.Unmap(vpn); err != nil {
 		return err
 	}

@@ -110,6 +110,7 @@ func (k *Kernel) DestroySegment(s *Segment) error {
 		}
 	}
 	k.engine.onDestroySegment(s)
+	k.flushIPIs()
 	k.freeVAInsert(s.Range)
 	k.ctrs.Inc("kernel.segments_destroyed")
 	return nil

@@ -209,35 +209,40 @@ func (m *ConventionalMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outco
 // InvalidatePage purges every address space's TLB entry for vpn — what a
 // mapping change to a shared page costs on this architecture (the scan of
 // Section 3.1).
-func (m *ConventionalMachine) InvalidatePage(vpn addr.VPN) {
-	m.tlb.PurgePage(vpn)
+func (m *ConventionalMachine) InvalidatePage(vpn addr.VPN) int {
+	n := m.tlb.PurgePage(vpn)
 	// An entry-by-entry hardware scan inspects every TLB slot, valid or
 	// not, so the charge covers the full capacity.
 	m.cycles.Add(uint64(m.tlb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
 }
 
 // SetRights updates the resident TLB entry for (as, vpn); absent entries
 // refill from the page tables on next touch.
-func (m *ConventionalMachine) SetRights(as addr.ASID, vpn addr.VPN, r addr.Rights) {
+func (m *ConventionalMachine) SetRights(as addr.ASID, vpn addr.VPN, r addr.Rights) int {
 	if e, ok := m.tlb.Lookup(as, vpn); ok {
 		e.Rights = r
 		m.tlb.Insert(as, vpn, e)
 		m.cycles.Add(m.cfg.Costs.Install)
+		return 1
 	}
+	return 0
 }
 
 // InvalidateEntry drops one space's TLB entry for vpn (detach and
 // per-space protection revocation).
-func (m *ConventionalMachine) InvalidateEntry(as addr.ASID, vpn addr.VPN) {
+func (m *ConventionalMachine) InvalidateEntry(as addr.ASID, vpn addr.VPN) int {
 	if m.tlb.Invalidate(as, vpn) {
 		m.cycles.Add(m.cfg.Costs.PurgeEntry)
+		return 1
 	}
+	return 0
 }
 
 // UnmapPage destroys the translation for vpn: every address space's TLB
 // entry must be found and purged (the duplicated-purge cost of Section
 // 3.1), and the page's cache lines flushed.
-func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) {
+func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) int {
 	c := &m.cfg.Costs
 	// The flush needs the physical frame before the mapping disappears.
 	var pfn addr.PFN
@@ -247,7 +252,7 @@ func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) {
 			pfn, havePFN = pte.PFN, true
 		}
 	}
-	m.tlb.PurgePage(vpn)
+	n := m.tlb.PurgePage(vpn)
 	m.cycles.Add(uint64(m.tlb.Capacity()) * c.PurgeEntry)
 	var dirty int
 	if m.vipt != nil {
@@ -259,6 +264,7 @@ func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) {
 	}
 	m.cycles.Add((m.cfg.Geometry.PageSize() >> m.cfg.Cache.LineShift) * c.CacheLineFlush)
 	m.cycles.Add(uint64(dirty) * c.Writeback)
+	return n
 }
 
 // Geometry returns the machine's translation page geometry.
@@ -299,6 +305,12 @@ func (m *FlushMachine) Costs() cpu.CostModel { return m.inner.cfg.Costs }
 
 // Cache exposes the data cache for inspection.
 func (m *FlushMachine) Cache() *cache.VirtualCache { return m.inner.cache }
+
+// Inner exposes the wrapped conventional machine, through which the
+// kernel's conventional engine performs TLB maintenance and the oracle
+// inspects resident state. The flush machine shares the conventional
+// machine's structures; only its switch behaviour differs.
+func (m *FlushMachine) Inner() *ConventionalMachine { return m.inner }
 
 // TLB exposes the TLB for inspection.
 func (m *FlushMachine) TLB() *tlb.ASIDTLB { return m.inner.tlb }

@@ -232,46 +232,55 @@ func (m *PGMachine) Access(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 // UpdatePage rewrites the resident TLB entry for vpn — changing its
 // rights field or moving it to another page-group. One entry serves all
 // domains, which is what makes all-domain changes cheap (Section 4.1.2).
-func (m *PGMachine) UpdatePage(vpn addr.VPN, aid addr.GroupID, rights addr.Rights) {
+func (m *PGMachine) UpdatePage(vpn addr.VPN, aid addr.GroupID, rights addr.Rights) int {
 	pfn, ok := m.os.Translate(vpn)
 	if !ok {
 		// No translation: nothing can be resident.
-		return
+		return 0
 	}
 	if m.tlb.Update(vpn, tlb.PGEntry{PFN: pfn, AID: aid, Rights: rights}) {
 		m.cycles.Add(m.cfg.Costs.Install)
+		return 1
 	}
+	return 0
 }
 
 // AttachGroup loads group g into the checker if d is the executing domain
 // (a newly attached segment's group becomes visible immediately;
 // otherwise it loads on the domain's next run).
-func (m *PGMachine) AttachGroup(d addr.DomainID, g addr.GroupID, writeDisabled bool) {
+func (m *PGMachine) AttachGroup(d addr.DomainID, g addr.GroupID, writeDisabled bool) int {
 	if d == m.domain {
 		m.checker.Load(g, writeDisabled)
 		m.cycles.Add(m.cfg.Costs.Install)
+		return 1
 	}
+	return 0
 }
 
 // DetachGroup removes group g from the checker if d is the executing
 // domain (segment detach: one group purge, no scan — the page-group
 // model's cheap detach of Section 4.1.1).
-func (m *PGMachine) DetachGroup(d addr.DomainID, g addr.GroupID) {
+func (m *PGMachine) DetachGroup(d addr.DomainID, g addr.GroupID) int {
 	if d == m.domain && m.checker.Remove(g) {
 		m.cycles.Add(m.cfg.Costs.PurgeEntry)
+		return 1
 	}
+	return 0
 }
 
 // UnmapPage destroys the translation for vpn: the TLB entry is
 // invalidated and the page's cache lines flushed (Section 4.1.3).
-func (m *PGMachine) UnmapPage(vpn addr.VPN) {
+func (m *PGMachine) UnmapPage(vpn addr.VPN) int {
 	c := &m.cfg.Costs
+	n := 0
 	if m.tlb.Invalidate(vpn) {
 		m.cycles.Add(c.PurgeEntry)
+		n = 1
 	}
 	_, dirty := m.cache.FlushPage(m.cfg.Geometry.Base(vpn), m.cfg.Geometry)
 	m.cycles.Add(uint64(m.cache.LinesPerPage(m.cfg.Geometry)) * c.CacheLineFlush)
 	m.cycles.Add(uint64(dirty) * c.Writeback)
+	return n
 }
 
 var _ Machine = (*PGMachine)(nil)

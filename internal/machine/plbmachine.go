@@ -192,15 +192,19 @@ func (m *PLBMachine) translate(vpn addr.VPN) (addr.PFN, bool) {
 }
 
 // Maintenance operations used by the kernel's domain-page protection
-// engine. Each charges its architectural cost.
+// engine. Each charges its architectural cost and returns the number of
+// resident entries it touched, so the shootdown subsystem can attribute
+// remote invalidation traffic precisely.
 
 // UpdateRights rewrites the resident PLB entry for (d, va) if present —
 // the cheap single-entry update of Section 4.1.2. When the entry is not
 // resident nothing is done; the new rights will fault in lazily.
-func (m *PLBMachine) UpdateRights(d addr.DomainID, va addr.VA, r addr.Rights) {
+func (m *PLBMachine) UpdateRights(d addr.DomainID, va addr.VA, r addr.Rights) int {
 	if m.plb.Update(d, va, r) {
 		m.cycles.Add(m.cfg.Costs.Install)
+		return 1
 	}
+	return 0
 }
 
 // InstallRights eagerly inserts a PLB entry (used when the kernel chooses
@@ -211,11 +215,14 @@ func (m *PLBMachine) InstallRights(d addr.DomainID, va addr.VA, shift uint, r ad
 	m.cycles.Add(m.cfg.Costs.Install)
 }
 
-// InvalidateRights drops the PLB entry for (d, va) if resident.
-func (m *PLBMachine) InvalidateRights(d addr.DomainID, va addr.VA) {
+// InvalidateRights drops the PLB entry for (d, va) if resident (at
+// every configured size class).
+func (m *PLBMachine) InvalidateRights(d addr.DomainID, va addr.VA) int {
 	if m.plb.Invalidate(d, va) {
 		m.cycles.Add(m.cfg.Costs.PurgeEntry)
+		return 1
 	}
+	return 0
 }
 
 // UpdateRange rewrites all of d's resident PLB entries overlapping the
@@ -223,48 +230,55 @@ func (m *PLBMachine) InvalidateRights(d addr.DomainID, va addr.VA) {
 // Table 1 (GC flip, checkpoint restrict). The whole PLB is scanned: an
 // entry-by-entry hardware scan inspects every slot, valid or not
 // (§4.1.1 "inspect each entry"), so the charge covers the full capacity.
-func (m *PLBMachine) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.Rights) {
-	m.plb.UpdateRange(d, start, length, r)
+func (m *PLBMachine) UpdateRange(d addr.DomainID, start addr.VA, length uint64, r addr.Rights) int {
+	n := m.plb.UpdateRange(d, start, length, r)
 	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
 }
 
 // PurgeAllPLB flash-clears the whole PLB in one operation — the cheap
 // but indiscriminate detach alternative of Section 4.1.1 ("Purge the PLB
 // or inspect each entry..."): every domain's rights must fault back in.
-func (m *PLBMachine) PurgeAllPLB() {
-	m.plb.PurgeAll()
+func (m *PLBMachine) PurgeAllPLB() int {
+	n := m.plb.PurgeAll()
 	m.cycles.Add(m.cfg.Costs.RegisterWrite)
+	return n
 }
 
 // DetachRange purges all of d's PLB entries overlapping the range: the
 // segment-detach scan of Section 4.1.1. Every PLB slot is inspected, so
 // the scan costs capacity x per-entry purge regardless of occupancy.
-func (m *PLBMachine) DetachRange(d addr.DomainID, start addr.VA, length uint64) {
-	m.plb.PurgeRange(d, start, length)
+func (m *PLBMachine) DetachRange(d addr.DomainID, start addr.VA, length uint64) int {
+	n := m.plb.PurgeRange(d, start, length)
 	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
 }
 
 // PurgePage removes every domain's PLB entries for the page holding va
 // (used when rights change for all domains at once). Like the other scan
 // operations this inspects every slot of the PLB.
-func (m *PLBMachine) PurgePage(va addr.VA) {
-	m.plb.PurgePage(va)
+func (m *PLBMachine) PurgePage(va addr.VA) int {
+	n := m.plb.PurgePage(va)
 	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
 }
 
 // UnmapPage destroys the translation for vpn: the TLB entry is
 // invalidated and the page's lines are flushed from the data cache
 // (Section 4.1.3). The PLB needs no maintenance — stale entries age out,
 // and any touch faults on the missing translation.
-func (m *PLBMachine) UnmapPage(vpn addr.VPN) {
+func (m *PLBMachine) UnmapPage(vpn addr.VPN) int {
 	c := &m.cfg.Costs
+	n := 0
 	if m.tlb.Invalidate(vpn) {
 		m.cycles.Add(c.PurgeEntry)
+		n = 1
 	}
 	flushed, dirty := m.cache.FlushPage(m.cfg.Geometry.Base(vpn), m.cfg.Geometry)
 	m.cycles.Add(uint64(m.cache.LinesPerPage(m.cfg.Geometry)) * c.CacheLineFlush)
 	m.cycles.Add(uint64(dirty) * c.Writeback)
 	_ = flushed
+	return n
 }
 
 // Geometry returns the machine's translation page geometry.

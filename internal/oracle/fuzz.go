@@ -54,6 +54,12 @@ func AuthorityFuzz(t TB, seed int64, mk func() *kernel.Kernel, opts FuzzOptions)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	k := mk()
+	// On a multiprocessor kernel the fuzz stream interleaves CPU
+	// migrations, so shootdown delivery to every CPU's private
+	// structures is exercised; Violations then audits each CPU's
+	// resident entries. The guard consumes no RNG draws on a
+	// uniprocessor, so existing single-CPU streams are unchanged.
+	ncpu := k.NumCPUs()
 
 	const (
 		nDomains  = 4
@@ -93,6 +99,9 @@ func AuthorityFuzz(t TB, seed int64, mk func() *kernel.Kernel, opts FuzzOptions)
 	}
 
 	for i := 0; i < opts.Ops; i++ {
+		if ncpu > 1 && rng.Intn(4) == 0 {
+			k.SetCPU(rng.Intn(ncpu))
+		}
 		d := rng.Intn(nDomains)
 		s := rng.Intn(nSegments)
 		p := rng.Intn(segPages)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/kernel"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/plb"
 	"repro/internal/tlb"
@@ -42,7 +43,10 @@ const maxSampledPages = 64
 type Violation struct {
 	// Where names the structure that disagreed: "resolve", "plb",
 	// "trans-tlb", "pg-tlb", "checker", "asid-tlb", or "verdict".
-	Where  string
+	Where string
+	// CPU is the CPU whose private structure disagreed (0 for kernel-level
+	// checks and on uniprocessors).
+	CPU    int
 	Domain addr.DomainID
 	VPN    addr.VPN
 	Detail string
@@ -50,6 +54,9 @@ type Violation struct {
 
 // String formats the violation for reports.
 func (v Violation) String() string {
+	if v.CPU != 0 {
+		return fmt.Sprintf("%s: cpu %d domain %d page %#x: %s", v.Where, v.CPU, v.Domain, uint64(v.VPN), v.Detail)
+	}
 	return fmt.Sprintf("%s: domain %d page %#x: %s", v.Where, v.Domain, uint64(v.VPN), v.Detail)
 }
 
@@ -94,14 +101,24 @@ func Rights(k *kernel.Kernel, d *kernel.Domain, vpn addr.VPN) (addr.Rights, bool
 func Violations(k *kernel.Kernel) []Violation {
 	var out []Violation
 	out = append(out, resolveViolations(k)...)
-	switch {
-	case k.PLBMachine() != nil:
-		out = append(out, plbViolations(k)...)
-		out = append(out, transTLBViolations(k)...)
-	case k.PGMachine() != nil:
-		out = append(out, pgViolations(k)...)
-	case k.ConvMachine() != nil:
-		out = append(out, convViolations(k)...)
+	// Every CPU's private structures are held to the same authority: a
+	// shootdown that failed to reach a remote CPU shows up here as that
+	// CPU's stale entry.
+	for i := 0; i < k.NumCPUs(); i++ {
+		var vs []Violation
+		switch {
+		case k.PLBMachineAt(i) != nil:
+			vs = append(vs, plbViolations(k, k.PLBMachineAt(i))...)
+			vs = append(vs, transTLBViolations(k, k.PLBMachineAt(i))...)
+		case k.PGMachineAt(i) != nil:
+			vs = append(vs, pgViolations(k, k.PGMachineAt(i))...)
+		case k.ConvMachineAt(i) != nil:
+			vs = append(vs, convViolations(k, k.ConvMachineAt(i))...)
+		}
+		for j := range vs {
+			vs[j].CPU = i
+		}
+		out = append(out, vs...)
 	}
 	return out
 }
@@ -185,9 +202,8 @@ func resolveViolations(k *kernel.Kernel) []Violation {
 // translation page size are experiment-managed fine-grained rights
 // (DSM, transactional locking) with no single kernel record to compare
 // against, so only their containment in a covering authority is checked.
-func plbViolations(k *kernel.Kernel) []Violation {
+func plbViolations(k *kernel.Kernel, m *machine.PLBMachine) []Violation {
 	var out []Violation
-	m := k.PLBMachine()
 	geoShift := k.Geometry().Shift()
 	// First pass: index base-shift entries so super-page checks can
 	// honor shadowing.
@@ -251,9 +267,9 @@ func plbViolations(k *kernel.Kernel) []Violation {
 
 // transTLBViolations checks the PLB machine's translation-only TLB
 // against the kernel's translation table.
-func transTLBViolations(k *kernel.Kernel) []Violation {
+func transTLBViolations(k *kernel.Kernel, m *machine.PLBMachine) []Violation {
 	var out []Violation
-	k.PLBMachine().TLB().ForEach(func(vpn addr.VPN, e tlb.TransEntry) bool {
+	m.TLB().ForEach(func(vpn addr.VPN, e tlb.TransEntry) bool {
 		pfn, ok := k.Translate(vpn)
 		if !ok || pfn != e.PFN {
 			out = append(out, Violation{
@@ -270,9 +286,8 @@ func transTLBViolations(k *kernel.Kernel) []Violation {
 // pgViolations checks the page-group TLB against the kernel's page
 // records and the resident checker groups against the executing
 // domain's group set.
-func pgViolations(k *kernel.Kernel) []Violation {
+func pgViolations(k *kernel.Kernel, m *machine.PGMachine) []Violation {
 	var out []Violation
-	m := k.PGMachine()
 	m.TLB().ForEach(func(vpn addr.VPN, e tlb.PGEntry) bool {
 		aid, rights, ok := k.PageInfo(vpn)
 		if !ok || e.AID != aid || e.Rights != rights {
@@ -312,9 +327,9 @@ func pgViolations(k *kernel.Kernel) []Violation {
 // convViolations checks the conventional machine's ASID-tagged combined
 // TLB: each entry's rights against the tagged domain's authority and
 // its translation against the kernel's table.
-func convViolations(k *kernel.Kernel) []Violation {
+func convViolations(k *kernel.Kernel, m *machine.ConventionalMachine) []Violation {
 	var out []Violation
-	k.ConvMachine().TLB().ForEach(func(key tlb.ASIDKey, e tlb.ASIDEntry) bool {
+	m.TLB().ForEach(func(key tlb.ASIDKey, e tlb.ASIDEntry) bool {
 		d := addr.DomainID(key.AS)
 		want, cacheable, ok := k.ResolveRights(d, key.VPN)
 		if !ok || !cacheable || want != e.Rights {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/kernel"
 	"repro/internal/plb"
+	"repro/internal/smp"
 	"repro/internal/tlb"
 )
 
@@ -132,6 +133,114 @@ func TestRightsMatchesResolveRights(t *testing.T) {
 				}, FuzzOptions{Ops: 150, CheckEvery: 25})
 			}
 		})
+	}
+}
+
+// TestAuthorityFuzzMultiCPU runs the fuzz campaign on 4-CPU kernels of
+// every organization: the stream migrates between CPUs, shootdowns keep
+// each CPU's private structures in sync, and Violations audits every
+// CPU's resident entries.
+func TestAuthorityFuzzMultiCPU(t *testing.T) {
+	models := []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup,
+		kernel.ModelConventional, kernel.ModelFlush}
+	for _, model := range models {
+		t.Run(model.String(), func(t *testing.T) {
+			for seed := int64(200); seed < 204; seed++ {
+				AuthorityFuzz(t, seed, func() *kernel.Kernel {
+					cfg := kernel.DefaultConfig(model)
+					cfg.CPUs = 4
+					return kernel.New(cfg)
+				}, FuzzOptions{Ops: 150, CheckEvery: 25})
+			}
+		})
+	}
+}
+
+// TestOracleDetectsRemoteCPUCorruption corrupts a structure on a CPU
+// that is NOT current and confirms the oracle's per-CPU sweep still
+// finds it (and names the CPU), and that RecoverHardware — which walks
+// every CPU — clears it.
+func TestOracleDetectsRemoteCPUCorruption(t *testing.T) {
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	cfg.CPUs = 2
+	k := kernel.New(cfg)
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, kernel.SegmentOptions{Name: "ro"})
+	k.Attach(d, s, addr.Read)
+
+	// Prime CPU 1 with a corrupt RW entry, then return to CPU 0.
+	k.SetCPU(1)
+	m := k.PLBMachineAt(1)
+	m.PLB().SetCorruptor(func(_ plb.Key, _ addr.Rights, _ bool) (addr.Rights, bool) {
+		return addr.RW, true
+	})
+	if err := k.Touch(d, s.PageVA(1), addr.Load); err != nil {
+		t.Fatalf("priming load: %v", err)
+	}
+	m.PLB().SetCorruptor(nil)
+	k.SetCPU(0)
+
+	vs := Violations(k)
+	found := false
+	for _, v := range vs {
+		if v.Where == "plb" && v.CPU == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("oracle missed remote CPU 1 corruption (got %d violations)", len(vs))
+	}
+	if k.RecoverHardware() == 0 {
+		t.Fatal("recovery dropped no entries")
+	}
+	if err := Verify(k); err != nil {
+		t.Fatalf("oracle still dirty after recovery: %v", err)
+	}
+}
+
+// TestOracleDetectsDroppedShootdown arms an IPI fault that drops every
+// delivery, revokes rights while the victim domain's entries are
+// resident on another CPU, and confirms the stale remote grant surfaces
+// as a violation on that CPU.
+func TestOracleDetectsDroppedShootdown(t *testing.T) {
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	cfg.CPUs = 2
+	k := kernel.New(cfg)
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, kernel.SegmentOptions{Name: "shared"})
+	k.Attach(d, s, addr.RW)
+
+	// Make d's rights resident on CPU 1, then operate from CPU 0 with
+	// shootdown delivery broken.
+	k.SetCPU(1)
+	if err := k.Touch(d, s.PageVA(1), addr.Store); err != nil {
+		t.Fatalf("priming store: %v", err)
+	}
+	k.SetCPU(0)
+	k.SetIPIFault(func(int, smp.Request) smp.Fault { return smp.FaultDrop })
+	if err := k.SetPageRights(d, s.PageVA(1), addr.Read); err != nil {
+		t.Fatalf("SetPageRights: %v", err)
+	}
+	k.SetIPIFault(nil)
+	if k.Counters().Get("smp.ipi_dropped") == 0 {
+		t.Fatal("fault hook never fired")
+	}
+
+	vs := Violations(k)
+	found := false
+	for _, v := range vs {
+		if v.Where == "plb" && v.CPU == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("oracle missed stale RW grant on CPU 1 after dropped shootdown (got %d violations)", len(vs))
+	}
+	if k.RecoverHardware() == 0 {
+		t.Fatal("recovery dropped no entries")
+	}
+	if err := Verify(k); err != nil {
+		t.Fatalf("oracle still dirty after recovery: %v", err)
 	}
 }
 

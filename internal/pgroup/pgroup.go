@@ -64,7 +64,7 @@ type PIDRegisters struct {
 	next int // round-robin pointer
 
 	nHit, nMiss, nLoad stats.Handle
-	nPurged            stats.Handle
+	nPurged, nRemoved  stats.Handle
 	nCorrupted         stats.Handle
 
 	corrupt Corruptor
@@ -87,6 +87,7 @@ func NewPIDRegisters(n int, ctrs *stats.Counters, prefix string) *PIDRegisters {
 	p.nMiss = ctrs.Handle(prefix + ".miss")
 	p.nLoad = ctrs.Handle(prefix + ".load")
 	p.nPurged = ctrs.Handle(prefix + ".purged")
+	p.nRemoved = ctrs.Handle(prefix + ".removed")
 	p.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return p
 }
@@ -139,11 +140,13 @@ func (p *PIDRegisters) Load(g addr.GroupID, writeDisabled bool) {
 	p.nLoad.Inc()
 }
 
-// Remove implements Checker.
+// Remove implements Checker. Removals are the group-revocation traffic
+// of Section 4.1.1 and are counted under prefix+".removed".
 func (p *PIDRegisters) Remove(g addr.GroupID) bool {
 	for i, r := range p.regs {
 		if r.valid && r.group == g {
 			p.regs[i].valid = false
+			p.nRemoved.Inc()
 			return true
 		}
 	}
@@ -193,7 +196,7 @@ type GroupCache struct {
 	c *assoc.Cache[addr.GroupID, bool] // value: write-disable bit
 
 	nHit, nMiss, nLoad stats.Handle
-	nPurged            stats.Handle
+	nPurged, nRemoved  stats.Handle
 	nCorrupted         stats.Handle
 
 	corrupt Corruptor
@@ -208,6 +211,7 @@ func NewGroupCache(cfg assoc.Config, ctrs *stats.Counters, prefix string) *Group
 	g.nMiss = ctrs.Handle(prefix + ".miss")
 	g.nLoad = ctrs.Handle(prefix + ".load")
 	g.nPurged = ctrs.Handle(prefix + ".purged")
+	g.nRemoved = ctrs.Handle(prefix + ".removed")
 	g.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return g
 }
@@ -242,8 +246,15 @@ func (g *GroupCache) Load(gid addr.GroupID, writeDisabled bool) {
 	g.nLoad.Inc()
 }
 
-// Remove implements Checker.
-func (g *GroupCache) Remove(gid addr.GroupID) bool { return g.c.Invalidate(gid) }
+// Remove implements Checker. Removals are the group-revocation traffic
+// of Section 4.1.1 and are counted under prefix+".removed".
+func (g *GroupCache) Remove(gid addr.GroupID) bool {
+	ok := g.c.Invalidate(gid)
+	if ok {
+		g.nRemoved.Inc()
+	}
+	return ok
+}
 
 // PurgeAll implements Checker.
 func (g *GroupCache) PurgeAll() int {

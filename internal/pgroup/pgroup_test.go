@@ -152,6 +152,34 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+// TestRemoveCounted pins the revocation-accounting contract for both
+// checker implementations: a successful Remove increments ".removed", a
+// failed one does not. GroupCache.Remove used to bypass accounting,
+// hiding E3/E14 group-revocation traffic.
+func TestRemoveCounted(t *testing.T) {
+	for _, tc := range []struct {
+		name, prefix string
+	}{
+		{"pid-registers", "pid"},
+		{"group-cache", "pgc"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrs := &stats.Counters{}
+			c := checkers(ctrs)[tc.name]
+			c.Load(7, false)
+			c.Load(8, true)
+			if !c.Remove(7) {
+				t.Fatal("Remove of loaded group failed")
+			}
+			c.Remove(7) // absent: must not count
+			c.Remove(9) // never loaded: must not count
+			if got := ctrs.Get(tc.prefix + ".removed"); got != 1 {
+				t.Fatalf("%s.removed = %d, want 1", tc.prefix, got)
+			}
+		})
+	}
+}
+
 func TestNewPIDRegistersPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

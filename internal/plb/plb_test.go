@@ -168,6 +168,36 @@ func TestSubPageEntriesShadowSuperPage(t *testing.T) {
 	}
 }
 
+// TestInvalidateRemovesAllSizeClasses is the §4.1.2 shootdown-safety
+// regression test: Invalidate for a (domain, va) must remove the entry
+// at every configured size class, including a super-page entry installed
+// under ProtShift, even when the caller names a base-page address inside
+// it. A survivor would be exactly the stale-authority entry the shadow
+// oracle flags after a remote rights revocation.
+func TestInvalidateRemovesAllSizeClasses(t *testing.T) {
+	p, _ := newTestPLB(t, 8, addr.BasePageShift, 16)
+	p.Insert(1, 0x10000, 16, addr.RW)                 // super-page covering [0x10000, 0x20000)
+	p.Insert(1, 0x11000, addr.BasePageShift, addr.RW) // base page inside it
+	if !p.Invalidate(1, 0x11000) {
+		t.Fatal("Invalidate found nothing")
+	}
+	if r, ok := p.Lookup(1, 0x11000); ok {
+		t.Fatalf("stale rights %v survive at the invalidated address", r)
+	}
+	if r, ok := p.Lookup(1, 0x10000); ok {
+		t.Fatalf("stale super-page rights %v survive invalidation of a covered base page", r)
+	}
+	// A super-page entry alone is also removed when the caller names any
+	// base-page address it covers, not just its own base address.
+	p.Insert(1, 0x30000, 16, addr.Read)
+	if !p.Invalidate(1, 0x3f000) {
+		t.Fatal("Invalidate via covered base address found nothing")
+	}
+	if _, ok := p.Lookup(1, 0x31000); ok {
+		t.Fatal("super-page at 0x30000 survived invalidation via a covered address")
+	}
+}
+
 func TestPurgeRangeRemovesOverlappingSuperPages(t *testing.T) {
 	p, _ := newTestPLB(t, 8, addr.BasePageShift, 16)
 	p.Insert(1, 0x10000, 16, addr.Read) // covers [0x10000, 0x20000)

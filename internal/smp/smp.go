@@ -1,0 +1,307 @@
+// Package smp is the multiprocessor shootdown subsystem: the mechanism
+// a single-address-space kernel uses to keep per-CPU protection and
+// translation structures (PLB, TLBs, page-group registers/cache)
+// consistent when kernel state changes on one CPU.
+//
+// The paper's single-CPU cost argument (§4.1.1, §4.1.4) extends
+// directly to a multiprocessor: a protection change must now reach
+// every CPU that may cache stale authority, and the amount of remote
+// state to invalidate is exactly what distinguishes the machine
+// organizations. On the PLB machine a change touches only the affected
+// (PD, page) entries on CPUs the domain ran on; a conventional
+// ASID-tagged machine must hunt down per-space duplicates with
+// full-TLB scans on every CPU holding them.
+//
+// The subsystem models the classic TLB-shootdown protocol
+// (Black et al., "Translation Lookaside Buffer Consistency", 1989)
+// with two cost-relevant refinements:
+//
+//   - Targeting: requests go only to CPUs named by the kernel (domain
+//     residency masks for domain-keyed state, active-CPU broadcast for
+//     domain-agnostic translation state), never blindly to all CPUs.
+//   - Batching and coalescing: all requests raised by one kernel
+//     operation are queued and flushed together; identical requests to
+//     the same CPU coalesce, and each target CPU is interrupted once
+//     per flush (one IPI covers the whole batch).
+//
+// Cycle charging goes through cpu.CostModel: CostModel.IPI per
+// interrupt on the initiator's kernel account, plus whatever per-entry
+// maintenance cycles the remote CPU's structures charge themselves
+// (read back through the Handler so the cross-CPU burden is visible
+// separately from local work).
+package smp
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// Kind names a remote maintenance operation. Each kind corresponds to
+// one hardware-maintenance primitive of a machine organization; the
+// Handler (the kernel) maps it onto the target CPU's structures.
+type Kind uint8
+
+const (
+	// InvalRights drops the (Domain, VPN) protection entry: PLB entry
+	// invalidate at every size class, or (ASID, page) TLB invalidate.
+	InvalRights Kind = iota
+	// UpdateRights rewrites the (Domain, VPN) protection entry in place
+	// to Rights, if resident.
+	UpdateRights
+	// RangeRights rewrites every resident entry of Domain within Range
+	// to Rights (PLB scan).
+	RangeRights
+	// RangeDetach purges every resident entry of Domain within Range
+	// (PLB detach scan, §4.1.1).
+	RangeDetach
+	// RangePurge purges every domain's entries within Range (segment
+	// destruction).
+	RangePurge
+	// PurgeAllProt flash-clears the CPU's protection structure (the
+	// DetachPurgeAll policy).
+	PurgeAllProt
+	// PurgePage purges every domain's protection entries for VPN.
+	PurgePage
+	// Unmap drops the translation and flushes cache lines for VPN
+	// (page-out); domain-agnostic, delivered to all active CPUs.
+	Unmap
+	// GroupLoad loads group Group (write-disable WD) into the CPU's
+	// checker, if Domain is executing there.
+	GroupLoad
+	// GroupRevoke removes group Group from the CPU's checker, if Domain
+	// is executing there.
+	GroupRevoke
+	// GroupUpdate rewrites the page-group TLB entry for VPN with the
+	// page's new group/rights (regrouping traffic).
+	GroupUpdate
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case InvalRights:
+		return "inval-rights"
+	case UpdateRights:
+		return "update-rights"
+	case RangeRights:
+		return "range-rights"
+	case RangeDetach:
+		return "range-detach"
+	case RangePurge:
+		return "range-purge"
+	case PurgeAllProt:
+		return "purge-all-prot"
+	case PurgePage:
+		return "purge-page"
+	case Unmap:
+		return "unmap"
+	case GroupLoad:
+		return "group-load"
+	case GroupRevoke:
+		return "group-revoke"
+	case GroupUpdate:
+		return "group-update"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Request is one remote maintenance operation. The struct is comparable
+// and doubles as the coalescing key: two identical requests queued for
+// the same CPU within one batch are delivered once.
+type Request struct {
+	Kind   Kind
+	Domain addr.DomainID
+	VPN    addr.VPN
+	Range  addr.Range
+	Group  addr.GroupID
+	Rights addr.Rights
+	WD     bool
+}
+
+// Fault is a chaos-injection verdict for one IPI-delivered request.
+type Fault uint8
+
+const (
+	// FaultNone delivers the request normally.
+	FaultNone Fault = iota
+	// FaultDrop loses the request: the remote CPU keeps stale state.
+	// This is the bug class the shadow oracle must catch.
+	FaultDrop
+	// FaultDelay defers the request to the next flush: a late IPI. The
+	// remote CPU is stale in the window between the two flushes.
+	FaultDelay
+)
+
+// FaultHook decides, per (target CPU, request), whether delivery is
+// faulted. Nil means no injection.
+type FaultHook func(target int, r Request) Fault
+
+// Handler applies delivered requests; the kernel implements it over the
+// target CPU's private machine.
+type Handler interface {
+	// ApplyShootdown performs r on CPU cpu's structures and returns how
+	// many resident entries it invalidated, rewrote or loaded.
+	ApplyShootdown(cpu int, r Request) int
+	// CPUCycles returns CPU cpu's accumulated machine cycles, so the
+	// flush can attribute remote maintenance work to the shootdown.
+	CPUCycles(cpu int) uint64
+}
+
+// Shootdown queues targeted invalidations and delivers them in batches
+// via simulated IPIs. It is not safe for concurrent use; the simulator
+// is single-threaded per kernel.
+type Shootdown struct {
+	ncpu    int
+	handler Handler
+	costs   func() cpu.CostModel
+	cycles  *stats.Cycles // initiator-side kernel cycles (IPI cost)
+
+	// queue[t] holds CPU t's pending batch in enqueue order; pend[t]
+	// mirrors it as a set for coalescing.
+	queue   [][]Request
+	pend    []map[Request]struct{}
+	delayed [][]Request
+
+	fault FaultHook
+
+	nRequests  stats.Handle
+	nCoalesced stats.Handle
+	nIPIs      stats.Handle
+	nDelivered stats.Handle
+	nRemoteInv stats.Handle
+	nDropped   stats.Handle
+	nDelayed   stats.Handle
+	ipiCycles  stats.Handle
+	remCycles  stats.Handle
+}
+
+// New creates a shootdown subsystem for ncpu CPUs. costs is read at
+// flush time so cost-model sweeps see current values; counters register
+// under "smp." in ctrs; cycles receives the initiator-side IPI cost.
+func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, cycles *stats.Cycles) *Shootdown {
+	if ncpu < 1 {
+		panic("smp: need at least one CPU")
+	}
+	s := &Shootdown{
+		ncpu:    ncpu,
+		handler: h,
+		costs:   costs,
+		cycles:  cycles,
+		queue:   make([][]Request, ncpu),
+		pend:    make([]map[Request]struct{}, ncpu),
+		delayed: make([][]Request, ncpu),
+	}
+	s.nRequests = ctrs.Handle("smp.requests")
+	s.nCoalesced = ctrs.Handle("smp.coalesced")
+	s.nIPIs = ctrs.Handle("smp.ipis")
+	s.nDelivered = ctrs.Handle("smp.delivered")
+	s.nRemoteInv = ctrs.Handle("smp.remote_invalidations")
+	s.nDropped = ctrs.Handle("smp.ipi_dropped")
+	s.nDelayed = ctrs.Handle("smp.ipi_delayed")
+	s.ipiCycles = ctrs.Handle("smp.ipi_cycles")
+	s.remCycles = ctrs.Handle("smp.remote_cycles")
+	return s
+}
+
+// SetFault installs (or with nil removes) the chaos-injection hook.
+func (s *Shootdown) SetFault(fn FaultHook) { s.fault = fn }
+
+// Enqueue queues r for delivery to CPU target at the next Flush.
+// Identical requests already pending for the target coalesce away.
+func (s *Shootdown) Enqueue(target int, r Request) {
+	s.nRequests.Inc()
+	if s.enqueue(target, r) {
+		s.nCoalesced.Inc()
+	}
+}
+
+// enqueue adds r to target's batch; reports whether it coalesced into
+// an already-pending identical request.
+func (s *Shootdown) enqueue(target int, r Request) bool {
+	if s.pend[target] == nil {
+		s.pend[target] = make(map[Request]struct{})
+	}
+	if _, dup := s.pend[target][r]; dup {
+		return true
+	}
+	s.pend[target][r] = struct{}{}
+	s.queue[target] = append(s.queue[target], r)
+	return false
+}
+
+// Pending returns the number of requests queued for CPU target
+// (including delayed redeliveries).
+func (s *Shootdown) Pending(target int) int {
+	return len(s.queue[target]) + len(s.delayed[target])
+}
+
+// Flush delivers every pending batch: one IPI per target CPU, then the
+// batch's requests applied in enqueue order on that CPU's structures.
+// Requests a FaultHook delayed earlier are redelivered first.
+func (s *Shootdown) Flush() {
+	for t := 0; t < s.ncpu; t++ {
+		if len(s.delayed[t]) > 0 {
+			// Redeliver late IPIs ahead of this flush's batch, preserving
+			// coalescing against it. Redeliveries are not new requests.
+			late := s.delayed[t]
+			s.delayed[t] = nil
+			pending := s.queue[t]
+			s.queue[t] = nil
+			for k := range s.pend[t] {
+				delete(s.pend[t], k)
+			}
+			for _, r := range late {
+				s.enqueue(t, r)
+			}
+			for _, r := range pending {
+				s.enqueue(t, r)
+			}
+		}
+		batch := s.queue[t]
+		if len(batch) == 0 {
+			continue
+		}
+		s.queue[t] = nil
+		for k := range s.pend[t] {
+			delete(s.pend[t], k)
+		}
+		s.nIPIs.Inc()
+		ipi := s.costs().IPI
+		s.cycles.Add(ipi)
+		s.ipiCycles.Add(ipi)
+		start := s.handler.CPUCycles(t)
+		for _, r := range batch {
+			if s.fault != nil {
+				switch s.fault(t, r) {
+				case FaultDrop:
+					s.nDropped.Inc()
+					continue
+				case FaultDelay:
+					s.nDelayed.Inc()
+					s.delayed[t] = append(s.delayed[t], r)
+					continue
+				}
+			}
+			affected := s.handler.ApplyShootdown(t, r)
+			s.nDelivered.Inc()
+			s.nRemoteInv.Add(uint64(affected))
+		}
+		s.remCycles.Add(s.handler.CPUCycles(t) - start)
+	}
+}
+
+// Reset discards all pending and delayed requests (hardware recovery:
+// the kernel is about to rebuild every CPU's structures from scratch,
+// so in-flight invalidations are moot).
+func (s *Shootdown) Reset() {
+	for t := 0; t < s.ncpu; t++ {
+		s.queue[t] = nil
+		s.delayed[t] = nil
+		for k := range s.pend[t] {
+			delete(s.pend[t], k)
+		}
+	}
+}

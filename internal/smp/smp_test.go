@@ -1,0 +1,184 @@
+package smp
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// fakeHandler records deliveries and charges 7 fake machine cycles per
+// applied request, so remote-cycle attribution is observable.
+type fakeHandler struct {
+	applied map[int][]Request
+	cycles  []uint64
+}
+
+func newFakeHandler(n int) *fakeHandler {
+	return &fakeHandler{applied: make(map[int][]Request), cycles: make([]uint64, n)}
+}
+
+func (h *fakeHandler) ApplyShootdown(c int, r Request) int {
+	h.applied[c] = append(h.applied[c], r)
+	h.cycles[c] += 7
+	return 1
+}
+
+func (h *fakeHandler) CPUCycles(c int) uint64 { return h.cycles[c] }
+
+func newTestShootdown(n int) (*Shootdown, *fakeHandler, *stats.Counters, *stats.Cycles) {
+	h := newFakeHandler(n)
+	ctrs := &stats.Counters{}
+	cyc := &stats.Cycles{}
+	s := New(n, h, cpu.DefaultCosts, ctrs, cyc)
+	return s, h, ctrs, cyc
+}
+
+func req(k Kind, d addr.DomainID, vpn addr.VPN) Request {
+	return Request{Kind: k, Domain: d, VPN: vpn}
+}
+
+func TestCoalescingAndBatching(t *testing.T) {
+	s, h, ctrs, cyc := newTestShootdown(4)
+	// Three requests to CPU 1, two identical; one request to CPU 2.
+	s.Enqueue(1, req(InvalRights, 3, 0x10))
+	s.Enqueue(1, req(InvalRights, 3, 0x10)) // coalesces
+	s.Enqueue(1, req(Unmap, 0, 0x20))
+	s.Enqueue(2, req(Unmap, 0, 0x20))
+	if got := s.Pending(1); got != 2 {
+		t.Fatalf("Pending(1) = %d, want 2", got)
+	}
+	s.Flush()
+	if len(h.applied[1]) != 2 || len(h.applied[2]) != 1 || len(h.applied[0]) != 0 {
+		t.Fatalf("applied = %v", h.applied)
+	}
+	// Delivery order is enqueue order.
+	if h.applied[1][0].Kind != InvalRights || h.applied[1][1].Kind != Unmap {
+		t.Fatalf("order = %v", h.applied[1])
+	}
+	if ctrs.Get("smp.requests") != 4 || ctrs.Get("smp.coalesced") != 1 ||
+		ctrs.Get("smp.delivered") != 3 || ctrs.Get("smp.remote_invalidations") != 3 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+	// One IPI per target CPU with pending work, regardless of batch size.
+	if ctrs.Get("smp.ipis") != 2 {
+		t.Fatalf("ipis = %d, want 2", ctrs.Get("smp.ipis"))
+	}
+	ipi := cpu.DefaultCosts().IPI
+	if cyc.Total() != 2*ipi || ctrs.Get("smp.ipi_cycles") != 2*ipi {
+		t.Fatalf("ipi cycles = %d/%d, want %d", cyc.Total(), ctrs.Get("smp.ipi_cycles"), 2*ipi)
+	}
+	// Remote work: 7 fake cycles per applied request.
+	if ctrs.Get("smp.remote_cycles") != 3*7 {
+		t.Fatalf("remote_cycles = %d", ctrs.Get("smp.remote_cycles"))
+	}
+	// Flush with nothing pending is free.
+	s.Flush()
+	if ctrs.Get("smp.ipis") != 2 {
+		t.Fatal("empty flush sent an IPI")
+	}
+}
+
+func TestRecoalesceAfterFlush(t *testing.T) {
+	s, h, ctrs, _ := newTestShootdown(2)
+	r := req(UpdateRights, 1, 5)
+	s.Enqueue(1, r)
+	s.Flush()
+	// The same request in a later batch must be delivered again, not
+	// treated as a duplicate of the flushed one.
+	s.Enqueue(1, r)
+	s.Flush()
+	if len(h.applied[1]) != 2 {
+		t.Fatalf("applied %d times, want 2", len(h.applied[1]))
+	}
+	if ctrs.Get("smp.coalesced") != 0 {
+		t.Fatal("cross-batch coalescing must not happen")
+	}
+}
+
+func TestFaultDrop(t *testing.T) {
+	s, h, ctrs, _ := newTestShootdown(2)
+	s.SetFault(func(target int, r Request) Fault {
+		if r.VPN == 0x10 {
+			return FaultDrop
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Enqueue(1, req(InvalRights, 1, 0x11))
+	s.Flush()
+	if len(h.applied[1]) != 1 || h.applied[1][0].VPN != 0x11 {
+		t.Fatalf("applied = %v", h.applied[1])
+	}
+	if ctrs.Get("smp.ipi_dropped") != 1 || ctrs.Get("smp.delivered") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+	// The drop is permanent: nothing pending for redelivery.
+	if s.Pending(1) != 0 {
+		t.Fatal("dropped request still pending")
+	}
+}
+
+func TestFaultDelayRedelivers(t *testing.T) {
+	s, h, ctrs, _ := newTestShootdown(2)
+	late := req(InvalRights, 1, 0x10)
+	armed := true
+	s.SetFault(func(target int, r Request) Fault {
+		if armed && r == late {
+			return FaultDelay
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, late)
+	s.Flush()
+	if len(h.applied[1]) != 0 {
+		t.Fatal("delayed request was applied")
+	}
+	if s.Pending(1) != 1 {
+		t.Fatal("delayed request not pending")
+	}
+	armed = false
+	s.Enqueue(1, req(Unmap, 0, 0x20))
+	s.Flush()
+	// Redelivered first, then the new batch; the redelivery is not a
+	// new request.
+	if len(h.applied[1]) != 2 || h.applied[1][0] != late {
+		t.Fatalf("applied = %v", h.applied[1])
+	}
+	if ctrs.Get("smp.ipi_delayed") != 1 || ctrs.Get("smp.requests") != 2 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+}
+
+func TestResetDiscardsPending(t *testing.T) {
+	s, h, _, _ := newTestShootdown(2)
+	s.SetFault(func(int, Request) Fault { return FaultDelay })
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush() // delays it
+	s.Enqueue(1, req(Unmap, 0, 0x20))
+	s.Reset()
+	s.SetFault(nil)
+	if s.Pending(1) != 0 {
+		t.Fatal("Reset left requests pending")
+	}
+	s.Flush()
+	if len(h.applied[1]) != 0 {
+		t.Fatal("Reset did not discard requests")
+	}
+	// The subsystem still works after Reset.
+	s.Enqueue(1, req(Unmap, 0, 0x30))
+	s.Flush()
+	if len(h.applied[1]) != 1 {
+		t.Fatal("shootdown dead after Reset")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 0 CPUs did not panic")
+		}
+	}()
+	New(0, newFakeHandler(1), cpu.DefaultCosts, &stats.Counters{}, &stats.Cycles{})
+}

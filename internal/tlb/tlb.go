@@ -124,6 +124,7 @@ type ASIDTLB struct {
 	c *assoc.Cache[ASIDKey, ASIDEntry]
 
 	nHit, nMiss, nInstall, nPurged stats.Handle
+	nInvalidated                   stats.Handle
 	nInspected                     stats.Handle
 	nCorrupted                     stats.Handle
 
@@ -140,6 +141,7 @@ func NewASID(cfg assoc.Config, ctrs *stats.Counters, prefix string) *ASIDTLB {
 	t.nMiss = ctrs.Handle(prefix + ".miss")
 	t.nInstall = ctrs.Handle(prefix + ".install")
 	t.nPurged = ctrs.Handle(prefix + ".purged")
+	t.nInvalidated = ctrs.Handle(prefix + ".invalidated")
 	t.nInspected = ctrs.Handle(prefix + ".inspected")
 	t.nCorrupted = ctrs.Handle(prefix + ".corrupted")
 	return t
@@ -179,7 +181,11 @@ func (t *ASIDTLB) Insert(as addr.ASID, vpn addr.VPN, e ASIDEntry) {
 
 // Invalidate removes the entry for (as, vpn).
 func (t *ASIDTLB) Invalidate(as addr.ASID, vpn addr.VPN) bool {
-	return t.c.Invalidate(ASIDKey{AS: as, VPN: vpn})
+	ok := t.c.Invalidate(ASIDKey{AS: as, VPN: vpn})
+	if ok {
+		t.nInvalidated.Inc()
+	}
+	return ok
 }
 
 // PurgePage removes every address space's entry for vpn. On a conventional

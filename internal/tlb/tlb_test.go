@@ -158,6 +158,34 @@ func TestPGTLBInvalidatePurge(t *testing.T) {
 	}
 }
 
+// TestInvalidateCounterParity pins the accounting contract shared by all
+// three TLB flavours: a successful Invalidate increments the structure's
+// ".invalidated" counter, a failed one does not. The ASID TLB used to
+// skip the counter entirely, hiding conventional-machine shootdown
+// traffic from E11/E14.
+func TestInvalidateCounterParity(t *testing.T) {
+	ctrs := &stats.Counters{}
+	tt := NewTrans(fullCfg(4), ctrs, "trans")
+	at := NewASID(fullCfg(4), ctrs, "asid")
+	pt := NewPG(fullCfg(4), ctrs, "pg")
+	tt.Insert(1, TransEntry{PFN: 1})
+	at.Insert(1, 1, ASIDEntry{PFN: 1})
+	pt.Insert(1, PGEntry{PFN: 1})
+	if !tt.Invalidate(1) || !at.Invalidate(1, 1) || !pt.Invalidate(1) {
+		t.Fatal("resident entries must invalidate")
+	}
+	// Misses must not count.
+	tt.Invalidate(1)
+	at.Invalidate(1, 1)
+	at.Invalidate(2, 9)
+	pt.Invalidate(1)
+	for _, prefix := range []string{"trans", "asid", "pg"} {
+		if got := ctrs.Get(prefix + ".invalidated"); got != 1 {
+			t.Errorf("%s.invalidated = %d, want 1", prefix, got)
+		}
+	}
+}
+
 func TestEntryBitsComparison(t *testing.T) {
 	// Section 4: PLB entries are ~25% smaller than page-group TLB
 	// entries (52-bit VPN + 16-bit PD-ID + 3-bit rights = 71 bits vs
