@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # race runs the full suite under the race detector (the DSM/netsim fault
-# machinery and the parallel experiment runner must stay race-clean).
+# machinery and the parallel experiment runner must stay race-clean),
+# with shuffled test order so inter-test state dependencies surface.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -16,7 +16,7 @@ import (
 func TestAccessPathZeroAllocs(t *testing.T) {
 	t.Run("PLBMachine", func(t *testing.T) {
 		os := trace.NewOpenOS(addr.BaseGeometry(), nil)
-		m := machine.NewPLB(machine.DefaultPLBConfig(), os)
+		m := machine.MustPLB(machine.DefaultPLBConfig(), os)
 		m.SwitchDomain(1)
 		va := addr.VA(1) << 32
 		if out := m.Access(va, addr.Load); !out.OK() {

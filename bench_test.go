@@ -106,7 +106,7 @@ func BenchmarkWorkloadRPC(b *testing.B) {
 
 func BenchmarkPLBMachineAccessWarm(b *testing.B) {
 	os := trace.NewOpenOS(addr.BaseGeometry(), nil)
-	m := machine.NewPLB(machine.DefaultPLBConfig(), os)
+	m := machine.MustPLB(machine.DefaultPLBConfig(), os)
 	m.SwitchDomain(1)
 	va := addr.VA(1) << 32
 	m.Access(va, addr.Load) // warm everything
@@ -139,7 +139,7 @@ func BenchmarkDomainSwitch(b *testing.B) {
 		name string
 		m    machine.Machine
 	}{
-		{"plb", machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))},
+		{"plb", machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))},
 		{"page-group", machine.NewPG(machine.DefaultPGConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))},
 	} {
 		b.Run(mk.name, func(b *testing.B) {
@@ -177,7 +177,7 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.Run("plb", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			m := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+			m := machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 			if _, err := trace.Run(m, recs); err != nil {
 				b.Fatal(err)
 			}

@@ -6,6 +6,8 @@
 //	sasosim -workload gc -model domain-page
 //	sasosim -workload txn -model page-group
 //	sasosim -workload shootdown -model conventional -cpus 4
+//	sasosim -workload shootdown -cpus 4 -ipi-drop 10
+//	sasosim -workload shootdown -cpus 8 -kill-cpu 3@50000
 //	sasosim -workload dsm -drop 10 -crash-node 2 -crash-at 200
 //	sasosim -trace refs.trc -machine flush
 package main
@@ -13,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/addr"
@@ -20,6 +23,8 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/netsim"
+	"repro/internal/oracle"
+	"repro/internal/smp"
 	"repro/internal/trace"
 	"repro/internal/workload/attach"
 	"repro/internal/workload/checkpoint"
@@ -37,6 +42,10 @@ func main() {
 	incremental := flag.Bool("incremental", false, "checkpoint workload: incremental instead of full")
 	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
 	machName := flag.String("machine", "plb", "machine for trace replay: plb|page-group|conventional|flush")
+	var ipi ipiOpts
+	flag.IntVar(&ipi.drop, "ipi-drop", 0, "percent of shootdown requests lost in delivery (0-100); enables the acknowledged retry/quarantine protocol, needs -cpus >= 2")
+	flag.IntVar(&ipi.delay, "ipi-delay", 0, "percent of shootdown requests applied late (ack misses its timeout); enables the acknowledged protocol, needs -cpus >= 2")
+	flag.StringVar(&ipi.kill, "kill-cpu", "", "N@C: CPU N stops responding to shootdowns once total simulated cycles reach C; enables the acknowledged protocol, needs -cpus >= 2")
 	var d dsmOpts
 	flag.StringVar(&d.manager, "manager", "central", "dsm ownership protocol: central|distributed")
 	flag.IntVar(&d.drop, "drop", 0, "dsm: percent of messages dropped in transit (0-100)")
@@ -44,7 +53,7 @@ func main() {
 	flag.IntVar(&d.reorder, "reorder", 0, "dsm: percent of messages reordered (0-100)")
 	flag.IntVar(&d.crashNode, "crash-node", 0, "dsm: crash this node mid-run (0 disables; node 0 cannot crash)")
 	flag.IntVar(&d.crashAt, "crash-at", 0, "dsm: round after which -crash-node fails")
-	flag.Int64Var(&d.seed, "seed", 1, "dsm: seed for the workload and the fault plan")
+	flag.Int64Var(&d.seed, "seed", 1, "seed for workload randomness and fault plans (dsm and -ipi-*)")
 	flag.Parse()
 
 	if *traceFile != "" {
@@ -58,7 +67,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *cpus, *incremental, d); err != nil {
+	if err := runWorkload(*workload, *model, *cpus, *incremental, ipi, d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -70,6 +79,59 @@ type dsmOpts struct {
 	drop, dup, reorder int
 	crashNode, crashAt int
 	seed               int64
+}
+
+// ipiOpts bundles the shootdown fault-injection options. Any of them
+// switches cross-CPU invalidation to the acknowledged retry/quarantine
+// protocol before the workload runs.
+type ipiOpts struct {
+	drop, delay int
+	kill        string // "N@C"
+}
+
+func (o ipiOpts) active() bool { return o.drop > 0 || o.delay > 0 || o.kill != "" }
+
+// armIPIFaults enables the acknowledged protocol and installs the
+// requested fault hook on k.
+func armIPIFaults(k *kernel.Kernel, o ipiOpts, seed int64) error {
+	if !o.active() {
+		return nil
+	}
+	if k.NumCPUs() < 2 {
+		return fmt.Errorf("sasosim: -ipi-drop/-ipi-delay/-kill-cpu need -cpus >= 2 (a uniprocessor sends no shootdowns)")
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{{"-ipi-drop", o.drop}, {"-ipi-delay", o.delay}} {
+		if p.v < 0 || p.v > 100 {
+			return fmt.Errorf("sasosim: %s %d out of [0,100]", p.name, p.v)
+		}
+	}
+	killCPU, killAt := -1, uint64(0)
+	if o.kill != "" {
+		if _, err := fmt.Sscanf(o.kill, "%d@%d", &killCPU, &killAt); err != nil {
+			return fmt.Errorf("sasosim: -kill-cpu wants N@C (CPU N dies at cycle C), got %q", o.kill)
+		}
+		if killCPU < 0 || killCPU >= k.NumCPUs() {
+			return fmt.Errorf("sasosim: -kill-cpu %d out of [0,%d]", killCPU, k.NumCPUs()-1)
+		}
+	}
+	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+	rng := rand.New(rand.NewSource(seed))
+	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+		if target == killCPU && k.TotalCycles() >= killAt {
+			return smp.FaultDrop
+		}
+		if o.drop > 0 && rng.Intn(100) < o.drop {
+			return smp.FaultDrop
+		}
+		if o.delay > 0 && rng.Intn(100) < o.delay {
+			return smp.FaultDelay
+		}
+		return smp.FaultNone
+	})
+	return nil
 }
 
 func parseModel(s string) (kernel.Model, error) {
@@ -87,7 +149,7 @@ func parseModel(s string) (kernel.Model, error) {
 	}
 }
 
-func runWorkload(name, modelName string, cpus int, incremental bool, d dsmOpts) error {
+func runWorkload(name, modelName string, cpus int, incremental bool, ipi ipiOpts, d dsmOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
@@ -97,7 +159,13 @@ func runWorkload(name, modelName string, cpus int, incremental bool, d dsmOpts) 
 	}
 	cfg := kernel.DefaultConfig(m)
 	cfg.CPUs = cpus
-	k := kernel.New(cfg)
+	k, err := kernel.NewChecked(cfg)
+	if err != nil {
+		return err
+	}
+	if err := armIPIFaults(k, ipi, d.seed); err != nil {
+		return err
+	}
 	var rep any
 	var dsmRep *dsm.Report
 	switch name {
@@ -145,9 +213,10 @@ func runWorkload(name, modelName string, cpus int, incremental bool, d dsmOpts) 
 	case "shootdown":
 		// The E14 sharing workload: domains pinned round-robin across
 		// -cpus CPUs narrow rights, page out shared pages, and churn
-		// attachments, so every change shoots down remote entries.
+		// attachments, so every change shoots down remote entries. Runs
+		// on the outer kernel so -ipi-* fault injection applies.
 		var ops uint64
-		k, ops, err = core.ShootdownWorkload(m, cpus)
+		ops, err = core.RunShootdownWorkload(k)
 		rep = fmt.Sprintf("shootdown-producing protection ops: %d", ops)
 	case "compress":
 		rep, err = compress.Run(k, compress.DefaultConfig())
@@ -162,6 +231,17 @@ func runWorkload(name, modelName string, cpus int, incremental bool, d dsmOpts) 
 	fmt.Printf("workload %s on %s (%d CPUs)\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
 		name, m, k.NumCPUs(), rep, k.Machine().Counters(), k.Counters())
 	fmt.Printf("machine cycles: %d (all CPUs: %d)\nkernel cycles:  %d\n", k.Machine().Cycles(), k.TotalCycles(), k.Cycles())
+	if k.ShootdownProtocolEnabled() {
+		c := k.Counters()
+		fmt.Printf("\nshootdown protocol: acks=%d retransmits=%d timeouts=%d quarantines=%d dup_suppressed=%d rejoins=%d\n",
+			c.Get("smp.acks"), c.Get("smp.retransmits"), c.Get("smp.timeouts"),
+			c.Get("smp.quarantines"), c.Get("smp.dup_suppressed"), c.Get("kernel.cpu_rejoins"))
+		conv, cerr := oracle.CheckConvergence(k)
+		if cerr != nil {
+			return fmt.Errorf("sasosim: protection state did not converge: %w", cerr)
+		}
+		fmt.Printf("convergence: %d cycles (bound %d), all CPUs trusted\n", conv.Cycles, conv.Bound)
+	}
 	if dsmRep != nil {
 		fmt.Printf("\nreliability: retransmits=%d timeouts=%d acks=%d dup_suppressed=%d drops=%d dups=%d reorders=%d down_drops=%d\n",
 			dsmRep.Retransmits, dsmRep.Timeouts, dsmRep.Acks, dsmRep.DupSuppressed,
@@ -188,7 +268,7 @@ func replay(path, machName string) error {
 	var m machine.Machine
 	switch machName {
 	case "plb":
-		m = machine.NewPLB(machine.DefaultPLBConfig(), os_)
+		m = machine.MustPLB(machine.DefaultPLBConfig(), os_)
 	case "page-group":
 		m = machine.NewPG(machine.DefaultPGConfig(), os_)
 	case "conventional":

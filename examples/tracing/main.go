@@ -23,7 +23,7 @@ func main() {
 
 	openOS := func() *trace.OpenOS { return trace.NewOpenOS(addr.BaseGeometry(), nil) }
 	machines := []machine.Machine{
-		machine.NewPLB(machine.DefaultPLBConfig(), openOS()),
+		machine.MustPLB(machine.DefaultPLBConfig(), openOS()),
 		machine.NewPG(machine.DefaultPGConfig(), openOS()),
 		machine.NewConventional(machine.DefaultConvConfig(), openOS()),
 		machine.NewFlush(machine.DefaultConvConfig(), openOS()),

@@ -63,6 +63,10 @@ type RunResult struct {
 	// Recovered counts hardware entries dropped by RecoverHardware
 	// (kernel scenarios) or recovery work performed (direct scenarios).
 	Recovered uint64
+	// ConvergeCycles sums the cycles protection maintenance spent to
+	// converge on each kernel (protocol scenarios only; the oracle
+	// asserts each episode stayed within its bound).
+	ConvergeCycles uint64
 	// Err is the error the run surfaced, "" if none. Typed errors under
 	// injection are expected and recorded, not failures.
 	Err string
@@ -107,6 +111,9 @@ func (r *Result) Report() string {
 		}
 		fmt.Fprintf(&b, "  %-4s kernels=%-3d fired=%-6d pre-viol=%-4d recovered=%-6d",
 			run.Experiment, run.Kernels, run.Fired, run.PreViolations, run.Recovered)
+		if run.ConvergeCycles > 0 {
+			fmt.Fprintf(&b, " conv-cycles=%-8d", run.ConvergeCycles)
+		}
 		switch {
 		case run.Panic != "":
 			fmt.Fprintf(&b, " PANIC: %s", run.Panic)
@@ -208,6 +215,22 @@ func runOne(exp core.Experiment, sc Scenario, seed int64, keep int) RunResult {
 	rng := rand.New(rand.NewSource(seed))
 	var kernels []*kernel.Kernel
 
+	// converge, for protocol scenarios, drives protection maintenance to
+	// completion with the fault hooks still armed and holds it to the
+	// oracle's convergence contract: within the cycle bound, every CPU
+	// trusted, zero violations. Runs before observe so the violations it
+	// eliminates were never live (they sat on fenced CPUs).
+	converge := func(k *kernel.Kernel) {
+		if !sc.Protocol {
+			return
+		}
+		conv, cerr := oracle.CheckConvergence(k)
+		rr.ConvergeCycles += conv.Cycles
+		if cerr != nil {
+			rr.Failures = append(rr.Failures, "convergence contract: "+cerr.Error())
+		}
+	}
+
 	// observe reads a kernel's fired count and pre-recovery violations
 	// and checks the false-positive / clean-injection contract.
 	observe := func(k *kernel.Kernel) {
@@ -234,6 +257,7 @@ func runOne(exp core.Experiment, sc Scenario, seed int64, keep int) RunResult {
 			// release the oldest mid-run (the oracle does not perturb it).
 			old := kernels[0]
 			kernels = kernels[1:]
+			converge(old)
 			observe(old)
 			disarm(old)
 		}
@@ -259,6 +283,7 @@ func runOne(exp core.Experiment, sc Scenario, seed int64, keep int) RunResult {
 	// recover, and require the oracle — structural and differential —
 	// to come back clean.
 	for _, k := range kernels {
+		converge(k)
 		pre := rr.PreViolations
 		observe(k)
 		disarm(k)

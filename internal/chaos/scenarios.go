@@ -42,6 +42,13 @@ type Scenario struct {
 	// with zero fired faults is an oracle false positive and fails the
 	// campaign. Non-corrupting scenarios must never cause violations.
 	Corrupts bool
+	// Protocol marks scenarios that arm the acknowledged shootdown
+	// protocol. For these the campaign additionally runs the oracle's
+	// convergence check on every kernel after its run, with the fault
+	// hooks still armed: protection maintenance must reach zero
+	// violations within its cycle bound despite ongoing drops, ack
+	// losses and slow responders.
+	Protocol bool
 	// Direct, when non-nil, replaces the per-experiment run: the
 	// scenario executes once per campaign and returns how many faults
 	// it injected and how much recovery work the system performed.
@@ -261,6 +268,79 @@ func Default() []Scenario {
 				})
 			},
 			Fired: kernelFired("smp.ipi_dropped"),
+		},
+		{
+			Name:        "ipi-loss-storm",
+			Description: "acknowledged protocol under a 25% IPI loss storm: retries must converge",
+			Corrupts:    true,
+			Protocol:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(4) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+			Fired: kernelFired("smp.ipi_dropped"),
+		},
+		{
+			Name:        "ack-loss",
+			Description: "requests applied but acknowledgements lost: retransmits must be duplicate-suppressed",
+			Corrupts:    true,
+			Protocol:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(4) == 0 {
+						return smp.FaultAckLoss
+					}
+					return smp.FaultNone
+				})
+			},
+			Fired: kernelFired("smp.ack_lost"),
+		},
+		{
+			Name:        "slow-responder",
+			Description: "target CPUs apply shootdowns late: acks miss the timeout window",
+			Corrupts:    true,
+			Protocol:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(3) == 0 {
+						return smp.FaultDelay
+					}
+					return smp.FaultNone
+				})
+			},
+			Fired: kernelFired("smp.ipi_delayed"),
+		},
+		{
+			Name:        "cpu-death-rejoin",
+			Description: "a CPU dies mid-run: quarantine after the retry budget, epoch recovery on rejoin",
+			Corrupts:    true,
+			Protocol:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				if k.NumCPUs() < 2 {
+					return
+				}
+				victim := 1 + rng.Intn(k.NumCPUs()-1)
+				alive := 8 + rng.Intn(8) // deliveries before the CPU dies
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target != victim {
+						return smp.FaultNone
+					}
+					if alive > 0 {
+						alive--
+						return smp.FaultNone
+					}
+					return smp.FaultDrop
+				})
+			},
+			Fired: kernelFired("smp.quarantines"),
 		},
 		{
 			Name:        "net-lossy",

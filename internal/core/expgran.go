@@ -157,7 +157,7 @@ type plbHarness struct {
 func plbNew(shift uint) *plbHarness {
 	ctrs := &stats.Counters{}
 	return &plbHarness{
-		plb: plb.New(plb.Config{
+		plb: plb.MustNew(plb.Config{
 			Assoc:  assoc.Config{Sets: 1, Ways: 4096, Policy: assoc.LRU},
 			Shifts: []uint{shift},
 		}, ctrs, "plb"),

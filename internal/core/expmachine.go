@@ -38,7 +38,7 @@ func E2PLB(p *Probe) ([]*stats.Table, error) {
 		for _, entries := range []int{16, 32, 64, 128, 256, 512} {
 			mcfg := machine.DefaultPLBConfig()
 			mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: entries, Policy: assoc.LRU}
-			m := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
+			m := machine.MustPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
 			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
@@ -64,7 +64,7 @@ func E2PLB(p *Probe) ([]*stats.Table, error) {
 			cfg.Records = 10000
 			recs := mixTrace(7, cfg)
 
-			plbM := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+			plbM := machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 			if _, err := runTrace(p, plbM, recs); err != nil {
 				return nil, err
 			}
@@ -103,7 +103,7 @@ func E2PLB(p *Probe) ([]*stats.Table, error) {
 		for _, pol := range []assoc.Policy{assoc.LRU, assoc.FIFO, assoc.Random} {
 			mcfg := machine.DefaultPLBConfig()
 			mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: 64, Policy: pol, Seed: 3}
-			m := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
+			m := machine.MustPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
 			res, err := runTrace(p, m, recs)
 			if err != nil {
 				return nil, err
@@ -198,7 +198,7 @@ func E2PLB(p *Probe) ([]*stats.Table, error) {
 			"structure", "entries", "protection misses", "miss ratio")
 		mcfg := machine.DefaultPLBConfig()
 		mcfg.PLB.Assoc = assoc.Config{Sets: 1, Ways: plbEntries, Policy: assoc.LRU}
-		mp := machine.NewPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
+		mp := machine.MustPLB(mcfg, trace.NewOpenOS(addr.BaseGeometry(), nil))
 		resP, err := runTrace(p, mp, recs)
 		if err != nil {
 			return nil, err
@@ -304,7 +304,7 @@ func E4VirtualCache(p *Probe) ([]*stats.Table, error) {
 		m    machine.Machine
 		syn  func() int
 	}
-	sasos := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+	sasos := machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 	conv := machine.NewConventional(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 	vipt := machine.NewConventional(machine.DefaultVIPTConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 	flush := machine.NewFlush(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
@@ -388,7 +388,7 @@ func E6Switch(p *Probe) ([]*stats.Table, error) {
 			cfg.Quantum = quantum
 			recs := mixTrace(13, cfg)
 
-			plbM := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+			plbM := machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 			pgM := machine.NewPG(machine.DefaultPGConfig(), trace.NewOpenOS(addr.BaseGeometry(), groupOf))
 			flushM := machine.NewFlush(machine.DefaultConvConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 			for _, sys := range []struct {
@@ -463,7 +463,7 @@ func E7AMAT(p *Probe) ([]*stats.Table, error) {
 			"system", "sequential lookup cost", "cache miss ratio", "total cycles", "cycles/access")
 		n := uint64(len(recs))
 
-		plbM := machine.NewPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
+		plbM := machine.MustPLB(machine.DefaultPLBConfig(), trace.NewOpenOS(addr.BaseGeometry(), nil))
 		res, err := runTrace(p, plbM, recs)
 		if err != nil {
 			return err

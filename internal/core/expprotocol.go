@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+	"repro/internal/smp"
+	"repro/internal/stats"
+)
+
+// e15Mode is one fault regime E15 subjects the shootdown protocol to.
+type e15Mode struct {
+	name string
+	note string
+	// arm installs the regime's IPI fault hook; nil for fault-free.
+	arm func(k *kernel.Kernel, rng *rand.Rand)
+}
+
+// e15Modes returns the fault sweep: no faults (the overhead baseline
+// must be exactly zero), light and heavy random IPI loss, and a CPU
+// that dies mid-run and must be quarantined and rejoined.
+func e15Modes() []e15Mode {
+	return []e15Mode{
+		{
+			name: "fault-free",
+			note: "no faults: acknowledged delivery must cost exactly what fire-and-forget costs",
+		},
+		{
+			name: "drop-1pct",
+			note: "one in 100 IPI-delivered requests lost; retries recover within the op",
+			arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(100) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+		},
+		{
+			name: "drop-10pct",
+			note: "one in 10 IPI-delivered requests lost; sustained retry/backoff pressure",
+			arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.SetIPIFault(func(int, smp.Request) smp.Fault {
+					if rng.Intn(10) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+		},
+		{
+			name: "cpu-death",
+			note: "highest CPU stops responding mid-run: quarantine after the retry budget, epoch recovery on rejoin",
+			arm: func(k *kernel.Kernel, _ *rand.Rand) {
+				victim := k.NumCPUs() - 1
+				if victim == 0 {
+					return
+				}
+				alive := 4 // deliveries before the CPU dies
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target != victim {
+						return smp.FaultNone
+					}
+					if alive > 0 {
+						alive--
+						return smp.FaultNone
+					}
+					return smp.FaultDrop
+				})
+			},
+		},
+	}
+}
+
+// e15Seed derives a deterministic per-cell seed so adding modes or
+// models never shifts another cell's fault stream.
+func e15Seed(m kernel.Model, ncpu int, mode string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "E15/%s/%d/%s", m, ncpu, mode)
+	return int64(h.Sum64())
+}
+
+// E15FaultTolerance measures what fault-tolerant protection maintenance
+// costs: the E14 sharing workload runs under the acknowledged shootdown
+// protocol (sequence-numbered requests, per-target acks, cycle-charged
+// timeouts, bounded retransmit with exponential backoff, quarantine of
+// unresponsive CPUs) at each fault rate, and the overhead column is the
+// cycle difference against the same workload on fire-and-forget
+// delivery with no faults.
+//
+// Three contracts are asserted in-run, per cell:
+//
+//   - Zero overhead when nothing fails: on a uniprocessor every
+//     protocol counter stays zero, and on any fault-free run the total
+//     cycle count equals the fire-and-forget baseline exactly.
+//   - Convergence: after the run — with the fault hook still armed —
+//     the oracle's CheckConvergence must drive protection maintenance
+//     to zero violations within its precomputed cycle bound.
+//   - Liveness: the workload itself completes without error at every
+//     fault rate (stale authority is retried or fenced and purged,
+//     never silently acted on).
+func E15FaultTolerance(p *Probe) ([]*stats.Table, error) {
+	// Fire-and-forget, fault-free baselines for the overhead column.
+	base := map[kernel.Model]map[int]uint64{}
+	for _, m := range SMPModels {
+		base[m] = map[int]uint64{}
+		for _, ncpu := range SMPCPUCounts {
+			k, _, err := ShootdownWorkload(m, ncpu)
+			if err != nil {
+				return nil, fmt.Errorf("core: E15 baseline %v/%d: %w", m, ncpu, err)
+			}
+			base[m][ncpu] = k.TotalCycles()
+		}
+	}
+
+	var tables []*stats.Table
+	for _, mode := range e15Modes() {
+		t := stats.NewTable(fmt.Sprintf("E15 Protection maintenance under faults: %s", mode.name),
+			"model", "cpus", "acks", "retransmits", "timeouts", "quarantines", "rejoins",
+			"overhead cycles", "converge cycles", "converge bound")
+		for _, m := range SMPModels {
+			for _, ncpu := range SMPCPUCounts {
+				cfg := kernel.DefaultConfig(m)
+				cfg.CPUs = ncpu
+				k := kernel.New(cfg)
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				if mode.arm != nil {
+					mode.arm(k, rand.New(rand.NewSource(e15Seed(m, ncpu, mode.name))))
+				}
+				if _, err := RunShootdownWorkload(k); err != nil {
+					return nil, fmt.Errorf("core: E15 %s %v/%d: workload died under faults: %w", mode.name, m, ncpu, err)
+				}
+				kc := k.Counters()
+				overhead := int64(k.TotalCycles()) - int64(base[m][ncpu])
+
+				// Convergence contract, with the fault hook still armed.
+				conv, err := oracle.CheckConvergence(k)
+				if err != nil {
+					return nil, fmt.Errorf("core: E15 %s %v/%d: %w", mode.name, m, ncpu, err)
+				}
+
+				if ncpu == 1 {
+					// Uniprocessor: the protocol must be pure bookkeeping.
+					for _, c := range []string{"smp.ipis", "smp.acks", "smp.retransmits", "smp.timeouts", "smp.requests"} {
+						if got := kc.Get(c); got != 0 {
+							return nil, fmt.Errorf("core: E15 %s %v/1: uniprocessor %s = %d, want 0", mode.name, m, c, got)
+						}
+					}
+					if conv.Cycles != 0 || conv.Bound != 0 {
+						return nil, fmt.Errorf("core: E15 %s %v/1: uniprocessor convergence %d/%d, want 0/0", mode.name, m, conv.Cycles, conv.Bound)
+					}
+				}
+				if mode.arm == nil {
+					// Fault-free: acknowledged delivery is free.
+					if overhead != 0 {
+						return nil, fmt.Errorf("core: E15 %v/%d: fault-free protocol overhead %d cycles, want 0", m, ncpu, overhead)
+					}
+					for _, c := range []string{"smp.retransmits", "smp.timeouts", "smp.quarantines", "smp.dup_suppressed"} {
+						if got := kc.Get(c); got != 0 {
+							return nil, fmt.Errorf("core: E15 %v/%d: fault-free %s = %d, want 0", m, ncpu, c, got)
+						}
+					}
+				}
+				if mode.name == "drop-10pct" && ncpu > 1 && kc.Get("smp.ipi_dropped") == 0 {
+					return nil, fmt.Errorf("core: E15 drop-10pct %v/%d: fault hook never fired", m, ncpu)
+				}
+				if mode.name == "cpu-death" && ncpu > 1 && kc.Get("smp.quarantines") == 0 {
+					return nil, fmt.Errorf("core: E15 cpu-death %v/%d: dead CPU never quarantined", m, ncpu)
+				}
+
+				p.ObserveKernel(k)
+				t.AddRow(m.String(), ncpu,
+					kc.Get("smp.acks"), kc.Get("smp.retransmits"), kc.Get("smp.timeouts"),
+					kc.Get("smp.quarantines"), kc.Get("kernel.cpu_rejoins"),
+					overhead, conv.Cycles, conv.Bound)
+			}
+		}
+		t.AddNote(mode.note)
+		t.AddNote("overhead = total cycles minus the fire-and-forget fault-free baseline of the same cell")
+		t.AddNote("converge cycles/bound from oracle.CheckConvergence, run with the fault hook still armed")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

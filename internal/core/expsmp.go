@@ -104,7 +104,17 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 	cfg := kernel.DefaultConfig(m)
 	cfg.CPUs = ncpu
 	k := kernel.New(cfg)
+	ops, err := RunShootdownWorkload(k)
+	return k, ops, err
+}
 
+// RunShootdownWorkload drives the E14 sharing workload on a freshly
+// constructed kernel and returns the number of shootdown-producing
+// protection operations. Split out from ShootdownWorkload so callers
+// (E15, cmd/sasosim) can enable the acknowledged shootdown protocol
+// and arm IPI fault hooks on the kernel before the run starts.
+func RunShootdownWorkload(k *kernel.Kernel) (uint64, error) {
+	ncpu := k.NumCPUs()
 	const (
 		ndom   = 8
 		pages  = 16
@@ -127,7 +137,7 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 		k.SetCPU(cpuOf(i))
 		for pg := uint64(0); pg < pages; pg++ {
 			if err := k.Store(d, seg.PageVA(pg), uint64(i)<<8|pg); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 		}
 	}
@@ -142,18 +152,18 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 		// the page in between from its own CPU.
 		k.SetCPU(cpuOf(owner))
 		if err := k.SetPageRights(doms[owner], seg.PageVA(page), addr.Read); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		ops++
 		for i, d := range doms {
 			k.SetCPU(cpuOf(i))
 			if _, err := k.Load(d, seg.PageVA(page)); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 		}
 		k.SetCPU(cpuOf(owner))
 		if err := k.ClearPageRights(doms[owner], seg.PageVA(page)); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		ops++
 
@@ -162,13 +172,13 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 		// back in.
 		victim := (page + 5) % pages
 		if err := k.PageOut(seg.PageVPN(victim)); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		ops++
 		for i, d := range doms {
 			k.SetCPU(cpuOf(i))
 			if _, err := k.Load(d, seg.PageVA(victim)); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 		}
 
@@ -180,21 +190,21 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 		k.SetCPU(cpuOf(owner))
 		k.DeferShootdowns()
 		if err := k.PageOut(seg.PageVPN(thrash)); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		ops++
 		if _, err := k.Load(doms[owner], seg.PageVA(thrash)); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		if err := k.PageOut(seg.PageVPN(thrash)); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		ops++
 		k.FlushShootdowns()
 		for i, d := range doms {
 			k.SetCPU(cpuOf(i))
 			if _, err := k.Load(d, seg.PageVA(thrash)); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 		}
 
@@ -205,16 +215,16 @@ func ShootdownWorkload(m kernel.Model, ncpu int) (*kernel.Kernel, uint64, error)
 			i := (r + 3) % ndom
 			k.SetCPU(cpuOf(i))
 			if err := k.Detach(doms[i], seg); err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			ops++
 			k.Attach(doms[i], seg, addr.RW)
 			for pg := uint64(0); pg < 4; pg++ {
 				if _, err := k.Load(doms[i], seg.PageVA(pg)); err != nil {
-					return nil, 0, err
+					return 0, err
 				}
 			}
 		}
 	}
-	return k, ops, nil
+	return ops, nil
 }

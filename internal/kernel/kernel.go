@@ -337,6 +337,7 @@ type kernel struct {
 	hInjFrameFails, hInjHandlerErrs, hInjSpurious stats.Handle
 	hInjPageinFails, hInjPageoutFails             stats.Handle
 	hHWRecoveries                                 stats.Handle
+	hCPURecoveries, hCPURejoins                   stats.Handle
 }
 
 // page is the kernel's per-page record, created lazily.
@@ -379,12 +380,30 @@ type Kernel struct {
 	activeCPUs uint64
 	// shoot is the shootdown subsystem; nil on a uniprocessor.
 	shoot *smp.Shootdown
-	// deferShoot suspends per-operation IPI flushing (lazy shootdown).
-	deferShoot bool
+	// deferDepth counts open DeferShootdowns windows; per-operation IPI
+	// flushing is suspended while it is nonzero (lazy shootdown), and
+	// windows nest — only the outermost FlushShootdowns delivers.
+	deferDepth int
 }
 
-// New creates a kernel and its machine for the configured model.
+// New creates a kernel and its machine for the configured model. It
+// panics on an invalid configuration (a bad protection page shift
+// list, an unusable translation table size); NewChecked returns the
+// typed error instead — command-line front ends that build configs
+// from user flags should prefer it.
 func New(cfg Config) *Kernel {
+	k, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// NewChecked creates a kernel and its machines for the configured
+// model, returning the construction error (a *plb.ConfigError or
+// *ptable.ConfigError, each wrapping its package's ErrConfig sentinel)
+// instead of panicking when a configuration value is rejected.
+func NewChecked(cfg Config) (*Kernel, error) {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 4096
 	}
@@ -410,12 +429,16 @@ func New(cfg Config) *Kernel {
 	if geo == (addr.Geometry{}) {
 		geo = addr.BaseGeometry()
 	}
+	trans, err := newTransTable(cfg)
+	if err != nil {
+		return nil, err
+	}
 	k.kernel = kernel{
 		cfg:         cfg,
 		geo:         geo,
 		memory:      mem.NewMemory(geo, cfg.Frames),
 		disk:        mem.NewDisk(cfgCost(cfg).DiskRead, cfgCost(cfg).DiskWrite),
-		trans:       newTransTable(cfg),
+		trans:       trans,
 		domains:     make(map[addr.DomainID]*Domain),
 		segments:    make(map[addr.SegmentID]*Segment),
 		pages:       make(map[addr.VPN]*page),
@@ -443,6 +466,8 @@ func New(cfg Config) *Kernel {
 	k.hInjPageinFails = k.ctrs.Handle("kernel.injected_pagein_failures")
 	k.hInjPageoutFails = k.ctrs.Handle("kernel.injected_pageout_failures")
 	k.hHWRecoveries = k.ctrs.Handle("kernel.hw_recoveries")
+	k.hCPURecoveries = k.ctrs.Handle("kernel.cpu_recoveries")
+	k.hCPURejoins = k.ctrs.Handle("kernel.cpu_rejoins")
 	for i := 0; i < cfg.CPUs; i++ {
 		switch cfg.Model {
 		case ModelPageGroup:
@@ -458,7 +483,10 @@ func New(cfg Config) *Kernel {
 			k.convms = append(k.convms, m.Inner())
 			k.machs = append(k.machs, m)
 		default:
-			m := machine.NewPLB(cfg.PLB, k)
+			m, err := machine.NewPLB(cfg.PLB, k)
+			if err != nil {
+				return nil, err
+			}
 			k.plbms = append(k.plbms, m)
 			k.machs = append(k.machs, m)
 		}
@@ -478,7 +506,7 @@ func New(cfg Config) *Kernel {
 	if newHook != nil {
 		newHook(k)
 	}
-	return k
+	return k, nil
 }
 
 // newHook, when set, observes every kernel New returns. It exists for
@@ -505,11 +533,11 @@ func cfgCost(cfg Config) cpu.CostModel {
 	}
 }
 
-func newTransTable(cfg Config) transTable {
+func newTransTable(cfg Config) (transTable, error) {
 	if cfg.TransTable == TransInverted {
 		return ptable.NewInvertedTable(cfg.Frames)
 	}
-	return ptable.NewTranslationTable()
+	return ptable.NewTranslationTable(), nil
 }
 
 // TranslationProbeStats returns the inverted page table's lookup and
@@ -535,7 +563,14 @@ func (k *Kernel) CPU() int { return k.cur }
 // SetCPU moves the kernel's execution to CPU i: subsequent switches,
 // accesses and protection operations run against that CPU's private
 // machine. Kernel tables are shared; only the hardware view changes.
+// A quarantined, degraded or stale CPU is fenced out of domain
+// execution: before it runs anything it is rejoined — its private
+// structures bulk-invalidated and its residency withdrawn — so stale
+// authority it accumulated while unreachable can never be exercised.
 func (k *Kernel) SetCPU(i int) {
+	if k.shoot != nil && !k.shoot.Trusted(i) {
+		k.rejoinCPU(i)
+	}
 	k.cur = i
 	k.mach = k.machs[i]
 	if k.plbms != nil {
@@ -746,25 +781,136 @@ func (k *Kernel) ExecutorRights(d *Domain, vpn addr.VPN) (addr.Rights, bool) {
 func (k *Kernel) RecoverHardware() int {
 	n := 0
 	for i := range k.machs {
-		switch {
-		case k.plbms != nil:
-			n += k.plbms[i].PLB().Len()
-			k.plbms[i].PurgeAllPLB()
-			n += k.plbms[i].TLB().PurgeAll()
-		case k.pgms != nil:
-			n += k.pgms[i].TLB().PurgeAll()
-			n += k.pgms[i].Checker().PurgeAll()
-		case k.convms != nil:
-			n += k.convms[i].TLB().PurgeAll()
-		}
+		n += k.purgeCPU(i)
 	}
 	if k.shoot != nil {
 		k.shoot.Reset()
 	}
-	k.deferShoot = false
+	k.deferDepth = 0
 	k.hHWRecoveries.Inc()
 	k.cycles.Add(k.costs().Trap)
 	return n
+}
+
+// purgeCPU flash-clears CPU i's private protection and translation
+// structures, returning the number of entries dropped.
+func (k *Kernel) purgeCPU(i int) int {
+	n := 0
+	switch {
+	case k.plbms != nil:
+		n += k.plbms[i].PLB().Len()
+		k.plbms[i].PurgeAllPLB()
+		n += k.plbms[i].TLB().PurgeAll()
+	case k.pgms != nil:
+		n += k.pgms[i].TLB().PurgeAll()
+		n += k.pgms[i].Checker().PurgeAll()
+	case k.convms != nil:
+		n += k.convms[i].TLB().PurgeAll()
+	}
+	return n
+}
+
+// RecoverCPU is per-CPU epoch recovery, the single-CPU generalization
+// of RecoverHardware: CPU i's private structures are bulk-invalidated,
+// the CPU is withdrawn from every domain residency mask and from the
+// active broadcast set (it holds no state worth invalidating until it
+// executes again), and shootdowns still queued for it are discarded as
+// moot. Charges one trap. Returns the number of entries dropped.
+func (k *Kernel) RecoverCPU(i int) int {
+	n := k.purgeCPU(i)
+	for _, d := range k.domains {
+		d.cpus &^= 1 << uint(i)
+	}
+	k.activeCPUs &^= 1 << uint(i)
+	if k.shoot != nil {
+		k.shoot.DropPending(i)
+	}
+	k.hCPURecoveries.Inc()
+	k.cycles.Add(k.costs().Trap)
+	return n
+}
+
+// rejoinCPU readmits an untrusted (quarantined, degraded or stale) CPU:
+// epoch recovery wipes whatever stale authority it held, then the
+// shootdown layer lifts the fence. Degraded CPUs stay fenced — for them
+// this is the flush-on-switch path, paid on every entry.
+func (k *Kernel) rejoinCPU(i int) {
+	k.RecoverCPU(i)
+	k.shoot.Rejoin(i)
+	k.hCPURejoins.Inc()
+}
+
+// ConvergeProtection drives protection maintenance to a convergent
+// state: any open defer window is closed and every queued shootdown
+// delivered (or its target quarantined, under the acknowledged
+// protocol), then every untrusted CPU is rejoined with a bulk
+// invalidation. With the acknowledged protocol enabled, no CPU holds
+// stale authority on return — the shadow oracle's differential sweep
+// must report zero violations — and the cycles consumed are bounded by
+// ConvergenceBound as computed immediately before the call. Returns
+// the cycles consumed. A uniprocessor converges trivially at zero cost.
+func (k *Kernel) ConvergeProtection() uint64 {
+	if k.shoot == nil {
+		return 0
+	}
+	start := k.TotalCycles()
+	k.deferDepth = 0
+	k.shoot.Flush()
+	for i := range k.machs {
+		if !k.shoot.Trusted(i) {
+			k.rejoinCPU(i)
+		}
+	}
+	return k.TotalCycles() - start
+}
+
+// ConvergenceBound returns an upper bound, in cycles, on what
+// ConvergeProtection may consume from the current queue and health
+// state. Per target with pending work the acknowledged protocol sends
+// at most MaxRetries+1 volleys, each charging at most one IPI plus one
+// timeout capped at BackoffLimit, and applies each pending request at
+// most once (retransmitted copies are sequence-suppressed) at a cost
+// dominated by a full scan of the CPU's largest private structure plus
+// one page of cache-line flushes; rejoining an untrusted CPU costs one
+// trap plus one bulk scan. Zero on a uniprocessor.
+func (k *Kernel) ConvergenceBound() uint64 {
+	if k.shoot == nil {
+		return 0
+	}
+	p := k.shoot.Protocol()
+	c := k.costs()
+	// Worst-case cost of one request apply or one bulk invalidation:
+	// inspect/remove every resident entry, plus (for unmaps) flushing a
+	// page of cache lines — PageSize/16 over-counts lines for any real
+	// line size.
+	scan := uint64(k.cpuStructCapacity())*(c.PurgeEntry+c.Install) +
+		(k.geo.PageSize()/16)*c.CacheLineFlush
+	volleys := uint64(p.MaxRetries + 1)
+	var bound uint64
+	for i := range k.machs {
+		if pending := uint64(k.shoot.Pending(i)); pending > 0 {
+			bound += volleys*(c.IPI+p.BackoffLimit) + pending*scan
+		}
+		// Every CPU may need a rejoin (quarantine can happen during the
+		// convergence flush itself): one trap plus one bulk purge.
+		bound += c.Trap + scan
+	}
+	return bound
+}
+
+// cpuStructCapacity returns the total entry capacity of one CPU's
+// private protection and translation structures (identically
+// configured on every CPU).
+func (k *Kernel) cpuStructCapacity() int {
+	switch {
+	case k.plbms != nil:
+		return k.plbms[0].PLB().Capacity() + k.plbms[0].TLB().Capacity()
+	case k.pgms != nil:
+		return k.pgms[0].TLB().Capacity() + k.pgms[0].Checker().Capacity()
+	case k.convms != nil:
+		return k.convms[0].TLB().Capacity()
+	}
+	return 0
 }
 
 // FindSegment returns the segment containing va, or nil.

@@ -32,9 +32,22 @@ func (k *Kernel) shootDomain(d *Domain, r smp.Request) {
 	r.Domain = d.ID
 	for i := range k.machs {
 		if i != k.cur && d.cpus&(1<<uint(i)) != 0 {
-			k.shoot.Enqueue(i, r)
+			k.enqueueShoot(i, r)
 		}
 	}
+}
+
+// enqueueShoot routes one request to CPU i unless i is fenced
+// (quarantined or degraded): a fenced CPU cannot be reached by IPI, so
+// instead of queueing, the kernel marks it stale — it will be bulk-
+// invalidated before it executes anything (SetCPU rejoin), which
+// subsumes the skipped invalidation.
+func (k *Kernel) enqueueShoot(i int, r smp.Request) {
+	if k.shoot.Fenced(i) {
+		k.shoot.MarkStale(i)
+		return
+	}
+	k.shoot.Enqueue(i, r)
 }
 
 // shootExecuting enqueues r for every remote CPU currently executing
@@ -47,7 +60,7 @@ func (k *Kernel) shootExecuting(d *Domain, r smp.Request) {
 	r.Domain = d.ID
 	for i := range k.machs {
 		if i != k.cur && k.machs[i].Domain() == d.ID {
-			k.shoot.Enqueue(i, r)
+			k.enqueueShoot(i, r)
 		}
 	}
 }
@@ -60,7 +73,7 @@ func (k *Kernel) shootActive(r smp.Request) {
 	}
 	for i := range k.machs {
 		if i != k.cur && k.activeCPUs&(1<<uint(i)) != 0 {
-			k.shoot.Enqueue(i, r)
+			k.enqueueShoot(i, r)
 		}
 	}
 }
@@ -74,7 +87,7 @@ func (k *Kernel) markInstalled(d *Domain) { d.cpus |= 1 << uint(k.cur) }
 // CPU. Called at the end of every kernel operation that enqueued
 // remote maintenance; a no-op while shootdowns are deferred.
 func (k *Kernel) flushIPIs() {
-	if k.shoot != nil && !k.deferShoot {
+	if k.shoot != nil && k.deferDepth == 0 {
 		k.shoot.Flush()
 	}
 }
@@ -86,15 +99,55 @@ func (k *Kernel) flushIPIs() {
 // consistency window: remote CPUs may act on stale entries until
 // FlushShootdowns runs, so defer only across operations whose pages no
 // remote CPU touches in between (e.g. a page-out burst by one pager).
-func (k *Kernel) DeferShootdowns() { k.deferShoot = true }
+// Windows nest: each DeferShootdowns must be balanced by a
+// FlushShootdowns, and only the outermost one delivers.
+func (k *Kernel) DeferShootdowns() { k.deferDepth++ }
 
-// FlushShootdowns ends a DeferShootdowns window and delivers everything
-// queued, one IPI per target CPU.
+// FlushShootdowns closes the innermost DeferShootdowns window; when it
+// is the outermost (or no window is open), everything queued is
+// delivered, one IPI per target CPU.
 func (k *Kernel) FlushShootdowns() {
-	k.deferShoot = false
-	if k.shoot != nil {
+	if k.deferDepth > 0 {
+		k.deferDepth--
+	}
+	if k.deferDepth == 0 && k.shoot != nil {
 		k.shoot.Flush()
 	}
+}
+
+// EnableShootdownProtocol switches cross-CPU invalidation from
+// fire-and-forget to the acknowledged retry/quarantine protocol
+// (smp.Shootdown.EnableProtocol). No-op on a uniprocessor, which sends
+// no shootdowns at all — the protocol's zero-overhead baseline.
+func (k *Kernel) EnableShootdownProtocol(cfg smp.ProtocolConfig) {
+	if k.shoot != nil {
+		k.shoot.EnableProtocol(cfg)
+	}
+}
+
+// ShootdownProtocolEnabled reports whether acknowledged delivery is on.
+func (k *Kernel) ShootdownProtocolEnabled() bool {
+	return k.shoot != nil && k.shoot.ProtocolEnabled()
+}
+
+// CPUTrusted reports whether CPU i's private structures can be
+// believed: no shootdown was skipped (fenced CPU marked stale) since
+// its last rejoin purge. The oracle checks only trusted CPUs mid-run —
+// an untrusted CPU cannot execute domains (SetCPU rejoins it first),
+// so its stale entries are dormant, not live authority. A degraded CPU
+// oscillates: fenced from delivery forever, but trusted between a
+// rejoin purge and the next skipped shootdown (flush-on-switch).
+func (k *Kernel) CPUTrusted(i int) bool {
+	return k.shoot == nil || k.shoot.Trusted(i)
+}
+
+// CPUHealth returns the shootdown layer's health view of CPU i
+// (Healthy on a uniprocessor).
+func (k *Kernel) CPUHealth(i int) smp.Health {
+	if k.shoot == nil {
+		return smp.Healthy
+	}
+	return k.shoot.CPUHealth(i)
 }
 
 // SetIPIFault installs (or with nil removes) a chaos hook that drops or

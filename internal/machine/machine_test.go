@@ -95,7 +95,7 @@ func va(vpn uint64) addr.VA { return addr.VA(vpn * page) }
 
 // --- PLB machine ---
 
-func newPLBMachine(os OS) *PLBMachine { return NewPLB(DefaultPLBConfig(), os) }
+func newPLBMachine(os OS) *PLBMachine { return MustPLB(DefaultPLBConfig(), os) }
 
 func TestPLBAccessHappyPath(t *testing.T) {
 	os := newFakeOS()
@@ -596,7 +596,7 @@ func TestMachineInterfaceCompliance(t *testing.T) {
 	sos := newFakeOS()
 	mos := newFakeMultiOS()
 	machines := []Machine{
-		NewPLB(DefaultPLBConfig(), sos),
+		MustPLB(DefaultPLBConfig(), sos),
 		NewPG(DefaultPGConfig(), sos),
 		NewConventional(DefaultConvConfig(), mos),
 		NewFlush(DefaultConvConfig(), mos),

@@ -58,10 +58,16 @@ type PLBMachine struct {
 	hFaultAddressing                               stats.Handle
 }
 
-// NewPLB builds a PLB machine over the given OS.
-func NewPLB(cfg PLBConfig, os OS) *PLBMachine {
+// NewPLB builds a PLB machine over the given OS. An invalid PLB
+// configuration returns the *plb.ConfigError; MustPLB panics instead
+// for known-good configurations (the defaults, test fixtures).
+func NewPLB(cfg PLBConfig, os OS) (*PLBMachine, error) {
 	m := &PLBMachine{cfg: cfg, os: os}
-	m.plb = plb.New(cfg.PLB, &m.ctrs, "plb")
+	p, err := plb.New(cfg.PLB, &m.ctrs, "plb")
+	if err != nil {
+		return nil, err
+	}
+	m.plb = p
 	m.tlb = tlb.NewTrans(cfg.TLB, &m.ctrs, "tlb")
 	m.cache = cache.NewVirtual(cfg.Cache, &m.ctrs, "cache")
 	m.hAccesses = m.ctrs.Handle(CtrAccesses)
@@ -73,6 +79,16 @@ func NewPLB(cfg PLBConfig, os OS) *PLBMachine {
 	m.hFaultProt = m.ctrs.Handle(CtrFaultProt)
 	m.hFaultUnmapped = m.ctrs.Handle(CtrFaultUnmapped)
 	m.hFaultAddressing = m.ctrs.Handle(CtrFaultAddressing)
+	return m, nil
+}
+
+// MustPLB is NewPLB for configurations known to be valid; it panics on
+// a config error.
+func MustPLB(cfg PLBConfig, os OS) *PLBMachine {
+	m, err := NewPLB(cfg, os)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 

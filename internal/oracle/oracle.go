@@ -103,8 +103,16 @@ func Violations(k *kernel.Kernel) []Violation {
 	out = append(out, resolveViolations(k)...)
 	// Every CPU's private structures are held to the same authority: a
 	// shootdown that failed to reach a remote CPU shows up here as that
-	// CPU's stale entry.
+	// CPU's stale entry. Untrusted CPUs — quarantined, degraded, or
+	// marked stale by a skipped invalidation — are exempt: they are
+	// fenced out of domain execution (the kernel bulk-invalidates them
+	// before they run anything), so their stale entries are dormant
+	// state, not live authority. ConvergeProtection rejoins them, after
+	// which this check applies to every CPU again.
 	for i := 0; i < k.NumCPUs(); i++ {
+		if !k.CPUTrusted(i) {
+			continue
+		}
 		var vs []Violation
 		switch {
 		case k.PLBMachineAt(i) != nil:

@@ -13,6 +13,7 @@
 package plb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,35 @@ import (
 	"repro/internal/assoc"
 	"repro/internal/stats"
 )
+
+// ErrConfig classifies invalid PLB configurations. errors.Is(err,
+// ErrConfig) matches every construction failure; errors.As extracts
+// the *ConfigError carrying the offending field.
+var ErrConfig = errors.New("plb: invalid config")
+
+// ConfigError is the structured form of a rejected configuration,
+// following the kernel.FaultError convention: context fields plus a
+// classifying sentinel, all reachable through errors.Is/As.
+type ConfigError struct {
+	// Field names the Config field that was rejected.
+	Field string
+	// Detail says what was wrong with it.
+	Detail string
+	// Sentinel classifies the failure (ErrConfig).
+	Sentinel error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Sentinel.Error(), e.Field, e.Detail)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *ConfigError) Unwrap() error { return e.Sentinel }
+
+func cfgErr(field, format string, args ...any) error {
+	return &ConfigError{Field: field, Detail: fmt.Sprintf(format, args...), Sentinel: ErrConfig}
+}
 
 // Key identifies a PLB entry: one domain's rights to one protection page
 // of a particular size class.
@@ -80,18 +110,19 @@ type PLB struct {
 type Corruptor func(k Key, r addr.Rights, evicted bool) (addr.Rights, bool)
 
 // New creates a PLB, recording events in ctrs under the given name prefix
-// (e.g. "plb"). It panics on an invalid configuration. Counter names are
-// resolved to handles here, once, so the per-access paths never hash a
-// counter name.
-func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
+// (e.g. "plb"). An invalid configuration returns a *ConfigError wrapping
+// ErrConfig; MustNew panics instead for known-good configurations.
+// Counter names are resolved to handles here, once, so the per-access
+// paths never hash a counter name.
+func New(cfg Config, ctrs *stats.Counters, prefix string) (*PLB, error) {
 	if len(cfg.Shifts) == 0 {
-		panic("plb: config must list at least one protection page shift")
+		return nil, cfgErr("Shifts", "must list at least one protection page shift")
 	}
 	shifts := append([]uint(nil), cfg.Shifts...)
 	sort.Slice(shifts, func(i, j int) bool { return shifts[i] < shifts[j] })
 	for _, s := range shifts {
 		if s < addr.MinProtShift || s > addr.MaxProtShift {
-			panic(fmt.Sprintf("plb: shift %d outside [%d,%d]", s, addr.MinProtShift, addr.MaxProtShift))
+			return nil, cfgErr("Shifts", "shift %d outside [%d,%d]", s, addr.MinProtShift, addr.MaxProtShift)
 		}
 	}
 	p := &PLB{
@@ -114,6 +145,16 @@ func New(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
 	p.nPurged = ctrs.Handle(prefix + ".purged")
 	p.nInspected = ctrs.Handle(prefix + ".inspected")
 	p.nCorrupted = ctrs.Handle(prefix + ".corrupted")
+	return p, nil
+}
+
+// MustNew is New for configurations known to be valid (fixed defaults,
+// tests); it panics on a config error.
+func MustNew(cfg Config, ctrs *stats.Counters, prefix string) *PLB {
+	p, err := New(cfg, ctrs, prefix)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 

@@ -1,6 +1,7 @@
 package plb
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -15,7 +16,7 @@ func newTestPLB(t *testing.T, ways int, shifts ...uint) (*PLB, *stats.Counters) 
 		shifts = []uint{addr.BasePageShift}
 	}
 	ctrs := &stats.Counters{}
-	p := New(Config{
+	p := MustNew(Config{
 		Assoc:  assoc.Config{Sets: 1, Ways: ways, Policy: assoc.LRU},
 		Shifts: shifts,
 	}, ctrs, "plb")
@@ -226,15 +227,32 @@ func TestNewValidation(t *testing.T) {
 		"no shifts": {Assoc: assoc.Config{Sets: 1, Ways: 4}},
 		"bad shift": {Assoc: assoc.Config{Sets: 1, Ways: 4}, Shifts: []uint{3}},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: New did not panic", name)
-				}
-			}()
-			New(cfg, ctrs, "plb")
-		}()
+		p, err := New(cfg, ctrs, "plb")
+		if err == nil {
+			t.Errorf("%s: New accepted an invalid config", name)
+			continue
+		}
+		if p != nil {
+			t.Errorf("%s: New returned a PLB alongside the error", name)
+		}
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: error %v does not wrap ErrConfig", name, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != "Shifts" {
+			t.Errorf("%s: error %v is not a *ConfigError on Shifts", name, err)
+		}
 	}
+	// MustNew converts the typed error into a panic for known-good
+	// call sites.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustNew did not panic on an invalid config")
+			}
+		}()
+		MustNew(Config{}, ctrs, "plb")
+	}()
 }
 
 func TestEntryBits(t *testing.T) {
@@ -277,7 +295,7 @@ func TestLookupReturnsLatest(t *testing.T) {
 
 func TestDefaultConfig(t *testing.T) {
 	ctrs := &stats.Counters{}
-	p := New(DefaultConfig(), ctrs, "plb")
+	p := MustNew(DefaultConfig(), ctrs, "plb")
 	if p.Capacity() != 128 {
 		t.Fatalf("capacity = %d", p.Capacity())
 	}

@@ -1,10 +1,36 @@
 package ptable
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/addr"
 )
+
+// ErrConfig classifies invalid page-table configurations. errors.Is
+// matches every construction failure; errors.As extracts the
+// *ConfigError carrying the offending parameter.
+var ErrConfig = errors.New("ptable: invalid config")
+
+// ConfigError is the structured form of a rejected configuration,
+// following the kernel.FaultError convention: context fields plus a
+// classifying sentinel, reachable through errors.Is/As.
+type ConfigError struct {
+	// Field names the rejected parameter.
+	Field string
+	// Detail says what was wrong with it.
+	Detail string
+	// Sentinel classifies the failure (ErrConfig).
+	Sentinel error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Sentinel.Error(), e.Field, e.Detail)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *ConfigError) Unwrap() error { return e.Sentinel }
 
 // InvertedTable is an inverted (frame-indexed) page table with a hash
 // anchor table — the organization of the IBM 801 that Section 3.1 cites
@@ -36,10 +62,16 @@ type invEntry struct {
 }
 
 // NewInvertedTable creates a table for nframes physical frames with
-// 2*nframes hash anchors (load factor <= 0.5 when full).
-func NewInvertedTable(nframes int) *InvertedTable {
+// 2*nframes hash anchors (load factor <= 0.5 when full). A frame count
+// below one returns a *ConfigError wrapping ErrConfig; MustInvertedTable
+// panics instead for known-good counts.
+func NewInvertedTable(nframes int) (*InvertedTable, error) {
 	if nframes < 1 {
-		panic("ptable: inverted table needs at least one frame")
+		return nil, &ConfigError{
+			Field:    "nframes",
+			Detail:   fmt.Sprintf("inverted table needs at least one frame, got %d", nframes),
+			Sentinel: ErrConfig,
+		}
 	}
 	nAnchors := 2 * nframes
 	t := &InvertedTable{
@@ -52,6 +84,16 @@ func NewInvertedTable(nframes int) *InvertedTable {
 	}
 	for i := range t.next {
 		t.next[i] = -1
+	}
+	return t, nil
+}
+
+// MustInvertedTable is NewInvertedTable for frame counts known to be
+// valid; it panics on a config error.
+func MustInvertedTable(nframes int) *InvertedTable {
+	t, err := NewInvertedTable(nframes)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package ptable
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestInvertedMapLookupUnmap(t *testing.T) {
-	it := NewInvertedTable(8)
+	it := MustInvertedTable(8)
 	if err := it.Map(0x100, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestInvertedMapLookupUnmap(t *testing.T) {
 }
 
 func TestInvertedRejectsHomonymsAndSynonyms(t *testing.T) {
-	it := NewInvertedTable(8)
+	it := MustInvertedTable(8)
 	it.Map(1, 0)
 	if err := it.Map(1, 1); err == nil {
 		t.Fatal("homonym accepted")
@@ -46,7 +47,7 @@ func TestInvertedRejectsHomonymsAndSynonyms(t *testing.T) {
 }
 
 func TestInvertedDirtyRef(t *testing.T) {
-	it := NewInvertedTable(4)
+	it := MustInvertedTable(4)
 	it.Map(7, 2)
 	it.SetRef(7)
 	pte, _ := it.Lookup(7)
@@ -70,7 +71,7 @@ func TestInvertedDirtyRef(t *testing.T) {
 
 func TestInvertedFullTable(t *testing.T) {
 	const frames = 64
-	it := NewInvertedTable(frames)
+	it := MustInvertedTable(frames)
 	for i := 0; i < frames; i++ {
 		// Adversarial VPNs: clustered to force chain collisions.
 		if err := it.Map(addr.VPN(i*17), addr.PFN(i)); err != nil {
@@ -103,7 +104,7 @@ func TestInvertedFullTable(t *testing.T) {
 func TestInvertedMatchesMapTable(t *testing.T) {
 	f := func(ops []uint16) bool {
 		const frames = 32
-		it := NewInvertedTable(frames)
+		it := MustInvertedTable(frames)
 		mt := NewTranslationTable()
 		frameUsed := map[addr.PFN]bool{}
 		vpnOf := map[addr.PFN]addr.VPN{}
@@ -161,11 +162,26 @@ func TestInvertedMatchesMapTable(t *testing.T) {
 	}
 }
 
-func TestInvertedNewPanics(t *testing.T) {
+func TestInvertedNewValidation(t *testing.T) {
+	it, err := NewInvertedTable(0)
+	if err == nil {
+		t.Fatal("NewInvertedTable accepted 0 frames")
+	}
+	if it != nil {
+		t.Fatal("NewInvertedTable returned a table alongside the error")
+	}
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("error %v does not wrap ErrConfig", err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "nframes" {
+		t.Fatalf("error %v is not a *ConfigError on nframes", err)
+	}
+	// MustInvertedTable converts the typed error into a panic.
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic for 0 frames")
+			t.Error("MustInvertedTable did not panic for 0 frames")
 		}
 	}()
-	NewInvertedTable(0)
+	MustInvertedTable(0)
 }

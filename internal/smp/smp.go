@@ -24,11 +24,40 @@
 //     the same CPU coalesce, and each target CPU is interrupted once
 //     per flush (one IPI covers the whole batch).
 //
+// # Acknowledged delivery
+//
+// Fire-and-forget shootdown is only correct on a lossless interconnect.
+// With EnableProtocol the subsystem runs an acknowledged protocol:
+// every flush to a target is a sequence-numbered volley, the initiator
+// tracks per-request acknowledgements, an unacknowledged volley charges
+// a timeout and is retransmitted with capped exponential backoff (the
+// same reliable-delivery cost discipline as the netsim transport), and
+// a target that exhausts the retry budget is quarantined — fenced from
+// further volleys until the kernel rejoins it with a bulk invalidation.
+// A target that has already applied a request but whose ack was lost
+// detects the retransmission by sequence number and suppresses the
+// duplicate apply (all request kinds are idempotent, so suppression is
+// purely a cost-accounting matter).
+//
+// Per-CPU health runs healthy → suspect (consecutive timeout volleys)
+// → quarantined (retry budget exhausted); after DegradeAfter
+// quarantines the CPU is permanently degraded and the kernel is
+// expected to fall back to flush-on-switch semantics for it rather
+// than wedging the machine on a dead responder.
+//
+// On a fault-free run the protocol adds no cycles and no counters over
+// fire-and-forget: every volley is acknowledged immediately, so there
+// are no timeouts, no retransmissions, and the IPI accounting is
+// identical.
+//
 // Cycle charging goes through cpu.CostModel: CostModel.IPI per
-// interrupt on the initiator's kernel account, plus whatever per-entry
-// maintenance cycles the remote CPU's structures charge themselves
-// (read back through the Handler so the cross-CPU burden is visible
-// separately from local work).
+// interrupt that actually reaches its target on the initiator's kernel
+// account (a fully dropped volley is a lost interrupt — the target
+// never traps, so no IPI cycles are spent there; the initiator instead
+// pays the ack timeout when the protocol is on), plus whatever
+// per-entry maintenance cycles the remote CPU's structures charge
+// themselves (read back through the Handler so the cross-CPU burden is
+// visible separately from local work).
 package smp
 
 import (
@@ -127,17 +156,120 @@ type Fault uint8
 const (
 	// FaultNone delivers the request normally.
 	FaultNone Fault = iota
-	// FaultDrop loses the request: the remote CPU keeps stale state.
-	// This is the bug class the shadow oracle must catch.
+	// FaultDrop loses the request in transit: the remote CPU keeps
+	// stale state. Under fire-and-forget this is the bug class the
+	// shadow oracle must catch; under the acknowledged protocol the
+	// missing ack triggers a retransmission.
 	FaultDrop
-	// FaultDelay defers the request to the next flush: a late IPI. The
-	// remote CPU is stale in the window between the two flushes.
+	// FaultDelay models a slow responder: the request is applied, but
+	// the acknowledgement arrives after the initiator's timeout, so the
+	// initiator retransmits anyway. Under fire-and-forget the request
+	// is simply deferred to the next flush (a late IPI), leaving the
+	// remote CPU stale in the window between the two flushes.
 	FaultDelay
+	// FaultAckLoss delivers and applies the request but loses the
+	// acknowledgement on the way back. Only meaningful under the
+	// acknowledged protocol; fire-and-forget has no acks to lose, so
+	// there it behaves like FaultNone (the loss is still counted).
+	FaultAckLoss
 )
 
 // FaultHook decides, per (target CPU, request), whether delivery is
-// faulted. Nil means no injection.
+// faulted. Nil means no injection. Under the acknowledged protocol the
+// hook is consulted again for every retransmission, so a hook that
+// always faults a target models a dead CPU.
 type FaultHook func(target int, r Request) Fault
+
+// Health is the initiator's view of a target CPU's responsiveness.
+type Health uint8
+
+const (
+	// Healthy: volleys are being acknowledged within the timeout.
+	Healthy Health = iota
+	// Suspect: SuspectAfter consecutive volleys have timed out; the CPU
+	// is still being retried.
+	Suspect
+	// Quarantined: the retry budget was exhausted. The CPU is fenced —
+	// no further volleys are sent to it — until the kernel rejoins it
+	// with a bulk invalidation of its private structures.
+	Quarantined
+	// Degraded: the CPU has been quarantined DegradeAfter times. It
+	// stays fenced permanently; the kernel falls back to
+	// flush-on-switch semantics (purge on every entry) for it instead
+	// of paying endless retry storms.
+	Degraded
+)
+
+// String returns the health-state name.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Degraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("Health(%d)", uint8(h))
+}
+
+// ProtocolConfig tunes the acknowledged shootdown protocol. Zero
+// fields take the defaults of DefaultProtocolConfig.
+type ProtocolConfig struct {
+	// AckTimeout is the cycle cost the initiator pays waiting out one
+	// unacknowledged volley before retransmitting.
+	AckTimeout uint64
+	// MaxRetries bounds retransmission volleys per batch; when a target
+	// still has unacknowledged requests after MaxRetries retransmits it
+	// is quarantined.
+	MaxRetries int
+	// BackoffLimit caps the doubling timeout (the netsim transport's
+	// backoff discipline).
+	BackoffLimit uint64
+	// SuspectAfter is the number of consecutive timed-out volleys after
+	// which a healthy target is marked suspect.
+	SuspectAfter int
+	// DegradeAfter is the number of quarantines after which a CPU is
+	// permanently degraded to flush-on-switch semantics.
+	DegradeAfter int
+}
+
+// DefaultProtocolConfig returns the protocol tuning used by the
+// experiments: a timeout of two IPI flight times, four retransmissions,
+// backoff capped at 8× the base timeout, suspicion after two
+// consecutive timeouts, degradation after three quarantines.
+func DefaultProtocolConfig() ProtocolConfig {
+	ipi := cpu.DefaultCosts().IPI
+	return ProtocolConfig{
+		AckTimeout:   2 * ipi,
+		MaxRetries:   4,
+		BackoffLimit: 16 * ipi,
+		SuspectAfter: 2,
+		DegradeAfter: 3,
+	}
+}
+
+// fill replaces zero fields with defaults.
+func (c *ProtocolConfig) fill() {
+	d := DefaultProtocolConfig()
+	if c.AckTimeout == 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.BackoffLimit == 0 {
+		c.BackoffLimit = d.BackoffLimit
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = d.SuspectAfter
+	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = d.DegradeAfter
+	}
+}
 
 // Handler applies delivered requests; the kernel implements it over the
 // target CPU's private machine.
@@ -167,6 +299,14 @@ type Shootdown struct {
 
 	fault FaultHook
 
+	// Acknowledged-protocol state; proto == nil means fire-and-forget.
+	proto     *ProtocolConfig
+	seq       []uint64 // per-target volley sequence numbers
+	health    []Health
+	consecTO  []int  // consecutive timed-out volleys (suspect tracking)
+	quarCount []int  // quarantines so far (degradation pressure)
+	stale     []bool // missed an invalidation while fenced
+
 	nRequests  stats.Handle
 	nCoalesced stats.Handle
 	nIPIs      stats.Handle
@@ -176,6 +316,18 @@ type Shootdown struct {
 	nDelayed   stats.Handle
 	ipiCycles  stats.Handle
 	remCycles  stats.Handle
+
+	nAcks       stats.Handle
+	nAckLost    stats.Handle
+	nRetrans    stats.Handle
+	nTimeouts   stats.Handle
+	nDupSup     stats.Handle
+	nSuspects   stats.Handle
+	nQuar       stats.Handle
+	nDegraded   stats.Handle
+	nFencedDisc stats.Handle
+	toCycles    stats.Handle
+	retransCyc  stats.Handle
 }
 
 // New creates a shootdown subsystem for ncpu CPUs. costs is read at
@@ -186,13 +338,18 @@ func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, 
 		panic("smp: need at least one CPU")
 	}
 	s := &Shootdown{
-		ncpu:    ncpu,
-		handler: h,
-		costs:   costs,
-		cycles:  cycles,
-		queue:   make([][]Request, ncpu),
-		pend:    make([]map[Request]struct{}, ncpu),
-		delayed: make([][]Request, ncpu),
+		ncpu:      ncpu,
+		handler:   h,
+		costs:     costs,
+		cycles:    cycles,
+		queue:     make([][]Request, ncpu),
+		pend:      make([]map[Request]struct{}, ncpu),
+		delayed:   make([][]Request, ncpu),
+		seq:       make([]uint64, ncpu),
+		health:    make([]Health, ncpu),
+		consecTO:  make([]int, ncpu),
+		quarCount: make([]int, ncpu),
+		stale:     make([]bool, ncpu),
 	}
 	s.nRequests = ctrs.Handle("smp.requests")
 	s.nCoalesced = ctrs.Handle("smp.coalesced")
@@ -203,11 +360,94 @@ func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, 
 	s.nDelayed = ctrs.Handle("smp.ipi_delayed")
 	s.ipiCycles = ctrs.Handle("smp.ipi_cycles")
 	s.remCycles = ctrs.Handle("smp.remote_cycles")
+	s.nAcks = ctrs.Handle("smp.acks")
+	s.nAckLost = ctrs.Handle("smp.ack_lost")
+	s.nRetrans = ctrs.Handle("smp.retransmits")
+	s.nTimeouts = ctrs.Handle("smp.timeouts")
+	s.nDupSup = ctrs.Handle("smp.dup_suppressed")
+	s.nSuspects = ctrs.Handle("smp.suspects")
+	s.nQuar = ctrs.Handle("smp.quarantines")
+	s.nDegraded = ctrs.Handle("smp.degraded")
+	s.nFencedDisc = ctrs.Handle("smp.fenced_discards")
+	s.toCycles = ctrs.Handle("smp.timeout_cycles")
+	s.retransCyc = ctrs.Handle("smp.retransmit_cycles")
 	return s
 }
 
 // SetFault installs (or with nil removes) the chaos-injection hook.
 func (s *Shootdown) SetFault(fn FaultHook) { s.fault = fn }
+
+// EnableProtocol switches delivery from fire-and-forget to the
+// acknowledged protocol with the given tuning (zero fields default).
+func (s *Shootdown) EnableProtocol(cfg ProtocolConfig) {
+	cfg.fill()
+	s.proto = &cfg
+}
+
+// ProtocolEnabled reports whether acknowledged delivery is on.
+func (s *Shootdown) ProtocolEnabled() bool { return s.proto != nil }
+
+// Protocol returns the active protocol tuning (zero value if the
+// protocol is off).
+func (s *Shootdown) Protocol() ProtocolConfig {
+	if s.proto == nil {
+		return ProtocolConfig{}
+	}
+	return *s.proto
+}
+
+// CPUHealth returns the initiator's health view of CPU t.
+func (s *Shootdown) CPUHealth(t int) Health { return s.health[t] }
+
+// Fenced reports whether CPU t is excluded from delivery (quarantined
+// or degraded). The kernel must not rely on shootdowns reaching a
+// fenced CPU; it marks the CPU stale instead and bulk-invalidates on
+// rejoin.
+func (s *Shootdown) Fenced(t int) bool {
+	return s.health[t] == Quarantined || s.health[t] == Degraded
+}
+
+// Stale reports whether CPU t may hold stale authority: it missed at
+// least one invalidation (fenced during a shootdown, or quarantined
+// with requests outstanding) and has not been rejoined since.
+func (s *Shootdown) Stale(t int) bool { return s.stale[t] }
+
+// Trusted reports whether CPU t's private structures can be believed:
+// it holds no missed invalidations. A quarantined CPU is always stale
+// (quarantine marks it so) and hence untrusted until rejoined; a
+// degraded CPU alternates — untrusted whenever a shootdown had to skip
+// it, trusted again right after each rejoin purge (flush-on-switch
+// semantics: it stays fenced from delivery, but a freshly purged CPU
+// holds no stale authority).
+func (s *Shootdown) Trusted(t int) bool { return !s.stale[t] }
+
+// MarkStale records that CPU t missed an invalidation (the kernel
+// skipped it during a shootdown because it was fenced).
+func (s *Shootdown) MarkStale(t int) { s.stale[t] = true }
+
+// Rejoin readmits CPU t after the kernel bulk-invalidated its private
+// structures: the CPU holds no state, so it is no longer stale, and a
+// quarantine is lifted. A degraded CPU stays degraded — the purge makes
+// it safe to execute on, but it is never again trusted to acknowledge
+// volleys (flush-on-switch semantics).
+func (s *Shootdown) Rejoin(t int) {
+	s.stale[t] = false
+	s.consecTO[t] = 0
+	if s.health[t] == Quarantined || s.health[t] == Suspect {
+		s.health[t] = Healthy
+	}
+}
+
+// DropPending discards everything queued for CPU t (the kernel is
+// about to bulk-invalidate t's structures, so in-flight invalidations
+// for it are moot).
+func (s *Shootdown) DropPending(t int) {
+	s.queue[t] = nil
+	s.delayed[t] = nil
+	for k := range s.pend[t] {
+		delete(s.pend[t], k)
+	}
+}
 
 // Enqueue queues r for delivery to CPU target at the next Flush.
 // Identical requests already pending for the target coalesce away.
@@ -238,70 +478,260 @@ func (s *Shootdown) Pending(target int) int {
 	return len(s.queue[target]) + len(s.delayed[target])
 }
 
-// Flush delivers every pending batch: one IPI per target CPU, then the
-// batch's requests applied in enqueue order on that CPU's structures.
-// Requests a FaultHook delayed earlier are redelivered first.
+// Flush delivers every pending batch: one IPI per target CPU that
+// receives at least one request, the batch applied in enqueue order on
+// that CPU's structures. Fire-and-forget mode redelivers requests a
+// FaultHook delayed earlier ahead of the new batch; the acknowledged
+// protocol instead retries unacknowledged requests inline with capped
+// exponential backoff and quarantines targets that exhaust the budget.
 func (s *Shootdown) Flush() {
 	for t := 0; t < s.ncpu; t++ {
-		if len(s.delayed[t]) > 0 {
-			// Redeliver late IPIs ahead of this flush's batch, preserving
-			// coalescing against it. Redeliveries are not new requests.
-			late := s.delayed[t]
-			s.delayed[t] = nil
-			pending := s.queue[t]
-			s.queue[t] = nil
-			for k := range s.pend[t] {
-				delete(s.pend[t], k)
-			}
-			for _, r := range late {
-				s.enqueue(t, r)
-			}
-			for _, r := range pending {
-				s.enqueue(t, r)
-			}
+		if s.proto != nil {
+			s.flushAcked(t)
+		} else {
+			s.flushFireAndForget(t)
 		}
-		batch := s.queue[t]
-		if len(batch) == 0 {
-			continue
-		}
+	}
+}
+
+// takeBatch claims CPU t's queued batch (merging in any delayed
+// redeliveries first, preserving coalescing) and clears the queue.
+func (s *Shootdown) takeBatch(t int) []Request {
+	if len(s.delayed[t]) > 0 {
+		// Redeliver late IPIs ahead of this flush's batch, preserving
+		// coalescing against it. Redeliveries are not new requests.
+		late := s.delayed[t]
+		s.delayed[t] = nil
+		pending := s.queue[t]
 		s.queue[t] = nil
 		for k := range s.pend[t] {
 			delete(s.pend[t], k)
 		}
-		s.nIPIs.Inc()
-		ipi := s.costs().IPI
-		s.cycles.Add(ipi)
-		s.ipiCycles.Add(ipi)
-		start := s.handler.CPUCycles(t)
-		for _, r := range batch {
-			if s.fault != nil {
-				switch s.fault(t, r) {
-				case FaultDrop:
-					s.nDropped.Inc()
-					continue
-				case FaultDelay:
-					s.nDelayed.Inc()
-					s.delayed[t] = append(s.delayed[t], r)
-					continue
-				}
-			}
-			affected := s.handler.ApplyShootdown(t, r)
-			s.nDelivered.Inc()
-			s.nRemoteInv.Add(uint64(affected))
+		for _, r := range late {
+			s.enqueue(t, r)
 		}
-		s.remCycles.Add(s.handler.CPUCycles(t) - start)
+		for _, r := range pending {
+			s.enqueue(t, r)
+		}
+	}
+	batch := s.queue[t]
+	if len(batch) == 0 {
+		return nil
+	}
+	s.queue[t] = nil
+	for k := range s.pend[t] {
+		delete(s.pend[t], k)
+	}
+	return batch
+}
+
+// chargeIPI charges one delivered interrupt to the initiator.
+// retrans marks it as a retransmission volley for the overhead split.
+func (s *Shootdown) chargeIPI(retrans bool) {
+	s.nIPIs.Inc()
+	ipi := s.costs().IPI
+	s.cycles.Add(ipi)
+	s.ipiCycles.Add(ipi)
+	if retrans {
+		s.retransCyc.Add(ipi)
 	}
 }
 
-// Reset discards all pending and delayed requests (hardware recovery:
-// the kernel is about to rebuild every CPU's structures from scratch,
-// so in-flight invalidations are moot).
+// flushFireAndForget is the legacy unacknowledged delivery: faults are
+// final (a dropped request is lost, a delayed one is deferred to the
+// next flush). The IPI is charged only if the volley actually reached
+// the target — a fully dropped batch is a lost interrupt, the target
+// never traps, and a delayed-then-delivered request pays its IPI at
+// the flush that delivers it, never twice.
+func (s *Shootdown) flushFireAndForget(t int) {
+	batch := s.takeBatch(t)
+	if len(batch) == 0 {
+		return
+	}
+	arrived := false
+	start := s.handler.CPUCycles(t)
+	for _, r := range batch {
+		verdict := FaultNone
+		if s.fault != nil {
+			verdict = s.fault(t, r)
+		}
+		switch verdict {
+		case FaultDrop:
+			s.nDropped.Inc()
+			continue
+		case FaultDelay:
+			s.nDelayed.Inc()
+			s.delayed[t] = append(s.delayed[t], r)
+			continue
+		case FaultAckLoss:
+			// No acks to lose in fire-and-forget; count the injection
+			// and deliver normally.
+			s.nAckLost.Inc()
+		}
+		arrived = true
+		affected := s.handler.ApplyShootdown(t, r)
+		s.nDelivered.Inc()
+		s.nRemoteInv.Add(uint64(affected))
+	}
+	s.remCycles.Add(s.handler.CPUCycles(t) - start)
+	if arrived {
+		s.chargeIPI(false)
+	}
+}
+
+// ackedReq is a request in flight under the acknowledged protocol.
+// applied means the target has performed it but the initiator has not
+// seen the ack; a retransmission of an applied request is suppressed by
+// the target's volley sequence check instead of re-applied.
+type ackedReq struct {
+	req     Request
+	applied bool
+}
+
+// flushAcked runs the acknowledged protocol for CPU t's batch: volleys
+// with per-request ack tracking, timeout + capped-backoff retransmits,
+// and quarantine when the retry budget runs out. The loop always
+// terminates within MaxRetries+1 volleys: every request is either
+// acknowledged or the target is quarantined.
+func (s *Shootdown) flushAcked(t int) {
+	batch := s.takeBatch(t)
+	if len(batch) == 0 {
+		return
+	}
+	if s.Fenced(t) {
+		// The kernel normally skips fenced targets before enqueueing;
+		// anything that slips through is discarded and the target
+		// stays stale until rejoin.
+		s.nFencedDisc.Add(uint64(len(batch)))
+		s.stale[t] = true
+		return
+	}
+	pending := make([]ackedReq, len(batch))
+	for i, r := range batch {
+		pending[i] = ackedReq{req: r}
+	}
+	timeout := s.proto.AckTimeout
+	for attempt := 0; ; attempt++ {
+		if attempt > s.proto.MaxRetries {
+			s.quarantine(t, len(pending))
+			return
+		}
+		s.seq[t]++
+		if attempt > 0 {
+			s.nRetrans.Add(uint64(len(pending)))
+		}
+		arrived := false
+		var keep []ackedReq
+		start := s.handler.CPUCycles(t)
+		for _, p := range pending {
+			verdict := FaultNone
+			if s.fault != nil {
+				verdict = s.fault(t, p.req)
+			}
+			if verdict == FaultDrop {
+				// Lost in transit: never reached the target.
+				s.nDropped.Inc()
+				keep = append(keep, p)
+				continue
+			}
+			arrived = true
+			if p.applied {
+				// Retransmitted copy of a request the target already
+				// performed: the volley sequence number identifies the
+				// duplicate and the target suppresses the re-apply,
+				// only resending the ack.
+				s.nDupSup.Inc()
+				if verdict == FaultNone {
+					s.nAcks.Inc()
+					continue
+				}
+				if verdict == FaultDelay {
+					s.nDelayed.Inc()
+				} else {
+					s.nAckLost.Inc()
+				}
+				keep = append(keep, p)
+				continue
+			}
+			affected := s.handler.ApplyShootdown(t, p.req)
+			s.nDelivered.Inc()
+			s.nRemoteInv.Add(uint64(affected))
+			switch verdict {
+			case FaultNone:
+				s.nAcks.Inc()
+			case FaultDelay:
+				// Slow responder: applied, but the ack misses the
+				// timeout window and the initiator retries anyway.
+				s.nDelayed.Inc()
+				keep = append(keep, ackedReq{req: p.req, applied: true})
+			case FaultAckLoss:
+				s.nAckLost.Inc()
+				keep = append(keep, ackedReq{req: p.req, applied: true})
+			}
+		}
+		s.remCycles.Add(s.handler.CPUCycles(t) - start)
+		if arrived {
+			s.chargeIPI(attempt > 0)
+		}
+		pending = keep
+		if len(pending) == 0 {
+			// Whole volley acknowledged: the target answered, so any
+			// suspicion is cleared.
+			s.consecTO[t] = 0
+			if s.health[t] == Suspect {
+				s.health[t] = Healthy
+			}
+			return
+		}
+		// Unacknowledged work remains: the initiator waits out the ack
+		// timeout, then retransmits with doubled (capped) backoff.
+		s.nTimeouts.Inc()
+		s.cycles.Add(timeout)
+		s.toCycles.Add(timeout)
+		s.consecTO[t]++
+		if s.health[t] == Healthy && s.consecTO[t] >= s.proto.SuspectAfter {
+			s.health[t] = Suspect
+			s.nSuspects.Inc()
+		}
+		timeout *= 2
+		if timeout > s.proto.BackoffLimit {
+			timeout = s.proto.BackoffLimit
+		}
+	}
+}
+
+// quarantine fences CPU t after it exhausted the retry budget. Its
+// unacknowledged requests are discarded (it is stale until rejoin) and
+// repeated quarantines degrade it permanently.
+func (s *Shootdown) quarantine(t, dropped int) {
+	s.nQuar.Inc()
+	s.quarCount[t]++
+	s.stale[t] = true
+	s.nFencedDisc.Add(uint64(dropped))
+	if s.quarCount[t] >= s.proto.DegradeAfter {
+		s.health[t] = Degraded
+		s.nDegraded.Inc()
+	} else {
+		s.health[t] = Quarantined
+	}
+}
+
+// Reset discards all pending and delayed requests and clears transient
+// health state (hardware recovery: the kernel is about to rebuild every
+// CPU's structures from scratch, so in-flight invalidations are moot
+// and nothing is stale afterwards). Degradation is sticky — a CPU that
+// proved persistently unresponsive stays on flush-on-switch semantics.
 func (s *Shootdown) Reset() {
 	for t := 0; t < s.ncpu; t++ {
 		s.queue[t] = nil
 		s.delayed[t] = nil
 		for k := range s.pend[t] {
 			delete(s.pend[t], k)
+		}
+		s.stale[t] = false
+		s.consecTO[t] = 0
+		if s.health[t] == Quarantined || s.health[t] == Suspect {
+			s.health[t] = Healthy
 		}
 	}
 }

@@ -114,9 +114,63 @@ func TestFaultDrop(t *testing.T) {
 	if ctrs.Get("smp.ipi_dropped") != 1 || ctrs.Get("smp.delivered") != 1 {
 		t.Fatalf("counters: %v", ctrs.Snapshot())
 	}
+	// The volley still reached the target (one request arrived), so
+	// exactly one IPI was charged.
+	if ctrs.Get("smp.ipis") != 1 {
+		t.Fatalf("ipis = %d, want 1", ctrs.Get("smp.ipis"))
+	}
 	// The drop is permanent: nothing pending for redelivery.
 	if s.Pending(1) != 0 {
 		t.Fatal("dropped request still pending")
+	}
+}
+
+// TestIPICostParity is the fault-path cost-accounting regression test:
+// a delayed-then-delivered request charges the IPI cost exactly once
+// (at the flush that delivers it), and a dropped request not at all —
+// a fully dropped volley is a lost interrupt, so the target never traps.
+func TestIPICostParity(t *testing.T) {
+	ipi := cpu.DefaultCosts().IPI
+
+	// Dropped: zero IPIs, zero initiator cycles.
+	s, h, ctrs, cyc := newTestShootdown(2)
+	s.SetFault(func(int, Request) Fault { return FaultDrop })
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush()
+	if len(h.applied[1]) != 0 {
+		t.Fatal("dropped request was applied")
+	}
+	if got := ctrs.Get("smp.ipis"); got != 0 {
+		t.Fatalf("dropped volley charged %d IPIs, want 0", got)
+	}
+	if cyc.Total() != 0 || ctrs.Get("smp.ipi_cycles") != 0 {
+		t.Fatalf("dropped volley charged %d cycles, want 0", cyc.Total())
+	}
+
+	// Delayed then delivered: exactly one IPI across both flushes.
+	s, h, ctrs, cyc = newTestShootdown(2)
+	armed := true
+	s.SetFault(func(int, Request) Fault {
+		if armed {
+			return FaultDelay
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush() // delayed: no interrupt reached CPU 1
+	if got := ctrs.Get("smp.ipis"); got != 0 {
+		t.Fatalf("delayed volley charged %d IPIs, want 0", got)
+	}
+	armed = false
+	s.Flush() // redelivered now
+	if len(h.applied[1]) != 1 {
+		t.Fatalf("applied = %v", h.applied[1])
+	}
+	if got := ctrs.Get("smp.ipis"); got != 1 {
+		t.Fatalf("delayed-then-delivered charged %d IPIs, want exactly 1", got)
+	}
+	if cyc.Total() != ipi || ctrs.Get("smp.ipi_cycles") != ipi {
+		t.Fatalf("delayed-then-delivered charged %d cycles, want %d", cyc.Total(), ipi)
 	}
 }
 
@@ -181,4 +235,234 @@ func TestNewValidation(t *testing.T) {
 		}
 	}()
 	New(0, newFakeHandler(1), cpu.DefaultCosts, &stats.Counters{}, &stats.Cycles{})
+}
+
+// testProto is a small, fast-converging tuning for protocol tests.
+func testProto() ProtocolConfig {
+	return ProtocolConfig{
+		AckTimeout:   100,
+		MaxRetries:   2,
+		BackoffLimit: 150,
+		SuspectAfter: 2,
+		DegradeAfter: 2,
+	}
+}
+
+// TestProtocolFaultFreeParity: on a lossless interconnect the
+// acknowledged protocol must cost exactly the same as fire-and-forget —
+// same IPIs, same cycles, no timeouts, no retransmissions.
+func TestProtocolFaultFreeParity(t *testing.T) {
+	run := func(acked bool) (*stats.Counters, *stats.Cycles, *fakeHandler) {
+		s, h, ctrs, cyc := newTestShootdown(4)
+		if acked {
+			s.EnableProtocol(testProto())
+		}
+		s.Enqueue(1, req(InvalRights, 3, 0x10))
+		s.Enqueue(1, req(Unmap, 0, 0x20))
+		s.Enqueue(2, req(Unmap, 0, 0x20))
+		s.Flush()
+		s.Enqueue(1, req(UpdateRights, 3, 0x11))
+		s.Flush()
+		return ctrs, cyc, h
+	}
+	base, baseCyc, baseH := run(false)
+	got, gotCyc, gotH := run(true)
+	for _, key := range []string{"smp.ipis", "smp.ipi_cycles", "smp.delivered", "smp.remote_cycles"} {
+		if base.Get(key) != got.Get(key) {
+			t.Errorf("%s: protocol %d, fire-and-forget %d", key, got.Get(key), base.Get(key))
+		}
+	}
+	if baseCyc.Total() != gotCyc.Total() {
+		t.Errorf("cycles: protocol %d, fire-and-forget %d", gotCyc.Total(), baseCyc.Total())
+	}
+	if len(gotH.applied[1]) != len(baseH.applied[1]) {
+		t.Errorf("applied: protocol %d, fire-and-forget %d", len(gotH.applied[1]), len(baseH.applied[1]))
+	}
+	for _, key := range []string{"smp.timeouts", "smp.retransmits", "smp.quarantines", "smp.dup_suppressed", "smp.timeout_cycles", "smp.retransmit_cycles"} {
+		if got.Get(key) != 0 {
+			t.Errorf("fault-free protocol run has %s = %d, want 0", key, got.Get(key))
+		}
+	}
+	if got.Get("smp.acks") != got.Get("smp.delivered") {
+		t.Errorf("acks %d != delivered %d", got.Get("smp.acks"), got.Get("smp.delivered"))
+	}
+}
+
+// TestProtocolRetryAfterDrop: a request lost in transit is
+// retransmitted and acknowledged; the lost volley charges no IPI (the
+// target never trapped) but does charge the ack timeout.
+func TestProtocolRetryAfterDrop(t *testing.T) {
+	s, h, ctrs, cyc := newTestShootdown(2)
+	p := testProto()
+	s.EnableProtocol(p)
+	first := true
+	s.SetFault(func(int, Request) Fault {
+		if first {
+			first = false
+			return FaultDrop
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush()
+	if len(h.applied[1]) != 1 {
+		t.Fatalf("applied = %v", h.applied[1])
+	}
+	if ctrs.Get("smp.ipis") != 1 || ctrs.Get("smp.retransmits") != 1 ||
+		ctrs.Get("smp.timeouts") != 1 || ctrs.Get("smp.acks") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+	wantCyc := cpu.DefaultCosts().IPI + p.AckTimeout
+	if cyc.Total() != wantCyc {
+		t.Fatalf("cycles = %d, want %d (one delivered IPI + one timeout)", cyc.Total(), wantCyc)
+	}
+	if s.CPUHealth(1) != Healthy {
+		t.Fatalf("health = %v, want healthy after successful retry", s.CPUHealth(1))
+	}
+}
+
+// TestProtocolAckLossSuppressesDuplicate: when only the ack is lost the
+// target has already applied the request; the retransmission must be
+// sequence-suppressed, not re-applied.
+func TestProtocolAckLossSuppressesDuplicate(t *testing.T) {
+	s, h, ctrs, _ := newTestShootdown(2)
+	s.EnableProtocol(testProto())
+	first := true
+	s.SetFault(func(int, Request) Fault {
+		if first {
+			first = false
+			return FaultAckLoss
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush()
+	if len(h.applied[1]) != 1 {
+		t.Fatalf("applied %d times, want exactly 1 (idempotent dedup)", len(h.applied[1]))
+	}
+	if ctrs.Get("smp.ack_lost") != 1 || ctrs.Get("smp.dup_suppressed") != 1 ||
+		ctrs.Get("smp.acks") != 1 || ctrs.Get("smp.delivered") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+	// Both volleys reached the target: two IPIs, one a retransmission.
+	if ctrs.Get("smp.ipis") != 2 || ctrs.Get("smp.retransmit_cycles") != cpu.DefaultCosts().IPI {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+}
+
+// TestProtocolQuarantineAndRejoin: a dead target exhausts the retry
+// budget, is quarantined with its requests discarded, is fenced from
+// later flushes, and is readmitted by Rejoin.
+func TestProtocolQuarantineAndRejoin(t *testing.T) {
+	s, h, ctrs, cyc := newTestShootdown(2)
+	p := testProto()
+	s.EnableProtocol(p)
+	s.SetFault(func(target int, _ Request) Fault {
+		if target == 1 {
+			return FaultDrop
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush()
+	if len(h.applied[1]) != 0 {
+		t.Fatal("dead CPU applied a request")
+	}
+	if s.CPUHealth(1) != Quarantined || !s.Fenced(1) || !s.Stale(1) || s.Trusted(1) {
+		t.Fatalf("health = %v fenced=%v stale=%v", s.CPUHealth(1), s.Fenced(1), s.Stale(1))
+	}
+	// MaxRetries+1 volleys, all dropped: no IPIs, one timeout each.
+	if ctrs.Get("smp.ipis") != 0 || ctrs.Get("smp.timeouts") != uint64(p.MaxRetries+1) ||
+		ctrs.Get("smp.quarantines") != 1 || ctrs.Get("smp.fenced_discards") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
+	// Timeout backoff: 100, then 150 (capped), then 150.
+	if want := uint64(100 + 150 + 150); cyc.Total() != want || ctrs.Get("smp.timeout_cycles") != want {
+		t.Fatalf("timeout cycles = %d, want %d", cyc.Total(), want)
+	}
+	if ctrs.Get("smp.suspects") != 1 {
+		t.Fatalf("suspects = %d, want 1", ctrs.Get("smp.suspects"))
+	}
+	// Fenced: a later flush discards instead of retrying.
+	s.Enqueue(1, req(Unmap, 0, 0x20))
+	s.Flush()
+	if got := ctrs.Get("smp.fenced_discards"); got != 2 {
+		t.Fatalf("fenced_discards = %d, want 2", got)
+	}
+	// Rejoin readmits it; with the fault cleared delivery works again.
+	s.SetFault(nil)
+	s.Rejoin(1)
+	if !s.Trusted(1) || s.CPUHealth(1) != Healthy {
+		t.Fatalf("after rejoin: health = %v trusted=%v", s.CPUHealth(1), s.Trusted(1))
+	}
+	s.Enqueue(1, req(Unmap, 0, 0x30))
+	s.Flush()
+	if len(h.applied[1]) != 1 {
+		t.Fatal("rejoined CPU did not receive the new request")
+	}
+}
+
+// TestProtocolDegradation: repeated quarantines permanently degrade the
+// CPU; Rejoin and Reset clear staleness but not degradation.
+func TestProtocolDegradation(t *testing.T) {
+	s, _, ctrs, _ := newTestShootdown(2)
+	s.EnableProtocol(testProto()) // DegradeAfter: 2
+	s.SetFault(func(target int, _ Request) Fault {
+		if target == 1 {
+			return FaultDrop
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush() // quarantine #1
+	if s.CPUHealth(1) != Quarantined {
+		t.Fatalf("health = %v, want quarantined", s.CPUHealth(1))
+	}
+	s.Rejoin(1)
+	s.Enqueue(1, req(InvalRights, 1, 0x11))
+	s.Flush() // quarantine #2 -> degraded
+	if s.CPUHealth(1) != Degraded || ctrs.Get("smp.degraded") != 1 {
+		t.Fatalf("health = %v degraded=%d, want degraded/1", s.CPUHealth(1), ctrs.Get("smp.degraded"))
+	}
+	// Degradation survives both Rejoin and Reset; staleness does not.
+	s.Rejoin(1)
+	if s.CPUHealth(1) != Degraded || s.Stale(1) {
+		t.Fatalf("rejoin changed degradation: %v stale=%v", s.CPUHealth(1), s.Stale(1))
+	}
+	// Flush-on-switch semantics: the rejoin purge makes the degraded CPU
+	// trustworthy again (it holds nothing), though it stays fenced.
+	if !s.Trusted(1) {
+		t.Fatal("degraded CPU untrusted right after its rejoin purge")
+	}
+	s.Reset()
+	if s.CPUHealth(1) != Degraded {
+		t.Fatalf("Reset cleared degradation: %v", s.CPUHealth(1))
+	}
+	if !s.Fenced(1) {
+		t.Fatal("degraded CPU not fenced")
+	}
+}
+
+// TestProtocolSlowResponder: a delayed ack means the request was
+// applied; the retransmission is suppressed and the late ack lands.
+func TestProtocolSlowResponder(t *testing.T) {
+	s, h, ctrs, _ := newTestShootdown(2)
+	s.EnableProtocol(testProto())
+	slow := 0
+	s.SetFault(func(int, Request) Fault {
+		slow++
+		if slow == 1 {
+			return FaultDelay
+		}
+		return FaultNone
+	})
+	s.Enqueue(1, req(InvalRights, 1, 0x10))
+	s.Flush()
+	if len(h.applied[1]) != 1 {
+		t.Fatalf("applied %d times, want 1", len(h.applied[1]))
+	}
+	if ctrs.Get("smp.ipi_delayed") != 1 || ctrs.Get("smp.dup_suppressed") != 1 ||
+		ctrs.Get("smp.acks") != 1 || ctrs.Get("smp.timeouts") != 1 {
+		t.Fatalf("counters: %v", ctrs.Snapshot())
+	}
 }

@@ -181,7 +181,7 @@ func TestDriverOnAllMachines(t *testing.T) {
 	recs := g.SharedMix(DefaultSharedMix())
 	os := NewOpenOS(addr.BaseGeometry(), nil)
 	machines := []machine.Machine{
-		machine.NewPLB(machine.DefaultPLBConfig(), os),
+		machine.MustPLB(machine.DefaultPLBConfig(), os),
 		machine.NewPG(machine.DefaultPGConfig(), os),
 		machine.NewConventional(machine.DefaultConvConfig(), os),
 		machine.NewFlush(machine.DefaultConvConfig(), os),
@@ -245,7 +245,7 @@ func TestReplayPropertyAllMachines(t *testing.T) {
 			}
 		}
 		machines := []machine.Machine{
-			machine.NewPLB(machine.DefaultPLBConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
+			machine.MustPLB(machine.DefaultPLBConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
 			machine.NewPG(machine.DefaultPGConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
 			machine.NewConventional(machine.DefaultConvConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
 			machine.NewFlush(machine.DefaultConvConfig(), NewOpenOS(addr.BaseGeometry(), nil)),
