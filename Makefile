@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-hot bench-smp tables bench-report baseline chaos chaos-short
+.PHONY: all build test race check fmt vet lint bench bench-suite bench-hot bench-smp tables bench-report baseline parity chaos chaos-short
 
 all: check
 
@@ -40,8 +40,20 @@ lint:
 # suite under the race detector.
 check: fmt vet lint build race
 
+# bench is the quick smoke sweep: one iteration of every benchmark, so a
+# broken benchmark fails fast. Its numbers are NOT comparable between
+# runs (one iteration measures mostly warm-up) — use bench-suite for
+# before/after timing.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$'
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-suite measures BenchmarkRunAllSerial with a fixed iteration count
+# and repetition, the configuration to quote when comparing fast-path or
+# harness changes: -benchtime 3x amortizes warm-up, -count 5 exposes
+# run-to-run spread (feed the output to benchstat if installed). Pin CPU
+# frequency scaling before trusting small deltas.
+bench-suite:
+	$(GO) test -bench BenchmarkRunAllSerial -benchtime 3x -count 5 -run '^$$' .
 
 # bench-hot measures the simulator's access-path micro-benchmarks with
 # allocation reporting. The warm access path must stay at 0 allocs/op
@@ -68,6 +80,17 @@ bench-report:
 # deliberate cost-model or experiment change moves simulated cycles.
 baseline:
 	$(GO) run ./cmd/benchreport -parallel 4 -o BENCH_baseline.json
+
+# parity is the fast-path parity gate, runnable locally: sweep the suite
+# with the verdict fast path off and on, write the deterministic parity
+# surfaces (sim cycles + counters, no wall/host noise), and require them
+# byte-identical. The on-leg also enforces the E1 warm-hit floor.
+parity:
+	$(GO) run ./cmd/benchreport -parallel 4 -o '' -fastpath=false -surface parity-off.surface
+	$(GO) run ./cmd/benchreport -parallel 4 -o '' -fastpath=true -surface parity-on.surface -min-warm-hit 80
+	diff parity-off.surface parity-on.surface
+	@rm -f parity-off.surface parity-on.surface
+	@echo "parity: surfaces byte-identical with fast path on/off"
 
 # chaos runs the deterministic fault campaign: every experiment under
 # every fault scenario, with the shadow protection oracle verifying

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
+	"repro/internal/fastpath"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/netsim"
@@ -54,7 +55,10 @@ func main() {
 	flag.IntVar(&d.crashNode, "crash-node", 0, "dsm: crash this node mid-run (0 disables; node 0 cannot crash)")
 	flag.IntVar(&d.crashAt, "crash-at", 0, "dsm: round after which -crash-node fails")
 	flag.Int64Var(&d.seed, "seed", 1, "seed for workload randomness and fault plans (dsm and -ipi-*)")
+	fastPath := flag.Bool("fastpath", true, "enable the verdict fast path (simulated results are identical either way; hit rates print when enabled)")
 	flag.Parse()
+
+	fastpath.SetEnabled(*fastPath)
 
 	if *traceFile != "" {
 		if err := replay(*traceFile, *machName); err != nil {
@@ -231,6 +235,7 @@ func runWorkload(name, modelName string, cpus int, incremental bool, ipi ipiOpts
 	fmt.Printf("workload %s on %s (%d CPUs)\n\nreport: %+v\n\nmachine counters:\n%s\nkernel counters:\n%s",
 		name, m, k.NumCPUs(), rep, k.Machine().Counters(), k.Counters())
 	fmt.Printf("machine cycles: %d (all CPUs: %d)\nkernel cycles:  %d\n", k.Machine().Cycles(), k.TotalCycles(), k.Cycles())
+	printFastPath(k)
 	if k.ShootdownProtocolEnabled() {
 		c := k.Counters()
 		fmt.Printf("\nshootdown protocol: acks=%d retransmits=%d timeouts=%d quarantines=%d dup_suppressed=%d rejoins=%d\n",
@@ -252,6 +257,26 @@ func runWorkload(name, modelName string, cpus int, incremental bool, ipi ipiOpts
 			dsmRep.Crashes, dsmRep.CheckpointSaves, dsmRep.RecoveredPages, dsmRep.StoreFetches, dsmRep.RecoveryCycles)
 	}
 	return nil
+}
+
+// printFastPath reports the verdict fast path's merged hit-rate
+// diagnostics across the kernel's CPUs (nothing prints when disabled or
+// when no machine recorded activity).
+func printFastPath(k *kernel.Kernel) {
+	if !fastpath.Enabled() {
+		return
+	}
+	var fp fastpath.Stats
+	for i := 0; i < k.NumCPUs(); i++ {
+		if f, ok := k.MachineAt(i).(machine.FastPathed); ok {
+			fp.Add(f.FastPathStats())
+		}
+	}
+	if fp.Hits+fp.Misses == 0 {
+		return
+	}
+	fmt.Printf("\nverdict fast path: hits=%d misses=%d installs=%d invalidations=%d hit-rate=%.1f%% warm-hit-rate=%.1f%%\n",
+		fp.Hits, fp.Misses, fp.Installs, fp.Invalidations, fp.HitRate()*100, fp.WarmHitRate()*100)
 }
 
 func replay(path, machName string) error {

@@ -8,6 +8,15 @@
 // LRU, FIFO, or pseudo-random. Selective purge by predicate models the
 // operations single address space kernels need (e.g. purging one domain's
 // or one segment's entries from a PLB on detach).
+//
+// Two implementation details keep the simulator's hot paths cheap without
+// changing observable behavior:
+//
+//   - All ways live in one backing slab allocated by New, so constructing
+//     a structure costs one allocation regardless of set count.
+//   - PurgeAll bumps a generation counter instead of scanning: an entry is
+//     live only when its generation matches the structure's, so a full
+//     purge is O(1) while every per-entry operation is unchanged.
 package assoc
 
 import (
@@ -71,6 +80,7 @@ type entry[K comparable, V any] struct {
 	key      K
 	val      V
 	valid    bool
+	gen      uint64 // live iff valid && gen == cache gen
 	lastUse  uint64 // LRU timestamp
 	inserted uint64 // FIFO timestamp
 }
@@ -82,9 +92,26 @@ type Cache[K comparable, V any] struct {
 	index   func(K) uint64
 	sets    [][]entry[K, V]
 	tick    uint64
+	gen     uint64
 	size    int
 	rng     *rand.Rand
 	onEvict func(K, V)
+
+	// lastSet/lastWay record the slot of the most recent Lookup hit or
+	// Insert, so a caller that just took the structural path can learn
+	// where its entry landed without a second scan (LastSlot). Consumers
+	// must re-validate the slot with PeekAt before trusting it.
+	lastSet, lastWay int32
+
+	// idx maps key → way for large fully-associative structures, turning
+	// the per-access way scan into one map probe. Pure host-side
+	// acceleration: every probe validates the slot (live + key match), so
+	// stale index entries — left behind by PurgeAll's generation bump or
+	// by predicate purges — read as misses, exactly as the scan would.
+	// The invariant is one-way: a live entry always has a current index
+	// entry (maintained by Insert/Invalidate/PurgeIf), but an index entry
+	// may point at a dead or reused slot.
+	idx map[K]int32
 }
 
 // New creates a Cache with the given configuration. index maps a key to a
@@ -103,13 +130,41 @@ func New[K comparable, V any](cfg Config, index func(K) uint64) *Cache[K, V] {
 		index: index,
 		sets:  make([][]entry[K, V], cfg.Sets),
 	}
+	slab := make([]entry[K, V], cfg.Sets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]entry[K, V], cfg.Ways)
+		c.sets[i] = slab[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	if cfg.Policy == Random {
 		c.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
+	// Index large fully-associative structures (the 128-way PLB and TLB
+	// organizations); small sets scan faster than they hash.
+	if cfg.Sets == 1 && cfg.Ways >= 64 {
+		c.idx = make(map[K]int32, cfg.Ways)
+	}
 	return c
+}
+
+// find returns the way of the live entry for k in set si, or -1.
+func (c *Cache[K, V]) find(si int, k K) int {
+	set := c.sets[si]
+	if c.idx != nil {
+		w, ok := c.idx[k]
+		if !ok {
+			return -1
+		}
+		e := &set[w]
+		if c.live(e) && e.key == k {
+			return int(w)
+		}
+		return -1
+	}
+	for i := range set {
+		if c.live(&set[i]) && set[i].key == k {
+			return i
+		}
+	}
+	return -1
 }
 
 // OnEvict registers a callback invoked whenever a valid entry is displaced
@@ -126,38 +181,94 @@ func (c *Cache[K, V]) Len() int { return c.size }
 // Capacity returns Sets*Ways.
 func (c *Cache[K, V]) Capacity() int { return c.cfg.Capacity() }
 
-func (c *Cache[K, V]) setFor(k K) []entry[K, V] {
+func (c *Cache[K, V]) setIndex(k K) int {
 	if c.cfg.Sets == 1 {
-		return c.sets[0]
+		return 0
 	}
-	return c.sets[c.index(k)%uint64(c.cfg.Sets)]
+	return int(c.index(k) % uint64(c.cfg.Sets))
+}
+
+func (c *Cache[K, V]) setFor(k K) []entry[K, V] {
+	return c.sets[c.setIndex(k)]
+}
+
+// live reports whether the slot holds an entry that survived the most
+// recent PurgeAll.
+func (c *Cache[K, V]) live(e *entry[K, V]) bool {
+	return e.valid && e.gen == c.gen
 }
 
 // Lookup finds k, returning its value and whether it was present. A hit
 // refreshes the entry's LRU position.
 func (c *Cache[K, V]) Lookup(k K) (V, bool) {
 	c.tick++
-	set := c.setFor(k)
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].lastUse = c.tick
-			return set[i].val, true
-		}
+	si := c.setIndex(k)
+	if i := c.find(si, k); i >= 0 {
+		e := &c.sets[si][i]
+		e.lastUse = c.tick
+		c.lastSet, c.lastWay = int32(si), int32(i)
+		return e.val, true
 	}
 	var zero V
 	return zero, false
 }
 
+// LastSlot returns the slot of the most recent Lookup hit or Insert. The
+// slot may have been evicted or purged since; validate with PeekAt.
+func (c *Cache[K, V]) LastSlot() (set, way int) {
+	return int(c.lastSet), int(c.lastWay)
+}
+
 // Peek finds k without disturbing replacement state.
 func (c *Cache[K, V]) Peek(k K) (V, bool) {
-	set := c.setFor(k)
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			return set[i].val, true
-		}
+	si := c.setIndex(k)
+	if i := c.find(si, k); i >= 0 {
+		return c.sets[si][i].val, true
 	}
 	var zero V
 	return zero, false
+}
+
+// Locate finds the slot currently holding k without disturbing replacement
+// state, for later validation with PeekAt and replay with TouchAt.
+func (c *Cache[K, V]) Locate(k K) (set, way int, ok bool) {
+	set = c.setIndex(k)
+	if i := c.find(set, k); i >= 0 {
+		return set, i, true
+	}
+	return 0, 0, false
+}
+
+// PeekAt returns the value at (set, way) if that slot currently holds a
+// live entry for k, without disturbing replacement state. It is the
+// validation half of a located-slot fast path: a false result means the
+// slot was evicted, purged, or reused since Locate.
+func (c *Cache[K, V]) PeekAt(set, way int, k K) (V, bool) {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= c.cfg.Ways {
+		var zero V
+		return zero, false
+	}
+	e := &c.sets[set][way]
+	if c.live(e) && e.key == k {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// TouchAt replays the replacement side effect of a Lookup hit on the slot
+// (set, way): the global tick advances and the slot becomes most recently
+// used. The slot must hold a live entry, as established by PeekAt.
+func (c *Cache[K, V]) TouchAt(set, way int) {
+	c.tick++
+	c.sets[set][way].lastUse = c.tick
+}
+
+// UpdateAt rewrites the value at (set, way) in place, preserving
+// replacement state. The slot must hold a live entry, as established by
+// PeekAt.
+func (c *Cache[K, V]) UpdateAt(set, way int, v V) {
+	c.sets[set][way].val = v
 }
 
 // Insert adds or replaces the mapping for k. If an unrelated valid entry
@@ -165,20 +276,24 @@ func (c *Cache[K, V]) Peek(k K) (V, bool) {
 // Re-inserting an existing key updates it in place with no eviction.
 func (c *Cache[K, V]) Insert(k K, v V) (evictedKey K, evictedVal V, evicted bool) {
 	c.tick++
-	set := c.setFor(k)
+	si := c.setIndex(k)
+	set := c.sets[si]
 	// Update in place if present.
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].val = v
-			set[i].lastUse = c.tick
-			return evictedKey, evictedVal, false
-		}
+	if i := c.find(si, k); i >= 0 {
+		set[i].val = v
+		set[i].lastUse = c.tick
+		c.lastSet, c.lastWay = int32(si), int32(i)
+		return evictedKey, evictedVal, false
 	}
 	// Use an invalid way if one exists.
 	for i := range set {
-		if !set[i].valid {
-			set[i] = entry[K, V]{key: k, val: v, valid: true, lastUse: c.tick, inserted: c.tick}
+		if !c.live(&set[i]) {
+			set[i] = entry[K, V]{key: k, val: v, valid: true, gen: c.gen, lastUse: c.tick, inserted: c.tick}
 			c.size++
+			c.lastSet, c.lastWay = int32(si), int32(i)
+			if c.idx != nil {
+				c.idx[k] = int32(i)
+			}
 			return evictedKey, evictedVal, false
 		}
 	}
@@ -188,7 +303,12 @@ func (c *Cache[K, V]) Insert(k K, v V) (evictedKey K, evictedVal V, evicted bool
 	if c.onEvict != nil {
 		c.onEvict(evictedKey, evictedVal)
 	}
-	set[victim] = entry[K, V]{key: k, val: v, valid: true, lastUse: c.tick, inserted: c.tick}
+	set[victim] = entry[K, V]{key: k, val: v, valid: true, gen: c.gen, lastUse: c.tick, inserted: c.tick}
+	c.lastSet, c.lastWay = int32(si), int32(victim)
+	if c.idx != nil {
+		delete(c.idx, evictedKey)
+		c.idx[k] = int32(victim)
+	}
 	return evictedKey, evictedVal, true
 }
 
@@ -218,25 +338,24 @@ func (c *Cache[K, V]) chooseVictim(set []entry[K, V]) int {
 // Update modifies the value for k in place if present, preserving its
 // replacement state, and reports whether it was present.
 func (c *Cache[K, V]) Update(k K, v V) bool {
-	set := c.setFor(k)
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].val = v
-			return true
-		}
+	si := c.setIndex(k)
+	if i := c.find(si, k); i >= 0 {
+		c.sets[si][i].val = v
+		return true
 	}
 	return false
 }
 
 // Invalidate removes k and reports whether it was present.
 func (c *Cache[K, V]) Invalidate(k K) bool {
-	set := c.setFor(k)
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].valid = false
-			c.size--
-			return true
+	si := c.setIndex(k)
+	if i := c.find(si, k); i >= 0 {
+		c.sets[si][i].valid = false
+		c.size--
+		if c.idx != nil {
+			delete(c.idx, k)
 		}
+		return true
 	}
 	return false
 }
@@ -246,10 +365,13 @@ func (c *Cache[K, V]) Invalidate(k K) bool {
 // count models the cost of scanning a hardware structure entry by entry
 // (the paper's "inspect each entry in the PLB" detach cost).
 func (c *Cache[K, V]) PurgeIf(pred func(K, V) bool) (removed, inspected int) {
+	if c.size == 0 {
+		return 0, 0
+	}
 	for s := range c.sets {
 		set := c.sets[s]
 		for i := range set {
-			if !set[i].valid {
+			if !c.live(&set[i]) {
 				continue
 			}
 			inspected++
@@ -257,6 +379,9 @@ func (c *Cache[K, V]) PurgeIf(pred func(K, V) bool) (removed, inspected int) {
 				set[i].valid = false
 				c.size--
 				removed++
+				if c.idx != nil {
+					delete(c.idx, set[i].key)
+				}
 			}
 		}
 	}
@@ -267,10 +392,13 @@ func (c *Cache[K, V]) PurgeIf(pred func(K, V) bool) (removed, inspected int) {
 // preserving replacement state. It returns the number updated and the
 // number of valid entries inspected (the scan cost).
 func (c *Cache[K, V]) UpdateIf(pred func(K, V) bool, fn func(K, V) V) (updated, inspected int) {
+	if c.size == 0 {
+		return 0, 0
+	}
 	for s := range c.sets {
 		set := c.sets[s]
 		for i := range set {
-			if !set[i].valid {
+			if !c.live(&set[i]) {
 				continue
 			}
 			inspected++
@@ -283,18 +411,11 @@ func (c *Cache[K, V]) UpdateIf(pred func(K, V) bool, fn func(K, V) V) (updated, 
 	return updated, inspected
 }
 
-// PurgeAll removes every entry, returning how many were valid.
+// PurgeAll removes every entry, returning how many were valid. The purge
+// is O(1): the generation counter advances, orphaning every slot.
 func (c *Cache[K, V]) PurgeAll() int {
-	removed := 0
-	for s := range c.sets {
-		set := c.sets[s]
-		for i := range set {
-			if set[i].valid {
-				set[i].valid = false
-				removed++
-			}
-		}
-	}
+	removed := c.size
+	c.gen++
 	c.size = 0
 	return removed
 }
@@ -302,10 +423,13 @@ func (c *Cache[K, V]) PurgeAll() int {
 // ForEach calls fn on every valid entry, in unspecified order, until fn
 // returns false.
 func (c *Cache[K, V]) ForEach(fn func(K, V) bool) {
+	if c.size == 0 {
+		return
+	}
 	for s := range c.sets {
 		set := c.sets[s]
 		for i := range set {
-			if set[i].valid && !fn(set[i].key, set[i].val) {
+			if c.live(&set[i]) && !fn(set[i].key, set[i].val) {
 				return
 			}
 		}

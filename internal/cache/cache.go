@@ -67,6 +67,9 @@ type lineState struct {
 type VirtualCache struct {
 	cfg Config
 	c   *assoc.Cache[lineKey, lineState]
+	// nDirty tracks resident dirty lines so FlushAll reports its
+	// writeback count without scanning the structure.
+	nDirty int
 
 	nHit       stats.Handle
 	nMiss      stats.Handle
@@ -126,9 +129,34 @@ func (v *VirtualCache) Access(space addr.ASID, va addr.VA, store bool) bool {
 	if store && !st.dirty {
 		st.dirty = true
 		v.c.Update(k, st)
+		v.nDirty++
 	}
 	v.nHit.Inc()
 	return true
+}
+
+// ProbeLine locates the live line for va without any replacement or
+// counter side effects, for later replay with ReplayHit. ok is false on
+// a miss.
+func (v *VirtualCache) ProbeLine(space addr.ASID, va addr.VA) (set, way int, ok bool) {
+	return v.c.Locate(v.key(space, va))
+}
+
+// ReplayHit replays the exact side effects of an Access hit on the line
+// previously located by ProbeLine: the LRU touch, the conditional dirty
+// transition on a store, and the hit counter. The slot must still hold
+// the line for va (the caller validates with ProbeLine in the same
+// mutation-free window).
+func (v *VirtualCache) ReplayHit(set, way int, space addr.ASID, va addr.VA, store bool) {
+	k := v.key(space, va)
+	st, _ := v.c.PeekAt(set, way, k)
+	v.c.TouchAt(set, way)
+	if store && !st.dirty {
+		st.dirty = true
+		v.c.UpdateAt(set, way, st)
+		v.nDirty++
+	}
+	v.nHit.Inc()
 }
 
 // Fill installs the line for va after a miss, recording the physical frame
@@ -139,7 +167,11 @@ func (v *VirtualCache) Fill(space addr.ASID, va addr.VA, pfn addr.PFN, store boo
 	k := v.key(space, va)
 	_, victim, evicted := v.c.Insert(k, lineState{dirty: store, pfn: pfn})
 	v.nFill.Inc()
+	if store {
+		v.nDirty++
+	}
 	if evicted && victim.dirty {
+		v.nDirty--
 		v.nWriteback.Inc()
 		return true
 	}
@@ -170,20 +202,18 @@ func (v *VirtualCache) FlushPage(va addr.VA, geo addr.Geometry) (flushed, dirty 
 		return false
 	})
 	flushed = removed
+	v.nDirty -= dirty
 	v.nFlushLine.Add(uint64(flushed))
 	v.nFlushWB.Add(uint64(dirty))
 	return flushed, dirty
 }
 
 // FlushAll empties the cache (the context-switch flush of systems without
-// ASID tags), returning lines flushed and dirty writebacks.
+// ASID tags), returning lines flushed and dirty writebacks. Both counts
+// are tracked incrementally, so the flush itself is O(1).
 func (v *VirtualCache) FlushAll() (flushed, dirty int) {
-	v.c.ForEach(func(_ lineKey, st lineState) bool {
-		if st.dirty {
-			dirty++
-		}
-		return true
-	})
+	dirty = v.nDirty
+	v.nDirty = 0
 	flushed = v.c.PurgeAll()
 	v.nFlushLine.Add(uint64(flushed))
 	v.nFlushWB.Add(uint64(dirty))
@@ -323,6 +353,25 @@ func (p *PhysicalCache) Access(pa addr.PA, store bool) bool {
 	}
 	p.nHit.Inc()
 	return true
+}
+
+// ProbeLine locates the live line for pa without any replacement or
+// counter side effects, for later replay with ReplayHit.
+func (p *PhysicalCache) ProbeLine(pa addr.PA) (set, way int, ok bool) {
+	return p.c.Locate(uint64(pa) >> p.cfg.LineShift)
+}
+
+// ReplayHit replays the exact side effects of an Access hit on the line
+// previously located by ProbeLine (see VirtualCache.ReplayHit).
+func (p *PhysicalCache) ReplayHit(set, way int, pa addr.PA, store bool) {
+	line := uint64(pa) >> p.cfg.LineShift
+	st, _ := p.c.PeekAt(set, way, line)
+	p.c.TouchAt(set, way)
+	if store && !st.dirty {
+		st.dirty = true
+		p.c.UpdateAt(set, way, st)
+	}
+	p.nHit.Inc()
 }
 
 // Fill installs the line for pa after a miss.

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fastpath"
+)
+
+// FastPathParityDiff is the dual-execution parity mode behind the CI
+// fast-path gate: it runs the given experiments twice — once with the
+// verdict fast path disabled and once enabled — and reports every
+// divergence in simulated cycles, hardware counters, or rendered tables.
+// An empty slice means the fast path was observationally invisible: byte
+// for byte, the cached-verdict replays produced exactly the state the
+// structural path would have.
+//
+// The fast-path enable switch is global, so the two sweeps run one after
+// the other; each sweep may still use the parallel runner internally
+// (experiment results are deterministic under any parallelism).
+func FastPathParityDiff(exps []Experiment, parallelism int) ([]string, error) {
+	was := fastpath.Enabled()
+	defer fastpath.SetEnabled(was)
+
+	fastpath.SetEnabled(false)
+	off := RunExperiments(exps, parallelism)
+	fastpath.SetEnabled(true)
+	on := RunExperiments(exps, parallelism)
+
+	for _, err := range append(off.Failures, on.Failures...) {
+		return nil, fmt.Errorf("parity sweep failed: %w", err)
+	}
+
+	var diffs []string
+	for i := range off.Results {
+		a, b := off.Results[i], on.Results[i]
+		id := a.Experiment.ID
+		if a.SimCycles != b.SimCycles {
+			diffs = append(diffs, fmt.Sprintf(
+				"%s: sim cycles diverge: off=%d on=%d", id, a.SimCycles, b.SimCycles))
+		}
+		diffs = append(diffs, diffCounters(id, a.Counters, b.Counters)...)
+		if sa, sb := a.Section(), b.Section(); sa != sb {
+			diffs = append(diffs, fmt.Sprintf("%s: rendered tables diverge", id))
+		}
+	}
+	return diffs, nil
+}
+
+// diffCounters reports keys whose values differ between the off and on
+// sweeps, including keys present on only one side.
+func diffCounters(id string, off, on map[string]uint64) []string {
+	keys := make(map[string]bool, len(off)+len(on))
+	for k := range off {
+		keys[k] = true
+	}
+	for k := range on {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var diffs []string
+	for _, k := range names {
+		if off[k] != on[k] {
+			diffs = append(diffs, fmt.Sprintf(
+				"%s: counter %q diverges: off=%d on=%d", id, k, off[k], on[k]))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fastpath"
+)
+
+// TestFastPathParityAllExperiments is the dual-execution parity gate: the
+// full experiment suite must produce byte-identical simulated cycles,
+// hardware counters, and rendered tables with the verdict fast path on
+// and off. Any divergence means a cached verdict replayed something the
+// structural path would not have done — the one bug class the fast path
+// design must make impossible.
+func TestFastPathParityAllExperiments(t *testing.T) {
+	diffs, err := FastPathParityDiff(All(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Error(d)
+	}
+}
+
+// TestFastPathWarmHitRateFloor asserts the fast path actually earns its
+// keep on E1's warm loops: of the structurally warm accesses (replays
+// plus fresh installs), at least 80% must be served by verdict replay.
+// The floor uses WarmHitRate rather than raw HitRate because E1's miss
+// stream is dominated by cold and faulting accesses no verdict cache
+// could ever serve.
+func TestFastPathWarmHitRateFloor(t *testing.T) {
+	if !fastpath.Enabled() {
+		t.Skip("fast path disabled")
+	}
+	e, err := ByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Probe{}
+	if _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	fp := p.FastPathStats()
+	if fp.Hits == 0 {
+		t.Fatal("E1 recorded no fast-path hits; instrumentation broken?")
+	}
+	if rate := fp.WarmHitRate(); rate < 0.80 {
+		t.Errorf("E1 warm hit rate %.1f%% below 80%% floor (hits=%d installs=%d)",
+			rate*100, fp.Hits, fp.Installs)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/fastpath"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -22,6 +23,7 @@ import (
 type Probe struct {
 	cycles   uint64
 	counters stats.Counters
+	fp       fastpath.Stats
 }
 
 // ObserveCycles charges n simulated cycles to the run.
@@ -50,9 +52,31 @@ func (p *Probe) ObserveKernel(k *kernel.Kernel) {
 	}
 	p.cycles += k.TotalCycles()
 	for i := 0; i < k.NumCPUs(); i++ {
-		p.counters.Merge(k.MachineAt(i).Counters())
+		m := k.MachineAt(i)
+		p.counters.Merge(m.Counters())
+		p.ObserveFastPath(m)
 	}
 	p.counters.Merge(k.Counters())
+}
+
+// ObserveFastPath accumulates a machine's verdict fast-path statistics.
+// These are host-side diagnostics (hit-rate reporting), deliberately kept
+// out of the parity-compared counters.
+func (p *Probe) ObserveFastPath(m machine.Machine) {
+	if p == nil {
+		return
+	}
+	if f, ok := m.(machine.FastPathed); ok {
+		p.fp.Add(f.FastPathStats())
+	}
+}
+
+// FastPathStats returns the merged verdict fast-path statistics.
+func (p *Probe) FastPathStats() fastpath.Stats {
+	if p == nil {
+		return fastpath.Stats{}
+	}
+	return p.fp
 }
 
 // ObserveTrace records a trace replay's cycles and machine counters.
@@ -106,5 +130,6 @@ func runTrace(p *Probe, m machine.Machine, recs []trace.Record) (trace.Result, e
 		return res, err
 	}
 	p.ObserveTrace(res)
+	p.ObserveFastPath(m)
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fastpath"
 	"repro/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type RunResult struct {
 	SimCycles uint64
 	// Counters is the run's merged hardware-counter snapshot.
 	Counters map[string]uint64
+	// FastPath is the run's merged verdict fast-path statistics — host
+	// diagnostics, deliberately outside the parity-compared Counters.
+	FastPath fastpath.Stats
 }
 
 // Section renders the experiment exactly as cmd/tablegen prints it: a
@@ -128,5 +132,6 @@ func runOne(e Experiment) RunResult {
 		Wall:       time.Since(start),
 		SimCycles:  p.SimCycles(),
 		Counters:   p.CounterSnapshot(),
+		FastPath:   p.FastPathStats(),
 	}
 }

@@ -1,0 +1,236 @@
+// Package fastpath implements the verdict fast path: a per-CPU
+// direct-mapped software cache keyed by (domain, VPN) holding the fully
+// resolved outcome of a prior structural access. The machines consult it
+// before the PLB/TLB/page-group/conventional machinery and, on a hit,
+// replay the exact side effects (simulated cycles, counters, replacement
+// touches) the structural warm-hit path would have produced — so the
+// simulation's observable output is byte-identical with the fast path on
+// or off, while the host-time cost of a warm access drops to a few loads.
+//
+// Correctness rests on two mechanisms:
+//
+//   - Epoch stamps. Every verdict is stamped with the table's current
+//     epoch, the sum of a kernel-pushed stamp (bumped by every mutating
+//     kernel path: protection changes, attach/detach, unmap, recovery,
+//     quarantine/rejoin) and a machine-local epoch (bumped by every
+//     machine maintenance operation, including those applied by remote
+//     shootdowns). A stale stamp makes the verdict invisible, and the
+//     access falls through to the structural simulation.
+//
+//   - Located-slot validation. A verdict records where (set, way) in the
+//     structural machinery its entries were resident. Before replay the
+//     machine re-peeks those slots side-effect-free; any eviction,
+//     purge, or divergence (including chaos-injected corruption) fails
+//     validation and falls through. Deny outcomes are never cached.
+//
+// The table's own hit/miss statistics are deliberately kept out of
+// stats.Counters: they differ between fast-path-on and fast-path-off
+// runs, and the parity contract is that stats.Counters do not.
+package fastpath
+
+import (
+	"sync/atomic"
+
+	"repro/internal/addr"
+)
+
+// enabled is the package-wide switch, on by default. cmd flags and the
+// CI parity job flip it; it is atomic so test binaries can toggle it
+// around parallel subtests safely.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns the fast path on or off process-wide. Machines check
+// it on every access; turning it off leaves tables intact but unused.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the fast path is on.
+func Enabled() bool { return enabled.Load() }
+
+// tableBits sizes every verdict table at 1<<tableBits direct-mapped
+// entries: large enough for the trace-driven experiments' page working
+// sets while keeping a table (lazily allocated) under ~1 MB.
+const tableBits = 10
+
+// warmupInstalls is how many install attempts a table ignores before
+// allocating its entry array. Experiments construct thousands of
+// short-lived machines; only the ones with real access traffic should
+// pay for a table.
+const warmupInstalls = 64
+
+// Stats counts fast-path outcomes for one table. These are host-side
+// diagnostics (hit-rate reporting, CI floors), not simulated events.
+type Stats struct {
+	// Hits counts accesses fully served by verdict replay.
+	Hits uint64
+	// Misses counts accesses that fell through to the structural path
+	// (no verdict, stale epoch, or failed slot validation).
+	Misses uint64
+	// Installs counts verdicts written.
+	Installs uint64
+	// Invalidations counts epoch bumps and purges that orphaned the
+	// table's verdicts.
+	Invalidations uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Installs += other.Installs
+	s.Invalidations += other.Invalidations
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// WarmHitRate returns hits/(hits+installs), or 0 with no activity: of the
+// accesses that were structurally warm (a replay either happened or a
+// fresh verdict was worth installing), the fraction served by replay.
+// Unlike HitRate this is insensitive to an experiment's cold/faulting
+// traffic — misses that no cache of prior outcomes could ever serve — so
+// it is the right surface for a CI floor on warm-loop workloads.
+func (s Stats) WarmHitRate() float64 {
+	if s.Hits+s.Installs == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Installs)
+}
+
+// Corruptor is a chaos/oracle hook consulted on every Install; returning
+// a replacement payload with true corrupts the cached verdict in place
+// (the oracle must then catch the divergence as a violation, or slot
+// validation must refuse to replay it).
+type Corruptor[V any] func(d addr.DomainID, vpn addr.VPN, v V) (V, bool)
+
+type entry[V any] struct {
+	domain addr.DomainID
+	vpn    addr.VPN
+	stamp  uint64
+	valid  bool
+	val    V
+}
+
+// Table is one machine's verdict cache: direct-mapped on (domain, VPN),
+// with payload type V carrying the machine-specific replay record.
+// The entry array is allocated on first install, so machines that never
+// see a cacheable verdict (or run with the fast path off) cost a few
+// words each.
+type Table[V any] struct {
+	entries     []entry[V]
+	kernelStamp uint64
+	localEpoch  uint64
+	pending     uint64 // install attempts before allocation
+	stats       Stats
+	corrupt     Corruptor[V]
+}
+
+// stamp is the table's current epoch; verdicts stamped differently are
+// invisible.
+func (t *Table[V]) stamp() uint64 { return t.kernelStamp + t.localEpoch }
+
+func index(d addr.DomainID, vpn addr.VPN) int {
+	h := uint64(vpn)*0x9E3779B97F4A7C15 ^ uint64(d)<<32 ^ uint64(d)
+	return int((h >> (64 - tableBits)) & (1<<tableBits - 1))
+}
+
+// Probe returns the verdict payload for (d, vpn) when one is cached with
+// the current epoch stamp. The caller still validates the payload's
+// located slots before replaying. Probe does not count a hit or miss —
+// the caller reports the final outcome via Hit/Miss once validation
+// resolves.
+func (t *Table[V]) Probe(d addr.DomainID, vpn addr.VPN) (*V, bool) {
+	if t.entries == nil {
+		return nil, false
+	}
+	e := &t.entries[index(d, vpn)]
+	if e.valid && e.domain == d && e.vpn == vpn && e.stamp == t.stamp() {
+		return &e.val, true
+	}
+	return nil, false
+}
+
+// Install caches the verdict payload for (d, vpn) at the current epoch.
+// The first warmupInstalls attempts are dropped (the table allocates only
+// for machines with sustained traffic); a corruptor forces immediate
+// allocation so tests can corrupt the very first verdict.
+func (t *Table[V]) Install(d addr.DomainID, vpn addr.VPN, v V) {
+	if t.entries == nil {
+		if t.corrupt == nil {
+			t.pending++
+			if t.pending <= warmupInstalls {
+				return
+			}
+		}
+		t.entries = make([]entry[V], 1<<tableBits)
+	}
+	if t.corrupt != nil {
+		if bad, ok := t.corrupt(d, vpn, v); ok {
+			v = bad
+		}
+	}
+	t.entries[index(d, vpn)] = entry[V]{domain: d, vpn: vpn, stamp: t.stamp(), valid: true, val: v}
+	t.stats.Installs++
+}
+
+// Drop invalidates the verdict for (d, vpn) if present (used when slot
+// validation fails, so the stale verdict is not re-probed).
+func (t *Table[V]) Drop(d addr.DomainID, vpn addr.VPN) {
+	if t.entries == nil {
+		return
+	}
+	e := &t.entries[index(d, vpn)]
+	if e.valid && e.domain == d && e.vpn == vpn {
+		e.valid = false
+	}
+}
+
+// SetKernelStamp installs the kernel-pushed epoch component. Any change
+// orphans every cached verdict in O(1).
+func (t *Table[V]) SetKernelStamp(s uint64) {
+	if t.kernelStamp != s {
+		t.kernelStamp = s
+		t.stats.Invalidations++
+	}
+}
+
+// BumpLocal advances the machine-local epoch component, orphaning every
+// cached verdict in O(1). Machines call it from every maintenance
+// operation (invalidations, purges, installs driven by remote
+// shootdowns, domain switches that flush state).
+func (t *Table[V]) BumpLocal() {
+	t.localEpoch++
+	t.stats.Invalidations++
+}
+
+// Hit records a fast-path replay.
+func (t *Table[V]) Hit() { t.stats.Hits++ }
+
+// Miss records a fall-through to the structural path.
+func (t *Table[V]) Miss() { t.stats.Misses++ }
+
+// Stats returns the table's outcome counts.
+func (t *Table[V]) Stats() Stats { return t.stats }
+
+// SetCorruptor installs (or, with nil, removes) the install-time
+// corruption hook.
+func (t *Table[V]) SetCorruptor(fn Corruptor[V]) { t.corrupt = fn }
+
+// ForEach visits every verdict cached at the current epoch — the live
+// entries an auditor (internal/oracle) must hold to the same authority
+// as any hardware structure.
+func (t *Table[V]) ForEach(fn func(d addr.DomainID, vpn addr.VPN, v V) bool) {
+	cur := t.stamp()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.stamp == cur && !fn(e.domain, e.vpn, e.val) {
+			return
+		}
+	}
+}

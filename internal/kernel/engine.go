@@ -41,6 +41,7 @@ func (k *Kernel) SetPageRights(d *Domain, va addr.VA, r addr.Rights) error {
 	}
 	d.overrides.Set(vpn, r)
 	k.ctrs.Inc("kernel.set_page_rights")
+	k.bumpDomainEpoch(d)
 	err := k.engine.setPageRights(d, vpn, r)
 	k.flushIPIs()
 	return err
@@ -59,6 +60,7 @@ func (k *Kernel) ClearPageRights(d *Domain, va addr.VA) error {
 	}
 	r := d.attached[s.ID]
 	k.ctrs.Inc("kernel.clear_page_rights")
+	k.bumpDomainEpoch(d)
 	err := k.engine.setPageRights(d, vpn, r)
 	k.flushIPIs()
 	return err
@@ -75,6 +77,7 @@ func (k *Kernel) SetSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
 	s.attached[d.ID] = r
 	d.overrides.ClearRange(k.geo.PageNumber(s.Range.Start), s.NumPages())
 	k.ctrs.Inc("kernel.set_segment_rights")
+	k.bumpDomainEpoch(d)
 	err := k.engine.setSegmentRights(d, s, r)
 	k.flushIPIs()
 	return err

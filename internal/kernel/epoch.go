@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"repro/internal/addr"
+	"repro/internal/machine"
+)
+
+// Protection epochs drive the verdict fast path's kernel-side
+// invalidation (internal/fastpath): every mutating kernel path bumps the
+// relevant epoch — global for changes that affect any domain's view
+// (unmap, page-out, segment destruction, executor grants), per-domain
+// for changes scoped to one domain's authority (attach, detach,
+// protection changes, execution-site moves), per-CPU for recovery and
+// quarantine rejoin (purgeCPU orphans that CPU's verdict tables
+// directly). The stamp a machine's verdict table carries while running
+// domain d is the sum globalEpoch + d.protEpoch; both components only
+// grow, so any bump makes every previously stamped verdict for an
+// affected domain unreachable, in O(1), forever.
+//
+// The stamp is pushed to a machine when its domain changes (Switch) and
+// eagerly to machines currently running a bumped domain, so a stale
+// verdict can never be replayed between a mutation and the next switch.
+
+// fastPathStamp returns the verdict-table stamp for a machine running
+// domain d.
+func (k *Kernel) fastPathStamp(d addr.DomainID) uint64 {
+	if dom, ok := k.domains[d]; ok {
+		return k.protEpoch + dom.protEpoch
+	}
+	return k.protEpoch
+}
+
+// pushFastPathStamp installs CPU i's current stamp on its machine.
+func (k *Kernel) pushFastPathStamp(i int) {
+	m := k.machs[i]
+	if f, ok := m.(machine.FastPathed); ok {
+		f.SetFastPathKernelStamp(k.fastPathStamp(m.Domain()))
+	}
+}
+
+// bumpDomainEpoch advances d's protection epoch and refreshes the stamp
+// on every machine currently executing d (machines running other domains
+// pick the new stamp up when they next switch to d).
+func (k *Kernel) bumpDomainEpoch(d *Domain) {
+	d.protEpoch++
+	for i, m := range k.machs {
+		if m.Domain() == d.ID {
+			k.pushFastPathStamp(i)
+		}
+	}
+}
+
+// bumpGlobalEpoch advances the global protection epoch and refreshes
+// every machine's stamp.
+func (k *Kernel) bumpGlobalEpoch() {
+	k.protEpoch++
+	for i := range k.machs {
+		k.pushFastPathStamp(i)
+	}
+}
+
+// FastPathStamp exposes the stamp a machine running d must carry — the
+// epoch-invalidation tests assert that every mutating kernel API moves
+// it (or purges the CPU's tables outright).
+func (k *Kernel) FastPathStamp(d *Domain) uint64 { return k.fastPathStamp(d.ID) }

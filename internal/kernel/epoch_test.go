@@ -1,0 +1,219 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/fastpath"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// These tests pin the verdict fast path's invalidation contract: every
+// kernel API that mutates protection or translation state must
+// observably invalidate cached verdicts, either by moving the affected
+// domain's epoch stamp (FastPathStamp) or by purging the CPU's verdict
+// tables outright. A mutating path that does neither is exactly the bug
+// class that would let a stale cached verdict replay an outcome the
+// structural path would no longer produce.
+
+// epochSetup builds a domain-page kernel with one domain attached
+// read-write to a 4-page segment, primed so page 0 is mapped and warm.
+func epochSetup(t *testing.T) (*kernel.Kernel, *kernel.Domain, *kernel.Segment) {
+	t.Helper()
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, kernel.SegmentOptions{Name: "seg"})
+	k.Attach(d, s, addr.RW)
+	k.Switch(d)
+	if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+		t.Fatalf("priming load: %v", err)
+	}
+	return k, d, s
+}
+
+// TestMutatingAPIsMoveFastPathStamp is the table: every epoch-bumping
+// kernel API, each applied to a freshly primed kernel, must strictly
+// advance the domain's verdict stamp.
+func TestMutatingAPIsMoveFastPathStamp(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment)
+	}{
+		{"SetPageRights", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			if err := k.SetPageRights(d, s.Base(), addr.Read); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"ClearPageRights", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			// An override must exist for the clear to be a mutation (the
+			// API is a no-op otherwise, and a no-op need not bump).
+			if err := k.SetPageRights(d, s.Base(), addr.Read); err != nil {
+				t.Fatal(err)
+			}
+			pre := k.FastPathStamp(d)
+			if err := k.ClearPageRights(d, s.Base()); err != nil {
+				t.Fatal(err)
+			}
+			if got := k.FastPathStamp(d); got <= pre {
+				t.Fatalf("ClearPageRights left stamp at %d (was %d)", got, pre)
+			}
+		}},
+		{"SetSegmentRights", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			if err := k.SetSegmentRights(d, s, addr.Read); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Attach", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			s2 := k.CreateSegment(2, kernel.SegmentOptions{Name: "s2"})
+			k.Attach(d, s2, addr.Read)
+		}},
+		{"Detach", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			if err := k.Detach(d, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Unmap", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			if err := k.Unmap(k.Geometry().PageNumber(s.Base())); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PageOut", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			if err := k.PageOut(k.Geometry().PageNumber(s.Base())); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"DestroySegment", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			s2 := k.CreateSegment(2, kernel.SegmentOptions{Name: "doomed"})
+			pre := k.FastPathStamp(d)
+			if err := k.DestroySegment(s2); err != nil {
+				t.Fatal(err)
+			}
+			if got := k.FastPathStamp(d); got <= pre {
+				t.Fatalf("DestroySegment left stamp at %d (was %d)", got, pre)
+			}
+		}},
+		{"GrantExecutor", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			code := k.CreateSegment(1, kernel.SegmentOptions{Name: "code"})
+			if err := k.GrantExecutor(s, code, addr.Read); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"RevokeExecutor", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			code := k.CreateSegment(1, kernel.SegmentOptions{Name: "code"})
+			if err := k.GrantExecutor(s, code, addr.Read); err != nil {
+				t.Fatal(err)
+			}
+			pre := k.FastPathStamp(d)
+			if err := k.RevokeExecutor(s, code); err != nil {
+				t.Fatal(err)
+			}
+			if got := k.FastPathStamp(d); got <= pre {
+				t.Fatalf("RevokeExecutor left stamp at %d (was %d)", got, pre)
+			}
+		}},
+		{"SetExecutionSite", func(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) {
+			// Only a move across a code-segment boundary re-keys rights;
+			// same-segment moves legitimately do not bump.
+			code := k.CreateSegment(1, kernel.SegmentOptions{Name: "code"})
+			pre := k.FastPathStamp(d)
+			if err := k.SetExecutionSite(d, code.Base()); err != nil {
+				t.Fatal(err)
+			}
+			if got := k.FastPathStamp(d); got <= pre {
+				t.Fatalf("SetExecutionSite left stamp at %d (was %d)", got, pre)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, d, s := epochSetup(t)
+			pre := k.FastPathStamp(d)
+			tc.mutate(t, k, d, s)
+			if got := k.FastPathStamp(d); got <= pre {
+				t.Fatalf("%s left the fast-path stamp at %d (was %d): a cached verdict would survive the mutation", tc.name, got, pre)
+			}
+		})
+	}
+}
+
+// primeVerdict forces verdict-table allocation (a no-op corruptor
+// bypasses the warm-up filter) and caches a verdict for page 0 with a
+// warm load, then confirms a replay actually happens — so the behavioral
+// tests below are measuring a live fast path, not a dormant one.
+func primeVerdict(t *testing.T, k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) *fastpath.Table[machine.PLBVerdict] {
+	t.Helper()
+	fp := k.PLBMachine().FastPath()
+	fp.SetCorruptor(func(_ addr.DomainID, _ addr.VPN, v machine.PLBVerdict) (machine.PLBVerdict, bool) {
+		return v, false
+	})
+	if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+		t.Fatalf("install load: %v", err)
+	}
+	fp.SetCorruptor(nil)
+	pre := fp.Stats()
+	if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+		t.Fatalf("replay load: %v", err)
+	}
+	if got := fp.Stats(); got.Hits != pre.Hits+1 {
+		t.Fatalf("warm load was not a fast-path replay (hits %d -> %d)", pre.Hits, got.Hits)
+	}
+	return fp
+}
+
+// TestRecoveryPurgesVerdicts pins the purge half of the contract:
+// RecoverHardware and RecoverCPU leave epoch stamps alone but must
+// orphan every cached verdict, observable as the next access falling
+// through to the structural path instead of replaying.
+func TestRecoveryPurgesVerdicts(t *testing.T) {
+	if !fastpath.Enabled() {
+		t.Skip("verdict fast path disabled")
+	}
+	cases := []struct {
+		name  string
+		purge func(k *kernel.Kernel)
+	}{
+		{"RecoverHardware", func(k *kernel.Kernel) { k.RecoverHardware() }},
+		{"RecoverCPU", func(k *kernel.Kernel) { k.RecoverCPU(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, d, s := epochSetup(t)
+			fp := primeVerdict(t, k, d, s)
+			pre := fp.Stats()
+			tc.purge(k)
+			mid := fp.Stats()
+			if mid.Invalidations <= pre.Invalidations {
+				t.Fatalf("%s recorded no verdict-table invalidation", tc.name)
+			}
+			if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+				t.Fatalf("post-recovery load: %v", err)
+			}
+			if got := fp.Stats(); got.Hits != mid.Hits {
+				t.Fatalf("%s: first post-purge access replayed a cached verdict (hits %d -> %d)", tc.name, mid.Hits, got.Hits)
+			}
+		})
+	}
+}
+
+// TestStaleVerdictNeverReplaysAfterMutation is the end-to-end behavioral
+// form of the stamp table: with a verdict demonstrably live, a
+// protection mutation must make the very next access take the structural
+// path (and, because rights were revoked, fault).
+func TestStaleVerdictNeverReplaysAfterMutation(t *testing.T) {
+	if !fastpath.Enabled() {
+		t.Skip("verdict fast path disabled")
+	}
+	k, d, s := epochSetup(t)
+	fp := primeVerdict(t, k, d, s)
+	if err := k.SetPageRights(d, s.Base(), addr.None); err != nil {
+		t.Fatalf("SetPageRights: %v", err)
+	}
+	pre := fp.Stats()
+	if err := k.Touch(d, s.Base(), addr.Load); err == nil {
+		t.Fatal("load allowed after rights revoked — a stale verdict replayed")
+	}
+	if got := fp.Stats(); got.Hits != pre.Hits {
+		t.Fatalf("revoked access was served from the verdict cache (hits %d -> %d)", pre.Hits, got.Hits)
+	}
+}

@@ -226,6 +226,10 @@ type Domain struct {
 	// execSite is the domain's current execution address, for
 	// execution-keyed protection (see exec.go).
 	execSite addr.VA
+	// protEpoch is the domain's protection epoch (epoch.go): bumped by
+	// every kernel mutation scoped to this domain, orphaning its cached
+	// fast-path verdicts.
+	protEpoch uint64
 	// cpus is the monotonic residency mask: bit i set means the domain
 	// has run (or had rights installed) on CPU i, so CPU i may cache the
 	// domain's protection entries. Shootdowns for domain-keyed state
@@ -321,6 +325,10 @@ type kernel struct {
 	// residentFIFO orders mapped pages for the page daemon's FIFO
 	// eviction; entries may be stale (skipped when popped).
 	residentFIFO []addr.VPN
+
+	// protEpoch is the global protection epoch (epoch.go): bumped by
+	// every kernel mutation that changes what any domain may see.
+	protEpoch uint64
 
 	ctrs   stats.Counters
 	cycles stats.Cycles
@@ -795,6 +803,9 @@ func (k *Kernel) RecoverHardware() int {
 // purgeCPU flash-clears CPU i's private protection and translation
 // structures, returning the number of entries dropped.
 func (k *Kernel) purgeCPU(i int) int {
+	if f, ok := k.machs[i].(machine.FastPathed); ok {
+		f.PurgeFastPath()
+	}
 	n := 0
 	switch {
 	case k.plbms != nil:
@@ -954,6 +965,7 @@ func (k *Kernel) Attach(d *Domain, s *Segment, r addr.Rights) {
 	d.attached[s.ID] = r
 	s.attached[d.ID] = r
 	k.ctrs.Inc("kernel.attach")
+	k.bumpDomainEpoch(d)
 	k.engine.onAttach(d, s, r)
 	k.flushIPIs()
 }
@@ -969,6 +981,7 @@ func (k *Kernel) Detach(d *Domain, s *Segment) error {
 	startVPN := k.geo.PageNumber(s.Range.Start)
 	d.overrides.ClearRange(startVPN, s.NumPages())
 	k.ctrs.Inc("kernel.detach")
+	k.bumpDomainEpoch(d)
 	k.engine.onDetach(d, s)
 	k.flushIPIs()
 	return nil
@@ -982,6 +995,7 @@ func (k *Kernel) Switch(d *Domain) {
 		return
 	}
 	k.mach.SwitchDomain(d.ID)
+	k.pushFastPathStamp(k.cur)
 }
 
 // --- machine.OS implementation: the tables hardware refills from ---

@@ -228,6 +228,20 @@ func (k *Kernel) WritePage(d *Domain, va addr.VA, buf []byte) error {
 // protection check): the path used by coherence agents and pagers that
 // act below the protection layer. Unmapped pages are demand-zeroed first.
 func (k *Kernel) KernelReadPage(vpn addr.VPN) ([]byte, error) {
+	data, err := k.KernelPeekPage(vpn)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// KernelPeekPage is KernelReadPage without the host-side copy: the
+// returned slice aliases physical memory and is valid only until this
+// kernel next mutates the page or reuses its frame. The simulated page
+// copy is still charged — the modeled agent copies the bytes; the host
+// merely avoids materializing a second buffer. Callers that retain or
+// mutate the data must use KernelReadPage.
+func (k *Kernel) KernelPeekPage(vpn addr.VPN) ([]byte, error) {
 	if !k.Mapped(vpn) {
 		if k.pageRecord(vpn) == nil {
 			return nil, fmt.Errorf("%w: kernel read of %#x", ErrNoAuthority, uint64(vpn))
@@ -241,7 +255,7 @@ func (k *Kernel) KernelReadPage(vpn addr.VPN) ([]byte, error) {
 		return nil, err
 	}
 	k.cycles.Add(k.costs().MemCopyPage)
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // KernelWritePage overwrites a page's contents in kernel mode, mapping it
@@ -288,7 +302,8 @@ func (p diskPager) Out(vpn addr.VPN, data []byte) error {
 }
 
 func (p diskPager) In(vpn addr.VPN) ([]byte, error) {
-	data, err := p.k.disk.Read(uint64(vpn))
+	// Peek: PageIn copies the bytes into the frame immediately.
+	data, err := p.k.disk.Peek(uint64(vpn))
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +343,7 @@ func (k *Kernel) PageOut(vpn addr.VPN) error {
 	if err := k.activePager().Out(vpn, k.memory.Data(pte.PFN)); err != nil {
 		return fmt.Errorf("kernel: page-out of %#x: %w", uint64(vpn), err)
 	}
+	k.bumpGlobalEpoch()
 	k.engine.onUnmap(vpn)
 	k.flushIPIs()
 	if _, err := k.trans.Unmap(vpn); err != nil {
@@ -383,6 +399,7 @@ func (k *Kernel) Unmap(vpn addr.VPN) error {
 	if !ok {
 		return fmt.Errorf("kernel: unmap of unmapped page %#x", uint64(vpn))
 	}
+	k.bumpGlobalEpoch()
 	k.engine.onUnmap(vpn)
 	k.flushIPIs()
 	if _, err := k.trans.Unmap(vpn); err != nil {

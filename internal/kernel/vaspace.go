@@ -109,6 +109,7 @@ func (k *Kernel) DestroySegment(s *Segment) error {
 			break
 		}
 	}
+	k.bumpGlobalEpoch()
 	k.engine.onDestroySegment(s)
 	k.flushIPIs()
 	k.freeVAInsert(s.Range)

@@ -1,0 +1,326 @@
+package machine
+
+import (
+	"repro/internal/addr"
+	"repro/internal/fastpath"
+	"repro/internal/plb"
+	"repro/internal/tlb"
+)
+
+// This file is the machines' side of the verdict fast path
+// (internal/fastpath): each organization keeps a per-machine verdict
+// table keyed by (domain, VPN) and consults it before its structural
+// access path. A verdict records *where* the structural entries that
+// decided a prior access are resident; before replaying, the machine
+// re-peeks those slots side-effect-free and falls through to the
+// structural path on any divergence. A replayed hit then reproduces the
+// structural warm-hit side effects — counters, cycles, LRU touches,
+// dirty-bit transitions — exactly, so simulation output is byte-identical
+// with the fast path on or off.
+//
+// Epochs: the kernel pushes a stamp (global + per-domain protection
+// epoch) through FastPathed on every mutating path, and every machine
+// maintenance operation bumps a machine-local epoch. Either advance
+// orphans all cached verdicts in O(1).
+
+// FastPathed is implemented by machines carrying a verdict fast-path
+// table. The kernel uses it to push epoch stamps and purge per-CPU
+// verdict state; reporting tools use it for hit-rate diagnostics.
+type FastPathed interface {
+	// SetFastPathKernelStamp installs the kernel's protection epoch stamp
+	// for the machine's current domain; any change orphans all verdicts.
+	SetFastPathKernelStamp(uint64)
+	// PurgeFastPath orphans every cached verdict (per-CPU recovery,
+	// quarantine rejoin).
+	PurgeFastPath()
+	// FastPathStats returns the table's outcome counts (host-side
+	// diagnostics; never part of the simulated counters).
+	FastPathStats() fastpath.Stats
+}
+
+// PLBVerdict is the PLB machine's cached verdict: the located PLB slot
+// (and its key and rights) that decided a prior access to the page.
+type PLBVerdict struct {
+	Set, Way int32
+	Key      plb.Key
+	Rights   addr.Rights
+}
+
+// FastPath exposes the verdict table (oracle audits, chaos corruption).
+func (m *PLBMachine) FastPath() *fastpath.Table[PLBVerdict] { return &m.fp }
+
+// SetFastPathKernelStamp implements FastPathed.
+func (m *PLBMachine) SetFastPathKernelStamp(s uint64) { m.fp.SetKernelStamp(s) }
+
+// PurgeFastPath implements FastPathed.
+func (m *PLBMachine) PurgeFastPath() { m.fp.BumpLocal() }
+
+// FastPathStats implements FastPathed.
+func (m *PLBMachine) FastPathStats() fastpath.Stats { return m.fp.Stats() }
+
+// fastAccess attempts to serve the access from the verdict table,
+// reporting whether it fully replayed a (non-faulting) warm hit.
+func (m *PLBMachine) fastAccess(va addr.VA, kind addr.AccessKind) bool {
+	vpn := m.cfg.Geometry.PageNumber(va)
+	v, ok := m.fp.Probe(m.domain, vpn)
+	if !ok {
+		m.fp.Miss()
+		return false
+	}
+	// A sub-page entry covers less than the whole VPN: the stored entry
+	// must cover this exact address or the structural lookup could
+	// resolve differently.
+	if uint64(va)>>v.Key.Shift != v.Key.Page {
+		m.fp.Miss()
+		return false
+	}
+	r, ok := m.plb.PeekAt(int(v.Set), int(v.Way), v.Key)
+	if !ok || r != v.Rights {
+		// Evicted, purged, or diverged (e.g. chaos corruption): drop the
+		// verdict and take the structural path.
+		m.fp.Drop(m.domain, vpn)
+		m.fp.Miss()
+		return false
+	}
+	if !r.Allows(kind) {
+		// Deny outcomes are never served from the fast path.
+		m.fp.Miss()
+		return false
+	}
+	cset, cway, ok := m.cache.ProbeLine(0, va)
+	if !ok {
+		m.fp.Miss() // line not resident: the structural path must fill
+		return false
+	}
+	// Commit: replay the structural warm-hit side effects exactly.
+	store := kind == addr.Store
+	m.hAccesses.Inc()
+	if store {
+		m.hStores.Inc()
+	}
+	m.cycles.Add(m.cfg.Costs.CacheHit)
+	m.plb.ReplayHit(int(v.Set), int(v.Way))
+	m.cache.ReplayHit(cset, cway, 0, va, store)
+	m.fp.Hit()
+	return true
+}
+
+// installVerdict caches the located outcome of a just-completed
+// non-faulting access in O(1): the structural path already recorded where
+// its PLB entry lives (LastRef), and re-peeking that slot makes the
+// stored rights reflect the live entry (including any chaos corruption
+// applied during the access) — exactly what the structural path would see
+// next. A non-cacheable resolve leaves LastRef pointing at an older
+// access's entry; the domain and cover checks reject it (a live entry
+// covering this (domain, va) would have been a Lookup hit).
+func (m *PLBMachine) installVerdict(va addr.VA) {
+	set, way, key := m.plb.LastRef()
+	if key.Domain != m.domain || uint64(va)>>key.Shift != key.Page {
+		return
+	}
+	r, ok := m.plb.PeekAt(set, way, key)
+	if !ok {
+		return
+	}
+	m.fp.Install(m.domain, m.cfg.Geometry.PageNumber(va), PLBVerdict{
+		Set: int32(set), Way: int32(way), Key: key, Rights: r,
+	})
+}
+
+// PGVerdict is the page-group machine's cached verdict: the located TLB
+// slot, its full entry, and the checker's write-disable answer for the
+// entry's group at install time.
+type PGVerdict struct {
+	Set, Way int32
+	Entry    tlb.PGEntry
+	WD       bool
+}
+
+// FastPath exposes the verdict table (oracle audits, chaos corruption).
+func (m *PGMachine) FastPath() *fastpath.Table[PGVerdict] { return &m.fp }
+
+// SetFastPathKernelStamp implements FastPathed.
+func (m *PGMachine) SetFastPathKernelStamp(s uint64) { m.fp.SetKernelStamp(s) }
+
+// PurgeFastPath implements FastPathed.
+func (m *PGMachine) PurgeFastPath() { m.fp.BumpLocal() }
+
+// FastPathStats implements FastPathed.
+func (m *PGMachine) FastPathStats() fastpath.Stats { return m.fp.Stats() }
+
+func (m *PGMachine) fastAccess(va addr.VA, kind addr.AccessKind) bool {
+	vpn := m.cfg.Geometry.PageNumber(va)
+	v, ok := m.fp.Probe(m.domain, vpn)
+	if !ok {
+		m.fp.Miss()
+		return false
+	}
+	e, ok := m.tlb.PeekAt(int(v.Set), int(v.Way), vpn)
+	if !ok || e != v.Entry {
+		m.fp.Drop(m.domain, vpn)
+		m.fp.Miss()
+		return false
+	}
+	rights := e.Rights
+	if e.AID != addr.GlobalGroup {
+		ok, wd := m.checker.Peek(e.AID)
+		if !ok || wd != v.WD {
+			// Group not resident for the current domain (e.g. after a
+			// domain switch purged the checker): the structural path
+			// must take its reload trap.
+			m.fp.Miss()
+			return false
+		}
+		if wd {
+			rights = rights.WithoutWrite()
+		}
+	}
+	if !rights.Allows(kind) {
+		m.fp.Miss()
+		return false
+	}
+	cset, cway, ok := m.cache.ProbeLine(0, va)
+	if !ok {
+		m.fp.Miss()
+		return false
+	}
+	store := kind == addr.Store
+	m.hAccesses.Inc()
+	if store {
+		m.hStores.Inc()
+	}
+	m.cycles.Add(m.cfg.Costs.CacheHit + m.cfg.Costs.OnChipLookup)
+	m.tlb.ReplayHit(int(v.Set), int(v.Way))
+	if e.AID != addr.GlobalGroup {
+		// Validated resident: Check replays the structural hit (counter
+		// and any replacement touch) exactly.
+		m.checker.Check(e.AID)
+	}
+	m.cache.ReplayHit(cset, cway, 0, va, store)
+	m.fp.Hit()
+	return true
+}
+
+func (m *PGMachine) installVerdict(va addr.VA) {
+	vpn := m.cfg.Geometry.PageNumber(va)
+	set, way, last := m.tlb.LastRef()
+	if last != vpn {
+		return
+	}
+	e, ok := m.tlb.PeekAt(set, way, vpn)
+	if !ok {
+		return
+	}
+	wd := false
+	if e.AID != addr.GlobalGroup {
+		var resident bool
+		resident, wd = m.checker.Peek(e.AID)
+		if !resident {
+			return
+		}
+	}
+	m.fp.Install(m.domain, vpn, PGVerdict{Set: int32(set), Way: int32(way), Entry: e, WD: wd})
+}
+
+// ConvVerdict is the conventional machine's cached verdict: the located
+// combined-TLB slot and its full entry.
+type ConvVerdict struct {
+	Set, Way int32
+	Entry    tlb.ASIDEntry
+}
+
+// FastPath exposes the verdict table (oracle audits, chaos corruption).
+func (m *ConventionalMachine) FastPath() *fastpath.Table[ConvVerdict] { return &m.fp }
+
+// SetFastPathKernelStamp implements FastPathed.
+func (m *ConventionalMachine) SetFastPathKernelStamp(s uint64) { m.fp.SetKernelStamp(s) }
+
+// PurgeFastPath implements FastPathed.
+func (m *ConventionalMachine) PurgeFastPath() { m.fp.BumpLocal() }
+
+// FastPathStats implements FastPathed.
+func (m *ConventionalMachine) FastPathStats() fastpath.Stats { return m.fp.Stats() }
+
+func (m *ConventionalMachine) fastAccess(va addr.VA, kind addr.AccessKind) bool {
+	vpn := m.cfg.Geometry.PageNumber(va)
+	v, ok := m.fp.Probe(m.domain, vpn)
+	if !ok {
+		m.fp.Miss()
+		return false
+	}
+	as := m.asid()
+	e, ok := m.tlb.PeekAt(int(v.Set), int(v.Way), as, vpn)
+	if !ok || e != v.Entry {
+		m.fp.Drop(m.domain, vpn)
+		m.fp.Miss()
+		return false
+	}
+	if !e.Rights.Allows(kind) {
+		m.fp.Miss()
+		return false
+	}
+	store := kind == addr.Store
+	if m.vipt != nil {
+		pa := addr.PA(uint64(e.PFN)<<m.cfg.Geometry.Shift() | m.cfg.Geometry.Offset(va))
+		cset, cway, ok := m.vipt.ProbeLine(pa)
+		if !ok {
+			m.fp.Miss()
+			return false
+		}
+		m.hAccesses.Inc()
+		if store {
+			m.hStores.Inc()
+		}
+		m.cycles.Add(m.cfg.Costs.CacheHit)
+		m.tlb.ReplayHit(int(v.Set), int(v.Way))
+		m.vipt.ReplayHit(cset, cway, pa, store)
+		m.fp.Hit()
+		return true
+	}
+	cset, cway, ok := m.cache.ProbeLine(as, va)
+	if !ok {
+		m.fp.Miss()
+		return false
+	}
+	m.hAccesses.Inc()
+	if store {
+		m.hStores.Inc()
+	}
+	m.cycles.Add(m.cfg.Costs.CacheHit)
+	m.tlb.ReplayHit(int(v.Set), int(v.Way))
+	m.cache.ReplayHit(cset, cway, as, va, store)
+	m.fp.Hit()
+	return true
+}
+
+func (m *ConventionalMachine) installVerdict(va addr.VA) {
+	vpn := m.cfg.Geometry.PageNumber(va)
+	set, way, k := m.tlb.LastRef()
+	if k.AS != m.asid() || k.VPN != vpn {
+		return
+	}
+	e, ok := m.tlb.PeekAt(set, way, k.AS, k.VPN)
+	if !ok {
+		return
+	}
+	m.fp.Install(m.domain, vpn, ConvVerdict{Set: int32(set), Way: int32(way), Entry: e})
+}
+
+// FastPath exposes the inner machine's verdict table.
+func (m *FlushMachine) FastPath() *fastpath.Table[ConvVerdict] { return &m.inner.fp }
+
+// SetFastPathKernelStamp implements FastPathed.
+func (m *FlushMachine) SetFastPathKernelStamp(s uint64) { m.inner.fp.SetKernelStamp(s) }
+
+// PurgeFastPath implements FastPathed.
+func (m *FlushMachine) PurgeFastPath() { m.inner.fp.BumpLocal() }
+
+// FastPathStats implements FastPathed.
+func (m *FlushMachine) FastPathStats() fastpath.Stats { return m.inner.fp.Stats() }
+
+var (
+	_ FastPathed = (*PLBMachine)(nil)
+	_ FastPathed = (*PGMachine)(nil)
+	_ FastPathed = (*ConventionalMachine)(nil)
+	_ FastPathed = (*FlushMachine)(nil)
+)

@@ -27,6 +27,7 @@ type CompressedStore struct {
 	w    *flate.Writer
 	r    io.ReadCloser
 	wbuf bytes.Buffer
+	rbuf bytes.Buffer
 }
 
 // NewCompressedStore creates a store charging cyclesPerByte of CPU cost
@@ -66,7 +67,9 @@ func (s *CompressedStore) Put(key uint64, data []byte) error {
 }
 
 // Get decompresses and returns the page stored under key, removing it from
-// the store.
+// the store. The returned slice aliases a buffer reused by the next Get;
+// callers must copy it if they retain it past their next store operation
+// (the kernel's page-in copies it straight into the frame).
 func (s *CompressedStore) Get(key uint64) ([]byte, error) {
 	c, ok := s.pages[key]
 	if !ok {
@@ -77,10 +80,11 @@ func (s *CompressedStore) Get(key uint64) ([]byte, error) {
 	} else if err := s.r.(flate.Resetter).Reset(bytes.NewReader(c), nil); err != nil {
 		return nil, fmt.Errorf("mem: decompress: %w", err)
 	}
-	data, err := io.ReadAll(s.r)
-	if err != nil {
+	s.rbuf.Reset()
+	if _, err := io.Copy(&s.rbuf, s.r); err != nil {
 		return nil, fmt.Errorf("mem: decompress: %w", err)
 	}
+	data := s.rbuf.Bytes()
 	if err := s.r.Close(); err != nil {
 		return nil, fmt.Errorf("mem: decompress: %w", err)
 	}

@@ -33,13 +33,26 @@ func (d *Disk) Write(key uint64, data []byte) {
 
 // Read returns a copy of the block at key, or an error if absent.
 func (d *Disk) Read(key uint64) ([]byte, error) {
+	b, err := d.Peek(key)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Peek is Read without the copy: the returned slice aliases the stored
+// block and must be treated as read-only; it is valid until the block is
+// overwritten or deleted. Accounting is identical to Read. Hot transfer
+// paths whose consumers copy the bytes anyway (page-in, image restore)
+// use this to avoid a per-block intermediate buffer.
+func (d *Disk) Peek(key uint64) ([]byte, error) {
 	b, ok := d.blocks[key]
 	if !ok {
 		return nil, fmt.Errorf("mem: disk block %#x not present", key)
 	}
 	d.reads++
 	d.cycles += d.readLatency
-	return append([]byte(nil), b...), nil
+	return b, nil
 }
 
 // Has reports whether a block exists at key.

@@ -42,7 +42,8 @@ const maxSampledPages = 64
 // and the kernel or hardware state.
 type Violation struct {
 	// Where names the structure that disagreed: "resolve", "plb",
-	// "trans-tlb", "pg-tlb", "checker", "asid-tlb", or "verdict".
+	// "trans-tlb", "pg-tlb", "checker", "asid-tlb", "verdict-cache"
+	// (a live fast-path entry), or "verdict".
 	Where string
 	// CPU is the CPU whose private structure disagreed (0 for kernel-level
 	// checks and on uniprocessors).
@@ -95,6 +96,9 @@ func Rights(k *kernel.Kernel, d *kernel.Domain, vpn addr.VPN) (addr.Rights, bool
 //     TLB entries against the kernel's page records, resident checker
 //     groups against the executing domain's group set, and ASID-TLB
 //     entries against both rights and translation.
+//   - Every live verdict fast-path entry (current epoch stamp, current
+//     domain) must cache exactly the outcome the structural path would
+//     resolve now — see the verdict-cache audit in verdictcache.go.
 //
 // Violations never perturbs protection or translation state and is safe
 // to call mid-run, between any two kernel operations.
@@ -118,10 +122,13 @@ func Violations(k *kernel.Kernel) []Violation {
 		case k.PLBMachineAt(i) != nil:
 			vs = append(vs, plbViolations(k, k.PLBMachineAt(i))...)
 			vs = append(vs, transTLBViolations(k, k.PLBMachineAt(i))...)
+			vs = append(vs, plbVerdictViolations(k, k.PLBMachineAt(i))...)
 		case k.PGMachineAt(i) != nil:
 			vs = append(vs, pgViolations(k, k.PGMachineAt(i))...)
+			vs = append(vs, pgVerdictViolations(k, k.PGMachineAt(i))...)
 		case k.ConvMachineAt(i) != nil:
 			vs = append(vs, convViolations(k, k.ConvMachineAt(i))...)
+			vs = append(vs, convVerdictViolations(k, k.ConvMachineAt(i))...)
 		}
 		for j := range vs {
 			vs[j].CPU = i

@@ -1,0 +1,142 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// Verdict-cache audit: the verdict fast path (internal/fastpath) is a
+// software cache of fully resolved access outcomes, so the oracle holds
+// it to the same standard as the hardware structures it shadows — every
+// live cached verdict must agree with current kernel authority.
+//
+// A verdict is live when its epoch stamp matches the table's current
+// stamp (Table.ForEach yields exactly those) AND its domain is the
+// machine's current domain. The domain filter is what makes the audit
+// sound: the kernel pushes epoch bumps eagerly only to machines
+// currently running the bumped domain, so an entry for another domain
+// can sit at a numerically equal stamp while that domain's authority has
+// moved on. Such entries are dormant — a Switch to their domain installs
+// the fresh stamp and orphans them before they could ever replay — so
+// they are exempt for the same reason untrusted CPUs are exempt in
+// Violations.
+//
+// For a live verdict the epoch contract ("every mutating kernel path
+// bumps an epoch covering the change") means installation happened after
+// the last relevant mutation, so its cached outcome must equal what the
+// structural path would resolve right now. Any disagreement is either
+// install-time corruption or a missing epoch bump — exactly the two bug
+// classes this audit exists to catch. The checks mirror the per-machine
+// structural audits (plbViolations, pgViolations, convViolations) and
+// are read-only: Table.ForEach and the kernel queries never touch
+// replacement state or counters.
+
+// plbVerdictViolations audits the PLB machine's live cached verdicts.
+// Base- and super-page verdicts must match ResolveRights for the
+// accessed page exactly (and be cacheable); sub-page verdicts carry
+// experiment-managed fine-grained rights and are checked for containment
+// in the covering authority, like sub-page PLB entries.
+func plbVerdictViolations(k *kernel.Kernel, m *machine.PLBMachine) []Violation {
+	var out []Violation
+	cur := m.Domain()
+	geoShift := k.Geometry().Shift()
+	m.FastPath().ForEach(func(d addr.DomainID, vpn addr.VPN, v machine.PLBVerdict) bool {
+		if d != cur {
+			return true
+		}
+		want, cacheable, ok := k.ResolveRights(d, vpn)
+		if uint(v.Key.Shift) < geoShift {
+			if !ok || v.Rights&^want != 0 {
+				out = append(out, Violation{
+					Where: "verdict-cache", Domain: d, VPN: vpn,
+					Detail: fmt.Sprintf("sub-page verdict (shift %d) caches %v beyond authority %v (ok=%v)",
+						v.Key.Shift, v.Rights, want, ok),
+				})
+			}
+			return true
+		}
+		if !ok || !cacheable || want != v.Rights {
+			out = append(out, Violation{
+				Where: "verdict-cache", Domain: d, VPN: vpn,
+				Detail: fmt.Sprintf("verdict caches %v, authority %v (cacheable=%v, ok=%v)",
+					v.Rights, want, cacheable, ok),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// pgVerdictViolations audits the page-group machine's live cached
+// verdicts: the embedded TLB entry against the kernel's page records and
+// translation table, and the cached write-disable answer against the
+// domain's group set.
+func pgVerdictViolations(k *kernel.Kernel, m *machine.PGMachine) []Violation {
+	var out []Violation
+	cur := m.Domain()
+	m.FastPath().ForEach(func(d addr.DomainID, vpn addr.VPN, v machine.PGVerdict) bool {
+		if d != cur {
+			return true
+		}
+		aid, rights, ok := k.PageInfo(vpn)
+		if !ok || v.Entry.AID != aid || v.Entry.Rights != rights {
+			out = append(out, Violation{
+				Where: "verdict-cache", Domain: d, VPN: vpn,
+				Detail: fmt.Sprintf("verdict caches (aid=%d, %v), kernel says (aid=%d, %v, ok=%v)",
+					v.Entry.AID, v.Entry.Rights, aid, rights, ok),
+			})
+		}
+		if pfn, mapped := k.Translate(vpn); !mapped || pfn != v.Entry.PFN {
+			out = append(out, Violation{
+				Where: "verdict-cache", Domain: d, VPN: vpn,
+				Detail: fmt.Sprintf("verdict maps to frame %d, kernel table says (%d, mapped=%v)",
+					v.Entry.PFN, pfn, mapped),
+			})
+		}
+		if v.Entry.AID != addr.GlobalGroup {
+			has, wantWD := k.DomainGroup(d, v.Entry.AID)
+			if !has || v.WD != wantWD {
+				out = append(out, Violation{
+					Where: "verdict-cache", Domain: d, VPN: vpn,
+					Detail: fmt.Sprintf("verdict caches writeDisable=%v for group %d, domain's set says (member=%v, writeDisable=%v)",
+						v.WD, v.Entry.AID, has, wantWD),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// convVerdictViolations audits the conventional machine's live cached
+// verdicts: the embedded ASID-TLB entry's rights against the domain's
+// authority and its translation against the kernel's table.
+func convVerdictViolations(k *kernel.Kernel, m *machine.ConventionalMachine) []Violation {
+	var out []Violation
+	cur := m.Domain()
+	m.FastPath().ForEach(func(d addr.DomainID, vpn addr.VPN, v machine.ConvVerdict) bool {
+		if d != cur {
+			return true
+		}
+		want, cacheable, ok := k.ResolveRights(d, vpn)
+		if !ok || !cacheable || want != v.Entry.Rights {
+			out = append(out, Violation{
+				Where: "verdict-cache", Domain: d, VPN: vpn,
+				Detail: fmt.Sprintf("verdict caches %v, authority %v (cacheable=%v, ok=%v)",
+					v.Entry.Rights, want, cacheable, ok),
+			})
+		}
+		if pfn, mapped := k.Translate(vpn); !mapped || pfn != v.Entry.PFN {
+			out = append(out, Violation{
+				Where: "verdict-cache", Domain: d, VPN: vpn,
+				Detail: fmt.Sprintf("verdict maps to frame %d, kernel table says (%d, mapped=%v)",
+					v.Entry.PFN, pfn, mapped),
+			})
+		}
+		return true
+	})
+	return out
+}

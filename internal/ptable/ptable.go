@@ -81,18 +81,21 @@ func (t *TranslationTable) Lookup(vpn addr.VPN) (PTE, bool) {
 	return pte, ok
 }
 
-// SetDirty sets the dirty (and reference) bit for vpn.
+// SetDirty sets the dirty (and reference) bit for vpn. The map write is
+// skipped when both bits are already set — every warm access lands here,
+// so the common case must not rewrite the entry.
 func (t *TranslationTable) SetDirty(vpn addr.VPN) {
-	if pte, ok := t.entries[vpn]; ok {
+	if pte, ok := t.entries[vpn]; ok && !(pte.Dirty && pte.Ref) {
 		pte.Dirty = true
 		pte.Ref = true
 		t.entries[vpn] = pte
 	}
 }
 
-// SetRef sets the reference bit for vpn.
+// SetRef sets the reference bit for vpn (write skipped when already set;
+// see SetDirty).
 func (t *TranslationTable) SetRef(vpn addr.VPN) {
-	if pte, ok := t.entries[vpn]; ok {
+	if pte, ok := t.entries[vpn]; ok && !pte.Ref {
 		pte.Ref = true
 		t.entries[vpn] = pte
 	}

@@ -41,7 +41,7 @@ func NewImageFor(k *kernel.Kernel) *Image {
 // writes them to the stable store, charging the copy and the disk write
 // to k.
 func (im *Image) SavePage(k *kernel.Kernel, vpn addr.VPN) error {
-	data, err := k.KernelReadPage(vpn)
+	data, err := k.KernelPeekPage(vpn)
 	if err != nil {
 		return fmt.Errorf("checkpoint: image save %#x: %w", uint64(vpn), err)
 	}
@@ -61,7 +61,7 @@ func (im *Image) Put(k *kernel.Kernel, vpn addr.VPN, data []byte) {
 // copy to k. The page keeps its saved bytes even if k is a fresh kernel
 // instance (reboot-and-recover).
 func (im *Image) RestorePage(k *kernel.Kernel, vpn addr.VPN) error {
-	data, err := im.disk.Read(uint64(vpn))
+	data, err := im.disk.Peek(uint64(vpn))
 	if err != nil {
 		return fmt.Errorf("checkpoint: image restore %#x: %w", uint64(vpn), err)
 	}

@@ -601,7 +601,7 @@ func (sys *system) getWritable(i int, vpn addr.VPN, m *pageMeta) error {
 	sys.recordOwnerChange(vpn, oldOwner, i)
 	m.owner = i
 	m.ownerWritable = true
-	m.copyset = map[int]bool{}
+	clear(m.copyset)
 	return sys.setNodeRights(i, vpn, addr.RW)
 }
 
@@ -611,7 +611,10 @@ func (sys *system) transferPage(from, to int, vpn addr.VPN) error {
 	if from == to {
 		return nil
 	}
-	data, err := sys.nodes[from].k.KernelReadPage(vpn)
+	// Peek, not read: the destination kernel's WritePage copies the bytes
+	// into its own frame, and the two kernels never share frames, so no
+	// host-side intermediate buffer is needed.
+	data, err := sys.nodes[from].k.KernelPeekPage(vpn)
 	if err != nil {
 		return err
 	}
@@ -754,12 +757,12 @@ func (sys *system) setNodeRights(i int, vpn addr.VPN, r addr.Rights) error {
 func (sys *system) verifyReplicaEquality() error {
 	for _, vpn := range sys.sortedVPNs() {
 		m := sys.meta[vpn]
-		ownerData, err := sys.nodes[m.owner].k.KernelReadPage(vpn)
+		ownerData, err := sys.nodes[m.owner].k.KernelPeekPage(vpn)
 		if err != nil {
 			return err
 		}
 		for j := range m.copyset {
-			data, err := sys.nodes[j].k.KernelReadPage(vpn)
+			data, err := sys.nodes[j].k.KernelPeekPage(vpn)
 			if err != nil {
 				return err
 			}
