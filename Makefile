@@ -68,6 +68,12 @@ bench-hot:
 bench-smp:
 	$(GO) run ./cmd/tablegen -e E14 -v
 
+# bench-mesh runs only the clustered-mesh scaling experiment (E16):
+# 1 to 256 cores on a 2D mesh of 4-CPU clusters, asserting in-run that
+# per-op shootdown requests track the sharer count, not the core count.
+bench-mesh:
+	$(GO) run ./cmd/tablegen -e E16 -v
+
 tables:
 	$(GO) run ./cmd/tablegen -parallel 4
 

@@ -40,6 +40,10 @@ func main() {
 	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown")
 	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional|flush")
 	cpus := flag.Int("cpus", 1, "number of CPUs; > 1 runs domains spread across CPUs and charges shootdown IPIs (smp.* counters)")
+	var mesh meshOpts
+	flag.IntVar(&mesh.w, "mesh-w", 0, "cluster mesh width; with -mesh-h and -cluster-cpus arranges the CPUs as a 2D mesh of clusters and charges per-hop IPI/memory surcharges (0 = flat, everything one cluster)")
+	flag.IntVar(&mesh.h, "mesh-h", 0, "cluster mesh height (see -mesh-w)")
+	flag.IntVar(&mesh.clusterCPUs, "cluster-cpus", 0, "CPUs per mesh cluster (0 = divide evenly across clusters)")
 	incremental := flag.Bool("incremental", false, "checkpoint workload: incremental instead of full")
 	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
 	machName := flag.String("machine", "plb", "machine for trace replay: plb|page-group|conventional|flush")
@@ -71,7 +75,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *cpus, *incremental, ipi, d); err != nil {
+	if err := runWorkload(*workload, *model, *cpus, mesh, *incremental, ipi, d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -94,6 +98,16 @@ type ipiOpts struct {
 }
 
 func (o ipiOpts) active() bool { return o.drop > 0 || o.delay > 0 || o.kill != "" }
+
+// meshOpts bundles the cluster-topology options. All zero means a flat
+// machine (one cluster, no hop surcharges) — the pre-mesh behavior.
+type meshOpts struct {
+	w, h, clusterCPUs int
+}
+
+func (o meshOpts) topology() smp.Topology {
+	return smp.Topology{MeshWidth: o.w, MeshHeight: o.h, ClusterCPUs: o.clusterCPUs}
+}
 
 // armIPIFaults enables the acknowledged protocol and installs the
 // requested fault hook on k.
@@ -153,7 +167,7 @@ func parseModel(s string) (kernel.Model, error) {
 	}
 }
 
-func runWorkload(name, modelName string, cpus int, incremental bool, ipi ipiOpts, d dsmOpts) error {
+func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bool, ipi ipiOpts, d dsmOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
@@ -163,6 +177,7 @@ func runWorkload(name, modelName string, cpus int, incremental bool, ipi ipiOpts
 	}
 	cfg := kernel.DefaultConfig(m)
 	cfg.CPUs = cpus
+	cfg.Topology = mesh.topology()
 	k, err := kernel.NewChecked(cfg)
 	if err != nil {
 		return err

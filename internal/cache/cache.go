@@ -220,6 +220,15 @@ func (v *VirtualCache) FlushAll() (flushed, dirty int) {
 	return flushed, dirty
 }
 
+// ForEachLine visits the first virtual address of every resident line
+// in unspecified order; return false from fn to stop early. Oracle
+// inspection hook.
+func (v *VirtualCache) ForEachLine(fn func(va addr.VA) bool) {
+	v.c.ForEach(func(k lineKey, _ lineState) bool {
+		return fn(addr.VA(k.line << v.cfg.LineShift))
+	})
+}
+
 // Len returns the number of resident lines.
 func (v *VirtualCache) Len() int { return v.c.Len() }
 
@@ -399,6 +408,21 @@ func (p *PhysicalCache) FlushFrame(pfn addr.PFN, geo addr.Geometry) (flushed, di
 			return true
 		}
 		return false
+	})
+	flushed = removed
+	p.nFlushLine.Add(uint64(flushed))
+	p.nFlushWB.Add(uint64(dirty))
+	return flushed, dirty
+}
+
+// FlushAll empties the physical cache, returning lines flushed and
+// dirty writebacks.
+func (p *PhysicalCache) FlushAll() (flushed, dirty int) {
+	removed, _ := p.c.PurgeIf(func(_ uint64, st lineState) bool {
+		if st.dirty {
+			dirty++
+		}
+		return true
 	})
 	flushed = removed
 	p.nFlushLine.Add(uint64(flushed))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
+	"repro/internal/oracle"
 	"repro/internal/plb"
 	"repro/internal/smp"
 	"repro/internal/tlb"
@@ -343,6 +344,11 @@ func Default() []Scenario {
 			Fired: kernelFired("smp.quarantines"),
 		},
 		{
+			Name:        "cluster-rejoin-mid-revoke",
+			Description: "group revocation across mesh clusters: the target CPU is partitioned until quarantined mid-revoke, heals, and rejoins",
+			Direct:      directClusterRejoin,
+		},
+		{
 			Name:        "net-lossy",
 			Description: "DSM over a 20% lossy, duplicating, reordering network",
 			Direct:      directNetLossy,
@@ -358,6 +364,88 @@ func Default() []Scenario {
 			Direct:      directCrashWindow,
 		},
 	}
+}
+
+// directClusterRejoin drives a page-group kernel on a 2x2 mesh of
+// 2-CPU clusters: a domain executes in the far-corner cluster while
+// its group membership is revoked from cluster 0. The mesh link to the
+// executing CPU is partitioned, so the cross-cluster GroupRevoke is
+// lost, retried through the acknowledged protocol's budget, and the
+// CPU is quarantined mid-revoke. Further group maintenance aimed at it
+// is skipped-but-accounted while it is fenced; the partition then
+// heals and the next SetCPU rejoins it with a bulk invalidation, after
+// which the oracle must find no stale group authority anywhere.
+func directClusterRejoin(seed int64) (fired, recovered uint64, err error) {
+	cfg := kernel.DefaultConfig(kernel.ModelPageGroup)
+	cfg.CPUs = 8
+	cfg.Topology = smp.Topology{MeshWidth: 2, MeshHeight: 2, ClusterCPUs: 2}
+	k, err := kernel.NewChecked(cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: %w", err)
+	}
+	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+	victim := k.NumCPUs() - 1 // far corner of the mesh
+
+	home := k.CreateDomain()
+	far := k.CreateDomain()
+	seg := k.CreateSegment(4, kernel.SegmentOptions{Name: "revoked"})
+	k.Attach(home, seg, addr.RW)
+	k.Attach(far, seg, addr.RW)
+	if _, err := k.Load(home, seg.Base()); err != nil {
+		return 0, 0, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: home touch: %w", err)
+	}
+	k.SetCPU(victim)
+	if _, err := k.Load(far, seg.Base()); err != nil {
+		return 0, 0, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: far touch: %w", err)
+	}
+
+	// Partition: every IPI into the victim's cluster is lost until the
+	// kernel gives up on the CPU; the link heals the moment it is
+	// quarantined.
+	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+		if target == victim && k.CPUHealth(victim) != smp.Quarantined {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+
+	// The revocation: far is executing on the victim, so detaching it
+	// sends GroupRevoke across the mesh — into the partition.
+	k.SetCPU(0)
+	if err := k.Detach(far, seg); err != nil {
+		return 0, 0, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: detach: %w", err)
+	}
+	if k.CPUHealth(victim) != smp.Quarantined {
+		return 0, 0, errors.New("chaos: cluster-rejoin-mid-revoke: victim never quarantined mid-revoke")
+	}
+	kc := k.Counters()
+	fired = kc.Get("smp.quarantines") + kc.Get("smp.ipi_dropped")
+
+	// Group maintenance while fenced is suppressed but stays on the
+	// ledger: re-attaching sends GroupLoad at the executing victim,
+	// which must be skipped-and-counted, not queued.
+	k.Attach(far, seg, addr.RW)
+	if kc.Get("smp.fenced_skips") == 0 {
+		return fired, 0, errors.New("chaos: cluster-rejoin-mid-revoke: fenced group maintenance was not accounted")
+	}
+	if k.PendingShootdowns(victim) != 0 {
+		return fired, 0, errors.New("chaos: cluster-rejoin-mid-revoke: fenced CPU accumulated queued work")
+	}
+
+	// Healed: executing on the victim rejoins it (epoch recovery plus
+	// bulk invalidation) and its group state refaults consistently.
+	k.SetCPU(victim)
+	if !k.CPUTrusted(victim) {
+		return fired, 0, errors.New("chaos: cluster-rejoin-mid-revoke: victim untrusted after rejoin")
+	}
+	if _, err := k.Load(far, seg.Base()); err != nil {
+		return fired, 0, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: post-rejoin access: %w", err)
+	}
+	recovered = kc.Get("kernel.cpu_rejoins") + kc.Get("smp.retransmits") + kc.Get("smp.fenced_skips")
+	if verr := oracle.Verify(k); verr != nil {
+		return fired, recovered, fmt.Errorf("chaos: cluster-rejoin-mid-revoke: stale authority survived rejoin: %w", verr)
+	}
+	return fired, recovered, nil
 }
 
 // directNetLossy runs the DSM workload on all three models over a lossy

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{ID: "E13", Title: "DSM reliability: lossy network and node crash recovery", Source: "Table 1 rows 5-7 under faults", Run: E13Fault},
 		{ID: "E14", Title: "Multiprocessor shootdown traffic across organizations", Source: "§4.1.1, §4.1.4", Run: E14Shootdown},
 		{ID: "E15", Title: "Fault-tolerant protection maintenance: acknowledged shootdowns under IPI loss and CPU death", Source: "§4.1.1 under faults", Run: E15FaultTolerance},
+		{ID: "E16", Title: "Clustered-mesh shootdown scaling: precise sharer targeting from 1 to 256 cores", Source: "§4.1.1, §4.1.4 at scale", Run: E16MeshScaling},
 	}
 }
 

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/smp"
+	"repro/internal/stats"
+)
+
+// MeshCPUCounts is the core-count sweep of E16: from a uniprocessor to
+// a 256-core clustered mesh.
+var MeshCPUCounts = []int{1, 16, 64, 256}
+
+// meshClusterCPUs is the cluster size E16 uses: four cores share each
+// mesh node and its memory bank.
+const meshClusterCPUs = 4
+
+// meshTopologyFor returns a square-ish 2D mesh of 4-CPU clusters
+// seating ncpu cores: 16 cores -> 2x2, 64 -> 4x4, 256 -> 8x8.
+func meshTopologyFor(ncpu int) smp.Topology {
+	clusters := (ncpu + meshClusterCPUs - 1) / meshClusterCPUs
+	w := 1
+	for w*w < clusters {
+		w++
+	}
+	h := (clusters + w - 1) / w
+	return smp.Topology{MeshWidth: w, MeshHeight: h, ClusterCPUs: meshClusterCPUs}
+}
+
+// e16Op is one shootdown-bearing protection path measured per cell.
+type e16Op struct {
+	name string
+	// run performs the operation; the harness measures the counter
+	// deltas around it.
+	run func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error
+	// sharerBounded marks the ops whose target page is held by exactly
+	// two CPUs: their request count must track the sharer count, never
+	// the core count.
+	sharerBounded bool
+}
+
+// E16MeshScaling scales the shootdown subsystem from 1 to 256 cores on
+// a clustered NUMA mesh (4 CPUs per cluster, hop-priced IPIs and
+// remote maintenance) and measures every shootdown-bearing protection
+// path under all four organizations: per-page rights narrowing,
+// segment-wide rights change, detach, page-out, and segment
+// destruction.
+//
+// The headline is the monotonic-residency bugfix made quantitative:
+// domain 0 runs on every core once (its lifetime CPU history is the
+// whole machine), then its residency collapses to two cores via
+// detach-withdrawal, and the per-op request count for a two-sharer
+// page must be at most 2 — where the old grow-only mask would have
+// sent one request to every core it ever ran on (255 at the top of
+// the sweep). The same bound is asserted at every multiprocessor
+// size: precise targeting tracks sharers, not cores.
+func E16MeshScaling(p *Probe) ([]*stats.Table, error) {
+	t := stats.NewTable("E16 Clustered-mesh shootdown scaling (4-CPU clusters, 2-sharer target page)",
+		"model", "cpus", "mesh", "op", "requests", "ipis", "hop cycles")
+
+	ops := []e16Op{
+		{name: "rights-narrow", sharerBounded: true,
+			run: func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error {
+				return k.SetPageRights(d, s.Base(), addr.Read)
+			}},
+		{name: "rights-segment",
+			run: func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error {
+				return k.SetSegmentRights(d, s, addr.RW)
+			}},
+		{name: "page-out", sharerBounded: true,
+			run: func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error {
+				return k.PageOut(s.PageVPN(0))
+			}},
+		{name: "detach",
+			run: func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error {
+				return k.Detach(d, s)
+			}},
+		{name: "destroy-segment",
+			run: func(k *kernel.Kernel, d *kernel.Domain, s *kernel.Segment) error {
+				return k.DestroySegment(s)
+			}},
+	}
+
+	for _, m := range SMPModels {
+		for _, ncpu := range MeshCPUCounts {
+			topo := meshTopologyFor(ncpu)
+			cfg := kernel.DefaultConfig(m)
+			cfg.CPUs = ncpu
+			cfg.Topology = topo
+			k, err := kernel.NewChecked(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: E16 %v/%d: %w", m, ncpu, err)
+			}
+			d := k.CreateDomain()
+			s := k.CreateSegment(8, kernel.SegmentOptions{Name: "mesh-shared"})
+			k.Attach(d, s, addr.RW)
+
+			// Lifetime history: the domain runs once on every core,
+			// touching warm pages (not the target page) — under the old
+			// monotonic mask every one of these cores would remain a
+			// shootdown target forever.
+			for c := 0; c < ncpu; c++ {
+				k.SetCPU(c)
+				for pg := uint64(1); pg < 4; pg++ {
+					if err := k.Store(d, s.PageVA(pg), uint64(c)); err != nil {
+						return nil, fmt.Errorf("core: E16 %v/%d warm: %w", m, ncpu, err)
+					}
+				}
+			}
+
+			// A background domain takes over every core: the measured
+			// domain is no longer executing anywhere, so checker-keyed
+			// maintenance (page-group loads/revokes) stops broadcasting,
+			// and the flush organization's switch-away withdrawal runs
+			// on every core.
+			bg := k.CreateDomain()
+			bseg := k.CreateSegment(1, kernel.SegmentOptions{Name: "mesh-bg"})
+			k.Attach(bg, bseg, addr.RW)
+			for c := 0; c < ncpu; c++ {
+				k.SetCPU(c)
+				if _, err := k.Load(bg, bseg.Base()); err != nil {
+					return nil, fmt.Errorf("core: E16 %v/%d background: %w", m, ncpu, err)
+				}
+			}
+
+			// Collapse: detaching scans every core's hardware and
+			// withdraws the provably-empty ones from the residency set.
+			k.SetCPU(0)
+			if err := k.Detach(d, s); err != nil {
+				return nil, fmt.Errorf("core: E16 %v/%d collapse: %w", m, ncpu, err)
+			}
+			k.Attach(d, s, addr.RW)
+
+			// Exactly two sharers — opposite corners of the mesh — fault
+			// the target page back in.
+			sharers := []int{0, ncpu - 1}
+			for _, c := range sharers {
+				k.SetCPU(c)
+				if _, err := k.Load(d, s.Base()); err != nil {
+					return nil, fmt.Errorf("core: E16 %v/%d sharer touch: %w", m, ncpu, err)
+				}
+			}
+			k.SetCPU(0)
+
+			kc := k.Counters()
+			for _, op := range ops {
+				reqB, ipiB, hopB := kc.Get("smp.requests"), kc.Get("smp.ipis"), kc.Get("smp.hop_cycles")
+				if err := op.run(k, d, s); err != nil {
+					return nil, fmt.Errorf("core: E16 %v/%d %s: %w", m, ncpu, op.name, err)
+				}
+				req := kc.Get("smp.requests") - reqB
+				ipis := kc.Get("smp.ipis") - ipiB
+				hops := kc.Get("smp.hop_cycles") - hopB
+
+				if ncpu == 1 && (req != 0 || ipis != 0 || hops != 0) {
+					return nil, fmt.Errorf("core: E16 %v/1 %s: uniprocessor sent %d requests, %d ipis", m, op.name, req, ipis)
+				}
+				// The bugfix contract: ops on the two-sharer page send
+				// at most one request per remote sharer, independent of
+				// core count — the old mask's bound was the domain's
+				// lifetime CPU count (ncpu-1 remote cores here).
+				if op.sharerBounded && req > 2 {
+					return nil, fmt.Errorf("core: E16 %v/%d %s: %d requests for a 2-sharer page (old-mask bound would be %d)",
+						m, ncpu, op.name, req, ncpu-1)
+				}
+				// Chaos retransmit volleys re-send IPIs without new
+				// requests, so the per-op ratio only binds fault-free.
+				if ipis > req && !k.IPIFaultArmed() {
+					return nil, fmt.Errorf("core: E16 %v/%d %s: %d IPIs exceed %d requests", m, ncpu, op.name, ipis, req)
+				}
+				t.AddRow(m.String(), ncpu,
+					fmt.Sprintf("%dx%d", topo.MeshWidth, topo.MeshHeight),
+					op.name, req, ipis, hops)
+			}
+			p.ObserveKernel(k)
+		}
+	}
+
+	t.AddNote("lifetime history = the domain ran on every core; residency then collapses to 2 sharers via")
+	t.AddNote("detach-withdrawal, so sharer-bounded ops (rights-narrow, page-out) send <=2 requests even at")
+	t.AddNote("256 cores, where the old monotonic mask broadcast to all 255 remote cores it had ever seen")
+	t.AddNote("hop cycles = mesh-distance surcharges (IPI hops + memory-bank hops for page-scoped applies)")
+	return []*stats.Table{t}, nil
+}

@@ -30,11 +30,14 @@ var SMPCPUCounts = []int{1, 2, 4, 8}
 //
 // The paper's prediction: the PLB's remote work per change is one
 // request per CPU that may cache the changed authority (entries are
-// keyed by domain and page), while the conventional organizations must
-// repeat their per-address-space maintenance on every CPU — per-page
-// entry hunts on detach and full TLB-capacity scans on unmap — so their
+// keyed by domain and page), while the conventional organization must
+// repeat its per-address-space maintenance on every CPU — per-page
+// entry hunts on detach and full TLB-capacity scans on unmap — so its
 // cross-CPU invalidation cycles grow strictly faster once a second CPU
-// exists.
+// exists. The flush organization sits at the other extreme: a domain
+// switch wipes the CPU, the sharer directory withdraws it, and remote
+// invalidation largely disappears — the cost moved into local
+// flush/refill cycles instead.
 func E14Shootdown(p *Probe) ([]*stats.Table, error) {
 	t := stats.NewTable("E14 Multiprocessor shootdown traffic (8 domains, 16 shared pages, 6 rounds)",
 		"model", "cpus", "ipis", "requests", "coalesced", "remote inval", "cross-cpu cycles", "total cycles")
@@ -43,6 +46,7 @@ func E14Shootdown(p *Probe) ([]*stats.Table, error) {
 		cross, requests uint64
 	}
 	results := map[kernel.Model]map[int]res{}
+	faulted := false // any cell ran with a chaos IPI fault hook armed
 
 	for _, m := range SMPModels {
 		results[m] = map[int]res{}
@@ -51,6 +55,7 @@ func E14Shootdown(p *Probe) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			faulted = faulted || k.IPIFaultArmed()
 			kc := k.Counters()
 			cross := kc.Get("smp.ipi_cycles") + kc.Get("smp.remote_cycles")
 			requests := kc.Get("smp.requests")
@@ -76,22 +81,47 @@ func E14Shootdown(p *Probe) ([]*stats.Table, error) {
 		}
 	}
 
-	// The headline claim: at every multiprocessor size the conventional
-	// organizations pay strictly more cross-CPU invalidation cycles than
-	// the PLB for the same protection changes.
+	// The headline claims, at every multiprocessor size:
+	//
+	//   - The conventional organization pays strictly more cross-CPU
+	//     invalidation cycles than the PLB for the same protection
+	//     changes (per-space entry hunts and full-TLB scans repeated on
+	//     every holding CPU).
+	//   - The flush organization pays no more than the conventional one:
+	//     flushing everything on every domain switch means a switched-away
+	//     CPU provably holds nothing, the sharer directory withdraws it,
+	//     and most shootdowns have no remote holder left to reach. Its
+	//     cost shows up as local flush/refill cycles, not IPI traffic.
+	// Under chaos fault injection the comparisons are skipped: drops,
+	// delays and quarantines perturb each model's traffic independently
+	// (retransmit volleys, timeout stalls, fenced skips), so the
+	// fault-free orderings are not contracts there — the chaos harness
+	// holds faulted runs to liveness and recovery instead.
 	for _, ncpu := range SMPCPUCounts[1:] {
+		if faulted {
+			break
+		}
 		plb := results[kernel.ModelDomainPage][ncpu].cross
-		for _, m := range []kernel.Model{kernel.ModelConventional, kernel.ModelFlush} {
-			if c := results[m][ncpu].cross; c <= plb {
-				return nil, fmt.Errorf("core: E14: %v cross-CPU cycles %d not greater than plb's %d at %d CPUs",
-					m, c, plb, ncpu)
-			}
+		conv := results[kernel.ModelConventional][ncpu].cross
+		if conv <= plb {
+			return nil, fmt.Errorf("core: E14: conventional cross-CPU cycles %d not greater than plb's %d at %d CPUs",
+				conv, plb, ncpu)
+		}
+		if fl := results[kernel.ModelFlush][ncpu].cross; fl > conv {
+			return nil, fmt.Errorf("core: E14: flush cross-CPU cycles %d exceed conventional's %d at %d CPUs",
+				fl, conv, ncpu)
+		}
+		if fr, cr := results[kernel.ModelFlush][ncpu].requests, results[kernel.ModelConventional][ncpu].requests; fr > cr {
+			return nil, fmt.Errorf("core: E14: flush shootdown requests %d exceed conventional's %d at %d CPUs",
+				fr, cr, ncpu)
 		}
 	}
 
 	t.AddNote("cross-cpu cycles = IPI delivery + remote maintenance charged by the shootdown subsystem")
-	t.AddNote("plb remote work is one request per change per holding CPU; conventional/flush repeat per-space")
-	t.AddNote("scans on every CPU (detach entry hunts, full TLB scans on unmap), so their curves grow faster")
+	t.AddNote("plb remote work is one request per change per holding CPU; conventional repeats per-space")
+	t.AddNote("scans on every CPU (detach entry hunts, full TLB scans on unmap), so its curve grows faster")
+	t.AddNote("flush sends at most conventional's traffic: switched-away CPUs are withdrawn from the sharer")
+	t.AddNote("directory (they provably hold nothing), so its cost is local flush/refill, not IPIs")
 	return []*stats.Table{t}, nil
 }
 

@@ -74,6 +74,17 @@ type CostModel struct {
 	// same CPU coalesce into one interrupt), on top of the per-entry
 	// maintenance work the remote CPU performs.
 	IPI uint64
+	// IPIHop is the per-hop surcharge on IPI delivery across a clustered
+	// 2D mesh: each Manhattan hop between the initiator's cluster and
+	// the target's cluster adds this many cycles. Zero hops (any
+	// single-cluster machine, the default topology) adds nothing, so
+	// flat-interconnect configurations are unaffected.
+	IPIHop uint64
+	// MemHop is the per-hop cost a remote CPU pays to reach a page's
+	// home memory bank while applying page-scoped shootdown maintenance
+	// (invalidate + writeback traffic crossing the mesh). Like IPIHop it
+	// only applies on multi-cluster topologies.
+	MemHop uint64
 }
 
 // DefaultCosts returns the baseline cost model used throughout
@@ -99,6 +110,8 @@ func DefaultCosts() CostModel {
 		DiskWrite:      200000,
 		NetRoundTrip:   40000,
 		IPI:            150,
+		IPIHop:         20,
+		MemHop:         10,
 	}
 }
 

@@ -1,0 +1,37 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxCPUs is the largest CPU count NewChecked accepts. The sharer
+// directory tracks residency in growable bitsets (smp.CPUSet), so the
+// old one-word/64-CPU ceiling is gone; this bound only keeps per-CPU
+// state allocation (machines, queues, health vectors) within reason.
+const MaxCPUs = 4096
+
+// ErrConfig is the sentinel wrapped by every kernel-level ConfigError,
+// mirroring the plb.ErrConfig / ptable.ErrConfig convention so callers
+// can errors.Is against one value regardless of which layer rejected
+// the configuration.
+var ErrConfig = errors.New("kernel: invalid configuration")
+
+// ConfigError reports a kernel Config field whose value is out of
+// bounds. It wraps ErrConfig.
+type ConfigError struct {
+	// Field names the offending Config field.
+	Field string
+	// Value is the rejected value.
+	Value int
+	// Reason says what bound was violated.
+	Reason string
+}
+
+// Error formats the violation.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("kernel: config %s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Unwrap exposes the ErrConfig sentinel.
+func (e *ConfigError) Unwrap() error { return ErrConfig }

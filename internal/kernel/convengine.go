@@ -56,12 +56,12 @@ func (e *convEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) erro
 // that may hold one.
 func (e *convEngine) onUnmap(vpn addr.VPN) {
 	e.k.convm.UnmapPage(vpn)
-	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+	e.k.shootPage(vpn, smp.Request{Kind: smp.Unmap, VPN: vpn})
 }
 
 func (e *convEngine) onDestroySegment(s *Segment) {
 	for i := uint64(0); i < s.NumPages(); i++ {
 		e.k.convm.InvalidatePage(s.PageVPN(i))
-		e.k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: s.PageVPN(i)})
+		e.k.shootPage(s.PageVPN(i), smp.Request{Kind: smp.PurgePage, VPN: s.PageVPN(i)})
 	}
 }

@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"repro/internal/addr"
+	"repro/internal/plb"
+	"repro/internal/smp"
+	"repro/internal/tlb"
+)
+
+// The sharer directory tracks, per domain and per page, which CPUs
+// hold hardware entries — the precise-targeting replacement for the
+// old monotonic residency masks. It is fed from two sides:
+//
+//   - Installs: the machines notify the kernel (machine.ResidencyObserver)
+//     whenever hardware installs an entry on the executing CPU, adding
+//     the CPU to the domain's residency set and/or the page's sharer
+//     set.
+//   - Withdrawals: a CPU leaves sets only when the kernel can prove it
+//     holds nothing the set stands for — a bulk invalidation
+//     (purgeCPU/rejoin), a flush-model switch-away, or a removal-kind
+//     shootdown apply after which a hardware scan finds no entry of the
+//     domain left (domainHasEntries).
+//
+// The invariant is superset semantics: every CPU holding a live entry
+// is in the corresponding set; a set may conservatively name CPUs that
+// aged the entry out. Per-op IPI count therefore tracks sharer count
+// (bounded by installs since the last withdrawal), never the domain's
+// lifetime CPU history.
+
+// NoteProtInstall implements machine.ResidencyObserver: the current
+// CPU installed a protection entry for (d, vpn).
+func (k *Kernel) NoteProtInstall(d addr.DomainID, vpn addr.VPN) {
+	if dom, ok := k.domains[d]; ok {
+		dom.cpus.Add(k.cur)
+	}
+	k.notePage(vpn)
+}
+
+// NotePageInstall implements machine.ResidencyObserver: the current
+// CPU installed translation state for vpn.
+func (k *Kernel) NotePageInstall(vpn addr.VPN) { k.notePage(vpn) }
+
+// notePage adds the current CPU to vpn's sharer set.
+func (k *Kernel) notePage(vpn addr.VPN) {
+	set := k.pageDir[vpn]
+	if set == nil {
+		set = &smp.CPUSet{}
+		k.pageDir[vpn] = set
+	}
+	set.Add(k.cur)
+}
+
+// withdrawCPU removes CPU i from every directory set: every domain's
+// residency set, every page's sharer set, and the active set. Callers
+// must have proven the CPU holds no hardware entries (bulk
+// invalidation, or a flush-model switch that purges everything).
+func (k *Kernel) withdrawCPU(i int) {
+	for _, d := range k.domains {
+		d.cpus.Remove(i)
+	}
+	for _, set := range k.pageDir {
+		set.Remove(i)
+	}
+	k.active.Remove(i)
+}
+
+// domainHasEntries reports whether CPU cpu's hardware still holds any
+// entry naming domain d — the scan a removal shootdown runs to decide
+// whether the apply dropped the domain's last entry there (and the CPU
+// can be withdrawn from d's residency set). Checker (page-group) state
+// is not consulted: group loads target by executing domain, not by
+// residency.
+func (k *Kernel) domainHasEntries(cpu int, d addr.DomainID) bool {
+	switch {
+	case k.plbms != nil:
+		found := false
+		k.plbms[cpu].PLB().ForEach(func(key plb.Key, _ addr.Rights) bool {
+			if key.Domain == d {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	case k.convms != nil:
+		found := false
+		as := addr.ASID(d)
+		k.convms[cpu].TLB().ForEach(func(key tlb.ASIDKey, _ tlb.ASIDEntry) bool {
+			if key.AS == as {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	// Page-group hardware holds no per-domain entries to scan (the
+	// checker targets by executing domain, not residency); withdrawal
+	// waits for a bulk invalidation.
+	return true
+}
+
+// withdrawIfEmpty removes CPU cpu from domain d's residency set when
+// cpu's hardware provably holds no entry naming d any more (called
+// after removal-kind shootdown applies).
+func (k *Kernel) withdrawIfEmpty(cpu int, d addr.DomainID) {
+	if k.domainHasEntries(cpu, d) {
+		return
+	}
+	if dom, ok := k.domains[d]; ok {
+		dom.cpus.Remove(cpu)
+	}
+}
+
+// shootPage enqueues r to every CPU in vpn's sharer set except the
+// current one — page-scoped targeting for translation maintenance
+// (unmap, purge-page, group-update). CPUs that never installed state
+// for the page are skipped entirely; absent any sharer record nothing
+// is sent (no CPU can hold an entry that was never installed).
+func (k *Kernel) shootPage(vpn addr.VPN, r smp.Request) {
+	if k.shoot == nil {
+		return
+	}
+	set := k.pageDir[vpn]
+	if set == nil {
+		return
+	}
+	set.ForEach(func(i int) {
+		if i != k.cur {
+			k.enqueueShoot(i, r)
+		}
+	})
+}
+
+// shootRange enqueues r to the union of sharer sets over every page
+// the range spans (range-scoped purges on segment destruction).
+func (k *Kernel) shootRange(rg addr.Range, r smp.Request) {
+	if k.shoot == nil {
+		return
+	}
+	var union smp.CPUSet
+	npages := k.geo.PagesSpanned(rg.Start, rg.Length)
+	start := k.geo.PageNumber(rg.Start)
+	for i := uint64(0); i < npages; i++ {
+		if set := k.pageDir[start+addr.VPN(i)]; set != nil {
+			union.Union(set)
+		}
+	}
+	union.ForEach(func(i int) {
+		if i != k.cur {
+			k.enqueueShoot(i, r)
+		}
+	})
+}
+
+// DomainResident reports whether the directory lists CPU cpu in domain
+// d's residency set (oracle audit hook).
+func (k *Kernel) DomainResident(d addr.DomainID, cpu int) bool {
+	dom, ok := k.domains[d]
+	return ok && dom.cpus.Has(cpu)
+}
+
+// PageResident reports whether the directory lists CPU cpu in vpn's
+// sharer set (oracle audit hook).
+func (k *Kernel) PageResident(vpn addr.VPN, cpu int) bool {
+	set := k.pageDir[vpn]
+	return set != nil && set.Has(cpu)
+}
+
+// ActiveCPU reports whether CPU cpu is in the active set.
+func (k *Kernel) ActiveCPU(cpu int) bool { return k.active.Has(cpu) }

@@ -141,7 +141,7 @@ func (e *dpEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error 
 
 func (e *dpEngine) onUnmap(vpn addr.VPN) {
 	e.k.plbm.UnmapPage(vpn)
-	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+	e.k.shootPage(vpn, smp.Request{Kind: smp.Unmap, VPN: vpn})
 }
 
 // onDestroySegment purges any lingering PLB entries for the segment's
@@ -151,7 +151,7 @@ func (e *dpEngine) onDestroySegment(s *Segment) {
 	inspected := e.k.plbm.PLB().Len()
 	e.k.plbm.PLB().PurgeRangeAll(s.Range.Start, s.Range.Length)
 	_ = inspected
-	e.k.shootActive(smp.Request{Kind: smp.RangePurge, Range: s.Range})
+	e.k.shootRange(s.Range, smp.Request{Kind: smp.RangePurge, Range: s.Range})
 }
 
 // --- Page-group engine (PA-RISC machine) ---
@@ -258,7 +258,7 @@ func (e *pgEngine) recomputePrimary(s *Segment) {
 		if p.seg == s && p.group == s.group && p.groupRights != field {
 			p.groupRights = field
 			e.k.pgm.UpdatePage(vpn, p.group, field)
-			e.k.shootActive(smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: p.group, Rights: field})
+			e.k.shootPage(vpn, smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: p.group, Rights: field})
 		}
 	}
 }
@@ -455,7 +455,7 @@ func (e *pgEngine) movePage(vpn addr.VPN, p *page, g addr.GroupID, rights addr.R
 	p.group = g
 	p.groupRights = rights
 	e.k.pgm.UpdatePage(vpn, g, rights)
-	e.k.shootActive(smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: g, Rights: rights})
+	e.k.shootPage(vpn, smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: g, Rights: rights})
 }
 
 func (e *pgEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
@@ -477,7 +477,7 @@ func (e *pgEngine) setSegmentRights(d *Domain, s *Segment, r addr.Rights) error 
 
 func (e *pgEngine) onUnmap(vpn addr.VPN) {
 	e.k.pgm.UnmapPage(vpn)
-	e.k.shootActive(smp.Request{Kind: smp.Unmap, VPN: vpn})
+	e.k.shootPage(vpn, smp.Request{Kind: smp.Unmap, VPN: vpn})
 }
 
 // onDestroySegment drops the segment's derived-group bookkeeping; the

@@ -53,8 +53,9 @@ func (k *Kernel) GrantExecutor(target, code *Segment, r addr.Rights) error {
 	// the stronger rights fault in. (All domains: the grant is
 	// domain-independent.)
 	for i := uint64(0); i < target.NumPages(); i++ {
+		vpn := k.geo.PageNumber(target.PageVA(i))
 		k.plbm.PurgePage(target.PageVA(i))
-		k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: k.geo.PageNumber(target.PageVA(i))})
+		k.shootPage(vpn, smp.Request{Kind: smp.PurgePage, VPN: vpn})
 	}
 	k.flushIPIs()
 	return nil
@@ -80,8 +81,9 @@ func (k *Kernel) RevokeExecutor(target, code *Segment) error {
 		k.ctrs.Inc("kernel.exec_revokes")
 		k.bumpGlobalEpoch()
 		for i := uint64(0); i < target.NumPages(); i++ {
+			vpn := k.geo.PageNumber(target.PageVA(i))
 			k.plbm.PurgePage(target.PageVA(i))
-			k.shootActive(smp.Request{Kind: smp.PurgePage, VPN: k.geo.PageNumber(target.PageVA(i))})
+			k.shootPage(vpn, smp.Request{Kind: smp.PurgePage, VPN: vpn})
 		}
 		k.flushIPIs()
 	}

@@ -119,9 +119,16 @@ type Config struct {
 	// protection and translation structures (PLB, TLBs, page-group
 	// checker, cache) over the shared kernel state; protection changes
 	// reach remote CPUs through the shootdown subsystem (internal/smp).
-	// Zero or one means a uniprocessor with no shootdown traffic; the
-	// maximum is 64 (CPU residency is tracked in one word).
+	// Zero or one means a uniprocessor with no shootdown traffic.
+	// Residency is tracked in growable bitsets, so counts beyond 64 are
+	// fine; NewChecked rejects counts above MaxCPUs with a *ConfigError.
 	CPUs int
+	// Topology arranges the CPUs on a clustered 2D mesh of memory banks
+	// (internal/smp): cross-cluster IPIs and page-scoped remote
+	// maintenance pay per-hop surcharges (CostModel.IPIHop, MemHop). The
+	// zero value is a single cluster — every hop count is zero, matching
+	// the flat interconnect earlier experiments were calibrated on.
+	Topology smp.Topology
 	// VABase is the first virtual address handed out to segments.
 	VABase addr.VA
 	// MaxFaultRetries bounds the access-fault-retry loop; a reference
@@ -230,11 +237,15 @@ type Domain struct {
 	// every kernel mutation scoped to this domain, orphaning its cached
 	// fast-path verdicts.
 	protEpoch uint64
-	// cpus is the monotonic residency mask: bit i set means the domain
-	// has run (or had rights installed) on CPU i, so CPU i may cache the
-	// domain's protection entries. Shootdowns for domain-keyed state
-	// target exactly these CPUs.
-	cpus uint64
+	// cpus is the domain's residency set: CPU i is a member while it may
+	// cache the domain's protection entries (it ran the domain, or
+	// hardware installed an entry naming it there). Unlike the old
+	// monotonic one-word mask, membership is withdrawn when a CPU is
+	// bulk-invalidated (purgeCPU, rejoin), when a flush-model CPU
+	// switches away, and when a removal shootdown provably drops the
+	// domain's last entry on a CPU — so shootdowns for domain-keyed
+	// state track live sharers, not the domain's lifetime CPU history.
+	cpus smp.CPUSet
 }
 
 // Attached reports whether the domain is attached to segment s and with
@@ -382,10 +393,24 @@ type Kernel struct {
 	pgms   []*machine.PGMachine
 	convms []*machine.ConventionalMachine
 
-	// cur is the current CPU; activeCPUs is the monotonic mask of CPUs
-	// that ever ran a domain (targets for domain-agnostic broadcasts).
-	cur        int
-	activeCPUs uint64
+	// cur is the current CPU; active is the set of CPUs that may hold
+	// live hardware state (ran a domain since their last bulk
+	// invalidation) — the fallback target set for requests no per-page
+	// sharer record covers.
+	cur    int
+	active smp.CPUSet
+	// pageDir is the sharer directory's page axis: pageDir[vpn] is the
+	// set of CPUs that installed hardware state for vpn (trans-TLB,
+	// PG-TLB, ASID-TLB or PLB entries) since their last bulk
+	// invalidation. It is a superset of live residency — deliveries
+	// never withdraw (a PLB protection entry or cache line outlives the
+	// translation entry an Unmap drops), only purgeCPU/rejoin and
+	// flush-model switch-away do — which keeps page-scoped shootdowns
+	// sound while still tracking sharers, not history. Nil entry = no
+	// sharers.
+	pageDir map[addr.VPN]*smp.CPUSet
+	// topo is the normalized mesh topology (see Config.Topology).
+	topo smp.Topology
 	// shoot is the shootdown subsystem; nil on a uniprocessor.
 	shoot *smp.Shootdown
 	// deferDepth counts open DeferShootdowns windows; per-operation IPI
@@ -408,9 +433,10 @@ func New(cfg Config) *Kernel {
 }
 
 // NewChecked creates a kernel and its machines for the configured
-// model, returning the construction error (a *plb.ConfigError or
-// *ptable.ConfigError, each wrapping its package's ErrConfig sentinel)
-// instead of panicking when a configuration value is rejected.
+// model, returning the construction error (a *ConfigError, a
+// *plb.ConfigError or a *ptable.ConfigError, each wrapping its
+// package's ErrConfig sentinel) instead of panicking when a
+// configuration value is rejected.
 func NewChecked(cfg Config) (*Kernel, error) {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 4096
@@ -421,10 +447,17 @@ func NewChecked(cfg Config) (*Kernel, error) {
 	if cfg.CPUs < 1 {
 		cfg.CPUs = 1
 	}
-	if cfg.CPUs > 64 {
-		cfg.CPUs = 64
+	if cfg.CPUs > MaxCPUs {
+		return nil, &ConfigError{Field: "CPUs", Value: cfg.CPUs,
+			Reason: fmt.Sprintf("exceeds MaxCPUs (%d)", MaxCPUs)}
+	}
+	if err := cfg.Topology.Validate(cfg.CPUs); err != nil {
+		return nil, &ConfigError{Field: "Topology", Value: cfg.CPUs,
+			Reason: err.Error()}
 	}
 	k := &Kernel{}
+	k.pageDir = make(map[addr.VPN]*smp.CPUSet)
+	k.topo = cfg.Topology.Normalize(cfg.CPUs)
 	var geo addr.Geometry
 	switch cfg.Model {
 	case ModelPageGroup:
@@ -510,6 +543,8 @@ func NewChecked(cfg Config) (*Kernel, error) {
 	k.SetCPU(0)
 	if cfg.CPUs > 1 {
 		k.shoot = smp.New(cfg.CPUs, k, k.costs, &k.ctrs, &k.cycles)
+		k.shoot.SetTopology(cfg.Topology)
+		k.shoot.SetInitiator(k.cur)
 	}
 	if newHook != nil {
 		newHook(k)
@@ -568,6 +603,23 @@ func (k *Kernel) NumCPUs() int { return len(k.machs) }
 // CPU returns the current CPU index.
 func (k *Kernel) CPU() int { return k.cur }
 
+// SetTopology replaces the mesh topology at runtime (chaos scenarios
+// and sweeps re-cluster a built kernel). It returns a *ConfigError if
+// the topology cannot seat the configured CPUs.
+func (k *Kernel) SetTopology(t smp.Topology) error {
+	if err := t.Validate(len(k.machs)); err != nil {
+		return &ConfigError{Field: "Topology", Value: len(k.machs), Reason: err.Error()}
+	}
+	k.topo = t.Normalize(len(k.machs))
+	if k.shoot != nil {
+		k.shoot.SetTopology(t)
+	}
+	return nil
+}
+
+// Topology returns the normalized mesh topology.
+func (k *Kernel) Topology() smp.Topology { return k.topo }
+
 // SetCPU moves the kernel's execution to CPU i: subsequent switches,
 // accesses and protection operations run against that CPU's private
 // machine. Kernel tables are shared; only the hardware view changes.
@@ -580,6 +632,9 @@ func (k *Kernel) SetCPU(i int) {
 		k.rejoinCPU(i)
 	}
 	k.cur = i
+	if k.shoot != nil {
+		k.shoot.SetInitiator(i)
+	}
 	k.mach = k.machs[i]
 	if k.plbms != nil {
 		k.plbm = k.plbms[i]
@@ -801,7 +856,11 @@ func (k *Kernel) RecoverHardware() int {
 }
 
 // purgeCPU flash-clears CPU i's private protection and translation
-// structures, returning the number of entries dropped.
+// structures and flushes its data cache, returning the number of
+// protection/translation entries dropped. The cache flush is part of
+// the withdrawal proof: virtually-tagged lines satisfy accesses without
+// consulting translation, so a CPU leaving the sharer directory (which
+// stops unmap shootdowns from reaching it) must not keep any.
 func (k *Kernel) purgeCPU(i int) int {
 	if f, ok := k.machs[i].(machine.FastPathed); ok {
 		f.PurgeFastPath()
@@ -812,27 +871,29 @@ func (k *Kernel) purgeCPU(i int) int {
 		n += k.plbms[i].PLB().Len()
 		k.plbms[i].PurgeAllPLB()
 		n += k.plbms[i].TLB().PurgeAll()
+		k.plbms[i].FlushDataCache()
 	case k.pgms != nil:
 		n += k.pgms[i].TLB().PurgeAll()
 		n += k.pgms[i].Checker().PurgeAll()
+		k.pgms[i].FlushDataCache()
 	case k.convms != nil:
 		n += k.convms[i].TLB().PurgeAll()
+		k.convms[i].FlushDataCache()
 	}
+	// The CPU provably holds nothing now: withdraw it from the sharer
+	// directory so no further shootdowns target it until it reinstalls.
+	k.withdrawCPU(i)
 	return n
 }
 
 // RecoverCPU is per-CPU epoch recovery, the single-CPU generalization
-// of RecoverHardware: CPU i's private structures are bulk-invalidated,
-// the CPU is withdrawn from every domain residency mask and from the
-// active broadcast set (it holds no state worth invalidating until it
-// executes again), and shootdowns still queued for it are discarded as
-// moot. Charges one trap. Returns the number of entries dropped.
+// of RecoverHardware: CPU i's private structures are bulk-invalidated
+// (which withdraws it from every directory sharer set — it holds no
+// state worth invalidating until it executes again), and shootdowns
+// still queued for it are discarded as moot. Charges one trap. Returns
+// the number of entries dropped.
 func (k *Kernel) RecoverCPU(i int) int {
 	n := k.purgeCPU(i)
-	for _, d := range k.domains {
-		d.cpus &^= 1 << uint(i)
-	}
-	k.activeCPUs &^= 1 << uint(i)
 	if k.shoot != nil {
 		k.shoot.DropPending(i)
 	}
@@ -896,11 +957,17 @@ func (k *Kernel) ConvergenceBound() uint64 {
 	// line size.
 	scan := uint64(k.cpuStructCapacity())*(c.PurgeEntry+c.Install) +
 		(k.geo.PageSize()/16)*c.CacheLineFlush
+	// Mesh surcharges at worst-case distance: every IPI may cross the
+	// full diameter, and every applied request may reach a maximally
+	// distant home memory bank.
+	diam := uint64(k.topo.Diameter())
+	ipi := c.IPI + diam*c.IPIHop
+	scan += diam * c.MemHop
 	volleys := uint64(p.MaxRetries + 1)
 	var bound uint64
 	for i := range k.machs {
 		if pending := uint64(k.shoot.Pending(i)); pending > 0 {
-			bound += volleys*(c.IPI+p.BackoffLimit) + pending*scan
+			bound += volleys*(ipi+p.BackoffLimit) + pending*scan
 		}
 		// Every CPU may need a rejoin (quarantine can happen during the
 		// convergence flush itself): one trap plus one bulk purge.
@@ -989,13 +1056,19 @@ func (k *Kernel) Detach(d *Domain, s *Segment) error {
 
 // Switch schedules domain d on the current CPU's machine.
 func (k *Kernel) Switch(d *Domain) {
-	d.cpus |= 1 << uint(k.cur)
-	k.activeCPUs |= 1 << uint(k.cur)
-	if k.mach.Domain() == d.ID {
-		return
+	if k.mach.Domain() != d.ID {
+		if k.cfg.Model == ModelFlush && k.shoot != nil {
+			// The flush machine purges its TLB and cache on the way in
+			// (no ASIDs), so the switching CPU provably drops every
+			// entry it held: withdraw it from the sharer directory
+			// instead of letting residency accrete switch after switch.
+			k.withdrawCPU(k.cur)
+		}
+		k.mach.SwitchDomain(d.ID)
+		k.pushFastPathStamp(k.cur)
 	}
-	k.mach.SwitchDomain(d.ID)
-	k.pushFastPathStamp(k.cur)
+	d.cpus.Add(k.cur)
+	k.active.Add(k.cur)
 }
 
 // --- machine.OS implementation: the tables hardware refills from ---

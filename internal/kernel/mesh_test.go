@@ -1,0 +1,81 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/smp"
+)
+
+// meshWorkload drives a small cross-cluster sharing pattern and
+// returns the kernel: 4 CPUs warm a shared page, then the owner
+// narrows rights and pages the page out, producing IPIs and
+// page-scoped maintenance to every other cluster.
+func meshWorkload(t *testing.T, topo smp.Topology) *Kernel {
+	t.Helper()
+	cfg := DefaultConfig(ModelDomainPage)
+	cfg.CPUs = 4
+	cfg.Topology = topo
+	k := New(cfg)
+	d := k.CreateDomain()
+	s := k.CreateSegment(4, SegmentOptions{Name: "shared"})
+	k.Attach(d, s, addr.RW)
+	for c := 0; c < 4; c++ {
+		k.SetCPU(c)
+		if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+			t.Fatalf("warm touch on CPU %d: %v", c, err)
+		}
+	}
+	k.SetCPU(0)
+	if err := k.SetPageRights(d, s.Base(), addr.Read); err != nil {
+		t.Fatalf("SetPageRights: %v", err)
+	}
+	if err := k.PageOut(s.PageVPN(0)); err != nil {
+		t.Fatalf("PageOut: %v", err)
+	}
+	return k
+}
+
+// TestFlatTopologyChargesNoHops: the zero-value topology (everything
+// one cluster) must charge no hop cycles at all, keeping every
+// existing flat-configuration result byte-identical.
+func TestFlatTopologyChargesNoHops(t *testing.T) {
+	k := meshWorkload(t, smp.Topology{})
+	if got := k.Counters().Get("smp.hop_cycles"); got != 0 {
+		t.Fatalf("flat topology charged %d hop cycles", got)
+	}
+	if k.Counters().Get("smp.ipis") == 0 {
+		t.Fatal("workload produced no IPIs; hop test is vacuous")
+	}
+}
+
+// TestMeshHopChargesAreExactlyTheTotalCycleDelta: running the same
+// workload on a 2x2 mesh (one CPU per cluster) charges hop surcharges
+// for every IPI and every page-scoped remote apply, and those
+// surcharges are the only difference from the flat run — the mesh
+// prices distance, it does not change behavior.
+func TestMeshHopChargesAreExactlyTheTotalCycleDelta(t *testing.T) {
+	flat := meshWorkload(t, smp.Topology{})
+	mesh := meshWorkload(t, smp.Topology{MeshWidth: 2, MeshHeight: 2, ClusterCPUs: 1})
+
+	hop := mesh.Counters().Get("smp.hop_cycles")
+	if hop == 0 {
+		t.Fatal("mesh run charged no hop cycles")
+	}
+	if fc, mc := flat.TotalCycles(), mesh.TotalCycles(); mc != fc+hop {
+		t.Fatalf("mesh total %d != flat total %d + hop cycles %d", mc, fc, hop)
+	}
+	// Same requests, same IPIs: topology prices the traffic without
+	// altering targeting.
+	for _, c := range []string{"smp.requests", "smp.ipis", "smp.remote_invalidations"} {
+		if f, m := flat.Counters().Get(c), mesh.Counters().Get(c); f != m {
+			t.Fatalf("%s differs: flat %d, mesh %d", c, f, m)
+		}
+	}
+	// Deterministic: a second identical mesh run lands on the same
+	// cycle totals.
+	again := meshWorkload(t, smp.Topology{MeshWidth: 2, MeshHeight: 2, ClusterCPUs: 1})
+	if again.TotalCycles() != mesh.TotalCycles() {
+		t.Fatalf("mesh run not deterministic: %d vs %d", again.TotalCycles(), mesh.TotalCycles())
+	}
+}

@@ -7,17 +7,21 @@ import (
 
 // Shootdown integration: the kernel is the smp.Handler — it maps
 // delivered requests onto the target CPU's machine — and the protection
-// engines are the producers. Targeting is as precise as the hardware
-// organization allows:
+// engines are the producers. Targeting comes from the sharer directory
+// (directory.go), which tracks live installs rather than lifetime
+// history:
 //
-//   - Domain-keyed state (PLB entries, ASID-tagged TLB entries) lives
-//     only on CPUs the domain ran on (or had rights installed on), so
-//     requests go to the domain's residency mask.
+//   - Domain-keyed state (PLB entries, ASID-tagged TLB entries) goes to
+//     the domain's residency set — CPUs where hardware installed an
+//     entry naming the domain since their last bulk invalidation, with
+//     membership withdrawn when a removal shootdown provably drops the
+//     domain's last entry on a CPU.
 //   - Checker state (PID registers / group cache) is purged on every
 //     domain switch, so group loads/revocations only matter on CPUs
 //     currently executing the domain.
-//   - Translation and page-group TLB state is domain-agnostic, so
-//     unmaps and regroups broadcast to every CPU that ever ran anything.
+//   - Translation and page-group TLB state is domain-agnostic but
+//     page-keyed: unmaps and regroups go to the page's sharer set
+//     (shootPage/shootRange), not to every CPU that ever ran anything.
 //
 // Every kernel-level protection operation enqueues its remote work and
 // then flushes once, so all requests raised by one operation share one
@@ -30,21 +34,25 @@ func (k *Kernel) shootDomain(d *Domain, r smp.Request) {
 		return
 	}
 	r.Domain = d.ID
-	for i := range k.machs {
-		if i != k.cur && d.cpus&(1<<uint(i)) != 0 {
+	d.cpus.ForEach(func(i int) {
+		if i != k.cur {
 			k.enqueueShoot(i, r)
 		}
-	}
+	})
 }
 
 // enqueueShoot routes one request to CPU i unless i is fenced
 // (quarantined or degraded): a fenced CPU cannot be reached by IPI, so
-// instead of queueing, the kernel marks it stale — it will be bulk-
-// invalidated before it executes anything (SetCPU rejoin), which
-// subsumes the skipped invalidation.
+// instead of queueing, the kernel records the skip — the CPU is marked
+// stale and the suppressed invalidation is counted
+// ("smp.fenced_skips") so overhead accounting stays complete — and the
+// CPU will be bulk-invalidated before it executes anything (SetCPU
+// rejoin), which subsumes the skipped invalidation. Removal kinds that
+// do get applied withdraw the target from the domain's residency set
+// when the scan proves its last entry is gone.
 func (k *Kernel) enqueueShoot(i int, r smp.Request) {
 	if k.shoot.Fenced(i) {
-		k.shoot.MarkStale(i)
+		k.shoot.SkipFenced(i)
 		return
 	}
 	k.shoot.Enqueue(i, r)
@@ -65,23 +73,10 @@ func (k *Kernel) shootExecuting(d *Domain, r smp.Request) {
 	}
 }
 
-// shootActive enqueues r for every remote CPU that ever ran a domain
-// (domain-agnostic translation/regroup state).
-func (k *Kernel) shootActive(r smp.Request) {
-	if k.shoot == nil {
-		return
-	}
-	for i := range k.machs {
-		if i != k.cur && k.activeCPUs&(1<<uint(i)) != 0 {
-			k.enqueueShoot(i, r)
-		}
-	}
-}
-
 // markInstalled records that domain d's rights were installed on the
 // current CPU outside a switch (eager installs), so future shootdowns
 // reach this CPU too.
-func (k *Kernel) markInstalled(d *Domain) { d.cpus |= 1 << uint(k.cur) }
+func (k *Kernel) markInstalled(d *Domain) { d.cpus.Add(k.cur) }
 
 // flushIPIs delivers all pending shootdown batches: one IPI per target
 // CPU. Called at the end of every kernel operation that enqueued
@@ -158,6 +153,12 @@ func (k *Kernel) SetIPIFault(fn smp.FaultHook) {
 	}
 }
 
+// IPIFaultArmed reports whether a chaos IPI fault hook is installed;
+// always false on a uniprocessor.
+func (k *Kernel) IPIFaultArmed() bool {
+	return k.shoot != nil && k.shoot.FaultArmed()
+}
+
 // PendingShootdowns returns the number of requests queued (including
 // chaos-delayed ones) for CPU i; zero on a uniprocessor.
 func (k *Kernel) PendingShootdowns(i int) int {
@@ -168,7 +169,12 @@ func (k *Kernel) PendingShootdowns(i int) int {
 }
 
 // ApplyShootdown implements smp.Handler: perform r on CPU cpu's
-// machine and report how many resident entries were touched.
+// machine and report how many resident entries were touched. Removal
+// kinds that can drop a domain's last hardware entry on the target
+// (single-entry invalidates, detach scans, full purges) re-scan the
+// structure afterwards and withdraw the target from the domain's
+// residency set when nothing is left — the step that keeps residency
+// tracking live sharers instead of growing monotonically.
 func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 	switch {
 	case k.pgms != nil:
@@ -188,7 +194,9 @@ func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 		as := addr.ASID(r.Domain)
 		switch r.Kind {
 		case smp.InvalRights:
-			return m.InvalidateEntry(as, r.VPN)
+			n := m.InvalidateEntry(as, r.VPN)
+			k.withdrawIfEmpty(cpu, r.Domain)
+			return n
 		case smp.UpdateRights:
 			return m.SetRights(as, r.VPN, r.Rights)
 		case smp.PurgePage:
@@ -200,17 +208,26 @@ func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 		m := k.plbms[cpu]
 		switch r.Kind {
 		case smp.InvalRights:
-			return m.InvalidateRights(r.Domain, k.geo.Base(r.VPN))
+			n := m.InvalidateRights(r.Domain, k.geo.Base(r.VPN))
+			k.withdrawIfEmpty(cpu, r.Domain)
+			return n
 		case smp.UpdateRights:
 			return m.UpdateRights(r.Domain, k.geo.Base(r.VPN), r.Rights)
 		case smp.RangeRights:
 			return m.UpdateRange(r.Domain, r.Range.Start, r.Range.Length, r.Rights)
 		case smp.RangeDetach:
-			return m.DetachRange(r.Domain, r.Range.Start, r.Range.Length)
+			n := m.DetachRange(r.Domain, r.Range.Start, r.Range.Length)
+			k.withdrawIfEmpty(cpu, r.Domain)
+			return n
 		case smp.RangePurge:
 			return m.PLB().PurgeRangeAll(r.Range.Start, r.Range.Length)
 		case smp.PurgeAllProt:
-			return m.PurgeAllPLB()
+			n := m.PurgeAllPLB()
+			// Flash-clear: no domain has PLB entries on cpu any more.
+			for _, dom := range k.domains {
+				dom.cpus.Remove(cpu)
+			}
+			return n
 		case smp.PurgePage:
 			return m.PurgePage(k.geo.Base(r.VPN))
 		case smp.Unmap:

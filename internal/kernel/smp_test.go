@@ -137,12 +137,30 @@ func TestRecoverHardwareDuringDeferWindow(t *testing.T) {
 	if k.PendingShootdowns(1) != 0 {
 		t.Fatal("pending shootdowns survived RecoverHardware")
 	}
+	// The bulk invalidation also withdrew every CPU from the sharer
+	// directory: an op right after recovery has no remote holders to
+	// invalidate, so it must send nothing.
 	ipisBefore := k.Counters().Get("smp.ipis")
 	if err := k.SetPageRights(d, s.Base(), addr.RW); err != nil {
 		t.Fatalf("SetPageRights: %v", err)
 	}
 	if k.PendingShootdowns(1) != 0 {
 		t.Fatal("RecoverHardware left the deferred window open")
+	}
+	if got := k.Counters().Get("smp.ipis"); got != ipisBefore {
+		t.Fatalf("post-recovery op targeted withdrawn CPUs: ipis %d -> %d", ipisBefore, got)
+	}
+	// Once CPU 1 faults an entry back in, per-op flushing resumes.
+	k.SetCPU(1)
+	if err := k.Touch(d, s.Base(), addr.Load); err != nil {
+		t.Fatalf("re-warm touch: %v", err)
+	}
+	k.SetCPU(0)
+	if err := k.SetPageRights(d, s.Base(), addr.Read); err != nil {
+		t.Fatalf("SetPageRights: %v", err)
+	}
+	if k.PendingShootdowns(1) != 0 {
+		t.Fatal("post-recovery op did not flush per-op")
 	}
 	if got := k.Counters().Get("smp.ipis"); got != ipisBefore+1 {
 		t.Fatalf("post-recovery op did not flush per-op: ipis %d -> %d", ipisBefore, got)

@@ -65,6 +65,7 @@ func DefaultConvConfig() ConvConfig {
 type ConventionalMachine struct {
 	cfg    ConvConfig
 	os     MultiOS
+	obs    ResidencyObserver // non-nil when the OS tracks sharers
 	domain addr.DomainID
 
 	tlb   *tlb.ASIDTLB
@@ -85,6 +86,7 @@ type ConventionalMachine struct {
 // index does not fit the page offset (the architectural constraint).
 func NewConventional(cfg ConvConfig, os MultiOS) *ConventionalMachine {
 	m := &ConventionalMachine{cfg: cfg, os: os}
+	m.obs, _ = os.(ResidencyObserver)
 	m.tlb = tlb.NewASID(cfg.TLB, &m.ctrs, "tlb")
 	if cfg.CacheOrg == ConvCacheVIPT {
 		if !cache.ValidVIPT(cfg.Cache, cfg.Geometry) {
@@ -199,6 +201,12 @@ func (m *ConventionalMachine) slowAccess(va addr.VA, kind addr.AccessKind) cpu.O
 		entry = tlb.ASIDEntry{PFN: pte.PFN, Rights: pte.Rights}
 		m.tlb.Insert(m.asid(), vpn, entry)
 		m.cycles.Add(c.Install)
+		if m.obs != nil {
+			// A combined-TLB entry carries both the domain's rights and
+			// the translation, so it feeds both directory axes.
+			m.obs.NoteProtInstall(m.domain, vpn)
+			m.obs.NotePageInstall(vpn)
+		}
 	}
 	if !entry.Rights.Allows(kind) {
 		m.hFaultProt.Inc()
@@ -288,6 +296,22 @@ func (m *ConventionalMachine) UnmapPage(vpn addr.VPN) int {
 	m.cycles.Add((m.cfg.Geometry.PageSize() >> m.cfg.Cache.LineShift) * c.CacheLineFlush)
 	m.cycles.Add(uint64(dirty) * c.Writeback)
 	return n
+}
+
+// FlushDataCache flushes every line of the data cache (virtual or
+// VIPT), charging the per-line flush and writeback costs. Lines left
+// by mappings the CPU no longer holds would otherwise survive a bulk
+// invalidation: unmap shootdowns flush them when delivered, and a CPU
+// withdrawn from the sharer directory stops receiving those.
+func (m *ConventionalMachine) FlushDataCache() int {
+	var flushed, dirty int
+	if m.vipt != nil {
+		flushed, dirty = m.vipt.FlushAll()
+	} else {
+		flushed, dirty = m.cache.FlushAll()
+	}
+	m.cycles.Add(uint64(flushed)*m.cfg.Costs.CacheLineFlush + uint64(dirty)*m.cfg.Costs.Writeback)
+	return flushed
 }
 
 // Geometry returns the machine's translation page geometry.

@@ -68,6 +68,23 @@ type ProtShifter interface {
 	ProtShift(d addr.DomainID, vpn addr.VPN) uint
 }
 
+// ResidencyObserver is an optional OS extension the machines notify
+// when hardware installs an entry naming a domain or a page: the
+// kernel's sharer directory records which CPU gained which state, so
+// shootdowns can target only CPUs that actually hold an entry instead
+// of every CPU a domain ever ran on. Installs happen on the executing
+// CPU, so the observer attributes each note to its current CPU. Like
+// ProtShifter, implementation is discovered by type assertion on the
+// OS at construction; an OS that does not implement it costs nothing.
+type ResidencyObserver interface {
+	// NoteProtInstall records that the executing CPU installed a
+	// protection entry for (d, vpn): PLB entry, ASID-tagged TLB entry.
+	NoteProtInstall(d addr.DomainID, vpn addr.VPN)
+	// NotePageInstall records that the executing CPU installed
+	// translation state for vpn (trans-TLB, PG-TLB, ASID TLB entries).
+	NotePageInstall(vpn addr.VPN)
+}
+
 // GroupAccess is one element of a domain's page-group set.
 type GroupAccess struct {
 	Group        addr.GroupID

@@ -62,6 +62,7 @@ func DefaultPGConfig() PGConfig {
 type PGMachine struct {
 	cfg    PGConfig
 	os     OS
+	obs    ResidencyObserver // non-nil when the OS tracks sharers
 	domain addr.DomainID
 
 	tlb     *tlb.PGTLB
@@ -81,6 +82,7 @@ type PGMachine struct {
 // NewPG builds a page-group machine over the given OS.
 func NewPG(cfg PGConfig, os OS) *PGMachine {
 	m := &PGMachine{cfg: cfg, os: os}
+	m.obs, _ = os.(ResidencyObserver)
 	m.tlb = tlb.NewPG(cfg.TLB, &m.ctrs, "pgtlb")
 	switch cfg.Checker {
 	case PGCheckerPIDRegisters:
@@ -206,6 +208,9 @@ func (m *PGMachine) slowAccess(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 		entry = tlb.PGEntry{PFN: pfn, AID: aid, Rights: rights}
 		m.tlb.Insert(vpn, entry)
 		m.cycles.Add(c.Install)
+		if m.obs != nil {
+			m.obs.NotePageInstall(vpn)
+		}
 	}
 
 	// Page-group check: AID 0 is global; otherwise the group must be in
@@ -310,6 +315,16 @@ func (m *PGMachine) UnmapPage(vpn addr.VPN) int {
 	m.cycles.Add(uint64(m.cache.LinesPerPage(m.cfg.Geometry)) * c.CacheLineFlush)
 	m.cycles.Add(uint64(dirty) * c.Writeback)
 	return n
+}
+
+// FlushDataCache flushes every line of the VIVT data cache, charging
+// the per-line flush and writeback costs (see PLBMachine.FlushDataCache:
+// virtually-tagged lines hit without translation, so bulk invalidation
+// must cover them).
+func (m *PGMachine) FlushDataCache() int {
+	flushed, dirty := m.cache.FlushAll()
+	m.cycles.Add(uint64(flushed)*m.cfg.Costs.CacheLineFlush + uint64(dirty)*m.cfg.Costs.Writeback)
+	return flushed
 }
 
 var _ Machine = (*PGMachine)(nil)

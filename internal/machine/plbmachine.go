@@ -42,7 +42,8 @@ func DefaultPLBConfig() PLBConfig {
 type PLBMachine struct {
 	cfg    PLBConfig
 	os     OS
-	domain addr.DomainID // the PD-ID register
+	obs    ResidencyObserver // non-nil when the OS tracks sharers
+	domain addr.DomainID     // the PD-ID register
 
 	plb   *plb.PLB
 	tlb   *tlb.TransTLB
@@ -65,6 +66,7 @@ type PLBMachine struct {
 // for known-good configurations (the defaults, test fixtures).
 func NewPLB(cfg PLBConfig, os OS) (*PLBMachine, error) {
 	m := &PLBMachine{cfg: cfg, os: os}
+	m.obs, _ = os.(ResidencyObserver)
 	p, err := plb.New(cfg.PLB, &m.ctrs, "plb")
 	if err != nil {
 		return nil, err
@@ -186,6 +188,9 @@ func (m *PLBMachine) slowAccess(va addr.VA, kind addr.AccessKind) cpu.Outcome {
 			}
 			m.plb.Insert(m.domain, va, shift, resolved)
 			m.cycles.Add(c.Install)
+			if m.obs != nil {
+				m.obs.NoteProtInstall(m.domain, m.cfg.Geometry.PageNumber(va))
+			}
 		}
 		rights = resolved
 	}
@@ -228,6 +233,9 @@ func (m *PLBMachine) translate(vpn addr.VPN) (addr.PFN, bool) {
 	}
 	m.tlb.Insert(vpn, tlb.TransEntry{PFN: pfn})
 	m.cycles.Add(c.Install)
+	if m.obs != nil {
+		m.obs.NotePageInstall(vpn)
+	}
 	return pfn, true
 }
 
@@ -258,6 +266,9 @@ func (m *PLBMachine) InstallRights(d addr.DomainID, va addr.VA, shift uint, r ad
 	m.fp.BumpLocal()
 	m.plb.Insert(d, va, shift, r)
 	m.cycles.Add(m.cfg.Costs.Install)
+	if m.obs != nil {
+		m.obs.NoteProtInstall(d, m.cfg.Geometry.PageNumber(va))
+	}
 }
 
 // InvalidateRights drops the PLB entry for (d, va) if resident (at
@@ -324,6 +335,18 @@ func (m *PLBMachine) UnmapPage(vpn addr.VPN) int {
 	m.cycles.Add(uint64(dirty) * c.Writeback)
 	_ = flushed
 	return n
+}
+
+// FlushDataCache flushes every line of the VIVT data cache, charging
+// the per-line flush and writeback costs. Part of a bulk invalidation:
+// a virtually-tagged line hits without consulting translation, so the
+// proof that a purged CPU holds nothing must cover the cache, or a
+// stale line would satisfy an access to a page that is no longer
+// mapped.
+func (m *PLBMachine) FlushDataCache() int {
+	flushed, dirty := m.cache.FlushAll()
+	m.cycles.Add(uint64(flushed)*m.cfg.Costs.CacheLineFlush + uint64(dirty)*m.cfg.Costs.Writeback)
+	return flushed
 }
 
 // Geometry returns the machine's translation page geometry.

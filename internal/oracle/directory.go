@@ -1,0 +1,163 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/plb"
+	"repro/internal/tlb"
+)
+
+// Sharer-directory audit: the kernel's directory (domain residency
+// sets, per-page sharer sets, the active set) must be a superset of
+// the live hardware state on every trusted CPU — every resident entry
+// naming a domain or page must have its CPU listed in the
+// corresponding set, or a shootdown targeted from that set could miss
+// a holder. The converse is allowed: sets may conservatively name CPUs
+// whose entries have aged out (the directory withdraws only on
+// provable emptiness).
+//
+// Checker (page-group) residency is deliberately not audited: group
+// loads and revocations target CPUs by the domain they are currently
+// executing, not by directory membership, so checker state has no
+// directory counterpart.
+//
+// Data-cache lines are audited on the page axis: a virtually-tagged
+// line satisfies an access without consulting translation, so a CPU
+// holding lines of a page must be in that page's sharer set or the
+// unmap that flushes those lines would never reach it. VIPT physical
+// caches are excluded — their lines are keyed by frame, always gated
+// by a TLB lookup, and have no virtual page to map back to.
+
+// plbDirectoryViolations audits the directory against one PLB
+// machine's PLB and translation TLB.
+func plbDirectoryViolations(k *kernel.Kernel, cpu int, m *machine.PLBMachine) []Violation {
+	var out []Violation
+	geoShift := k.Geometry().Shift()
+	any := false
+	m.PLB().ForEach(func(key plb.Key, _ addr.Rights) bool {
+		any = true
+		if !k.DomainResident(key.Domain, cpu) {
+			out = append(out, Violation{
+				Where: "directory", Domain: key.Domain, VPN: addr.VPN(key.Page),
+				Detail: fmt.Sprintf("PLB entry (shift %d) resident but CPU missing from domain residency set", key.Shift),
+			})
+			return true
+		}
+		// Base-shift entries additionally feed the page sharer set;
+		// super/sub-page installs are recorded against their install
+		// page only, so only the domain set is authoritative for them.
+		if uint(key.Shift) == geoShift {
+			if vpn := addr.VPN(key.Page); !k.PageResident(vpn, cpu) {
+				out = append(out, Violation{
+					Where: "directory", Domain: key.Domain, VPN: vpn,
+					Detail: "PLB base entry resident but CPU missing from page sharer set",
+				})
+			}
+		}
+		return true
+	})
+	m.TLB().ForEach(func(vpn addr.VPN, _ tlb.TransEntry) bool {
+		any = true
+		if !k.PageResident(vpn, cpu) {
+			out = append(out, Violation{
+				Where: "directory", VPN: vpn,
+				Detail: "translation TLB entry resident but CPU missing from page sharer set",
+			})
+		}
+		return true
+	})
+	out = append(out, cacheLineViolations(k, cpu, m.Cache(), &any)...)
+	if any && !k.ActiveCPU(cpu) {
+		out = append(out, Violation{
+			Where:  "directory",
+			Detail: "CPU holds hardware entries but is missing from the active set",
+		})
+	}
+	return out
+}
+
+// convDirectoryViolations audits the directory against one
+// conventional machine's ASID-tagged combined TLB: each entry feeds
+// both the tagged domain's residency set and the page's sharer set.
+func convDirectoryViolations(k *kernel.Kernel, cpu int, m *machine.ConventionalMachine) []Violation {
+	var out []Violation
+	any := false
+	m.TLB().ForEach(func(key tlb.ASIDKey, _ tlb.ASIDEntry) bool {
+		any = true
+		d := addr.DomainID(key.AS)
+		if !k.DomainResident(d, cpu) {
+			out = append(out, Violation{
+				Where: "directory", Domain: d, VPN: key.VPN,
+				Detail: "ASID-TLB entry resident but CPU missing from domain residency set",
+			})
+		}
+		if !k.PageResident(key.VPN, cpu) {
+			out = append(out, Violation{
+				Where: "directory", Domain: d, VPN: key.VPN,
+				Detail: "ASID-TLB entry resident but CPU missing from page sharer set",
+			})
+		}
+		return true
+	})
+	out = append(out, cacheLineViolations(k, cpu, m.Cache(), &any)...)
+	if any && !k.ActiveCPU(cpu) {
+		out = append(out, Violation{
+			Where:  "directory",
+			Detail: "CPU holds hardware entries but is missing from the active set",
+		})
+	}
+	return out
+}
+
+// cacheLineViolations audits one CPU's virtually-tagged data cache
+// against the page sharer sets: every resident line's page must list
+// the CPU, because the flush that would evict the line rides on
+// page-targeted unmap shootdowns. Every fill is causally preceded by a
+// translation install on the same CPU (which recorded the residency),
+// and withdrawal proofs flush the cache, so a violation here means a
+// stale line survived a withdrawal and could satisfy an access to a
+// page the kernel no longer maps.
+func cacheLineViolations(k *kernel.Kernel, cpu int, c *cache.VirtualCache, any *bool) []Violation {
+	var out []Violation
+	c.ForEachLine(func(va addr.VA) bool {
+		*any = true
+		if vpn := k.Geometry().PageNumber(va); !k.PageResident(vpn, cpu) {
+			out = append(out, Violation{
+				Where: "directory", VPN: vpn,
+				Detail: "data-cache line resident but CPU missing from page sharer set",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// pgDirectoryViolations audits the directory against one page-group
+// machine's TLB (page-keyed only; checker state is excluded, see the
+// package note above).
+func pgDirectoryViolations(k *kernel.Kernel, cpu int, m *machine.PGMachine) []Violation {
+	var out []Violation
+	any := false
+	m.TLB().ForEach(func(vpn addr.VPN, _ tlb.PGEntry) bool {
+		any = true
+		if !k.PageResident(vpn, cpu) {
+			out = append(out, Violation{
+				Where: "directory", VPN: vpn,
+				Detail: "page-group TLB entry resident but CPU missing from page sharer set",
+			})
+		}
+		return true
+	})
+	out = append(out, cacheLineViolations(k, cpu, m.Cache(), &any)...)
+	if any && !k.ActiveCPU(cpu) {
+		out = append(out, Violation{
+			Where:  "directory",
+			Detail: "CPU holds hardware entries but is missing from the active set",
+		})
+	}
+	return out
+}

@@ -43,7 +43,8 @@ const maxSampledPages = 64
 type Violation struct {
 	// Where names the structure that disagreed: "resolve", "plb",
 	// "trans-tlb", "pg-tlb", "checker", "asid-tlb", "verdict-cache"
-	// (a live fast-path entry), or "verdict".
+	// (a live fast-path entry), "directory" (a hardware entry the
+	// sharer directory fails to cover), or "verdict".
 	Where string
 	// CPU is the CPU whose private structure disagreed (0 for kernel-level
 	// checks and on uniprocessors).
@@ -123,12 +124,15 @@ func Violations(k *kernel.Kernel) []Violation {
 			vs = append(vs, plbViolations(k, k.PLBMachineAt(i))...)
 			vs = append(vs, transTLBViolations(k, k.PLBMachineAt(i))...)
 			vs = append(vs, plbVerdictViolations(k, k.PLBMachineAt(i))...)
+			vs = append(vs, plbDirectoryViolations(k, i, k.PLBMachineAt(i))...)
 		case k.PGMachineAt(i) != nil:
 			vs = append(vs, pgViolations(k, k.PGMachineAt(i))...)
 			vs = append(vs, pgVerdictViolations(k, k.PGMachineAt(i))...)
+			vs = append(vs, pgDirectoryViolations(k, i, k.PGMachineAt(i))...)
 		case k.ConvMachineAt(i) != nil:
 			vs = append(vs, convViolations(k, k.ConvMachineAt(i))...)
 			vs = append(vs, convVerdictViolations(k, k.ConvMachineAt(i))...)
+			vs = append(vs, convDirectoryViolations(k, i, k.ConvMachineAt(i))...)
 		}
 		for j := range vs {
 			vs[j].CPU = i

@@ -1,0 +1,86 @@
+package smp
+
+import "math/bits"
+
+// CPUSet is a growable bitset of CPU indices. It replaces the old
+// one-word residency masks, lifting the 64-CPU ceiling: the kernel's
+// sharer directory tracks per-domain and per-page residency in CPUSets
+// sized by the configured CPU count (up to kernel.MaxCPUs).
+//
+// The zero value is an empty set ready to use. CPUSet is not safe for
+// concurrent use; the simulator is single-threaded per kernel.
+type CPUSet struct {
+	words []uint64
+}
+
+// Add inserts CPU i into the set, growing the backing words as needed.
+func (s *CPUSet) Add(i int) {
+	w := i >> 6
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << uint(i&63)
+}
+
+// Remove deletes CPU i from the set (no-op if absent).
+func (s *CPUSet) Remove(i int) {
+	w := i >> 6
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i&63)
+	}
+}
+
+// Has reports whether CPU i is in the set.
+func (s *CPUSet) Has(i int) bool {
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s *CPUSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set holds no CPUs.
+func (s *CPUSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every CPU from the set, keeping the backing storage.
+func (s *CPUSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Union adds every CPU of o into s.
+func (s *CPUSet) Union(o *CPUSet) {
+	for len(s.words) < len(o.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// ForEach calls fn for every CPU in the set, in ascending index order
+// (deterministic iteration keeps shootdown enqueue order reproducible).
+func (s *CPUSet) ForEach(fn func(cpu int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package smp
+
+import "testing"
+
+func TestCPUSetBasics(t *testing.T) {
+	var s CPUSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero-value set not empty")
+	}
+	// Members across several words, including past the old 64-CPU
+	// mask limit.
+	for _, i := range []int{0, 1, 63, 64, 65, 200, 4095} {
+		s.Add(i)
+	}
+	s.Add(65) // duplicate add is idempotent
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 200, 4095} {
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(2) || s.Has(66) || s.Has(4096) {
+		t.Fatal("Has reports non-members")
+	}
+	s.Remove(64)
+	s.Remove(4096) // out of range: no-op
+	if s.Has(64) || s.Count() != 6 {
+		t.Fatalf("after Remove(64): Has=%v Count=%d", s.Has(64), s.Count())
+	}
+}
+
+func TestCPUSetForEachAscending(t *testing.T) {
+	var s CPUSet
+	want := []int{3, 64, 65, 129, 1000}
+	for _, i := range []int{1000, 3, 129, 65, 64} {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(cpu int) { got = append(got, cpu) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want ascending %v", got, want)
+		}
+	}
+}
+
+func TestCPUSetUnionAndClear(t *testing.T) {
+	var a, b CPUSet
+	a.Add(1)
+	a.Add(70)
+	b.Add(2)
+	b.Add(200)
+	a.Union(&b)
+	for _, i := range []int{1, 2, 70, 200} {
+		if !a.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if b.Count() != 2 {
+		t.Fatal("Union mutated its argument")
+	}
+	a.Clear()
+	if !a.Empty() {
+		t.Fatal("Clear left members")
+	}
+	a.Add(5)
+	if !a.Has(5) || a.Count() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}

@@ -16,9 +16,12 @@
 // (Black et al., "Translation Lookaside Buffer Consistency", 1989)
 // with two cost-relevant refinements:
 //
-//   - Targeting: requests go only to CPUs named by the kernel (domain
-//     residency masks for domain-keyed state, active-CPU broadcast for
-//     domain-agnostic translation state), never blindly to all CPUs.
+//   - Targeting: requests go only to CPUs named by the kernel's sharer
+//     directory (per-domain residency sets for domain-keyed state,
+//     per-page sharer sets for page-keyed translation state), never
+//     blindly to all CPUs. Residency is withdrawn on bulk invalidation
+//     and on provable last-entry removal, so per-op IPI count tracks
+//     the live sharer count rather than the domain's lifetime CPU set.
 //   - Batching and coalescing: all requests raised by one kernel
 //     operation are queued and flushed together; identical requests to
 //     the same CPU coalesce, and each target CPU is interrupted once
@@ -107,6 +110,19 @@ const (
 	// page's new group/rights (regrouping traffic).
 	GroupUpdate
 )
+
+// PageScoped reports whether the kind names a single page whose
+// maintenance must reach the page's home memory bank: applying it
+// remotely pays MemHop cycles per mesh hop between the target CPU's
+// cluster and the page's home cluster. Range- and group-scoped kinds
+// are structure scans with no single home bank, so they price flat.
+func (k Kind) PageScoped() bool {
+	switch k {
+	case InvalRights, UpdateRights, PurgePage, Unmap, GroupUpdate:
+		return true
+	}
+	return false
+}
 
 // String returns the kind name.
 func (k Kind) String() string {
@@ -299,6 +315,13 @@ type Shootdown struct {
 
 	fault FaultHook
 
+	// topo prices IPI delivery and remote memory-bank traffic by mesh
+	// hop count; initiator is the CPU charged for outgoing volleys
+	// (kernel.SetCPU keeps it current). The default single-cluster
+	// topology makes every hop count zero.
+	topo      Topology
+	initiator int
+
 	// Acknowledged-protocol state; proto == nil means fire-and-forget.
 	proto     *ProtocolConfig
 	seq       []uint64 // per-target volley sequence numbers
@@ -317,17 +340,19 @@ type Shootdown struct {
 	ipiCycles  stats.Handle
 	remCycles  stats.Handle
 
-	nAcks       stats.Handle
-	nAckLost    stats.Handle
-	nRetrans    stats.Handle
-	nTimeouts   stats.Handle
-	nDupSup     stats.Handle
-	nSuspects   stats.Handle
-	nQuar       stats.Handle
-	nDegraded   stats.Handle
-	nFencedDisc stats.Handle
-	toCycles    stats.Handle
-	retransCyc  stats.Handle
+	nAcks        stats.Handle
+	nAckLost     stats.Handle
+	nRetrans     stats.Handle
+	nTimeouts    stats.Handle
+	nDupSup      stats.Handle
+	nSuspects    stats.Handle
+	nQuar        stats.Handle
+	nDegraded    stats.Handle
+	nFencedDisc  stats.Handle
+	nFencedSkips stats.Handle
+	toCycles     stats.Handle
+	retransCyc   stats.Handle
+	hopCycles    stats.Handle
 }
 
 // New creates a shootdown subsystem for ncpu CPUs. costs is read at
@@ -342,6 +367,7 @@ func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, 
 		handler:   h,
 		costs:     costs,
 		cycles:    cycles,
+		topo:      SingleCluster(ncpu),
 		queue:     make([][]Request, ncpu),
 		pend:      make([]map[Request]struct{}, ncpu),
 		delayed:   make([][]Request, ncpu),
@@ -369,13 +395,34 @@ func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, 
 	s.nQuar = ctrs.Handle("smp.quarantines")
 	s.nDegraded = ctrs.Handle("smp.degraded")
 	s.nFencedDisc = ctrs.Handle("smp.fenced_discards")
+	s.nFencedSkips = ctrs.Handle("smp.fenced_skips")
 	s.toCycles = ctrs.Handle("smp.timeout_cycles")
 	s.retransCyc = ctrs.Handle("smp.retransmit_cycles")
+	s.hopCycles = ctrs.Handle("smp.hop_cycles")
 	return s
 }
 
 // SetFault installs (or with nil removes) the chaos-injection hook.
 func (s *Shootdown) SetFault(fn FaultHook) { s.fault = fn }
+
+// FaultArmed reports whether a chaos-injection hook is installed.
+// Experiments with cross-model assertions consult this: fault
+// injection perturbs per-model traffic independently, so comparisons
+// calibrated on fault-free runs do not hold under it.
+func (s *Shootdown) FaultArmed() bool { return s.fault != nil }
+
+// SetTopology installs the mesh topology used to price IPI delivery
+// and remote memory-bank traffic. The topology is normalized against
+// the CPU count; New starts with SingleCluster (all hop counts zero).
+func (s *Shootdown) SetTopology(t Topology) { s.topo = t.Normalize(s.ncpu) }
+
+// Topology returns the active (normalized) mesh topology.
+func (s *Shootdown) Topology() Topology { return s.topo }
+
+// SetInitiator records the CPU that originates subsequent volleys, so
+// hop-priced IPI costs measure the right mesh distance. The kernel
+// calls it from SetCPU.
+func (s *Shootdown) SetInitiator(cpu int) { s.initiator = cpu }
 
 // EnableProtocol switches delivery from fire-and-forget to the
 // acknowledged protocol with the given tuning (zero fields default).
@@ -424,6 +471,15 @@ func (s *Shootdown) Trusted(t int) bool { return !s.stale[t] }
 // MarkStale records that CPU t missed an invalidation (the kernel
 // skipped it during a shootdown because it was fenced).
 func (s *Shootdown) MarkStale(t int) { s.stale[t] = true }
+
+// SkipFenced records that the kernel suppressed an invalidation to
+// fenced CPU t: the CPU is marked stale and the skip is counted
+// ("smp.fenced_skips") so overhead and convergence accounting see
+// every invalidation the fence swallowed, not only the delivered ones.
+func (s *Shootdown) SkipFenced(t int) {
+	s.nFencedSkips.Inc()
+	s.stale[t] = true
+}
 
 // Rejoin readmits CPU t after the kernel bulk-invalidated its private
 // structures: the CPU holds no state, so it is no longer stale, and a
@@ -525,16 +581,40 @@ func (s *Shootdown) takeBatch(t int) []Request {
 	return batch
 }
 
-// chargeIPI charges one delivered interrupt to the initiator.
+// chargeIPI charges one delivered interrupt to the initiator: the base
+// IPI cost plus IPIHop cycles per mesh hop between the initiator's
+// cluster and target t's cluster (zero on a single-cluster topology).
 // retrans marks it as a retransmission volley for the overhead split.
-func (s *Shootdown) chargeIPI(retrans bool) {
+func (s *Shootdown) chargeIPI(t int, retrans bool) {
 	s.nIPIs.Inc()
 	ipi := s.costs().IPI
+	if h := s.topo.Hops(s.initiator, t); h > 0 {
+		extra := uint64(h) * s.costs().IPIHop
+		ipi += extra
+		s.hopCycles.Add(extra)
+	}
 	s.cycles.Add(ipi)
 	s.ipiCycles.Add(ipi)
 	if retrans {
 		s.retransCyc.Add(ipi)
 	}
+}
+
+// chargeMemHops charges the mesh distance from target t to the home
+// memory bank of a page-scoped request it just applied: invalidation
+// and writeback traffic crosses the mesh to the page's home cluster.
+// Zero-hop (same cluster, or any single-cluster topology) is free.
+func (s *Shootdown) chargeMemHops(t int, r Request) {
+	if !r.Kind.PageScoped() {
+		return
+	}
+	h := s.topo.MemHops(t, r.VPN)
+	if h == 0 {
+		return
+	}
+	extra := uint64(h) * s.costs().MemHop
+	s.cycles.Add(extra)
+	s.hopCycles.Add(extra)
 }
 
 // flushFireAndForget is the legacy unacknowledged delivery: faults are
@@ -572,10 +652,11 @@ func (s *Shootdown) flushFireAndForget(t int) {
 		affected := s.handler.ApplyShootdown(t, r)
 		s.nDelivered.Inc()
 		s.nRemoteInv.Add(uint64(affected))
+		s.chargeMemHops(t, r)
 	}
 	s.remCycles.Add(s.handler.CPUCycles(t) - start)
 	if arrived {
-		s.chargeIPI(false)
+		s.chargeIPI(t, false)
 	}
 }
 
@@ -656,6 +737,7 @@ func (s *Shootdown) flushAcked(t int) {
 			affected := s.handler.ApplyShootdown(t, p.req)
 			s.nDelivered.Inc()
 			s.nRemoteInv.Add(uint64(affected))
+			s.chargeMemHops(t, p.req)
 			switch verdict {
 			case FaultNone:
 				s.nAcks.Inc()
@@ -671,7 +753,7 @@ func (s *Shootdown) flushAcked(t int) {
 		}
 		s.remCycles.Add(s.handler.CPUCycles(t) - start)
 		if arrived {
-			s.chargeIPI(attempt > 0)
+			s.chargeIPI(t, attempt > 0)
 		}
 		pending = keep
 		if len(pending) == 0 {
