@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-suite bench-hot bench-smp tables bench-report baseline parity chaos chaos-short
+.PHONY: all build test race check fmt vet lint bench bench-suite bench-hot bench-smp bench-mesh bench-dev tables bench-report baseline parity chaos chaos-short
 
 all: check
 
@@ -73,6 +73,14 @@ bench-smp:
 # per-op shootdown requests track the sharer count, not the core count.
 bench-mesh:
 	$(GO) run ./cmd/tablegen -e E16 -v
+
+# bench-dev runs only the device-agent experiment (E17): IOTLB
+# shootdown cost, quarantine and rejoin for NIC/DMA/GC agents across
+# all four organizations, asserting in-run that fault-free runs keep
+# every device protocol counter at zero and that a dead device is
+# quarantined, fenced, and rejoined within the convergence bound.
+bench-dev:
+	$(GO) run ./cmd/tablegen -e E17 -v
 
 tables:
 	$(GO) run ./cmd/tablegen -parallel 4

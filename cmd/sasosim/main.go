@@ -8,6 +8,9 @@
 //	sasosim -workload shootdown -model conventional -cpus 4
 //	sasosim -workload shootdown -cpus 4 -ipi-drop 10
 //	sasosim -workload shootdown -cpus 8 -kill-cpu 3@50000
+//	sasosim -workload devio -cpus 4 -devices 3
+//	sasosim -workload devio -cpus 4 -devices 3 -dev-drop 25
+//	sasosim -workload devio -cpus 4 -devices 3 -kill-dev 0@100000
 //	sasosim -workload dsm -drop 10 -crash-node 2 -crash-at 200
 //	sasosim -trace refs.trc -machine flush
 package main
@@ -21,6 +24,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/fastpath"
+	"repro/internal/iommu"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/netsim"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/workload/attach"
 	"repro/internal/workload/checkpoint"
 	"repro/internal/workload/compress"
+	"repro/internal/workload/devio"
 	"repro/internal/workload/dsm"
 	"repro/internal/workload/gc"
 	"repro/internal/workload/rpc"
@@ -37,7 +42,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown")
+	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown|devio")
 	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional|flush")
 	cpus := flag.Int("cpus", 1, "number of CPUs; > 1 runs domains spread across CPUs and charges shootdown IPIs (smp.* counters)")
 	var mesh meshOpts
@@ -51,6 +56,11 @@ func main() {
 	flag.IntVar(&ipi.drop, "ipi-drop", 0, "percent of shootdown requests lost in delivery (0-100); enables the acknowledged retry/quarantine protocol, needs -cpus >= 2")
 	flag.IntVar(&ipi.delay, "ipi-delay", 0, "percent of shootdown requests applied late (ack misses its timeout); enables the acknowledged protocol, needs -cpus >= 2")
 	flag.StringVar(&ipi.kill, "kill-cpu", "", "N@C: CPU N stops responding to shootdowns once total simulated cycles reach C; enables the acknowledged protocol, needs -cpus >= 2")
+	var dev devOpts
+	flag.IntVar(&dev.devices, "devices", 0, "attach this many device translation agents (NIC, DMA engine, GC scanner, cycling); their seats receive device-seat shootdowns")
+	flag.IntVar(&dev.drop, "dev-drop", 0, "percent of device-bound shootdowns lost in delivery (0-100); enables the acknowledged protocol, needs -devices >= 1")
+	flag.IntVar(&dev.delay, "dev-delay", 0, "percent of device-bound shootdowns applied late (ack misses its timeout); enables the acknowledged protocol, needs -devices >= 1")
+	flag.StringVar(&dev.kill, "kill-dev", "", "N@C: device N stops acking shootdowns once total simulated cycles reach C (quarantine + fenced DMA); enables the acknowledged protocol")
 	var d dsmOpts
 	flag.StringVar(&d.manager, "manager", "central", "dsm ownership protocol: central|distributed")
 	flag.IntVar(&d.drop, "drop", 0, "dsm: percent of messages dropped in transit (0-100)")
@@ -75,7 +85,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *cpus, mesh, *incremental, ipi, d); err != nil {
+	if err := runWorkload(*workload, *model, *cpus, mesh, *incremental, ipi, dev, d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -99,6 +109,31 @@ type ipiOpts struct {
 
 func (o ipiOpts) active() bool { return o.drop > 0 || o.delay > 0 || o.kill != "" }
 
+// devOpts bundles the device-agent options: how many translation
+// agents to attach and the fault plan for their shootdown seats. Any
+// fault option switches cross-seat invalidation to the acknowledged
+// retry/quarantine protocol before the workload runs.
+type devOpts struct {
+	devices     int
+	drop, delay int
+	kill        string // "N@C"
+}
+
+func (o devOpts) active() bool { return o.drop > 0 || o.delay > 0 || o.kill != "" }
+
+// deviceConfigs builds n device agents, cycling the three kinds.
+func deviceConfigs(n int) []kernel.DeviceConfig {
+	kinds := []iommu.Kind{iommu.NIC, iommu.DMAEngine, iommu.GCScanner}
+	devs := make([]kernel.DeviceConfig, n)
+	for i := range devs {
+		devs[i] = kernel.DeviceConfig{
+			Name: fmt.Sprintf("dev%d", i),
+			Kind: kinds[i%len(kinds)],
+		}
+	}
+	return devs
+}
+
 // meshOpts bundles the cluster-topology options. All zero means a flat
 // machine (one cluster, no hop surcharges) — the pre-mesh behavior.
 type meshOpts struct {
@@ -109,19 +144,23 @@ func (o meshOpts) topology() smp.Topology {
 	return smp.Topology{MeshWidth: o.w, MeshHeight: o.h, ClusterCPUs: o.clusterCPUs}
 }
 
-// armIPIFaults enables the acknowledged protocol and installs the
-// requested fault hook on k.
-func armIPIFaults(k *kernel.Kernel, o ipiOpts, seed int64) error {
-	if !o.active() {
+// armFaults enables the acknowledged protocol and installs one hook
+// covering both fault plans: the CPU options fault targets below the
+// CPU count, the device options fault the device seats above it.
+func armFaults(k *kernel.Kernel, o ipiOpts, dv devOpts, seed int64) error {
+	if !o.active() && !dv.active() {
 		return nil
 	}
-	if k.NumCPUs() < 2 {
+	if o.active() && k.NumCPUs() < 2 {
 		return fmt.Errorf("sasosim: -ipi-drop/-ipi-delay/-kill-cpu need -cpus >= 2 (a uniprocessor sends no shootdowns)")
+	}
+	if dv.active() && k.NumDevices() < 1 {
+		return fmt.Errorf("sasosim: -dev-drop/-dev-delay/-kill-dev need -devices >= 1 (no device seats to fault)")
 	}
 	for _, p := range []struct {
 		name string
 		v    int
-	}{{"-ipi-drop", o.drop}, {"-ipi-delay", o.delay}} {
+	}{{"-ipi-drop", o.drop}, {"-ipi-delay", o.delay}, {"-dev-drop", dv.drop}, {"-dev-delay", dv.delay}} {
 		if p.v < 0 || p.v > 100 {
 			return fmt.Errorf("sasosim: %s %d out of [0,100]", p.name, p.v)
 		}
@@ -135,11 +174,35 @@ func armIPIFaults(k *kernel.Kernel, o ipiOpts, seed int64) error {
 			return fmt.Errorf("sasosim: -kill-cpu %d out of [0,%d]", killCPU, k.NumCPUs()-1)
 		}
 	}
+	killSeat, killDevAt := -1, uint64(0)
+	if dv.kill != "" {
+		killDev := -1
+		if _, err := fmt.Sscanf(dv.kill, "%d@%d", &killDev, &killDevAt); err != nil {
+			return fmt.Errorf("sasosim: -kill-dev wants N@C (device N dies at cycle C), got %q", dv.kill)
+		}
+		if killDev < 0 || killDev >= k.NumDevices() {
+			return fmt.Errorf("sasosim: -kill-dev %d out of [0,%d]", killDev, k.NumDevices()-1)
+		}
+		killSeat = k.DeviceSeat(killDev)
+	}
 	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
 	rng := rand.New(rand.NewSource(seed))
+	ncpu := k.NumCPUs()
 	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
 		if target == killCPU && k.TotalCycles() >= killAt {
 			return smp.FaultDrop
+		}
+		if target == killSeat && k.TotalCycles() >= killDevAt {
+			return smp.FaultDrop
+		}
+		if target >= ncpu {
+			if dv.drop > 0 && rng.Intn(100) < dv.drop {
+				return smp.FaultDrop
+			}
+			if dv.delay > 0 && rng.Intn(100) < dv.delay {
+				return smp.FaultDelay
+			}
+			return smp.FaultNone
 		}
 		if o.drop > 0 && rng.Intn(100) < o.drop {
 			return smp.FaultDrop
@@ -167,7 +230,7 @@ func parseModel(s string) (kernel.Model, error) {
 	}
 }
 
-func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bool, ipi ipiOpts, d dsmOpts) error {
+func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bool, ipi ipiOpts, dev devOpts, d dsmOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
@@ -175,14 +238,21 @@ func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bo
 	if cpus < 1 {
 		return fmt.Errorf("sasosim: -cpus %d, want >= 1", cpus)
 	}
+	if dev.devices < 0 {
+		return fmt.Errorf("sasosim: -devices %d, want >= 0", dev.devices)
+	}
+	if name == "devio" && dev.devices == 0 {
+		dev.devices = 3 // NIC + DMA engine + GC scanner
+	}
 	cfg := kernel.DefaultConfig(m)
 	cfg.CPUs = cpus
 	cfg.Topology = mesh.topology()
+	cfg.Devices = deviceConfigs(dev.devices)
 	k, err := kernel.NewChecked(cfg)
 	if err != nil {
 		return err
 	}
-	if err := armIPIFaults(k, ipi, d.seed); err != nil {
+	if err := armFaults(k, ipi, dev, d.seed); err != nil {
 		return err
 	}
 	var rep any
@@ -237,6 +307,14 @@ func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bo
 		var ops uint64
 		ops, err = core.RunShootdownWorkload(k)
 		rep = fmt.Sprintf("shootdown-producing protection ops: %d", ops)
+	case "devio":
+		// Device traffic against a shared ring: NIC packet deliveries,
+		// DMA page reads and GC scan beats through the device IOTLBs,
+		// racing CPU stores and periodic write-authority revocations
+		// (device-seat shootdowns). -dev-* fault injection applies.
+		wcfg := devio.DefaultConfig()
+		wcfg.Seed = d.seed
+		rep, err = devio.Run(k, wcfg)
 	case "compress":
 		rep, err = compress.Run(k, compress.DefaultConfig())
 	case "rpc":
@@ -251,6 +329,7 @@ func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bo
 		name, m, k.NumCPUs(), rep, k.Machine().Counters(), k.Counters())
 	fmt.Printf("machine cycles: %d (all CPUs: %d)\nkernel cycles:  %d\n", k.Machine().Cycles(), k.TotalCycles(), k.Cycles())
 	printFastPath(k)
+	printDevices(k)
 	if k.ShootdownProtocolEnabled() {
 		c := k.Counters()
 		fmt.Printf("\nshootdown protocol: acks=%d retransmits=%d timeouts=%d quarantines=%d dup_suppressed=%d rejoins=%d\n",
@@ -272,6 +351,30 @@ func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bo
 			dsmRep.Crashes, dsmRep.CheckpointSaves, dsmRep.RecoveredPages, dsmRep.StoreFetches, dsmRep.RecoveryCycles)
 	}
 	return nil
+}
+
+// printDevices reports each device agent's IOTLB hit rate and
+// protection outcomes, plus the device half of the shootdown
+// machinery (nothing prints without -devices).
+func printDevices(k *kernel.Kernel) {
+	if k.NumDevices() == 0 {
+		return
+	}
+	fmt.Printf("\ndevice agents:\n")
+	for i := 0; i < k.NumDevices(); i++ {
+		d := k.Device(i)
+		hits, misses, denied, aborted := d.Stats()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("  %s (%s, seat %d): iotlb hits=%d misses=%d hit-rate=%.1f%% denied=%d aborted=%d health=%v cycles=%d\n",
+			d.Name(), d.Kind(), k.DeviceSeat(i), hits, misses, rate, denied, aborted, k.DeviceHealth(i), d.Cycles())
+	}
+	c := k.Counters()
+	fmt.Printf("device shootdowns: ipis=%d applied=%d retransmits=%d timeouts=%d quarantines=%d fenced_skips=%d rejoins=%d\n",
+		c.Get("smp.dev_ipis"), c.Get("iommu.shootdowns_applied"), c.Get("smp.dev_retransmits"),
+		c.Get("smp.dev_timeouts"), c.Get("smp.dev_quarantines"), c.Get("smp.dev_fenced_skips"), c.Get("kernel.dev_rejoins"))
 }
 
 // printFastPath reports the verdict fast path's merged hit-rate

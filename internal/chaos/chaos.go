@@ -42,9 +42,11 @@ type Config struct {
 // shortIDs is the CI subset: the experiments that construct kernels of
 // all four models and exercise every scenario's hook point (switch/RPC:
 // E6, paging: E9, mixed workloads: E10, conventional: E11,
-// multiprocessor shootdown: E14). E2-E5/E7 drive hardware structures
-// directly and give injection nothing to arm.
-var shortIDs = map[string]bool{"E6": true, "E9": true, "E10": true, "E11": true, "E14": true}
+// multiprocessor shootdown: E14, device translation agents: E17 — the
+// only experiment whose kernels carry device seats, so the device
+// scenarios depend on it). E2-E5/E7 drive hardware structures directly
+// and give injection nothing to arm.
+var shortIDs = map[string]bool{"E6": true, "E9": true, "E10": true, "E11": true, "E14": true, "E17": true}
 
 // RunResult is the outcome of one (experiment, scenario) cell, or of
 // one direct scenario (Experiment "-").

@@ -6,12 +6,14 @@ import (
 	"math/rand"
 
 	"repro/internal/addr"
+	"repro/internal/iommu"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/oracle"
 	"repro/internal/plb"
 	"repro/internal/smp"
 	"repro/internal/tlb"
+	"repro/internal/workload/checkpoint"
 	"repro/internal/workload/dsm"
 )
 
@@ -349,6 +351,50 @@ func Default() []Scenario {
 			Direct:      directClusterRejoin,
 		},
 		{
+			Name:        "dev-ack-drop",
+			Description: "device-seat invalidation volleys dropped under the acknowledged protocol: scaled timeouts, retries and device quarantine must converge",
+			Corrupts:    true,
+			Protocol:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				ncpu := k.NumCPUs()
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target >= ncpu && rng.Intn(3) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+			// Fires only on kernels with device seats (E17's); the hook is
+			// armed everywhere but CPU targets are never faulted.
+			Fired: kernelFired("smp.dev_dropped"),
+		},
+		{
+			Name:        "dma-vs-revoke",
+			Description: "fire-and-forget invalidations to device seats lost while DMA races the revocation: stale IOTLB authority must surface as oracle violations",
+			Corrupts:    true,
+			Arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				ncpu := k.NumCPUs()
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target >= ncpu && rng.Intn(2) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+			Fired: kernelFired("smp.dev_dropped"),
+		},
+		{
+			Name:        "dev-death-mid-checkpoint",
+			Description: "the checkpoint DMA engine dies mid-checkpoint: typed abort, quarantine, rejoin-by-bulk-invalidation, then the retried saves complete a consistent image",
+			Direct:      directDeviceDeathCheckpoint,
+		},
+		{
+			Name:        "nic-cluster-partition",
+			Description: "mesh partition isolates the NIC's cluster mid-revocation: the NIC is quarantined, fenced DMA aborts, skipped maintenance is accounted, and rejoin leaves no stale device authority",
+			Direct:      directNICPartition,
+		},
+		{
 			Name:        "net-lossy",
 			Description: "DSM over a 20% lossy, duplicating, reordering network",
 			Direct:      directNetLossy,
@@ -538,6 +584,176 @@ func directCrashWindow(seed int64) (fired, recovered uint64, err error) {
 	}
 	if fired == 0 {
 		return fired, recovered, errors.New("chaos: net-crash-window: outage window never dropped a message")
+	}
+	return fired, recovered, nil
+}
+
+// directDeviceDeathCheckpoint routes the checkpoint workload's page
+// saves through a DMA engine device agent and kills the device's IPI
+// path mid-checkpoint: revocation volleys aimed at its seat are lost
+// until the acknowledged protocol quarantines it, at which point its
+// DMA channel is fenced and the in-flight save aborts with a typed
+// iommu.ErrFenced. The scenario's save callback then performs the
+// recovery the kernel prescribes — RejoinDevice's bulk IOTLB
+// invalidation — and retries; the checkpoint must still produce a
+// byte-consistent image, and the oracle must find no stale device
+// authority afterwards.
+func directDeviceDeathCheckpoint(seed int64) (fired, recovered uint64, err error) {
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	cfg.CPUs = 2
+	cfg.Devices = []kernel.DeviceConfig{{Name: "ckpt-dma", Kind: iommu.DMAEngine}}
+	k, kerr := kernel.NewChecked(cfg)
+	if kerr != nil {
+		return 0, 0, fmt.Errorf("chaos: dev-death-mid-checkpoint: %w", kerr)
+	}
+	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+	kc := k.Counters()
+
+	// The device is dead to IPIs until it has been quarantined twice;
+	// then the fault heals and the remaining volleys deliver.
+	ncpu := k.NumCPUs()
+	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+		if target >= ncpu && kc.Get("smp.dev_quarantines") < 2 {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+
+	ccfg := checkpoint.DefaultConfig()
+	ccfg.Seed = seed
+	rejoins := uint64(0)
+	ccfg.DMARead = func(server *kernel.Domain, va addr.VA) ([]byte, error) {
+		if k.Device(0).OnBehalf() != server.ID {
+			k.ProgramDevice(0, server)
+		}
+		data, derr := k.DeviceReadPage(0, va)
+		if errors.Is(derr, iommu.ErrFenced) {
+			// The quarantined engine's transfer aborted: rejoin by bulk
+			// IOTLB invalidation and retry the save.
+			k.RejoinDevice(0)
+			rejoins++
+			data, derr = k.DeviceReadPage(0, va)
+		}
+		if derr != nil {
+			return nil, derr
+		}
+		// Pin-and-release: the pager downgrades the server's mapping of
+		// the just-saved page and restores it, the per-save maintenance
+		// that keeps invalidation volleys flowing at the engine's seat —
+		// into the dead link, until quarantine trips.
+		if perr := k.SetPageRights(server, va, addr.None); perr != nil {
+			return nil, perr
+		}
+		if perr := k.SetPageRights(server, va, addr.Read); perr != nil {
+			return nil, perr
+		}
+		return data, nil
+	}
+	rep, rerr := checkpoint.Run(k, ccfg)
+	if rerr != nil {
+		return 0, 0, fmt.Errorf("chaos: dev-death-mid-checkpoint: checkpoint did not survive device death: %w", rerr)
+	}
+	if rep.Checkpoints != ccfg.Checkpoints {
+		return 0, 0, fmt.Errorf("chaos: dev-death-mid-checkpoint: %d/%d checkpoints completed", rep.Checkpoints, ccfg.Checkpoints)
+	}
+	fired = kc.Get("smp.dev_dropped") + kc.Get("smp.dev_quarantines")
+	recovered = kc.Get("kernel.dev_rejoins") + kc.Get("iommu.aborted")
+	if kc.Get("smp.dev_quarantines") == 0 {
+		return fired, recovered, errors.New("chaos: dev-death-mid-checkpoint: dead device never quarantined")
+	}
+	if kc.Get("iommu.aborted") == 0 {
+		return fired, recovered, errors.New("chaos: dev-death-mid-checkpoint: fenced transfers never aborted")
+	}
+	if rejoins == 0 {
+		return fired, recovered, errors.New("chaos: dev-death-mid-checkpoint: abort path never forced a rejoin")
+	}
+	if conv, cerr := oracle.CheckConvergence(k); cerr != nil {
+		return fired, recovered, fmt.Errorf("chaos: dev-death-mid-checkpoint: convergence (spent %d of bound %d): %w",
+			conv.Cycles, conv.Bound, cerr)
+	}
+	return fired, recovered, nil
+}
+
+// directNICPartition isolates a NIC device agent's mesh cluster
+// mid-revocation on the page-group machine: the NIC sits alone in the
+// far corner of a 2x2 mesh, holds AID-tagged IOTLB state and group
+// membership for its programmed domain, and the partition swallows the
+// revocation volleys until the scaled device timeout budget quarantines
+// it. While fenced, its DMA aborts with typed errors and further group
+// maintenance aimed at its seat is skipped-but-accounted; after the
+// partition heals, rejoin-by-bulk-invalidation must leave no stale
+// device authority for the oracle to find.
+func directNICPartition(seed int64) (fired, recovered uint64, err error) {
+	cfg := kernel.DefaultConfig(kernel.ModelPageGroup)
+	cfg.CPUs = 4
+	cfg.Topology = smp.Topology{MeshWidth: 2, MeshHeight: 2, ClusterCPUs: 1}
+	cfg.Devices = []kernel.DeviceConfig{{Name: "nic0", Kind: iommu.NIC, Cluster: 3}}
+	k, kerr := kernel.NewChecked(cfg)
+	if kerr != nil {
+		return 0, 0, fmt.Errorf("chaos: nic-cluster-partition: %w", kerr)
+	}
+	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+	kc := k.Counters()
+	seat := k.DeviceSeat(0)
+
+	dom := k.CreateDomain()
+	seg := k.CreateSegment(4, kernel.SegmentOptions{Name: "rx-ring"})
+	k.Attach(dom, seg, addr.RW)
+	k.ProgramDevice(0, dom)
+	pkt := make([]byte, k.Geometry().PageSize())
+	for i := range pkt {
+		pkt[i] = byte(seed) + byte(i)
+	}
+	if derr := k.DeviceWritePage(0, seg.Base(), pkt); derr != nil {
+		return 0, 0, fmt.Errorf("chaos: nic-cluster-partition: priming DMA: %w", derr)
+	}
+
+	// Partition: the mesh link into cluster 3 is down until the NIC is
+	// quarantined, then heals.
+	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+		if target == seat && k.DeviceHealth(0) != smp.Quarantined {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+
+	// The revocation races the partition: the group-rights downgrade
+	// must reach the NIC's IOTLB, and cannot.
+	if rerr := k.SetSegmentRights(dom, seg, addr.Read); rerr != nil {
+		return 0, 0, fmt.Errorf("chaos: nic-cluster-partition: revoke: %w", rerr)
+	}
+	if k.DeviceHealth(0) != smp.Quarantined {
+		return 0, 0, errors.New("chaos: nic-cluster-partition: NIC never quarantined mid-revoke")
+	}
+	fired = kc.Get("smp.dev_dropped") + kc.Get("smp.dev_quarantines")
+
+	// Fenced: the DMA channel aborts transfers with a typed error.
+	if _, derr := k.DeviceReadPage(0, seg.Base()); !errors.Is(derr, iommu.ErrFenced) {
+		return fired, 0, fmt.Errorf("chaos: nic-cluster-partition: fenced DMA returned %v, want ErrFenced", derr)
+	}
+	// Maintenance aimed at the fenced seat is suppressed but accounted.
+	if rerr := k.SetSegmentRights(dom, seg, addr.RW); rerr != nil {
+		return fired, 0, fmt.Errorf("chaos: nic-cluster-partition: restore: %w", rerr)
+	}
+	if kc.Get("smp.dev_fenced_skips") == 0 {
+		return fired, 0, errors.New("chaos: nic-cluster-partition: fenced device maintenance was not accounted")
+	}
+	if k.PendingShootdowns(seat) != 0 {
+		return fired, 0, errors.New("chaos: nic-cluster-partition: fenced device accumulated queued work")
+	}
+
+	// Healed: rejoin by bulk IOTLB invalidation; the NIC re-faults its
+	// authority and the audit must come back clean.
+	k.RejoinDevice(0)
+	if !k.DeviceTrusted(0) {
+		return fired, 0, errors.New("chaos: nic-cluster-partition: NIC untrusted after rejoin")
+	}
+	if _, derr := k.DeviceReadPage(0, seg.Base()); derr != nil {
+		return fired, 0, fmt.Errorf("chaos: nic-cluster-partition: post-rejoin DMA: %w", derr)
+	}
+	recovered = kc.Get("kernel.dev_rejoins") + kc.Get("iommu.purged") + kc.Get("smp.dev_fenced_skips")
+	if verr := oracle.Verify(k); verr != nil {
+		return fired, recovered, fmt.Errorf("chaos: nic-cluster-partition: stale device authority survived rejoin: %w", verr)
 	}
 	return fired, recovered, nil
 }

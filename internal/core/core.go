@@ -92,6 +92,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "Multiprocessor shootdown traffic across organizations", Source: "§4.1.1, §4.1.4", Run: E14Shootdown},
 		{ID: "E15", Title: "Fault-tolerant protection maintenance: acknowledged shootdowns under IPI loss and CPU death", Source: "§4.1.1 under faults", Run: E15FaultTolerance},
 		{ID: "E16", Title: "Clustered-mesh shootdown scaling: precise sharer targeting from 1 to 256 cores", Source: "§4.1.1, §4.1.4 at scale", Run: E16MeshScaling},
+		{ID: "E17", Title: "Device translation agents: IOTLB shootdown cost, quarantine and rejoin across organizations", Source: "§3.2, §4.1.1 for device agents", Run: E17DeviceShootdown},
 	}
 }
 

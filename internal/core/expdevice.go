@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/iommu"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+	"repro/internal/smp"
+	"repro/internal/stats"
+	"repro/internal/workload/devio"
+)
+
+// e17Mix is one device/CPU traffic ratio E17 drives through the devio
+// workload: the same ring, rounds and revocation cadence, with the
+// reference mix shifted between the device agents and the CPUs.
+type e17Mix struct {
+	name string
+	cfg  func() devio.Config
+}
+
+func e17Mixes() []e17Mix {
+	return []e17Mix{
+		{name: "dev-heavy", cfg: func() devio.Config {
+			c := devio.DefaultConfig()
+			c.DevWritesPerRound, c.DevReadsPerRound, c.GCTouchesPerRound, c.CPUWritesPerRound = 12, 6, 8, 2
+			return c
+		}},
+		{name: "balanced", cfg: devio.DefaultConfig},
+		{name: "cpu-heavy", cfg: func() devio.Config {
+			c := devio.DefaultConfig()
+			c.DevWritesPerRound, c.DevReadsPerRound, c.GCTouchesPerRound, c.CPUWritesPerRound = 2, 2, 2, 16
+			return c
+		}},
+	}
+}
+
+// e17Mode is one interconnect fault regime the device seats run under.
+type e17Mode struct {
+	name string
+	note string
+	// arm installs the regime's IPI fault hook; nil for fault-free.
+	// Only device-bound deliveries (target at or above the CPU count)
+	// are faulted, so the regimes isolate the device half of the
+	// protocol.
+	arm func(k *kernel.Kernel, rng *rand.Rand)
+}
+
+func e17Modes() []e17Mode {
+	return []e17Mode{
+		{
+			name: "fault-free",
+			note: "no faults: every device counter of the protocol (drops, retransmits, timeouts, quarantines) must stay zero",
+		},
+		{
+			name: "dev-drop-25pct",
+			note: "one in 4 device-bound invalidations lost; acknowledged retries recover within the op",
+			arm: func(k *kernel.Kernel, rng *rand.Rand) {
+				ncpu := k.NumCPUs()
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target >= ncpu && rng.Intn(4) == 0 {
+						return smp.FaultDrop
+					}
+					return smp.FaultNone
+				})
+			},
+		},
+		{
+			name: "dev-death",
+			note: "the NIC stops acking mid-run: quarantined after the retry budget, DMA fenced with typed aborts, bulk-invalidation rejoin at convergence",
+			arm: func(k *kernel.Kernel, _ *rand.Rand) {
+				seat := k.NumCPUs() // device 0, the NIC
+				alive := 2          // deliveries before the device dies
+				k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+					if target != seat {
+						return smp.FaultNone
+					}
+					if alive > 0 {
+						alive--
+						return smp.FaultNone
+					}
+					return smp.FaultDrop
+				})
+			},
+		},
+	}
+}
+
+// e17Seed derives a deterministic per-cell seed so adding mixes, modes
+// or models never shifts another cell's streams.
+func e17Seed(m kernel.Model, mix, mode string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "E17/%s/%s/%s", m, mix, mode)
+	return int64(h.Sum64())
+}
+
+// E17DeviceShootdown compares the four protection organizations when
+// device translation agents (internal/iommu) share the memory system: a
+// NIC, a paging DMA engine and a GC scanner reference a ring segment
+// through their own IOTLB + protection check while CPUs mutate the same
+// pages and the kernel periodically revokes the device domain's write
+// authority. Every revocation is a device-seat shootdown under the
+// acknowledged protocol; the traffic mix shifts the reference load
+// between devices and CPUs, and the fault regimes subject only the
+// device half of the interconnect to loss and death.
+//
+// Contracts asserted in-run, per cell (the fault-free zero checks are
+// skipped when the chaos campaign has armed its own IPI hook on the
+// kernel):
+//
+//   - Data integrity at every fault rate: a DMA write the IOTLB check
+//     approved is a real write — the bytes are immediately visible to
+//     the kernel (zero verify failures).
+//   - Fault-free silence: with no faults armed, the device protocol
+//     counters (drops, retransmits, timeouts, quarantines) are all
+//     zero, no transfer is fenced, and the revoked windows actually
+//     deny device writes (the protection model is load-bearing).
+//   - Death is contained: a dead NIC is quarantined within the retry
+//     budget, its transfers abort with typed fence errors rather than
+//     stale-authority DMA, and convergence rejoins it by bulk IOTLB
+//     invalidation.
+//   - Convergence: after every cell — fault hook still armed — the
+//     oracle's CheckConvergence drives protection maintenance to zero
+//     violations within its precomputed cycle bound, with every CPU
+//     and every device trusted again.
+func E17DeviceShootdown(p *Probe) ([]*stats.Table, error) {
+	var tables []*stats.Table
+	for _, mode := range e17Modes() {
+		t := stats.NewTable(fmt.Sprintf("E17 Device-agent shootdowns: %s", mode.name),
+			"model", "mix", "dev ipis", "applied", "iotlb hit%", "denied", "fenced",
+			"retrans", "quarantines", "rejoins", "device cycles", "conv cycles", "conv bound")
+		var modeDropped, modeRetrans uint64
+		for _, m := range SMPModels {
+			for _, mix := range e17Mixes() {
+				cfg := kernel.DefaultConfig(m)
+				cfg.CPUs = 4
+				cfg.Devices = []kernel.DeviceConfig{
+					{Name: "nic0", Kind: iommu.NIC},
+					{Name: "dma0", Kind: iommu.DMAEngine},
+					{Name: "gc0", Kind: iommu.GCScanner},
+				}
+				k, err := kernel.NewChecked(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("core: E17 %s %v/%s: %w", mode.name, m, mix.name, err)
+				}
+				// The chaos campaign arms its hook at construction; note it
+				// before (possibly) replacing it with the regime's own.
+				chaosArmed := k.IPIFaultArmed()
+				k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+				if mode.arm != nil {
+					mode.arm(k, rand.New(rand.NewSource(e17Seed(m, mix.name, mode.name))))
+				}
+
+				wcfg := mix.cfg()
+				wcfg.Seed = e17Seed(m, mix.name, mode.name) ^ 0x5eed
+				rep, err := devio.Run(k, wcfg)
+				if err != nil {
+					return nil, fmt.Errorf("core: E17 %s %v/%s: workload died: %w", mode.name, m, mix.name, err)
+				}
+				if rep.VerifyFailures > 0 {
+					return nil, fmt.Errorf("core: E17 %s %v/%s: %d approved DMA writes not visible to the kernel",
+						mode.name, m, mix.name, rep.VerifyFailures)
+				}
+
+				kc := k.Counters()
+				modeDropped += kc.Get("smp.dev_dropped")
+				modeRetrans += kc.Get("smp.dev_retransmits")
+
+				if mode.name == "dev-death" {
+					if kc.Get("smp.dev_quarantines") == 0 {
+						return nil, fmt.Errorf("core: E17 dev-death %v/%s: dead NIC never quarantined", m, mix.name)
+					}
+					if rep.Fenced == 0 {
+						return nil, fmt.Errorf("core: E17 dev-death %v/%s: quarantined NIC produced no typed fence aborts", m, mix.name)
+					}
+				}
+
+				// Convergence contract, with the fault hook still armed.
+				conv, err := oracle.CheckConvergence(k)
+				if err != nil {
+					return nil, fmt.Errorf("core: E17 %s %v/%s: %w", mode.name, m, mix.name, err)
+				}
+				if mode.name == "dev-death" && kc.Get("kernel.dev_rejoins") == 0 {
+					return nil, fmt.Errorf("core: E17 dev-death %v/%s: convergence never rejoined the dead NIC", m, mix.name)
+				}
+
+				if mode.arm == nil && !chaosArmed {
+					// Fault-free: the acknowledged device protocol is silent.
+					for _, c := range []string{"smp.dev_dropped", "smp.dev_retransmits", "smp.dev_timeouts", "smp.dev_quarantines"} {
+						if got := kc.Get(c); got != 0 {
+							return nil, fmt.Errorf("core: E17 %v/%s: fault-free %s = %d, want 0", m, mix.name, c, got)
+						}
+					}
+					if rep.Fenced != 0 {
+						return nil, fmt.Errorf("core: E17 %v/%s: fault-free run fenced %d transfers", m, mix.name, rep.Fenced)
+					}
+					if rep.Denied == 0 {
+						return nil, fmt.Errorf("core: E17 %v/%s: revoked windows denied nothing — the IOTLB check is not load-bearing", m, mix.name)
+					}
+					if kc.Get("iommu.iotlb_hits") == 0 {
+						return nil, fmt.Errorf("core: E17 %v/%s: device IOTLB never hit", m, mix.name)
+					}
+				}
+
+				hits, misses := kc.Get("iommu.iotlb_hits"), kc.Get("iommu.iotlb_misses")
+				hitPct := "-"
+				if hits+misses > 0 {
+					hitPct = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+				}
+				p.ObserveKernel(k)
+				t.AddRow(m.String(), mix.name,
+					kc.Get("smp.dev_ipis"), kc.Get("iommu.shootdowns_applied"), hitPct,
+					rep.Denied, rep.Fenced,
+					kc.Get("smp.dev_retransmits"), kc.Get("smp.dev_quarantines"), kc.Get("kernel.dev_rejoins"),
+					rep.DeviceCycles, conv.Cycles, conv.Bound)
+			}
+		}
+		// The loss regime's firing contract holds over the whole sweep
+		// (per-cell drop counts are small deterministic samples).
+		if mode.name == "dev-drop-25pct" && (modeDropped == 0 || modeRetrans == 0) {
+			return nil, fmt.Errorf("core: E17 dev-drop-25pct: fault hook dropped %d, protocol retransmitted %d — regime never exercised",
+				modeDropped, modeRetrans)
+		}
+		t.AddNote(mode.note)
+		t.AddNote("4 CPUs + NIC, paging DMA engine and GC scanner agents; every revocation is a device-seat shootdown")
+		t.AddNote("converge cycles/bound from oracle.CheckConvergence, run with the fault hook still armed")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

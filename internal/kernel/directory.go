@@ -71,6 +71,9 @@ func (k *Kernel) withdrawCPU(i int) {
 // is not consulted: group loads target by executing domain, not by
 // residency.
 func (k *Kernel) domainHasEntries(cpu int, d addr.DomainID) bool {
+	if dev := k.deviceAt(cpu); dev != nil {
+		return dev.HasDomainEntries(d)
+	}
 	switch {
 	case k.plbms != nil:
 		found := false

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/cpu"
+	"repro/internal/iommu"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/ptable"
@@ -139,6 +140,13 @@ type Config struct {
 	// hook points (frame allocation, handler dispatch, spurious traps).
 	// Production configurations leave it nil.
 	FaultInjector *FaultInjector
+	// Devices attaches device translation agents (internal/iommu): DMA
+	// engines, NICs and scanner accelerators that access memory through
+	// their own IOTLB + protection check and occupy shootdown seats
+	// above the CPU range. NewChecked validates each entry (seat
+	// budget, IOTLB capacity, cluster, timeout scale) with a
+	// *ConfigError.
+	Devices []DeviceConfig
 }
 
 // DefaultConfig returns a kernel configuration for the given model with
@@ -357,6 +365,7 @@ type kernel struct {
 	hInjPageinFails, hInjPageoutFails             stats.Handle
 	hHWRecoveries                                 stats.Handle
 	hCPURecoveries, hCPURejoins                   stats.Handle
+	hDevRejoins                                   stats.Handle
 }
 
 // page is the kernel's per-page record, created lazily.
@@ -411,8 +420,13 @@ type Kernel struct {
 	pageDir map[addr.VPN]*smp.CPUSet
 	// topo is the normalized mesh topology (see Config.Topology).
 	topo smp.Topology
-	// shoot is the shootdown subsystem; nil on a uniprocessor.
+	// shoot is the shootdown subsystem; nil on a uniprocessor with no
+	// devices (devices are shootdown targets, so attaching any forces
+	// the subsystem on).
 	shoot *smp.Shootdown
+	// devs holds the attached device translation agents (device.go);
+	// device i occupies interconnect seat len(machs)+i.
+	devs []*iommu.Device
 	// deferDepth counts open DeferShootdowns windows; per-operation IPI
 	// flushing is suspended while it is nonzero (lazy shootdown), and
 	// windows nest — only the outermost FlushShootdowns delivers.
@@ -455,6 +469,11 @@ func NewChecked(cfg Config) (*Kernel, error) {
 		return nil, &ConfigError{Field: "Topology", Value: cfg.CPUs,
 			Reason: err.Error()}
 	}
+	devcfgs, err := validateDevices(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Devices = devcfgs
 	k := &Kernel{}
 	k.pageDir = make(map[addr.VPN]*smp.CPUSet)
 	k.topo = cfg.Topology.Normalize(cfg.CPUs)
@@ -509,6 +528,7 @@ func NewChecked(cfg Config) (*Kernel, error) {
 	k.hHWRecoveries = k.ctrs.Handle("kernel.hw_recoveries")
 	k.hCPURecoveries = k.ctrs.Handle("kernel.cpu_recoveries")
 	k.hCPURejoins = k.ctrs.Handle("kernel.cpu_rejoins")
+	k.hDevRejoins = k.ctrs.Handle("kernel.dev_rejoins")
 	for i := 0; i < cfg.CPUs; i++ {
 		switch cfg.Model {
 		case ModelPageGroup:
@@ -541,10 +561,13 @@ func NewChecked(cfg Config) (*Kernel, error) {
 		k.engine = &dpEngine{k: k}
 	}
 	k.SetCPU(0)
-	if cfg.CPUs > 1 {
+	if cfg.CPUs > 1 || len(devcfgs) > 0 {
 		k.shoot = smp.New(cfg.CPUs, k, k.costs, &k.ctrs, &k.cycles)
 		k.shoot.SetTopology(cfg.Topology)
 		k.shoot.SetInitiator(k.cur)
+	}
+	if len(devcfgs) > 0 {
+		k.attachDevices(devcfgs)
 	}
 	if newHook != nil {
 		newHook(k)
@@ -709,11 +732,15 @@ func (k *Kernel) Counters() *stats.Counters { return &k.ctrs }
 // machine cycles are separate.
 func (k *Kernel) Cycles() uint64 { return k.cycles.Total() }
 
-// TotalCycles returns kernel cycles plus every CPU's machine cycles.
+// TotalCycles returns kernel cycles plus every CPU's machine cycles
+// plus every device agent's cycles.
 func (k *Kernel) TotalCycles() uint64 {
 	total := k.cycles.Total()
 	for _, m := range k.machs {
 		total += m.Cycles()
+	}
+	for _, dev := range k.devs {
+		total += dev.Cycles()
 	}
 	return total
 }
@@ -846,6 +873,10 @@ func (k *Kernel) RecoverHardware() int {
 	for i := range k.machs {
 		n += k.purgeCPU(i)
 	}
+	for i, dev := range k.devs {
+		n += dev.PurgeAll()
+		k.withdrawCPU(k.DeviceSeat(i))
+	}
 	if k.shoot != nil {
 		k.shoot.Reset()
 	}
@@ -933,6 +964,11 @@ func (k *Kernel) ConvergeProtection() uint64 {
 			k.rejoinCPU(i)
 		}
 	}
+	for i := range k.devs {
+		if !k.DeviceTrusted(i) {
+			k.RejoinDevice(i)
+		}
+	}
 	return k.TotalCycles() - start
 }
 
@@ -972,6 +1008,19 @@ func (k *Kernel) ConvergenceBound() uint64 {
 		// Every CPU may need a rejoin (quarantine can happen during the
 		// convergence flush itself): one trap plus one bulk purge.
 		bound += c.Trap + scan
+	}
+	// Device seats pay the same structure with their own numbers: the
+	// backoff cap is scaled by the device's timeout grant (devices drain
+	// in-flight DMA before acking), and the scan covers the IOTLB
+	// capacity instead of a CPU's private structures.
+	for i, dev := range k.devs {
+		seat := k.DeviceSeat(i)
+		_, backoff := k.shoot.TargetTimeouts(seat)
+		devScan := uint64(dev.Capacity())*(c.PurgeEntry+c.Install) + diam*c.MemHop
+		if pending := uint64(k.shoot.Pending(seat)); pending > 0 {
+			bound += volleys*(ipi+backoff) + pending*devScan
+		}
+		bound += c.Trap + devScan
 	}
 	return bound
 }

@@ -71,6 +71,13 @@ func (k *Kernel) shootExecuting(d *Domain, r smp.Request) {
 			k.enqueueShoot(i, r)
 		}
 	}
+	// Device agents programmed on the domain's behalf hold the analogous
+	// group state (their membership cache) and count as executing it.
+	for i, dev := range k.devs {
+		if dev.OnBehalf() == d.ID {
+			k.enqueueShoot(k.DeviceSeat(i), r)
+		}
+	}
 }
 
 // markInstalled records that domain d's rights were installed on the
@@ -176,6 +183,10 @@ func (k *Kernel) PendingShootdowns(i int) int {
 // residency set when nothing is left — the step that keeps residency
 // tracking live sharers instead of growing monotonically.
 func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
+	if cpu >= len(k.machs) {
+		// Device seat: the request lands on the device's IOTLB.
+		return k.applyDeviceShootdown(cpu, r)
+	}
 	switch {
 	case k.pgms != nil:
 		m := k.pgms[cpu]
@@ -237,5 +248,11 @@ func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 	return 0
 }
 
-// CPUCycles implements smp.Handler.
-func (k *Kernel) CPUCycles(cpu int) uint64 { return k.machs[cpu].Cycles() }
+// CPUCycles implements smp.Handler: a device seat reports the device
+// agent's clock, a CPU seat its machine's.
+func (k *Kernel) CPUCycles(cpu int) uint64 {
+	if dev := k.deviceAt(cpu); dev != nil {
+		return dev.Cycles()
+	}
+	return k.machs[cpu].Cycles()
+}

@@ -39,6 +39,12 @@ func CheckConvergence(k *kernel.Kernel) (Convergence, error) {
 			return c, fmt.Errorf("oracle: CPU %d still untrusted (health %v) after convergence", i, k.CPUHealth(i))
 		}
 	}
+	for i := 0; i < k.NumDevices(); i++ {
+		if !k.DeviceTrusted(i) {
+			return c, fmt.Errorf("oracle: device %s still untrusted (health %v) after convergence",
+				k.Device(i).Name(), k.DeviceHealth(i))
+		}
+	}
 	c.Violations = Violations(k)
 	if n := len(c.Violations); n > 0 {
 		return c, fmt.Errorf("oracle: %d violation(s) after convergence, first: %s", n, c.Violations[0])

@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+)
+
+// Device-authority audit: every entry resident in a device translation
+// agent's IOTLB (internal/iommu) is held to the same standard as CPU
+// protection hardware. A stale IOTLB entry is exactly the failure the
+// device shootdown machinery exists to prevent — a DMA engine writing
+// through rights that were revoked — so a disagreement here is a
+// Violation carrying the device's name, attributed to whatever
+// invalidation never landed.
+//
+// Untrusted devices (quarantined, degraded, or marked stale by a
+// skipped invalidation) are exempt for the same reason untrusted CPUs
+// are: their DMA channels are fenced — every transfer aborts with
+// iommu.ErrFenced before the check runs — so their stale entries are
+// dormant, not live authority. RejoinDevice (or ConvergeProtection)
+// bulk-invalidates them, after which the audit applies again.
+
+// deviceViolations audits every trusted device agent's IOTLB and group
+// membership cache against current kernel authority.
+func deviceViolations(k *kernel.Kernel) []Violation {
+	var out []Violation
+	for i := 0; i < k.NumDevices(); i++ {
+		if !k.DeviceTrusted(i) {
+			continue
+		}
+		dev := k.Device(i)
+		seat := k.DeviceSeat(i)
+		note := func(v Violation) {
+			v.Device = dev.Name()
+			v.CPU = seat
+			out = append(out, v)
+		}
+		// PLB-style (domain, page) IOTLB entries carry their own domain
+		// tag: check rights against that domain's authority and the
+		// cached frame against the translation table.
+		dev.ForEachDomainPage(func(dom addr.DomainID, vpn addr.VPN, r addr.Rights, pfn addr.PFN) bool {
+			want, cacheable, ok := k.ResolveRights(dom, vpn)
+			if !ok || !cacheable || want != r {
+				note(Violation{
+					Where: "iotlb", Domain: dom, VPN: vpn,
+					Detail: fmt.Sprintf("entry holds %v, authority %v (cacheable=%v, ok=%v)",
+						r, want, cacheable, ok),
+				})
+			}
+			if got, mapped := k.Translate(vpn); !mapped || got != pfn {
+				note(Violation{
+					Where: "iotlb", Domain: dom, VPN: vpn,
+					Detail: fmt.Sprintf("entry maps to frame %d, kernel table says (%d, mapped=%v)",
+						pfn, got, mapped),
+				})
+			}
+			return true
+		})
+		// AID-tagged entries mirror the page-group TLB: page identity
+		// and shared rights against the kernel's page records.
+		dev.ForEachPageGroup(func(vpn addr.VPN, aid addr.GroupID, r addr.Rights, pfn addr.PFN) bool {
+			wantAID, wantR, ok := k.PageInfo(vpn)
+			if !ok || aid != wantAID || r != wantR {
+				note(Violation{
+					Where: "iotlb", VPN: vpn,
+					Detail: fmt.Sprintf("entry holds (aid=%d, %v), kernel says (aid=%d, %v, ok=%v)",
+						aid, r, wantAID, wantR, ok),
+				})
+			}
+			if got, mapped := k.Translate(vpn); !mapped || got != pfn {
+				note(Violation{
+					Where: "iotlb", VPN: vpn,
+					Detail: fmt.Sprintf("entry maps to frame %d, kernel table says (%d, mapped=%v)",
+						pfn, got, mapped),
+				})
+			}
+			return true
+		})
+		// The group membership cache plays the checker's role: every
+		// resident group must be in the programmed domain's group set.
+		onBehalf := dev.OnBehalf()
+		dev.ForEachGroup(func(g addr.GroupID, wd bool) bool {
+			if g == addr.GlobalGroup {
+				return true
+			}
+			has, wantWD := k.DomainGroup(onBehalf, g)
+			if !has || wd != wantWD {
+				note(Violation{
+					Where: "iotlb-group", Domain: onBehalf,
+					Detail: fmt.Sprintf("group %d resident (writeDisable=%v), domain's set says (member=%v, writeDisable=%v)",
+						g, wd, has, wantWD),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

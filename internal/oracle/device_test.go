@@ -1,0 +1,124 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/iommu"
+	"repro/internal/kernel"
+	"repro/internal/smp"
+)
+
+func deviceKernel(t *testing.T, model kernel.Model) *kernel.Kernel {
+	t.Helper()
+	cfg := kernel.DefaultConfig(model)
+	cfg.CPUs = 2
+	cfg.Devices = []kernel.DeviceConfig{{Name: "nic0", Kind: iommu.NIC}}
+	k, err := kernel.NewChecked(cfg)
+	if err != nil {
+		t.Fatalf("NewChecked: %v", err)
+	}
+	return k
+}
+
+// primeDevice creates a domain with a segment, programs the device on
+// its behalf, and runs one DMA write so the IOTLB holds a live entry.
+func primeDevice(t *testing.T, k *kernel.Kernel) (*kernel.Domain, *kernel.Segment) {
+	t.Helper()
+	d := k.CreateDomain()
+	seg := k.CreateSegment(4, kernel.SegmentOptions{Name: "dma-buf"})
+	k.Attach(d, seg, addr.RW)
+	k.ProgramDevice(0, d)
+	buf := make([]byte, k.Geometry().PageSize())
+	if err := k.DeviceWritePage(0, seg.Base(), buf); err != nil {
+		t.Fatalf("prime DMA write: %v", err)
+	}
+	return d, seg
+}
+
+// TestDeviceAuditClean: a healthy interconnect leaves the device's
+// IOTLB consistent through a revocation, so the audit stays clean.
+func TestDeviceAuditClean(t *testing.T) {
+	for _, model := range []kernel.Model{kernel.ModelDomainPage, kernel.ModelPageGroup} {
+		t.Run(model.String(), func(t *testing.T) {
+			k := deviceKernel(t, model)
+			d, seg := primeDevice(t, k)
+			if err := k.SetSegmentRights(d, seg, addr.Read); err != nil {
+				t.Fatalf("revoke: %v", err)
+			}
+			if err := Verify(k); err != nil {
+				t.Fatalf("audit after delivered revocation: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeviceAuditCatchesDroppedInvalidation: dropping the invalidation
+// bound for the device seat (fire-and-forget, so no retransmission)
+// leaves a stale IOTLB entry that the audit must attribute to the
+// device.
+func TestDeviceAuditCatchesDroppedInvalidation(t *testing.T) {
+	k := deviceKernel(t, kernel.ModelDomainPage)
+	d, seg := primeDevice(t, k)
+	k.SetIPIFault(func(target int, r smp.Request) smp.Fault {
+		if target >= k.NumCPUs() {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+	if err := k.SetSegmentRights(d, seg, addr.Read); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	vs := Violations(k)
+	found := false
+	for _, v := range vs {
+		if v.Where == "iotlb" && v.Device == "nic0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped device invalidation produced no iotlb violation (got %d: %v)", len(vs), vs)
+	}
+	// The stale write the entry would authorize is exactly what the
+	// protection model must not silently allow: the oracle saw it above;
+	// recovery must clear it.
+	k.SetIPIFault(nil)
+	k.RecoverHardware()
+	if err := Verify(k); err != nil {
+		t.Fatalf("audit after recovery: %v", err)
+	}
+}
+
+// TestDeviceConvergence: under the acknowledged protocol a dead device
+// (every volley dropped) is quarantined and fenced; convergence rejoins
+// it within the bound and the audit comes back clean.
+func TestDeviceConvergence(t *testing.T) {
+	k := deviceKernel(t, kernel.ModelDomainPage)
+	k.EnableShootdownProtocol(smp.ProtocolConfig{})
+	d, seg := primeDevice(t, k)
+	dead := true
+	k.SetIPIFault(func(target int, r smp.Request) smp.Fault {
+		if dead && target >= k.NumCPUs() {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+	if err := k.SetSegmentRights(d, seg, addr.Read); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	if k.DeviceHealth(0) == smp.Healthy {
+		t.Fatalf("dead device still healthy after revocation volleys")
+	}
+	if !k.DeviceFenced(0) && !k.DeviceTrusted(0) {
+		// Either outcome (fenced, or merely stale pre-quarantine) is
+		// acceptable mid-run; convergence must fix both.
+		t.Logf("device health mid-run: %v", k.DeviceHealth(0))
+	}
+	dead = false // the device comes back before convergence
+	if _, err := CheckConvergence(k); err != nil {
+		t.Fatalf("convergence with device seat: %v", err)
+	}
+	if !k.DeviceTrusted(0) {
+		t.Fatalf("device untrusted after convergence")
+	}
+}

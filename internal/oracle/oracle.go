@@ -44,11 +44,17 @@ type Violation struct {
 	// Where names the structure that disagreed: "resolve", "plb",
 	// "trans-tlb", "pg-tlb", "checker", "asid-tlb", "verdict-cache"
 	// (a live fast-path entry), "directory" (a hardware entry the
-	// sharer directory fails to cover), or "verdict".
+	// sharer directory fails to cover), "verdict", or "iotlb" /
+	// "iotlb-group" (a device translation agent's cached authority —
+	// see device.go).
 	Where string
 	// CPU is the CPU whose private structure disagreed (0 for kernel-level
-	// checks and on uniprocessors).
-	CPU    int
+	// checks and on uniprocessors). For device findings it is the
+	// device's interconnect seat.
+	CPU int
+	// Device names the device translation agent whose IOTLB disagreed;
+	// empty for CPU and kernel-level findings.
+	Device string
 	Domain addr.DomainID
 	VPN    addr.VPN
 	Detail string
@@ -56,6 +62,10 @@ type Violation struct {
 
 // String formats the violation for reports.
 func (v Violation) String() string {
+	if v.Device != "" {
+		return fmt.Sprintf("%s: device %s (seat %d) domain %d page %#x: %s",
+			v.Where, v.Device, v.CPU, v.Domain, uint64(v.VPN), v.Detail)
+	}
 	if v.CPU != 0 {
 		return fmt.Sprintf("%s: cpu %d domain %d page %#x: %s", v.Where, v.CPU, v.Domain, uint64(v.VPN), v.Detail)
 	}
@@ -139,6 +149,10 @@ func Violations(k *kernel.Kernel) []Violation {
 		}
 		out = append(out, vs...)
 	}
+	// Device translation agents are protection hardware too: every
+	// trusted device's IOTLB is audited against the same authority
+	// (device.go).
+	out = append(out, deviceViolations(k)...)
 	return out
 }
 

@@ -288,14 +288,30 @@ func (c *ProtocolConfig) fill() {
 }
 
 // Handler applies delivered requests; the kernel implements it over the
-// target CPU's private machine.
+// target CPU's private machine. Device seats (targets at and above the
+// CPU count) route to the corresponding device agent's IOTLB instead.
 type Handler interface {
-	// ApplyShootdown performs r on CPU cpu's structures and returns how
-	// many resident entries it invalidated, rewrote or loaded.
+	// ApplyShootdown performs r on target cpu's structures and returns
+	// how many resident entries it invalidated, rewrote or loaded.
 	ApplyShootdown(cpu int, r Request) int
-	// CPUCycles returns CPU cpu's accumulated machine cycles, so the
+	// CPUCycles returns target cpu's accumulated machine cycles, so the
 	// flush can attribute remote maintenance work to the shootdown.
 	CPUCycles(cpu int) uint64
+}
+
+// DeviceSpec seats one device translation agent on the shootdown
+// interconnect. Devices occupy targets above the CPU range: the first
+// attached device is target ncpu, the next ncpu+1, and so on.
+type DeviceSpec struct {
+	// Cluster is the mesh cluster the device is wired into; its IPIs
+	// and DMA traffic are hop-priced from there.
+	Cluster int
+	// TimeoutScale multiplies the protocol's ack timeout and backoff
+	// cap for this device: devices must drain in-flight DMA before
+	// acknowledging an invalidation, so they are granted a longer
+	// window before the initiator retransmits or quarantines. Zero
+	// means 1 (CPU-equivalent timing).
+	TimeoutScale uint64
 }
 
 // Shootdown queues targeted invalidations and delivers them in batches
@@ -321,6 +337,11 @@ type Shootdown struct {
 	// topology makes every hop count zero.
 	topo      Topology
 	initiator int
+
+	// Device seats: targets [ncpu, ncpu+len(devCluster)) are device
+	// translation agents with their own mesh cluster and timeout scale.
+	devCluster []int
+	devScale   []uint64
 
 	// Acknowledged-protocol state; proto == nil means fire-and-forget.
 	proto     *ProtocolConfig
@@ -353,6 +374,16 @@ type Shootdown struct {
 	toCycles     stats.Handle
 	retransCyc   stats.Handle
 	hopCycles    stats.Handle
+
+	// Device-seat splits of the delivery counters, so device shootdown
+	// traffic is attributable separately from CPU traffic.
+	nDevIPIs        stats.Handle
+	nDevDelivered   stats.Handle
+	nDevDropped     stats.Handle
+	nDevRetrans     stats.Handle
+	nDevTimeouts    stats.Handle
+	nDevQuar        stats.Handle
+	nDevFencedSkips stats.Handle
 }
 
 // New creates a shootdown subsystem for ncpu CPUs. costs is read at
@@ -399,7 +430,82 @@ func New(ncpu int, h Handler, costs func() cpu.CostModel, ctrs *stats.Counters, 
 	s.toCycles = ctrs.Handle("smp.timeout_cycles")
 	s.retransCyc = ctrs.Handle("smp.retransmit_cycles")
 	s.hopCycles = ctrs.Handle("smp.hop_cycles")
+	s.nDevIPIs = ctrs.Handle("smp.dev_ipis")
+	s.nDevDelivered = ctrs.Handle("smp.dev_delivered")
+	s.nDevDropped = ctrs.Handle("smp.dev_dropped")
+	s.nDevRetrans = ctrs.Handle("smp.dev_retransmits")
+	s.nDevTimeouts = ctrs.Handle("smp.dev_timeouts")
+	s.nDevQuar = ctrs.Handle("smp.dev_quarantines")
+	s.nDevFencedSkips = ctrs.Handle("smp.dev_fenced_skips")
 	return s
+}
+
+// AttachDevices seats device translation agents above the CPU range:
+// with n CPUs and k devices, targets [n, n+k) address the devices in
+// spec order. Each call appends; the per-target queue, health and
+// sequence state grows to cover the new seats.
+func (s *Shootdown) AttachDevices(specs []DeviceSpec) {
+	for _, sp := range specs {
+		scale := sp.TimeoutScale
+		if scale == 0 {
+			scale = 1
+		}
+		s.devCluster = append(s.devCluster, sp.Cluster)
+		s.devScale = append(s.devScale, scale)
+		s.queue = append(s.queue, nil)
+		s.pend = append(s.pend, nil)
+		s.delayed = append(s.delayed, nil)
+		s.seq = append(s.seq, 0)
+		s.health = append(s.health, Healthy)
+		s.consecTO = append(s.consecTO, 0)
+		s.quarCount = append(s.quarCount, 0)
+		s.stale = append(s.stale, false)
+	}
+}
+
+// NumCPUs returns the CPU seat count; device seats start here.
+func (s *Shootdown) NumCPUs() int { return s.ncpu }
+
+// NumTargets returns the total seat count: CPUs plus attached devices.
+func (s *Shootdown) NumTargets() int { return s.ncpu + len(s.devCluster) }
+
+// IsDevice reports whether target t is a device seat.
+func (s *Shootdown) IsDevice(t int) bool { return t >= s.ncpu }
+
+// clusterOf returns the mesh cluster of target t: CPU seats map through
+// the topology, device seats sit at their configured cluster (clamped
+// to the mesh, so a stale cluster index under a narrower topology still
+// prices finitely).
+func (s *Shootdown) clusterOf(t int) int {
+	if t < s.ncpu {
+		return s.topo.ClusterOf(t)
+	}
+	c := s.devCluster[t-s.ncpu]
+	if max := s.topo.Clusters() - 1; c > max {
+		c = max
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// TargetTimeouts returns the acknowledged-protocol timing for target t:
+// the base ack timeout and the backoff cap, with the device timeout
+// scale applied for device seats. Zero values if the protocol is off.
+// The kernel's convergence bound uses these so a slow-draining device
+// is charged its full grant.
+func (s *Shootdown) TargetTimeouts(t int) (ack, backoff uint64) {
+	if s.proto == nil {
+		return 0, 0
+	}
+	ack, backoff = s.proto.AckTimeout, s.proto.BackoffLimit
+	if t >= s.ncpu {
+		scale := s.devScale[t-s.ncpu]
+		ack *= scale
+		backoff *= scale
+	}
+	return ack, backoff
 }
 
 // SetFault installs (or with nil removes) the chaos-injection hook.
@@ -478,6 +584,9 @@ func (s *Shootdown) MarkStale(t int) { s.stale[t] = true }
 // every invalidation the fence swallowed, not only the delivered ones.
 func (s *Shootdown) SkipFenced(t int) {
 	s.nFencedSkips.Inc()
+	if s.IsDevice(t) {
+		s.nDevFencedSkips.Inc()
+	}
 	s.stale[t] = true
 }
 
@@ -541,7 +650,7 @@ func (s *Shootdown) Pending(target int) int {
 // protocol instead retries unacknowledged requests inline with capped
 // exponential backoff and quarantines targets that exhaust the budget.
 func (s *Shootdown) Flush() {
-	for t := 0; t < s.ncpu; t++ {
+	for t := 0; t < len(s.queue); t++ {
 		if s.proto != nil {
 			s.flushAcked(t)
 		} else {
@@ -587,8 +696,11 @@ func (s *Shootdown) takeBatch(t int) []Request {
 // retrans marks it as a retransmission volley for the overhead split.
 func (s *Shootdown) chargeIPI(t int, retrans bool) {
 	s.nIPIs.Inc()
+	if s.IsDevice(t) {
+		s.nDevIPIs.Inc()
+	}
 	ipi := s.costs().IPI
-	if h := s.topo.Hops(s.initiator, t); h > 0 {
+	if h := s.topo.ClusterHops(s.topo.ClusterOf(s.initiator), s.clusterOf(t)); h > 0 {
 		extra := uint64(h) * s.costs().IPIHop
 		ipi += extra
 		s.hopCycles.Add(extra)
@@ -608,7 +720,7 @@ func (s *Shootdown) chargeMemHops(t int, r Request) {
 	if !r.Kind.PageScoped() {
 		return
 	}
-	h := s.topo.MemHops(t, r.VPN)
+	h := s.topo.MemHopsFrom(s.clusterOf(t), r.VPN)
 	if h == 0 {
 		return
 	}
@@ -638,6 +750,9 @@ func (s *Shootdown) flushFireAndForget(t int) {
 		switch verdict {
 		case FaultDrop:
 			s.nDropped.Inc()
+			if s.IsDevice(t) {
+				s.nDevDropped.Inc()
+			}
 			continue
 		case FaultDelay:
 			s.nDelayed.Inc()
@@ -651,6 +766,9 @@ func (s *Shootdown) flushFireAndForget(t int) {
 		arrived = true
 		affected := s.handler.ApplyShootdown(t, r)
 		s.nDelivered.Inc()
+		if s.IsDevice(t) {
+			s.nDevDelivered.Inc()
+		}
 		s.nRemoteInv.Add(uint64(affected))
 		s.chargeMemHops(t, r)
 	}
@@ -691,7 +809,9 @@ func (s *Shootdown) flushAcked(t int) {
 	for i, r := range batch {
 		pending[i] = ackedReq{req: r}
 	}
-	timeout := s.proto.AckTimeout
+	// Devices get their scaled ack timeout and backoff cap: draining
+	// in-flight DMA before acknowledging takes longer than a CPU trap.
+	timeout, backoffCap := s.TargetTimeouts(t)
 	for attempt := 0; ; attempt++ {
 		if attempt > s.proto.MaxRetries {
 			s.quarantine(t, len(pending))
@@ -700,6 +820,9 @@ func (s *Shootdown) flushAcked(t int) {
 		s.seq[t]++
 		if attempt > 0 {
 			s.nRetrans.Add(uint64(len(pending)))
+			if s.IsDevice(t) {
+				s.nDevRetrans.Add(uint64(len(pending)))
+			}
 		}
 		arrived := false
 		var keep []ackedReq
@@ -712,6 +835,9 @@ func (s *Shootdown) flushAcked(t int) {
 			if verdict == FaultDrop {
 				// Lost in transit: never reached the target.
 				s.nDropped.Inc()
+				if s.IsDevice(t) {
+					s.nDevDropped.Inc()
+				}
 				keep = append(keep, p)
 				continue
 			}
@@ -736,6 +862,9 @@ func (s *Shootdown) flushAcked(t int) {
 			}
 			affected := s.handler.ApplyShootdown(t, p.req)
 			s.nDelivered.Inc()
+			if s.IsDevice(t) {
+				s.nDevDelivered.Inc()
+			}
 			s.nRemoteInv.Add(uint64(affected))
 			s.chargeMemHops(t, p.req)
 			switch verdict {
@@ -768,6 +897,9 @@ func (s *Shootdown) flushAcked(t int) {
 		// Unacknowledged work remains: the initiator waits out the ack
 		// timeout, then retransmits with doubled (capped) backoff.
 		s.nTimeouts.Inc()
+		if s.IsDevice(t) {
+			s.nDevTimeouts.Inc()
+		}
 		s.cycles.Add(timeout)
 		s.toCycles.Add(timeout)
 		s.consecTO[t]++
@@ -776,8 +908,8 @@ func (s *Shootdown) flushAcked(t int) {
 			s.nSuspects.Inc()
 		}
 		timeout *= 2
-		if timeout > s.proto.BackoffLimit {
-			timeout = s.proto.BackoffLimit
+		if timeout > backoffCap {
+			timeout = backoffCap
 		}
 	}
 }
@@ -787,6 +919,9 @@ func (s *Shootdown) flushAcked(t int) {
 // repeated quarantines degrade it permanently.
 func (s *Shootdown) quarantine(t, dropped int) {
 	s.nQuar.Inc()
+	if s.IsDevice(t) {
+		s.nDevQuar.Inc()
+	}
 	s.quarCount[t]++
 	s.stale[t] = true
 	s.nFencedDisc.Add(uint64(dropped))
@@ -804,7 +939,7 @@ func (s *Shootdown) quarantine(t, dropped int) {
 // and nothing is stale afterwards). Degradation is sticky — a CPU that
 // proved persistently unresponsive stays on flush-on-switch semantics.
 func (s *Shootdown) Reset() {
-	for t := 0; t < s.ncpu; t++ {
+	for t := 0; t < len(s.queue); t++ {
 		s.queue[t] = nil
 		s.delayed[t] = nil
 		for k := range s.pend[t] {

@@ -97,8 +97,10 @@ func (t Topology) clusterXY(c int) (x, y int) {
 	return c % w, c / w
 }
 
-// clusterHops returns the Manhattan distance between two clusters.
-func (t Topology) clusterHops(a, b int) int {
+// ClusterHops returns the Manhattan distance between two clusters.
+// Device agents sit on the mesh at a cluster rather than at a CPU seat,
+// so their traffic is priced cluster-to-cluster directly.
+func (t Topology) ClusterHops(a, b int) int {
 	ax, ay := t.clusterXY(a)
 	bx, by := t.clusterXY(b)
 	dx := ax - bx
@@ -116,7 +118,7 @@ func (t Topology) clusterHops(a, b int) int {
 // CPUs: the hop count an IPI from a to b traverses. Zero within a
 // cluster (and always zero on a single-cluster topology).
 func (t Topology) Hops(a, b int) int {
-	return t.clusterHops(t.ClusterOf(a), t.ClusterOf(b))
+	return t.ClusterHops(t.ClusterOf(a), t.ClusterOf(b))
 }
 
 // HomeCluster returns the cluster whose memory bank homes page vpn
@@ -128,7 +130,14 @@ func (t Topology) HomeCluster(vpn addr.VPN) int {
 // MemHops returns the Manhattan distance from CPU i's cluster to page
 // vpn's home memory bank.
 func (t Topology) MemHops(cpu int, vpn addr.VPN) int {
-	return t.clusterHops(t.ClusterOf(cpu), t.HomeCluster(vpn))
+	return t.ClusterHops(t.ClusterOf(cpu), t.HomeCluster(vpn))
+}
+
+// MemHopsFrom returns the Manhattan distance from cluster c to page
+// vpn's home memory bank: the DMA path cost for a device agent seated
+// at cluster c.
+func (t Topology) MemHopsFrom(c int, vpn addr.VPN) int {
+	return t.ClusterHops(c, t.HomeCluster(vpn))
 }
 
 // Diameter returns the largest possible hop count in the mesh, for

@@ -38,6 +38,13 @@ type Config struct {
 	SweepPerWrite int
 	// Seed makes runs reproducible.
 	Seed int64
+	// DMARead, when non-nil, replaces the server domain's CPU reads
+	// with device DMA: the checkpointer's page saves go through a DMA
+	// engine's translation agent (kernel.DeviceReadPage) instead of a
+	// CPU's protection structures. The callback receives the server
+	// domain (so it can program the device on its behalf) and returns
+	// the page bytes holding va.
+	DMARead func(server *kernel.Domain, va addr.VA) ([]byte, error)
 }
 
 // DefaultConfig returns a 32-page segment checkpointed twice.
@@ -72,14 +79,15 @@ type Report struct {
 }
 
 type checkpointer struct {
-	k      *kernel.Kernel
-	app    *kernel.Domain
-	server *kernel.Domain
-	seg    *kernel.Segment
-	saved  map[uint64][]byte // current checkpoint image, by page index
-	im     *Image            // stable store behind the image
-	active bool
-	rep    *Report
+	k       *kernel.Kernel
+	app     *kernel.Domain
+	server  *kernel.Domain
+	seg     *kernel.Segment
+	saved   map[uint64][]byte // current checkpoint image, by page index
+	im      *Image            // stable store behind the image
+	active  bool
+	dmaRead func(server *kernel.Domain, va addr.VA) ([]byte, error)
+	rep     *Report
 }
 
 // onFault handles the application's write fault during a checkpoint:
@@ -100,9 +108,17 @@ func (c *checkpointer) onFault(f kernel.Fault) error {
 }
 
 // savePage writes page idx to the stable checkpoint image (the server
-// reads it; the kernel is charged the disk write).
+// reads it — or a DMA engine does, when Config.DMARead routes the save
+// through a device translation agent; the kernel is charged the disk
+// write either way).
 func (c *checkpointer) savePage(idx uint64) error {
-	data, err := c.k.ReadPage(c.server, c.seg.PageVA(idx))
+	var data []byte
+	var err error
+	if c.dmaRead != nil {
+		data, err = c.dmaRead(c.server, c.seg.PageVA(idx))
+	} else {
+		data, err = c.k.ReadPage(c.server, c.seg.PageVA(idx))
+	}
 	if err != nil {
 		return err
 	}
@@ -119,10 +135,11 @@ func Run(k *kernel.Kernel, cfg Config) (Report, error) {
 	}
 	rep := Report{}
 	c := &checkpointer{
-		k:      k,
-		app:    k.CreateDomain(),
-		server: k.CreateDomain(),
-		rep:    &rep,
+		k:       k,
+		app:     k.CreateDomain(),
+		server:  k.CreateDomain(),
+		dmaRead: cfg.DMARead,
+		rep:     &rep,
 	}
 	c.seg = k.CreateSegment(cfg.Pages, kernel.SegmentOptions{
 		Name:    "checkpointed",

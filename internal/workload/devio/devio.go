@@ -1,0 +1,240 @@
+// Package devio drives the device translation agents (internal/iommu)
+// against a shared segment: a NIC agent DMA-writes incoming packets
+// into a receive ring, a DMA engine reads pages back out (the paging /
+// checkpoint path), and a GC scanner accelerator sweeps the segment
+// with load beats — while CPUs mutate the same pages and the kernel
+// periodically revokes and restores the device domain's write
+// authority. Every device reference passes the device's own IOTLB +
+// protection check; the revocations exercise device-seat shootdowns,
+// and under chaos injection the aborted/denied counts show the fault
+// tolerance machinery absorbing dropped acks and quarantines.
+package devio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/iommu"
+	"repro/internal/kernel"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Pages sizes the shared segment (receive ring + heap).
+	Pages uint64
+	// Rounds is the number of traffic rounds.
+	Rounds int
+	// DevWritesPerRound is the NIC's packet deliveries per round.
+	DevWritesPerRound int
+	// DevReadsPerRound is the DMA engine's page reads per round.
+	DevReadsPerRound int
+	// GCTouchesPerRound is the scanner's load beats per round.
+	GCTouchesPerRound int
+	// CPUWritesPerRound is the CPU-side stores racing the devices.
+	CPUWritesPerRound int
+	// RevokeEvery, when positive, revokes the device domain's write
+	// access every that-many rounds and restores it at the next round
+	// boundary — each flip is a device-seat shootdown, and NIC writes
+	// in the revoked window must be denied by the IOTLB check.
+	RevokeEvery int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a 32-page ring with modest mixed traffic.
+func DefaultConfig() Config {
+	return Config{
+		Pages:             32,
+		Rounds:            12,
+		DevWritesPerRound: 8,
+		DevReadsPerRound:  4,
+		GCTouchesPerRound: 8,
+		CPUWritesPerRound: 8,
+		RevokeEvery:       3,
+		Seed:              1,
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Rounds completed.
+	Rounds int
+	// DevWrites / DevReads / GCTouches are successful device references.
+	DevWrites, DevReads, GCTouches uint64
+	// CPUWrites are the racing CPU stores.
+	CPUWrites uint64
+	// Denied counts device references the IOTLB check refused (expected
+	// inside revoked windows — the protection model doing its job).
+	Denied uint64
+	// Fenced counts transfers aborted because the device was
+	// quarantined (chaos runs only; zero on a healthy interconnect).
+	Fenced uint64
+	// Revocations counts write-authority flips delivered to the devices.
+	Revocations uint64
+	// VerifyFailures counts packets whose bytes did not land (must be
+	// zero: a DMA write the check approved is a real write).
+	VerifyFailures int
+	// DeviceCycles is the total device-agent clock advance.
+	DeviceCycles uint64
+	// TotalCycles is kernel + machine + device cycles.
+	TotalCycles uint64
+}
+
+// Run executes the workload on k, which must have at least one device
+// attached (kernel.Config.Devices). Device 0 acts as the NIC, device 1
+// (when present) as the DMA read engine, device 2 (when present) as
+// the GC scanner; with fewer devices the roles fold onto device 0.
+func Run(k *kernel.Kernel, cfg Config) (Report, error) {
+	if cfg.Pages == 0 || cfg.Rounds < 1 {
+		return Report{}, fmt.Errorf("devio: invalid config %+v", cfg)
+	}
+	if k.NumDevices() < 1 {
+		return Report{}, fmt.Errorf("devio: kernel has no device agents attached")
+	}
+	nic, dma, gc := 0, 0, 0
+	if k.NumDevices() > 1 {
+		dma = 1
+	}
+	if k.NumDevices() > 2 {
+		gc = 2
+	}
+
+	rep := Report{}
+	io := k.CreateDomain()  // the domain the devices act on behalf of
+	app := k.CreateDomain() // the CPU-side mutator
+	seg := k.CreateSegment(cfg.Pages, kernel.SegmentOptions{Name: "devio-ring"})
+	k.Attach(io, seg, addr.RW)
+	k.Attach(app, seg, addr.RW)
+	for i := 0; i < k.NumDevices(); i++ {
+		k.ProgramDevice(i, io)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	geo := k.Geometry()
+	packet := make([]byte, geo.PageSize())
+	devStart := deviceCycles(k)
+
+	// tolerate classifies a device error: protection denials and fence
+	// aborts are expected outcomes (revoked window, quarantined device),
+	// anything else fails the run.
+	tolerate := func(err error) error {
+		switch {
+		case errors.Is(err, iommu.ErrDenied), errors.Is(err, iommu.ErrNoAuthority):
+			rep.Denied++
+			return nil
+		case errors.Is(err, iommu.ErrFenced):
+			rep.Fenced++
+			return nil
+		}
+		return err
+	}
+
+	revoked := false
+	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.RevokeEvery > 0 {
+			if revoked {
+				if err := k.SetSegmentRights(io, seg, addr.RW); err != nil {
+					return rep, fmt.Errorf("devio: restore: %w", err)
+				}
+				rep.Revocations++
+				revoked = false
+			} else if (round+1)%cfg.RevokeEvery == 0 {
+				if err := k.SetSegmentRights(io, seg, addr.Read); err != nil {
+					return rep, fmt.Errorf("devio: revoke: %w", err)
+				}
+				rep.Revocations++
+				revoked = true
+			}
+		}
+
+		// NIC: deliver packets into random ring pages.
+		for i := 0; i < cfg.DevWritesPerRound; i++ {
+			p := uint64(rng.Intn(int(cfg.Pages)))
+			fillPacket(packet, rng.Uint64())
+			err := k.DeviceWritePage(nic, seg.PageVA(p), packet)
+			if err != nil {
+				if terr := tolerate(err); terr != nil {
+					return rep, fmt.Errorf("devio: NIC write: %w", terr)
+				}
+				continue
+			}
+			rep.DevWrites++
+			// An approved DMA write is a real write: the bytes must be
+			// visible to the kernel immediately.
+			got, rerr := k.KernelPeekPage(seg.PageVPN(p))
+			if rerr != nil {
+				return rep, fmt.Errorf("devio: verify read: %w", rerr)
+			}
+			if !bytes.Equal(got, packet) {
+				rep.VerifyFailures++
+			}
+		}
+
+		// DMA engine: page reads (the checkpoint/paging path).
+		for i := 0; i < cfg.DevReadsPerRound; i++ {
+			p := uint64(rng.Intn(int(cfg.Pages)))
+			if _, err := k.DeviceReadPage(dma, seg.PageVA(p)); err != nil {
+				if terr := tolerate(err); terr != nil {
+					return rep, fmt.Errorf("devio: DMA read: %w", terr)
+				}
+				continue
+			}
+			rep.DevReads++
+		}
+
+		// GC scanner: load beats across the segment.
+		for i := 0; i < cfg.GCTouchesPerRound; i++ {
+			p := uint64(rng.Intn(int(cfg.Pages)))
+			if err := k.DeviceTouch(gc, seg.PageVA(p), addr.Load); err != nil {
+				if terr := tolerate(err); terr != nil {
+					return rep, fmt.Errorf("devio: GC touch: %w", terr)
+				}
+				continue
+			}
+			rep.GCTouches++
+		}
+
+		// CPU-side stores racing the device traffic.
+		for i := 0; i < cfg.CPUWritesPerRound; i++ {
+			p := uint64(rng.Intn(int(cfg.Pages)))
+			off := uint64(rng.Intn(int(geo.PageSize()/8))) * 8
+			if err := k.Store(app, seg.PageVA(p)+addr.VA(off), rng.Uint64()); err != nil {
+				return rep, fmt.Errorf("devio: CPU write: %w", err)
+			}
+			rep.CPUWrites++
+		}
+		rep.Rounds++
+	}
+
+	if revoked {
+		if err := k.SetSegmentRights(io, seg, addr.RW); err != nil {
+			return rep, fmt.Errorf("devio: final restore: %w", err)
+		}
+		rep.Revocations++
+	}
+
+	rep.DeviceCycles = deviceCycles(k) - devStart
+	rep.TotalCycles = k.TotalCycles()
+	return rep, nil
+}
+
+// fillPacket stamps the page-sized buffer with a seeded byte pattern.
+func fillPacket(buf []byte, seed uint64) {
+	x := seed | 1
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 56)
+	}
+}
+
+// deviceCycles sums every device agent's clock.
+func deviceCycles(k *kernel.Kernel) uint64 {
+	var total uint64
+	for i := 0; i < k.NumDevices(); i++ {
+		total += k.Device(i).Cycles()
+	}
+	return total
+}

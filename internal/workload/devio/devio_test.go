@@ -1,0 +1,106 @@
+package devio
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/iommu"
+	"repro/internal/kernel"
+	"repro/internal/workload/checkpoint"
+)
+
+func devKernel(t *testing.T, model kernel.Model) *kernel.Kernel {
+	t.Helper()
+	cfg := kernel.DefaultConfig(model)
+	cfg.CPUs = 2
+	cfg.Devices = []kernel.DeviceConfig{
+		{Kind: iommu.NIC},
+		{Kind: iommu.DMAEngine},
+		{Kind: iommu.GCScanner},
+	}
+	k, err := kernel.NewChecked(cfg)
+	if err != nil {
+		t.Fatalf("NewChecked: %v", err)
+	}
+	return k
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, model := range []kernel.Model{
+		kernel.ModelDomainPage, kernel.ModelPageGroup,
+		kernel.ModelConventional, kernel.ModelFlush,
+	} {
+		t.Run(model.String(), func(t *testing.T) {
+			k := devKernel(t, model)
+			rep, err := Run(k, DefaultConfig())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.VerifyFailures != 0 {
+				t.Fatalf("%d approved DMA writes did not land", rep.VerifyFailures)
+			}
+			if rep.DevWrites == 0 || rep.DevReads == 0 || rep.GCTouches == 0 {
+				t.Fatalf("device traffic missing: %+v", rep)
+			}
+			if rep.Denied == 0 {
+				t.Fatalf("revoked windows produced no IOTLB denials: %+v", rep)
+			}
+			if rep.Fenced != 0 {
+				t.Fatalf("healthy interconnect fenced %d transfers", rep.Fenced)
+			}
+			if rep.DeviceCycles == 0 {
+				t.Fatalf("device clocks did not advance")
+			}
+			hits, misses, _, _ := k.Device(0).Stats()
+			if hits == 0 {
+				t.Fatalf("NIC IOTLB never hit (misses=%d)", misses)
+			}
+		})
+	}
+}
+
+// TestDMACheckpoint routes the checkpoint workload's page saves through
+// a DMA engine's translation agent and still demands a consistent image.
+func TestDMACheckpoint(t *testing.T) {
+	k := devKernel(t, kernel.ModelDomainPage)
+	cfg := checkpoint.DefaultConfig()
+	programmed := false
+	cfg.DMARead = func(server *kernel.Domain, va addr.VA) ([]byte, error) {
+		if !programmed {
+			k.ProgramDevice(1, server)
+			programmed = true
+		}
+		return k.DeviceReadPage(1, va)
+	}
+	rep, err := checkpoint.Run(k, cfg)
+	if err != nil {
+		t.Fatalf("checkpoint over DMA: %v", err)
+	}
+	if rep.Checkpoints != cfg.Checkpoints {
+		t.Fatalf("completed %d/%d checkpoints", rep.Checkpoints, cfg.Checkpoints)
+	}
+	if hits, misses, _, _ := k.Device(1).Stats(); hits+misses == 0 {
+		t.Fatal("DMA engine IOTLB untouched")
+	}
+}
+
+// TestDeviceOnUniprocessor exercises the CPUs=1-with-devices shape: the
+// shootdown subsystem must exist purely to reach the device seats.
+func TestDeviceOnUniprocessor(t *testing.T) {
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	cfg.CPUs = 1
+	cfg.Devices = []kernel.DeviceConfig{{Kind: iommu.NIC}}
+	k, err := kernel.NewChecked(cfg)
+	if err != nil {
+		t.Fatalf("NewChecked: %v", err)
+	}
+	wcfg := DefaultConfig()
+	wcfg.Rounds = 6
+	rep, err := Run(k, wcfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Denied == 0 {
+		t.Fatalf("revocation never reached the device's IOTLB: %+v", rep)
+	}
+}
