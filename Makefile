@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-suite bench-hot bench-smp bench-mesh bench-dev tables bench-report baseline parity chaos chaos-short
+.PHONY: all build test race check fmt vet lint bench bench-suite bench-hot bench-smp bench-mesh bench-dev bench-sessions tables bench-report baseline parity chaos chaos-short
 
 all: check
 
@@ -81,6 +81,17 @@ bench-mesh:
 # quarantined, fenced, and rejoined within the convergence bound.
 bench-dev:
 	$(GO) run ./cmd/tablegen -e E17 -v
+
+# bench-sessions runs the million-session lifecycle experiment (E18):
+# every organization through 1M domain create/destroy cycles with in-run
+# oracle destroy sweeps, ID/group recycling assertions and the
+# sharer-bounded destroy-shootdown table, plus the session-churn
+# microbenchmark with allocation reporting (domain churn must stay
+# allocation-free once the pool is warm; the kernel alloc gates in
+# internal/kernel/allocs_test.go enforce 0 allocs/cycle).
+bench-sessions:
+	$(GO) run ./cmd/tablegen -e E18 -v
+	$(GO) test -bench Churn -benchmem -run '^$$' ./internal/workload/sessions
 
 tables:
 	$(GO) run ./cmd/tablegen -parallel 4

@@ -12,6 +12,8 @@
 //	sasosim -workload devio -cpus 4 -devices 3 -dev-drop 25
 //	sasosim -workload devio -cpus 4 -devices 3 -kill-dev 0@100000
 //	sasosim -workload dsm -drop 10 -crash-node 2 -crash-at 200
+//	sasosim -workload sessions -sessions 1000000 -fork
+//	sasosim -workload sessions -model page-group -cpus 8 -sessions 50000
 //	sasosim -trace refs.trc -machine flush
 package main
 
@@ -38,11 +40,12 @@ import (
 	"repro/internal/workload/dsm"
 	"repro/internal/workload/gc"
 	"repro/internal/workload/rpc"
+	"repro/internal/workload/sessions"
 	"repro/internal/workload/txn"
 )
 
 func main() {
-	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown|devio")
+	workload := flag.String("workload", "", "workload: attach|gc|dsm|txn|checkpoint|compress|rpc|shootdown|devio|sessions")
 	model := flag.String("model", "domain-page", "protection model: domain-page|page-group|conventional|flush")
 	cpus := flag.Int("cpus", 1, "number of CPUs; > 1 runs domains spread across CPUs and charges shootdown IPIs (smp.* counters)")
 	var mesh meshOpts
@@ -69,6 +72,9 @@ func main() {
 	flag.IntVar(&d.crashNode, "crash-node", 0, "dsm: crash this node mid-run (0 disables; node 0 cannot crash)")
 	flag.IntVar(&d.crashAt, "crash-at", 0, "dsm: round after which -crash-node fails")
 	flag.Int64Var(&d.seed, "seed", 1, "seed for workload randomness and fault plans (dsm and -ipi-*)")
+	var sess sessOpts
+	flag.IntVar(&sess.sessions, "sessions", 0, "sessions workload: total session create/destroy cycles (0 = workload default)")
+	flag.BoolVar(&sess.fork, "fork", true, "sessions workload: spawn sessions by forking a template domain (copy-on-write overrides); -fork=false creates empty domains and attaches each segment")
 	fastPath := flag.Bool("fastpath", true, "enable the verdict fast path (simulated results are identical either way; hit rates print when enabled)")
 	flag.Parse()
 
@@ -85,7 +91,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runWorkload(*workload, *model, *cpus, mesh, *incremental, ipi, dev, d); err != nil {
+	if err := runWorkload(*workload, *model, *cpus, mesh, *incremental, ipi, dev, d, sess); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -97,6 +103,12 @@ type dsmOpts struct {
 	drop, dup, reorder int
 	crashNode, crashAt int
 	seed               int64
+}
+
+// sessOpts bundles the session-churn workload options.
+type sessOpts struct {
+	sessions int
+	fork     bool
 }
 
 // ipiOpts bundles the shootdown fault-injection options. Any of them
@@ -230,7 +242,7 @@ func parseModel(s string) (kernel.Model, error) {
 	}
 }
 
-func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bool, ipi ipiOpts, dev devOpts, d dsmOpts) error {
+func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bool, ipi ipiOpts, dev devOpts, d dsmOpts, sess sessOpts) error {
 	m, err := parseModel(modelName)
 	if err != nil {
 		return err
@@ -315,6 +327,21 @@ func runWorkload(name, modelName string, cpus int, mesh meshOpts, incremental bo
 		wcfg := devio.DefaultConfig()
 		wcfg.Seed = d.seed
 		rep, err = devio.Run(k, wcfg)
+	case "sessions":
+		// Multi-tenant session churn: short-lived domains arrive (forked
+		// from a template or created empty), touch shared segments, and
+		// depart through DestroyDomain — ID recycling, copy-on-write
+		// overrides and destroy-time shootdowns under load. With -cpus >
+		// 1 sessions are pinned round-robin so destroys must shoot
+		// remote seats; -ipi-* fault injection applies.
+		wcfg := sessions.DefaultConfig()
+		wcfg.Seed = d.seed
+		wcfg.Fork = sess.fork
+		if sess.sessions > 0 {
+			wcfg.Sessions = sess.sessions
+		}
+		wcfg.PinCPUs = cpus > 1
+		rep, err = sessions.Run(k, wcfg)
 	case "compress":
 		rep, err = compress.Run(k, compress.DefaultConfig())
 	case "rpc":

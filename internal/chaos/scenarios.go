@@ -385,6 +385,11 @@ func Default() []Scenario {
 			Fired: kernelFired("smp.dev_dropped"),
 		},
 		{
+			Name:        "destroy-vs-dma",
+			Description: "DestroyDomain races in-flight DMA while the device seat drops invalidations: withdrawal must quarantine the seat, fence the dead domain's transfers, and leave zero residual authority after rejoin",
+			Direct:      directDestroyVsDMA,
+		},
+		{
 			Name:        "dev-death-mid-checkpoint",
 			Description: "the checkpoint DMA engine dies mid-checkpoint: typed abort, quarantine, rejoin-by-bulk-invalidation, then the retried saves complete a consistent image",
 			Direct:      directDeviceDeathCheckpoint,
@@ -598,6 +603,80 @@ func directCrashWindow(seed int64) (fired, recovered uint64, err error) {
 // invalidation — and retries; the checkpoint must still produce a
 // byte-consistent image, and the oracle must find no stale device
 // authority afterwards.
+// directDestroyVsDMA is the lifecycle half of the device story: a
+// session domain with a warm device seat — the DMA engine holds IOTLB
+// entries and a sharer-directory listing on its behalf — is destroyed
+// while the seat drops every invalidation. The destroy-time withdrawal
+// volley must ride the acknowledged protocol into quarantine rather
+// than silently leave stale device authority; while fenced, DMA for the
+// dead domain aborts with the typed fence error; after rejoin-by-bulk-
+// invalidation the oracle's destroy sweep must find nothing, and a
+// further DMA attempt on the dead ID must be denied outright — the
+// recycled ID can never inherit the dead incarnation's device access.
+func directDestroyVsDMA(seed int64) (fired, recovered uint64, err error) {
+	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
+	cfg.CPUs = 2
+	cfg.Devices = []kernel.DeviceConfig{{Name: "sess-dma", Kind: iommu.DMAEngine}}
+	k, kerr := kernel.NewChecked(cfg)
+	if kerr != nil {
+		return 0, 0, fmt.Errorf("chaos: destroy-vs-dma: %w", kerr)
+	}
+	k.EnableShootdownProtocol(smp.DefaultProtocolConfig())
+	kc := k.Counters()
+
+	sess := k.CreateDomain()
+	id := sess.ID
+	seg := k.CreateSegment(4, kernel.SegmentOptions{Name: "sess-buf"})
+	k.Attach(sess, seg, addr.RW)
+	k.ProgramDevice(0, sess)
+	buf := make([]byte, k.Geometry().PageSize())
+	for i := range buf {
+		buf[i] = byte(seed) + byte(i)
+	}
+	// Prime the seat: the transfer warms the IOTLB and registers the
+	// device in the session's sharer directory entry.
+	if derr := k.DeviceWritePage(0, seg.Base(), buf); derr != nil {
+		return 0, 0, fmt.Errorf("chaos: destroy-vs-dma: priming DMA: %w", derr)
+	}
+
+	// The seat goes dark exactly when the destroy needs it: every
+	// device-bound invalidation is lost until quarantine trips, then the
+	// link heals.
+	ncpu := k.NumCPUs()
+	k.SetIPIFault(func(target int, _ smp.Request) smp.Fault {
+		if target >= ncpu && kc.Get("smp.dev_quarantines") == 0 {
+			return smp.FaultDrop
+		}
+		return smp.FaultNone
+	})
+
+	if derr := k.DestroyDomain(sess); derr != nil {
+		return 0, 0, fmt.Errorf("chaos: destroy-vs-dma: destroy: %w", derr)
+	}
+	if kc.Get("smp.dev_quarantines") == 0 {
+		return 0, 0, errors.New("chaos: destroy-vs-dma: destroy withdrawal never quarantined the dark seat")
+	}
+	fired = kc.Get("smp.dev_dropped") + kc.Get("smp.dev_quarantines")
+
+	// Fenced means fenced: the racing DMA aborts with the typed error
+	// instead of completing on stale IOTLB authority.
+	if _, derr := k.DeviceReadPage(0, seg.Base()); !errors.Is(derr, iommu.ErrFenced) {
+		return fired, 0, fmt.Errorf("chaos: destroy-vs-dma: racing DMA on the fenced seat returned %v, want ErrFenced", derr)
+	}
+
+	k.RejoinDevice(0)
+	recovered = kc.Get("kernel.dev_rejoins") + kc.Get("iommu.aborted")
+	if verr := oracle.VerifyDestroyed(k, id); verr != nil {
+		return fired, recovered, fmt.Errorf("chaos: destroy-vs-dma: residual authority after rejoin: %w", verr)
+	}
+	// The rejoined engine is healthy but its programmed principal is
+	// dead: DMA must be denied by the protection check, not replayed.
+	if _, derr := k.DeviceReadPage(0, seg.Base()); derr == nil {
+		return fired, recovered, errors.New("chaos: destroy-vs-dma: rejoined device still has authority for the destroyed domain")
+	}
+	return fired, recovered, nil
+}
+
 func directDeviceDeathCheckpoint(seed int64) (fired, recovered uint64, err error) {
 	cfg := kernel.DefaultConfig(kernel.ModelDomainPage)
 	cfg.CPUs = 2

@@ -93,6 +93,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "Fault-tolerant protection maintenance: acknowledged shootdowns under IPI loss and CPU death", Source: "§4.1.1 under faults", Run: E15FaultTolerance},
 		{ID: "E16", Title: "Clustered-mesh shootdown scaling: precise sharer targeting from 1 to 256 cores", Source: "§4.1.1, §4.1.4 at scale", Run: E16MeshScaling},
 		{ID: "E17", Title: "Device translation agents: IOTLB shootdown cost, quarantine and rejoin across organizations", Source: "§3.2, §4.1.1 for device agents", Run: E17DeviceShootdown},
+		{ID: "E18", Title: "Million-session multi-tenant churn: lifecycle, ID recycling and sharer-bounded destroy shootdowns", Source: "§4.1.4 ID exhaustion; Opal sessions", Run: E18SessionChurn},
 	}
 }
 

@@ -584,6 +584,10 @@ func (d *Device) apply(r smp.Request) (affected, inspected int) {
 			return upd, insp
 		case smp.RangeDetach:
 			return d.dp.PurgeIf(func(k dpKey, _ dpEntry) bool { return k.d == r.Domain && inRange(k.vpn) })
+		case smp.DomainPurge:
+			// Domain destruction: drop every IOTLB entry keyed by the dying
+			// domain (one scan, the device-side analog of PurgeDomain).
+			return d.dp.PurgeIf(func(k dpKey, _ dpEntry) bool { return k.d == r.Domain })
 		case smp.RangePurge:
 			return d.dp.PurgeIf(func(k dpKey, _ dpEntry) bool { return inRange(k.vpn) })
 		case smp.PurgeAllProt:
@@ -622,6 +626,18 @@ func (d *Device) apply(r smp.Request) (affected, inspected int) {
 				delete(d.groups, r.Group)
 				return 1, 1
 			}
+		}
+		return 0, 1
+	case smp.DomainPurge:
+		// Domain destruction: translations are domain-neutral and stay,
+		// but the dying domain's cached authority — its membership set —
+		// is flushed when the device was acting on its behalf.
+		if r.Domain == d.onBehalf {
+			n := len(d.groups)
+			for g := range d.groups {
+				delete(d.groups, g)
+			}
+			return n, n
 		}
 		return 0, 1
 	case smp.GroupUpdate:

@@ -15,7 +15,7 @@ type convEngine struct {
 	k *Kernel
 }
 
-func (e *convEngine) onCreateSegment(*Segment) {}
+func (e *convEngine) onCreateSegment(*Segment) error { return nil }
 
 // onAttach is pure bookkeeping: per-space entries fault in via Walk. The
 // kernel also accounts the per-space page-table slots the attachment
@@ -63,5 +63,44 @@ func (e *convEngine) onDestroySegment(s *Segment) {
 	for i := uint64(0); i < s.NumPages(); i++ {
 		e.k.convm.InvalidatePage(s.PageVPN(i))
 		e.k.shootPage(s.PageVPN(i), smp.Request{Kind: smp.PurgePage, VPN: s.PageVPN(i)})
+	}
+}
+
+// onDestroyDomain retires the dying domain's whole address space: one
+// ASID-wide TLB purge locally (when the directory says this CPU holds
+// its entries) and one DomainPurge per remote sharer — the single place
+// the conventional model beats its own per-page detach storm, because an
+// exiting process's space dies wholesale. The linear page-table slots of
+// every remaining attachment are freed with it.
+func (e *convEngine) onDestroyDomain(d *Domain) {
+	if d.cpus.Has(e.k.cur) {
+		e.k.convm.PurgeASID(addr.ASID(d.ID))
+		d.cpus.Remove(e.k.cur)
+	}
+	e.k.shootDomain(d, smp.Request{Kind: smp.DomainPurge})
+	var slots uint64
+	for sid := range d.attached {
+		if s, ok := e.k.segments[sid]; ok {
+			slots += s.NumPages()
+		}
+	}
+	if slots > 0 {
+		e.k.ctrs.Add("conv.pte_slots_freed", slots)
+	}
+}
+
+// onFork charges the child's linear page tables: a conventional kernel
+// replicates a PTE slot per inherited page even when the parent's
+// protection state is shared copy-on-write (the Section 3.1 space
+// overhead the single-space models avoid).
+func (e *convEngine) onFork(parent, child *Domain) {
+	var slots uint64
+	for sid := range child.attached {
+		if s, ok := e.k.segments[sid]; ok {
+			slots += s.NumPages()
+		}
+	}
+	if slots > 0 {
+		e.k.ctrs.Add("conv.pte_slots_allocated", slots)
 	}
 }

@@ -193,7 +193,7 @@ func (k *Kernel) RejoinDevice(i int) {
 // IOTLB installs in the sharer directory under their own seat, so
 // domain- and page-keyed shootdowns target them precisely.
 func (k *Kernel) NoteDeviceInstall(seat int, d addr.DomainID, vpn addr.VPN) {
-	if dom, ok := k.domains[d]; ok {
+	if dom := k.doms.get(d); dom != nil {
 		dom.cpus.Add(seat)
 	}
 	set := k.pageDir[vpn]
@@ -299,12 +299,10 @@ func (k *Kernel) applyDeviceShootdown(seat int, r smp.Request) int {
 	dev := k.deviceAt(seat)
 	n := dev.Apply(r)
 	switch r.Kind {
-	case smp.InvalRights, smp.RangeDetach, smp.GroupRevoke:
+	case smp.InvalRights, smp.RangeDetach, smp.GroupRevoke, smp.DomainPurge:
 		k.withdrawIfEmpty(seat, r.Domain)
 	case smp.PurgeAllProt:
-		for _, dom := range k.domains {
-			dom.cpus.Remove(seat)
-		}
+		k.doms.forEach(func(dom *Domain) { dom.cpus.Remove(seat) })
 	}
 	return n
 }

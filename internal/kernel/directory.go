@@ -30,7 +30,7 @@ import (
 // NoteProtInstall implements machine.ResidencyObserver: the current
 // CPU installed a protection entry for (d, vpn).
 func (k *Kernel) NoteProtInstall(d addr.DomainID, vpn addr.VPN) {
-	if dom, ok := k.domains[d]; ok {
+	if dom := k.doms.get(d); dom != nil {
 		dom.cpus.Add(k.cur)
 	}
 	k.notePage(vpn)
@@ -55,9 +55,7 @@ func (k *Kernel) notePage(vpn addr.VPN) {
 // must have proven the CPU holds no hardware entries (bulk
 // invalidation, or a flush-model switch that purges everything).
 func (k *Kernel) withdrawCPU(i int) {
-	for _, d := range k.domains {
-		d.cpus.Remove(i)
-	}
+	k.doms.forEach(func(d *Domain) { d.cpus.Remove(i) })
 	for _, set := range k.pageDir {
 		set.Remove(i)
 	}
@@ -110,7 +108,7 @@ func (k *Kernel) withdrawIfEmpty(cpu int, d addr.DomainID) {
 	if k.domainHasEntries(cpu, d) {
 		return
 	}
-	if dom, ok := k.domains[d]; ok {
+	if dom := k.doms.get(d); dom != nil {
 		dom.cpus.Remove(cpu)
 	}
 }
@@ -159,8 +157,8 @@ func (k *Kernel) shootRange(rg addr.Range, r smp.Request) {
 // DomainResident reports whether the directory lists CPU cpu in domain
 // d's residency set (oracle audit hook).
 func (k *Kernel) DomainResident(d addr.DomainID, cpu int) bool {
-	dom, ok := k.domains[d]
-	return ok && dom.cpus.Has(cpu)
+	dom := k.doms.get(d)
+	return dom != nil && dom.cpus.Has(cpu)
 }
 
 // PageResident reports whether the directory lists CPU cpu in vpn's

@@ -13,7 +13,9 @@ import (
 // model-independent protection operations into the hardware manipulations
 // of Table 1's two implementation columns.
 type engine interface {
-	onCreateSegment(s *Segment)
+	// onCreateSegment assigns per-segment engine state; it may fail when
+	// an architectural namespace (page-group numbers) is exhausted.
+	onCreateSegment(s *Segment) error
 	onAttach(d *Domain, s *Segment, r addr.Rights)
 	onDetach(d *Domain, s *Segment)
 	// setPageRights syncs hardware after domain d's rights to one page
@@ -26,6 +28,14 @@ type engine interface {
 	// onDestroySegment releases per-segment engine state (the segment is
 	// already fully detached).
 	onDestroySegment(s *Segment)
+	// onDestroyDomain withdraws every hardware protection entry naming d
+	// and scrubs engine bookkeeping of its ID — d's number is about to be
+	// recycled, so nothing keyed by it may survive.
+	onDestroyDomain(d *Domain)
+	// onFork accounts engine-side state the child inherits with its
+	// parent's attachments (hardware entries are faulted in lazily,
+	// never copied).
+	onFork(parent, child *Domain)
 }
 
 // --- Kernel-level protection operations (model-independent API) ---
@@ -39,7 +49,7 @@ func (k *Kernel) SetPageRights(d *Domain, va addr.VA, r addr.Rights) error {
 	if s == nil {
 		return ErrNoAuthority
 	}
-	d.overrides.Set(vpn, r)
+	k.overridesRW(d).Set(vpn, r)
 	k.ctrs.Inc("kernel.set_page_rights")
 	k.bumpDomainEpoch(d)
 	err := k.engine.setPageRights(d, vpn, r)
@@ -55,9 +65,10 @@ func (k *Kernel) ClearPageRights(d *Domain, va addr.VA) error {
 	if s == nil {
 		return ErrNoAuthority
 	}
-	if !d.overrides.Clear(vpn) {
+	if _, ok := d.overrides.Get(vpn); !ok {
 		return nil
 	}
+	k.overridesRW(d).Clear(vpn)
 	r := d.attached[s.ID]
 	k.ctrs.Inc("kernel.clear_page_rights")
 	k.bumpDomainEpoch(d)
@@ -75,7 +86,9 @@ func (k *Kernel) SetSegmentRights(d *Domain, s *Segment, r addr.Rights) error {
 	}
 	d.attached[s.ID] = r
 	s.attached[d.ID] = r
-	d.overrides.ClearRange(k.geo.PageNumber(s.Range.Start), s.NumPages())
+	if d.overrides.Len() > 0 {
+		k.overridesRW(d).ClearRange(k.geo.PageNumber(s.Range.Start), s.NumPages())
+	}
 	k.ctrs.Inc("kernel.set_segment_rights")
 	k.bumpDomainEpoch(d)
 	err := k.engine.setSegmentRights(d, s, r)
@@ -91,7 +104,7 @@ type dpEngine struct {
 	k *Kernel
 }
 
-func (e *dpEngine) onCreateSegment(*Segment) {}
+func (e *dpEngine) onCreateSegment(*Segment) error { return nil }
 
 // onAttach does nothing: access rights are faulted into the PLB one page
 // at a time as the domain touches them (Table 1, row 1).
@@ -154,6 +167,23 @@ func (e *dpEngine) onDestroySegment(s *Segment) {
 	e.k.shootRange(s.Range, smp.Request{Kind: smp.RangePurge, Range: s.Range})
 }
 
+// onDestroyDomain drops every PLB entry naming the dying domain: one
+// purge-by-domain scan locally (when the directory says this CPU holds
+// its entries) plus one DomainPurge shootdown per remote sharer seat —
+// the destroy cost scales with actual sharers, not machine size.
+func (e *dpEngine) onDestroyDomain(d *Domain) {
+	if d.cpus.Has(e.k.cur) {
+		e.k.plbm.PurgeDomain(d.ID)
+		d.cpus.Remove(e.k.cur)
+	}
+	e.k.shootDomain(d, smp.Request{Kind: smp.DomainPurge})
+}
+
+// onFork is free in the domain-page model: the child's PLB entries fault
+// in on first touch, exactly like any other attachment (the PLB-fill
+// charging the paper's Table 1 row 1 describes).
+func (e *dpEngine) onFork(*Domain, *Domain) {}
+
 // --- Page-group engine (PA-RISC machine) ---
 
 // pgEngine drives the page-group machine. Every segment owns a primary
@@ -170,6 +200,21 @@ type pgEngine struct {
 	derived map[addr.GroupID]map[addr.DomainID]bool // value: write-disable
 	// derivedSeg maps derived groups to their segment.
 	derivedSeg map[addr.GroupID]addr.SegmentID
+	// derivedPages counts the pages currently parked in each derived
+	// group. When the count drops to zero the group is garbage: its
+	// memberships are revoked and the number returns to the free list
+	// (freeDerived). Without this, a long-lived shared segment leaks one
+	// group per retired sharing pattern — and every long-lived domain's
+	// group set (and so every fork and destroy walking it) grows without
+	// bound under session churn.
+	derivedPages map[addr.GroupID]int
+	// derivedSig caches the signature each group was indexed under at
+	// creation. Membership changes (a member dying, a fork joining)
+	// mean the group can never match a seeker's signature again, so the
+	// change simply un-indexes it via this cache in O(1) — recomputing
+	// and reindexing signatures on every membership change would make
+	// each destroy and fork O(groups × members) in string building.
+	derivedSig map[addr.GroupID]string
 }
 
 func (e *pgEngine) init() {
@@ -177,20 +222,58 @@ func (e *pgEngine) init() {
 		e.sigIndex = make(map[string]addr.GroupID)
 		e.derived = make(map[addr.GroupID]map[addr.DomainID]bool)
 		e.derivedSeg = make(map[addr.GroupID]addr.SegmentID)
+		e.derivedPages = make(map[addr.GroupID]int)
+		e.derivedSig = make(map[addr.GroupID]string)
 	}
 }
 
-func (e *pgEngine) newGroup() addr.GroupID {
+// unindex drops derived group g from the signature index. Called when
+// g's membership diverges from its creation-time signature: the stale
+// index entry could never pass membersMatch, so g just stops being a
+// reuse candidate (seekers mint a fresh group; the page-count GC
+// reclaims this one when its last page leaves).
+func (e *pgEngine) unindex(g addr.GroupID) {
+	sig, ok := e.derivedSig[g]
+	if !ok {
+		return
+	}
+	if e.sigIndex[sig] == g {
+		delete(e.sigIndex, sig)
+	}
+	delete(e.derivedSig, g)
+}
+
+// newGroup hands out a page-group number, preferring recycled numbers
+// from destroyed segments over fresh ones: group numbers are a finite
+// architectural namespace (Section 4.2's 2^N group registers), so a
+// long-lived system must reuse them or exhaust. When both the free list
+// and the counter are spent it reports ErrGroupIDsExhausted instead of
+// silently wrapping onto live groups.
+func (e *pgEngine) newGroup() (addr.GroupID, error) {
+	if n := len(e.k.freeGroups); n > 0 {
+		g := e.k.freeGroups[n-1]
+		e.k.freeGroups = e.k.freeGroups[:n-1]
+		e.k.ctrs.Inc("pg.groups_recycled")
+		return g, nil
+	}
+	if e.k.nextGroup == 0 || (e.k.maxGroup != 0 && e.k.nextGroup > e.k.maxGroup) {
+		return 0, ErrGroupIDsExhausted
+	}
 	g := e.k.nextGroup
 	e.k.nextGroup++
 	e.k.ctrs.Inc("pg.groups_created")
-	return g
+	return g, nil
 }
 
-func (e *pgEngine) onCreateSegment(s *Segment) {
+func (e *pgEngine) onCreateSegment(s *Segment) error {
 	e.init()
-	s.group = e.newGroup()
+	g, err := e.newGroup()
+	if err != nil {
+		return err
+	}
+	s.group = g
 	s.groupRights = addr.None
+	return nil
 }
 
 // grant adds g to d's group set with the given write-disable bit, syncing
@@ -199,7 +282,7 @@ func (e *pgEngine) grant(d *Domain, g addr.GroupID, wd bool) {
 	if cur, ok := d.groups[g]; ok && cur == wd {
 		return
 	}
-	d.groups[g] = wd
+	d.ensureGroups()[g] = wd
 	e.k.ctrs.Inc("pg.grants")
 	e.k.pgm.AttachGroup(d.ID, g, wd)
 	e.k.shootExecuting(d, smp.Request{Kind: smp.GroupLoad, Group: g, WD: wd})
@@ -228,8 +311,12 @@ func (e *pgEngine) recomputePrimary(s *Segment) {
 		union |= r
 	}
 	field := s.groupRights | union
-	for did, r := range s.attached {
-		d := e.k.domains[did]
+	for _, did := range sortedAttached(s) {
+		r := s.attached[did]
+		d := e.k.doms.get(did)
+		if d == nil {
+			continue
+		}
 		if r == addr.None {
 			e.revoke(d, s.group)
 			continue
@@ -254,13 +341,38 @@ func (e *pgEngine) recomputePrimary(s *Segment) {
 	s.groupRights = field
 	// Touched pages still in the primary group pick up the grown rights
 	// field; untouched pages inherit it when their record is created.
-	for vpn, p := range e.k.pages {
-		if p.seg == s && p.group == s.group && p.groupRights != field {
+	for _, vpn := range e.segPages(s) {
+		p := s.pageRecs[vpn]
+		if p.group == s.group && p.groupRights != field {
 			p.groupRights = field
 			e.k.pgm.UpdatePage(vpn, p.group, field)
 			e.k.shootPage(vpn, smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: p.group, Rights: field})
 		}
 	}
+}
+
+// sortedAttached returns the segment's attached domain IDs ascending —
+// shootdown-enqueueing loops iterate it instead of the map so IPI order
+// (and with it chaos fault injection) is deterministic.
+func sortedAttached(s *Segment) []addr.DomainID {
+	ids := make([]addr.DomainID, 0, len(s.attached))
+	for did := range s.attached {
+		ids = append(ids, did)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// segPages returns the VPNs of the segment's touched pages ascending
+// (pageRecs replaces the old scan over every page record in the kernel,
+// which cost O(all pages) per segment resync).
+func (e *pgEngine) segPages(s *Segment) []addr.VPN {
+	vpns := make([]addr.VPN, 0, len(s.pageRecs))
+	for vpn := range s.pageRecs {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
 }
 
 func (e *pgEngine) onAttach(d *Domain, s *Segment, r addr.Rights) {
@@ -293,11 +405,13 @@ func (e *pgEngine) onDetach(d *Domain, s *Segment) {
 // track the current attachments and overrides.
 func (e *pgEngine) resyncSegment(s *Segment) {
 	e.recomputePrimary(s)
-	for vpn, p := range e.k.pages {
-		if p.seg == s && p.group != s.group {
+	for _, vpn := range e.segPages(s) {
+		p := s.pageRecs[vpn]
+		if p.group != s.group {
 			if err := e.regroup(vpn, p); err != nil {
-				// Unrepresentable vector during a void-returning resync:
-				// clamp by leaving the page where it is and counting.
+				// Unrepresentable vector (or a group namespace drained to
+				// empty) during a void-returning resync: clamp by leaving
+				// the page where it is and counting.
 				e.k.ctrs.Inc("pg.unrepresentable_clamps")
 			}
 		}
@@ -309,7 +423,10 @@ func (e *pgEngine) resyncSegment(s *Segment) {
 func (e *pgEngine) desiredVector(p *page, vpn addr.VPN) map[addr.DomainID]addr.Rights {
 	out := make(map[addr.DomainID]addr.Rights)
 	for did, attachR := range p.seg.attached {
-		d := e.k.domains[did]
+		d := e.k.doms.get(did)
+		if d == nil {
+			continue
+		}
 		r := attachR
 		if or, ok := d.overrides.Get(vpn); ok {
 			r = or
@@ -330,7 +447,10 @@ func (e *pgEngine) regroup(vpn addr.VPN, p *page) error {
 
 	// No domain may access the page: park it in a fresh memberless group.
 	if len(desired) == 0 {
-		g := e.newGroup()
+		g, err := e.newGroup()
+		if err != nil {
+			return err
+		}
 		e.derived[g] = map[addr.DomainID]bool{}
 		e.derivedSeg[g] = p.seg.ID
 		e.movePage(vpn, p, g, addr.None)
@@ -367,16 +487,27 @@ func (e *pgEngine) regroup(vpn addr.VPN, p *page) error {
 		e.movePage(vpn, p, g, union)
 		return nil
 	}
-	// Create a derived group and grant it to the members.
-	g := e.newGroup()
+	// Create a derived group and grant it to the members (ascending ID
+	// order so the GroupLoad shootdowns enqueue deterministically).
+	g, err := e.newGroup()
+	if err != nil {
+		return err
+	}
+	mids := make([]addr.DomainID, 0, len(wd))
+	for did := range wd {
+		mids = append(mids, did)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
 	members := make(map[addr.DomainID]bool, len(wd))
-	for did, w := range wd {
+	for _, did := range mids {
+		w := wd[did]
 		members[did] = w
-		e.grant(e.k.domains[did], g, w)
+		e.grant(e.k.doms.get(did), g, w)
 	}
 	e.derived[g] = members
 	e.derivedSeg[g] = p.seg.ID
 	e.sigIndex[sig] = g
+	e.derivedSig[g] = sig
 	e.movePage(vpn, p, g, union)
 	return nil
 }
@@ -449,13 +580,58 @@ func (e *pgEngine) movePage(vpn addr.VPN, p *page, g addr.GroupID, rights addr.R
 	if p.group == g && p.groupRights == rights {
 		return
 	}
-	if p.group != g {
+	old := p.group
+	if old != g {
 		e.k.ctrs.Inc("pg.page_moves")
+		if _, ok := e.derived[g]; ok {
+			e.derivedPages[g]++
+		}
 	}
 	p.group = g
 	p.groupRights = rights
 	e.k.pgm.UpdatePage(vpn, g, rights)
 	e.k.shootPage(vpn, smp.Request{Kind: smp.GroupUpdate, VPN: vpn, Group: g, Rights: rights})
+	// Collect the vacated group after the page is re-homed, so the
+	// revocation shootdowns queue behind this page's update.
+	if old != g {
+		if n, ok := e.derivedPages[old]; ok {
+			if n <= 1 {
+				e.freeDerived(old)
+			} else {
+				e.derivedPages[old] = n - 1
+			}
+		}
+	}
+}
+
+// freeDerived retires a derived group that no longer holds any page:
+// every remaining membership is revoked (so the number cannot match in
+// any checker once recycled) and the number returns to the free list.
+// This is the group-number garbage collection that keeps a long-lived
+// segment's group population proportional to its parked pages, not to
+// its history of sharing patterns.
+func (e *pgEngine) freeDerived(g addr.GroupID) {
+	members, ok := e.derived[g]
+	if !ok {
+		return
+	}
+	e.unindex(g)
+	mids := make([]addr.DomainID, 0, len(members))
+	for did := range members {
+		mids = append(mids, did)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, did := range mids {
+		if d := e.k.doms.get(did); d != nil {
+			e.revoke(d, g)
+		}
+	}
+	delete(e.derived, g)
+	delete(e.derivedSeg, g)
+	delete(e.derivedPages, g)
+	delete(e.derivedSig, g)
+	e.k.freeGroups = append(e.k.freeGroups, g)
+	e.k.ctrs.Inc("pg.derived_groups_gced")
 }
 
 func (e *pgEngine) setPageRights(d *Domain, vpn addr.VPN, r addr.Rights) error {
@@ -480,21 +656,106 @@ func (e *pgEngine) onUnmap(vpn addr.VPN) {
 	e.k.shootPage(vpn, smp.Request{Kind: smp.Unmap, VPN: vpn})
 }
 
-// onDestroySegment drops the segment's derived-group bookkeeping; the
-// groups themselves are dead (no members, no pages).
+// onDestroySegment tears down the segment's group world. Derived groups
+// may still sit in detached domains' group sets (detach revokes only the
+// primary group; derived memberships linger until the page re-derives),
+// so every live member is revoked first — a recycled group number must
+// never be resolvable through a stale membership. Then the primary and
+// derived group numbers return to the free list for reuse: this is the
+// only point where a group is provably memberless and pageless, which
+// makes it the safe recycling point for the architectural namespace.
 func (e *pgEngine) onDestroySegment(s *Segment) {
 	e.init()
-	dead := map[addr.GroupID]bool{}
+	dead := make([]addr.GroupID, 0)
 	for g, seg := range e.derivedSeg {
 		if seg == s.ID {
-			dead[g] = true
-			delete(e.derived, g)
-			delete(e.derivedSeg, g)
+			dead = append(dead, g)
 		}
 	}
-	for sig, g := range e.sigIndex {
-		if dead[g] {
-			delete(e.sigIndex, sig)
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, g := range dead {
+		e.unindex(g)
+		members := e.derived[g]
+		mids := make([]addr.DomainID, 0, len(members))
+		for did := range members {
+			mids = append(mids, did)
+		}
+		sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+		for _, did := range mids {
+			if d := e.k.doms.get(did); d != nil {
+				e.revoke(d, g)
+			}
+		}
+		delete(e.derived, g)
+		delete(e.derivedSeg, g)
+		delete(e.derivedPages, g)
+	}
+	e.k.freeGroups = append(e.k.freeGroups, s.group)
+	e.k.freeGroups = append(e.k.freeGroups, dead...)
+}
+
+// onDestroyDomain strips the dying domain out of the page-group world:
+// every group it holds is revoked (local checker detach plus GroupRevoke
+// to CPUs and device seats executing on its behalf), and derived-group
+// memberships naming it are scrubbed with signature reindexing — once
+// the ID is recycled, a membership naming the dead incarnation would
+// hand the new domain someone else's authority via signature reuse.
+func (e *pgEngine) onDestroyDomain(d *Domain) {
+	e.init()
+	if len(d.groups) == 0 {
+		return
+	}
+	gs := make([]addr.GroupID, 0, len(d.groups))
+	for g := range d.groups {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	for _, g := range gs {
+		e.dropDerivedMember(g, d.ID)
+		e.revoke(d, g)
+	}
+}
+
+// dropDerivedMember removes did from derived group g's membership and
+// un-indexes the now-stale signature, so a later regroup can never hand
+// a recycled DomainID the dead incarnation's membership.
+func (e *pgEngine) dropDerivedMember(g addr.GroupID, did addr.DomainID) {
+	members, ok := e.derived[g]
+	if !ok {
+		return
+	}
+	if _, ok := members[did]; !ok {
+		return
+	}
+	e.unindex(g)
+	delete(members, did)
+}
+
+// onFork copies the parent's group set to the child — membership is the
+// page-group model's protection state, so inheriting the parent's view
+// is a per-group bookkeeping copy, not a per-page one. No checker is
+// touched: the child executes nowhere yet, and its group set loads on
+// its first dispatch exactly like a context switch. Derived memberships
+// grow the child with the parent's write-disable bit, un-indexing each
+// grown group's creation-time signature.
+func (e *pgEngine) onFork(parent, child *Domain) {
+	e.init()
+	if len(parent.groups) == 0 {
+		return
+	}
+	gs := make([]addr.GroupID, 0, len(parent.groups))
+	for g := range parent.groups {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	cg := child.ensureGroups()
+	for _, g := range gs {
+		wd := parent.groups[g]
+		cg[g] = wd
+		if members, ok := e.derived[g]; ok {
+			e.unindex(g)
+			members[child.ID] = wd
 		}
 	}
+	e.k.ctrs.Add("pg.fork_group_copies", uint64(len(gs)))
 }

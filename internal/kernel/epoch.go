@@ -24,7 +24,7 @@ import (
 // fastPathStamp returns the verdict-table stamp for a machine running
 // domain d.
 func (k *Kernel) fastPathStamp(d addr.DomainID) uint64 {
-	if dom, ok := k.domains[d]; ok {
+	if dom := k.doms.get(d); dom != nil {
 		return k.protEpoch + dom.protEpoch
 	}
 	return k.protEpoch

@@ -184,6 +184,10 @@ type Segment struct {
 	// protShift is the super-page protection shift (domain-page model;
 	// zero when the segment uses base-page protection). Section 4.3.
 	protShift uint
+	// pageRecs indexes the kernel's page records that lie inside this
+	// segment (lazily created, dropped with the segment), so per-segment
+	// scans never walk the global page table.
+	pageRecs map[addr.VPN]*page
 }
 
 // NumPages returns the number of translation pages the segment spans.
@@ -232,8 +236,16 @@ func (s *Segment) AttachedDomains() []addr.DomainID {
 type Domain struct {
 	ID addr.DomainID
 
-	kern      *kernel
-	attached  map[addr.SegmentID]addr.Rights
+	kern *kernel
+	// attached, overrides and groups are lazily initialized: an empty
+	// domain is a near-zero-allocation object (the multi-tenant churn
+	// target creates and destroys millions of them). Reads tolerate nil
+	// (nil map reads and nil-receiver ProtTable queries are empty);
+	// writers go through ensureAttached/ensureGroups/overridesRW.
+	attached map[addr.SegmentID]addr.Rights
+	// overrides may be shared copy-on-write with fork relatives
+	// (ForkDomain); the table's own referent count decides whether a
+	// mutation must clone first (overridesRW).
 	overrides *ptable.ProtTable
 	// groups is the domain's page-group set (page-group model): the
 	// authoritative record behind the PID registers / group cache.
@@ -261,6 +273,42 @@ type Domain struct {
 func (d *Domain) Attached(s *Segment) (addr.Rights, bool) {
 	r, ok := d.attached[s.ID]
 	return r, ok
+}
+
+// ensureAttached returns the domain's attachment map, materializing it
+// on first use.
+func (d *Domain) ensureAttached() map[addr.SegmentID]addr.Rights {
+	if d.attached == nil {
+		d.attached = make(map[addr.SegmentID]addr.Rights, 4)
+	}
+	return d.attached
+}
+
+// ensureGroups returns the domain's group set, materializing it on
+// first use.
+func (d *Domain) ensureGroups() map[addr.GroupID]bool {
+	if d.groups == nil {
+		d.groups = make(map[addr.GroupID]bool, 4)
+	}
+	return d.groups
+}
+
+// overridesRW returns d's override table ready for mutation: a missing
+// table is materialized, and a table shared copy-on-write with a fork
+// relative is cloned first. The clone is the fork's deferred cost,
+// charged like refilling the copied protection entries (Install each)
+// rather than like duplicating a page table.
+func (k *Kernel) overridesRW(d *Domain) *ptable.ProtTable {
+	if d.overrides == nil {
+		d.overrides = ptable.NewProtTable()
+	} else if d.overrides.Shared() {
+		old := d.overrides
+		d.overrides = old.Clone()
+		old.Release()
+		k.cycles.Add(uint64(d.overrides.Len()) * k.costs().Install)
+		k.ctrs.Inc("kernel.cow_override_copies")
+	}
+	return d.overrides
 }
 
 // PageOverride reports the domain's per-page rights override for vpn, if
@@ -330,17 +378,31 @@ type kernel struct {
 	disk   *mem.Disk
 	trans  transTable
 
-	domains  map[addr.DomainID]*Domain
+	doms     domainTable
 	segments map[addr.SegmentID]*Segment
 	segOrder []*Segment // sorted by Range.Start for address lookup
 
-	pages map[addr.VPN]*page
+	pageTab pageTable
 
 	nextDomain  addr.DomainID
 	nextSegment addr.SegmentID
 	nextGroup   addr.GroupID
 	nextVA      addr.VA
 	freeVA      []addr.Range
+	// freeDomains pools destroyed Domain structs for ID recycling
+	// (lifecycle.go): LIFO, maps cleared for reuse, protection epoch
+	// carried forward. freeGroups recycles dead page-group numbers.
+	freeDomains []*Domain
+	freeGroups  []addr.GroupID
+	// maxDomain/maxGroup narrow the ID allocators for exhaustion tests
+	// (SetIDLimits); zero means the ID type's natural bound.
+	maxDomain addr.DomainID
+	maxGroup  addr.GroupID
+	// sidScratch is the reusable segment-ID buffer for lifecycle walks
+	// over a domain's attachment set (fork inherit, destroy detach). The
+	// kernel is single-threaded per instance, so one buffer suffices; it
+	// keeps a destroy cycle from allocating under session churn.
+	sidScratch []addr.SegmentID
 	// residentFIFO orders mapped pages for the page daemon's FIFO
 	// eviction; entries may be stale (skipped when popped).
 	residentFIFO []addr.VPN
@@ -366,6 +428,10 @@ type kernel struct {
 	hHWRecoveries                                 stats.Handle
 	hCPURecoveries, hCPURejoins                   stats.Handle
 	hDevRejoins                                   stats.Handle
+	// Lifecycle-churn handles (lifecycle.go): resolved at construction
+	// so the million-session workloads never hash a counter name.
+	hDomainsCreated, hDomainsDestroyed stats.Handle
+	hDomainsForked, hDomainsRecycled   stats.Handle
 }
 
 // page is the kernel's per-page record, created lazily.
@@ -499,9 +565,7 @@ func NewChecked(cfg Config) (*Kernel, error) {
 		memory:      mem.NewMemory(geo, cfg.Frames),
 		disk:        mem.NewDisk(cfgCost(cfg).DiskRead, cfgCost(cfg).DiskWrite),
 		trans:       trans,
-		domains:     make(map[addr.DomainID]*Domain),
 		segments:    make(map[addr.SegmentID]*Segment),
-		pages:       make(map[addr.VPN]*page),
 		nextDomain:  1,
 		nextSegment: 1,
 		nextGroup:   1,
@@ -529,6 +593,10 @@ func NewChecked(cfg Config) (*Kernel, error) {
 	k.hCPURecoveries = k.ctrs.Handle("kernel.cpu_recoveries")
 	k.hCPURejoins = k.ctrs.Handle("kernel.cpu_rejoins")
 	k.hDevRejoins = k.ctrs.Handle("kernel.dev_rejoins")
+	k.hDomainsCreated = k.ctrs.Handle("kernel.domains_created")
+	k.hDomainsDestroyed = k.ctrs.Handle("kernel.domains_destroyed")
+	k.hDomainsForked = k.ctrs.Handle("kernel.domains_forked")
+	k.hDomainsRecycled = k.ctrs.Handle("kernel.domain_ids_recycled")
 	for i := 0; i < cfg.CPUs; i++ {
 		switch cfg.Model {
 		case ModelPageGroup:
@@ -755,23 +823,8 @@ func (k *Kernel) Charge(n uint64) { k.cycles.Add(n) }
 // OnBackingStore reports whether the page was paged out and its contents
 // live in the paging backend.
 func (k *Kernel) OnBackingStore(vpn addr.VPN) bool {
-	p, ok := k.pages[vpn]
-	return ok && p.onDisk
-}
-
-// CreateDomain creates a new, empty protection domain.
-func (k *Kernel) CreateDomain() *Domain {
-	d := &Domain{
-		ID:        k.nextDomain,
-		kern:      &k.kernel,
-		attached:  make(map[addr.SegmentID]addr.Rights),
-		overrides: ptable.NewProtTable(),
-		groups:    make(map[addr.GroupID]bool),
-	}
-	k.nextDomain++
-	k.domains[d.ID] = d
-	k.ctrs.Inc("kernel.domains_created")
-	return d
+	p := k.pageTab.get(vpn)
+	return p != nil && p.onDisk
 }
 
 // SegmentOptions customize segment creation.
@@ -794,9 +847,22 @@ type SegmentOptions struct {
 	ProtShift uint
 }
 
-// CreateSegment allocates a virtual segment of npages translation pages at
-// a fresh, globally unique address range.
+// CreateSegment allocates a virtual segment of npages translation pages
+// at a fresh, globally unique address range. It panics when the
+// page-group model's group numbers are exhausted; CreateSegmentChecked
+// returns the typed error instead.
 func (k *Kernel) CreateSegment(npages uint64, opts SegmentOptions) *Segment {
+	s, err := k.CreateSegmentChecked(npages, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CreateSegmentChecked is CreateSegment returning the typed allocation
+// error (ErrGroupIDsExhausted wrapped, under the page-group model)
+// instead of panicking; on error no segment state is retained.
+func (k *Kernel) CreateSegmentChecked(npages uint64, opts SegmentOptions) (*Segment, error) {
 	if npages == 0 {
 		npages = 1
 	}
@@ -823,6 +889,14 @@ func (k *Kernel) CreateSegment(npages uint64, opts SegmentOptions) *Segment {
 		attached:  make(map[addr.DomainID]addr.Rights),
 		protShift: protShift,
 	}
+	// Engine allocation (the page-group model mints the segment's
+	// primary group here) can fail on ID exhaustion; run it before the
+	// segment is registered anywhere, so failure leaves only a free-list
+	// entry behind.
+	if err := k.engine.onCreateSegment(s); err != nil {
+		k.freeVAInsert(s.Range)
+		return nil, err
+	}
 	k.nextSegment++
 	k.segments[s.ID] = s
 	// Insert into the address-ordered index.
@@ -833,8 +907,7 @@ func (k *Kernel) CreateSegment(npages uint64, opts SegmentOptions) *Segment {
 	copy(k.segOrder[i+1:], k.segOrder[i:])
 	k.segOrder[i] = s
 	k.ctrs.Inc("kernel.segments_created")
-	k.engine.onCreateSegment(s)
-	return s
+	return s, nil
 }
 
 // SetHandler installs (or replaces) the segment's fault handler.
@@ -842,11 +915,8 @@ func (k *Kernel) SetHandler(s *Segment, h FaultHandler) { s.handler = h }
 
 // Domains returns every live protection domain, sorted by ID.
 func (k *Kernel) Domains() []*Domain {
-	out := make([]*Domain, 0, len(k.domains))
-	for _, d := range k.domains {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Domain, 0, k.doms.len())
+	k.doms.forEach(func(d *Domain) { out = append(out, d) })
 	return out
 }
 
@@ -1061,7 +1131,7 @@ func (k *Kernel) segmentOf(vpn addr.VPN) *Segment { return k.FindSegment(k.geo.B
 // pageRecord returns (creating if needed) the kernel's record for a page
 // that lies in a segment. Returns nil for addresses outside all segments.
 func (k *Kernel) pageRecord(vpn addr.VPN) *page {
-	if p, ok := k.pages[vpn]; ok {
+	if p := k.pageTab.get(vpn); p != nil {
 		return p
 	}
 	s := k.segmentOf(vpn)
@@ -1069,7 +1139,14 @@ func (k *Kernel) pageRecord(vpn addr.VPN) *page {
 		return nil
 	}
 	p := &page{seg: s, group: s.group, groupRights: s.groupRights}
-	k.pages[vpn] = p
+	k.pageTab.put(vpn, p)
+	// The segment's own record index keeps the page-group engine's
+	// resync scans proportional to the segment, not to every page the
+	// kernel has ever touched.
+	if s.pageRecs == nil {
+		s.pageRecs = make(map[addr.VPN]*page)
+	}
+	s.pageRecs[vpn] = p
 	return p
 }
 
@@ -1078,7 +1155,7 @@ func (k *Kernel) pageRecord(vpn addr.VPN) *page {
 // page-group model the segment's group is added to the domain's group set
 // (Table 1, row 1).
 func (k *Kernel) Attach(d *Domain, s *Segment, r addr.Rights) {
-	d.attached[s.ID] = r
+	d.ensureAttached()[s.ID] = r
 	s.attached[d.ID] = r
 	k.ctrs.Inc("kernel.attach")
 	k.bumpDomainEpoch(d)
@@ -1094,8 +1171,10 @@ func (k *Kernel) Detach(d *Domain, s *Segment) error {
 	}
 	delete(d.attached, s.ID)
 	delete(s.attached, d.ID)
-	startVPN := k.geo.PageNumber(s.Range.Start)
-	d.overrides.ClearRange(startVPN, s.NumPages())
+	if d.overrides.Len() > 0 {
+		startVPN := k.geo.PageNumber(s.Range.Start)
+		k.overridesRW(d).ClearRange(startVPN, s.NumPages())
+	}
 	k.ctrs.Inc("kernel.detach")
 	k.bumpDomainEpoch(d)
 	k.engine.onDetach(d, s)
@@ -1137,8 +1216,8 @@ func (k *Kernel) Translate(vpn addr.VPN) (addr.PFN, bool) {
 // attachment) for the page, so protection hardware never caches denials
 // for unattached domains.
 func (k *Kernel) ResolveRights(d addr.DomainID, vpn addr.VPN) (addr.Rights, bool, bool) {
-	dom, ok := k.domains[d]
-	if !ok {
+	dom := k.doms.get(d)
+	if dom == nil {
 		return addr.None, false, false
 	}
 	s := k.segmentOf(vpn)
@@ -1172,8 +1251,8 @@ func (k *Kernel) PageInfo(vpn addr.VPN) (addr.GroupID, addr.Rights, bool) {
 
 // DomainGroup implements machine.OS.
 func (k *Kernel) DomainGroup(d addr.DomainID, g addr.GroupID) (bool, bool) {
-	dom, ok := k.domains[d]
-	if !ok {
+	dom := k.doms.get(d)
+	if dom == nil {
 		return false, false
 	}
 	wd, ok := dom.groups[g]
@@ -1202,7 +1281,7 @@ func (k *Kernel) ProtShift(d addr.DomainID, vpn addr.VPN) uint {
 	if s == nil || s.protShift == 0 {
 		return k.geo.Shift()
 	}
-	if dom, ok := k.domains[d]; ok {
+	if dom := k.doms.get(d); dom != nil {
 		if _, ok := dom.overrides.Get(vpn); ok {
 			return k.geo.Shift()
 		}
@@ -1212,8 +1291,8 @@ func (k *Kernel) ProtShift(d addr.DomainID, vpn addr.VPN) uint {
 
 // DomainGroups implements machine.OS.
 func (k *Kernel) DomainGroups(d addr.DomainID) []machine.GroupAccess {
-	dom, ok := k.domains[d]
-	if !ok {
+	dom := k.doms.get(d)
+	if dom == nil {
 		return nil
 	}
 	out := make([]machine.GroupAccess, 0, len(dom.groups))

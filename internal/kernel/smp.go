@@ -210,6 +210,10 @@ func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 			return n
 		case smp.UpdateRights:
 			return m.SetRights(as, r.VPN, r.Rights)
+		case smp.DomainPurge:
+			n := m.PurgeASID(as)
+			k.withdrawIfEmpty(cpu, r.Domain)
+			return n
 		case smp.PurgePage:
 			return m.InvalidatePage(r.VPN)
 		case smp.Unmap:
@@ -232,12 +236,14 @@ func (k *Kernel) ApplyShootdown(cpu int, r smp.Request) int {
 			return n
 		case smp.RangePurge:
 			return m.PLB().PurgeRangeAll(r.Range.Start, r.Range.Length)
+		case smp.DomainPurge:
+			n := m.PurgeDomain(r.Domain)
+			k.withdrawIfEmpty(cpu, r.Domain)
+			return n
 		case smp.PurgeAllProt:
 			n := m.PurgeAllPLB()
 			// Flash-clear: no domain has PLB entries on cpu any more.
-			for _, dom := range k.domains {
-				dom.cpus.Remove(cpu)
-			}
+			k.doms.forEach(func(dom *Domain) { dom.cpus.Remove(cpu) })
 			return n
 		case smp.PurgePage:
 			return m.PurgePage(k.geo.Base(r.VPN))

@@ -100,7 +100,7 @@ func (k *Kernel) DestroySegment(s *Segment) error {
 				return err
 			}
 		}
-		delete(k.pages, vpn)
+		k.pageTab.remove(vpn)
 	}
 	delete(k.segments, s.ID)
 	for i, seg := range k.segOrder {
@@ -112,6 +112,13 @@ func (k *Kernel) DestroySegment(s *Segment) error {
 	k.bumpGlobalEpoch()
 	k.engine.onDestroySegment(s)
 	k.flushIPIs()
+	// Drop the range's sharer records only after the destroy shootdowns
+	// used them for targeting: a stale pageDir set here would otherwise
+	// outlive the segment and misdirect IPIs when the range is reused.
+	for i := uint64(0); i < s.NumPages(); i++ {
+		delete(k.pageDir, s.PageVPN(i))
+	}
+	s.pageRecs = nil
 	k.freeVAInsert(s.Range)
 	k.ctrs.Inc("kernel.segments_destroyed")
 	return nil

@@ -260,6 +260,16 @@ func (m *ConventionalMachine) SetRights(as addr.ASID, vpn addr.VPN, r addr.Right
 	return 0
 }
 
+// PurgeASID drops every TLB entry tagged with address space as — the
+// address-space teardown primitive (domain destroy). One full-TLB scan
+// replaces the per-page InvalidateEntry storm a destroy would otherwise
+// issue, so the charge covers the full capacity once.
+func (m *ConventionalMachine) PurgeASID(as addr.ASID) int {
+	n := m.tlb.PurgeAS(as)
+	m.cycles.Add(uint64(m.tlb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
+}
+
 // InvalidateEntry drops one space's TLB entry for vpn (detach and
 // per-space protection revocation).
 func (m *ConventionalMachine) InvalidateEntry(as addr.ASID, vpn addr.VPN) int {

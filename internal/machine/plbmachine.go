@@ -310,6 +310,15 @@ func (m *PLBMachine) DetachRange(d addr.DomainID, start addr.VA, length uint64) 
 	return n
 }
 
+// PurgeDomain drops every PLB entry of domain d — the domain-destroy
+// scan. Like the other scan operations, every slot is inspected whether
+// or not it belongs to d, so the charge covers the full capacity.
+func (m *PLBMachine) PurgeDomain(d addr.DomainID) int {
+	n := m.plb.PurgeDomain(d)
+	m.cycles.Add(uint64(m.plb.Capacity()) * m.cfg.Costs.PurgeEntry)
+	return n
+}
+
 // PurgePage removes every domain's PLB entries for the page holding va
 // (used when rights change for all domains at once). Like the other scan
 // operations this inspects every slot of the PLB.

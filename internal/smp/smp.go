@@ -109,6 +109,11 @@ const (
 	// GroupUpdate rewrites the page-group TLB entry for VPN with the
 	// page's new group/rights (regrouping traffic).
 	GroupUpdate
+	// DomainPurge drops every protection entry of Domain on the target
+	// (domain destruction): PLB purge-by-domain, or an ASID-wide TLB
+	// purge. One scan replaces the per-page invalidation storm a
+	// destroy would otherwise send.
+	DomainPurge
 )
 
 // PageScoped reports whether the kind names a single page whose
@@ -149,6 +154,8 @@ func (k Kind) String() string {
 		return "group-revoke"
 	case GroupUpdate:
 		return "group-update"
+	case DomainPurge:
+		return "domain-purge"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -1,0 +1,27 @@
+package sessions
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// BenchmarkChurn is the per-session lifecycle cost under the default
+// multi-tenant mix (fork, overrides, private-segment churn). The cost
+// must stay flat as b.N grows: any superlinear trend means lifecycle
+// state is leaking (the derived-group leak this guards against made
+// page-group sessions 70x slower by N=5000).
+func BenchmarkChurn(b *testing.B) {
+	for _, model := range allModels {
+		b.Run(model.String(), func(b *testing.B) {
+			k := kernel.New(kernel.DefaultConfig(model))
+			cfg := DefaultConfig()
+			cfg.Sessions = b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := Run(k, cfg); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

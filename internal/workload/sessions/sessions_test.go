@@ -1,0 +1,164 @@
+package sessions
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+)
+
+var allModels = []kernel.Model{
+	kernel.ModelDomainPage, kernel.ModelPageGroup,
+	kernel.ModelConventional, kernel.ModelFlush,
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sessions = 600
+	return cfg
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			k := kernel.New(kernel.DefaultConfig(model))
+			cfg := testConfig()
+			rep, err := Run(k, cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Sessions != uint64(cfg.Sessions) {
+				t.Fatalf("completed %d/%d sessions", rep.Sessions, cfg.Sessions)
+			}
+			if rep.Forks != rep.Sessions {
+				t.Fatalf("fork mode spawned %d forks for %d sessions", rep.Forks, rep.Sessions)
+			}
+			if rep.Touches == 0 {
+				t.Fatal("no pages touched")
+			}
+			if rep.PeakLive < 2 || rep.PeakLive > cfg.MaxLive {
+				t.Fatalf("peak live %d outside (1, %d]", rep.PeakLive, cfg.MaxLive)
+			}
+			// Far more sessions than the live cap: the pool must recycle.
+			if rep.DomainIDsRecycled == 0 {
+				t.Fatal("no domain IDs recycled")
+			}
+			// Every fork shares the template's override table; the sessions
+			// that diverge must pay a copy-on-write break.
+			if rep.CowCopies == 0 {
+				t.Fatal("no copy-on-write override copies")
+			}
+			if model == kernel.ModelPageGroup {
+				if rep.PrivateSegments == 0 {
+					t.Fatal("no private segments churned")
+				}
+				if rep.GroupsRecycled == 0 {
+					t.Fatal("private segment churn recycled no group numbers")
+				}
+			}
+			if n := k.LiveDomains(); n != 1 {
+				t.Fatalf("%d domains live after drain, want 1 (the template)", n)
+			}
+		})
+	}
+}
+
+func TestCreateModeRecycles(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	cfg := testConfig()
+	cfg.Fork = false
+	rep, err := Run(k, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Forks != 0 {
+		t.Fatalf("create mode forked %d times", rep.Forks)
+	}
+	if rep.DomainIDsRecycled == 0 {
+		t.Fatal("no domain IDs recycled")
+	}
+	if n := k.LiveDomains(); n != 0 {
+		t.Fatalf("%d domains live after drain, want 0", n)
+	}
+}
+
+// TestDestroyShootdownScaling pins sessions across CPUs and demands that
+// destroy-time invalidation traffic tracks the sharer directory: at most
+// one IPI per seat the dying domain was actually resident on, never a
+// broadcast to every CPU.
+func TestDestroyShootdownScaling(t *testing.T) {
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := kernel.DefaultConfig(model)
+			cfg.CPUs = 4
+			k, err := kernel.NewChecked(cfg)
+			if err != nil {
+				t.Fatalf("NewChecked: %v", err)
+			}
+			wcfg := testConfig()
+			wcfg.PinCPUs = true
+			rep, err := Run(k, wcfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.DestroyRemoteSharers == 0 {
+				t.Fatal("pinned sessions left no remote footprint to revoke")
+			}
+			if rep.DestroyIPIs > rep.DestroyRemoteSharers {
+				t.Fatalf("destroy sent %d IPIs for %d remote sharers: shootdowns must scale with sharers",
+					rep.DestroyIPIs, rep.DestroyRemoteSharers)
+			}
+		})
+	}
+}
+
+// TestOnDestroySweep wires the oracle's residual-authority sweep into the
+// destroy hook: every sampled departure must leave zero authority for the
+// dead ID anywhere in the machine.
+func TestOnDestroySweep(t *testing.T) {
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := kernel.DefaultConfig(model)
+			cfg.CPUs = 2
+			k, err := kernel.NewChecked(cfg)
+			if err != nil {
+				t.Fatalf("NewChecked: %v", err)
+			}
+			wcfg := testConfig()
+			wcfg.Sessions = 200
+			wcfg.PinCPUs = true
+			wcfg.DestroySampleEvery = 7
+			swept := 0
+			wcfg.OnDestroy = func(id addr.DomainID) error {
+				swept++
+				return oracle.VerifyDestroyed(k, id)
+			}
+			if _, err := Run(k, wcfg); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if swept == 0 {
+				t.Fatal("destroy hook never ran")
+			}
+		})
+	}
+}
+
+func TestOnDestroyErrorPropagates(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	boom := errors.New("boom")
+	cfg := testConfig()
+	cfg.Sessions = 50
+	cfg.OnDestroy = func(addr.DomainID) error { return boom }
+	if _, err := Run(k, cfg); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig(kernel.ModelDomainPage))
+	if _, err := Run(k, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
